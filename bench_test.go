@@ -1,0 +1,298 @@
+// Benchmarks mapping to the paper's evaluation (§5): one Benchmark per
+// figure (Fig7–Fig11) at reduced scale, micro-benchmarks for the individual
+// substrates, and ablation benchmarks for the design choices called out in
+// DESIGN.md (integrated I/O regions, dummy lower bounds, crossing-line
+// subdivision). The full-scale figure regeneration lives in cmd/skbench;
+// these targets exist so `go test -bench=.` exercises every experiment code
+// path quickly and reports machine-local cost numbers.
+package surfknn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"surfknn/internal/core"
+	"surfknn/internal/dem"
+	"surfknn/internal/geodesic"
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/index"
+	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
+	"surfknn/internal/pathnet"
+	"surfknn/internal/sdn"
+	"surfknn/internal/simplify"
+	"surfknn/internal/storage"
+	"surfknn/internal/workload"
+)
+
+// fixture is the shared benchmark terrain: BH preset, 33×33 grid, ~2.6 km².
+type fixture struct {
+	m    *mesh.Mesh
+	db   *core.TerrainDB
+	q    mesh.SurfacePoint
+	a, b mesh.SurfacePoint
+}
+
+var (
+	fxOnce sync.Once
+	fx     fixture
+)
+
+func getFixture(b *testing.B) *fixture {
+	b.Helper()
+	fxOnce.Do(func() {
+		g := dem.Synthesize(dem.BH, 32, 50, 2006)
+		fx.m = mesh.FromGrid(g)
+		db, err := core.BuildTerrainDB(fx.m, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		objs, err := workload.RandomObjects(fx.m, db.Loc, 80, 3)
+		if err != nil {
+			panic(err)
+		}
+		db.SetObjects(objs)
+		fx.db = db
+		ext := fx.m.Extent()
+		fx.q, _ = db.SurfacePointAt(ext.Center())
+		fx.a, _ = db.SurfacePointAt(geom.Vec2{X: ext.MinX + 100, Y: ext.MinY + 120})
+		fx.b, _ = db.SurfacePointAt(geom.Vec2{X: ext.MaxX - 90, Y: ext.MaxY - 110})
+	})
+	return &fx
+}
+
+// --- Figure 7: CH vs EA single-pair distance ---
+
+func BenchmarkFig7ChenHanExact(b *testing.B) {
+	f := getFixture(b)
+	solver := geodesic.NewSolver(f.m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.Distance(f.a, f.b)
+	}
+}
+
+func BenchmarkFig7EAPathnet(b *testing.B) {
+	f := getFixture(b)
+	pn := pathnet.Build(f.m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pn.Distance(f.a, f.b)
+	}
+}
+
+// --- Figure 8: one distance-range estimation (ub at 50% + lb at 50%) ---
+
+func BenchmarkFig8UpperBound(b *testing.B) {
+	f := getFixture(b)
+	tm := f.db.Tree.TimeForResolution(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.db.Tree.UpperBound(f.m, f.a, f.b, tm, multires.IncludeAll)
+	}
+}
+
+func BenchmarkFig8LowerBound(b *testing.B) {
+	f := getFixture(b)
+	region := f.m.Extent()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.db.MSDN.LowerBound(f.a.Pos, f.b.Pos, region, 0.5)
+	}
+}
+
+// --- Figure 9: integrated I/O regions on/off ---
+
+func BenchmarkFig9IntegrationOn(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, 10, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9IntegrationOff(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, 10, core.S2, core.Options{DisableIOIntegration: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: MR3 (three schedules) vs EA, k = 10 ---
+
+func benchMR3(b *testing.B, sched core.Schedule, k int) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, k, sched, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10MR3S1(b *testing.B) { benchMR3(b, core.S1, 10) }
+func BenchmarkFig10MR3S2(b *testing.B) { benchMR3(b, core.S2, 10) }
+func BenchmarkFig10MR3S3(b *testing.B) { benchMR3(b, core.S3, 10) }
+
+func BenchmarkFig10EA(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.EA(f.q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: effect of object density (sparse vs dense, k = 5) ---
+
+func benchDensity(b *testing.B, n int) {
+	f := getFixture(b)
+	objs, err := workload.RandomObjects(f.m, f.db.Loc, n, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.db.SetObjects(objs)
+	defer func() {
+		objs, _ := workload.RandomObjects(f.m, f.db.Loc, 80, 3)
+		f.db.SetObjects(objs)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, 5, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Sparse20(b *testing.B) { benchDensity(b, 20) }
+func BenchmarkFig11Dense200(b *testing.B) { benchDensity(b, 200) }
+
+// --- Ablations ---
+
+func BenchmarkAblationDummyLBOn(b *testing.B) { benchMR3(b, core.S1, 10) }
+func BenchmarkAblationDummyLBOff(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, 10, core.S1, core.Options{DisableDummyLB: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSubdiv1(b *testing.B) { benchSubdiv(b, 1) }
+func BenchmarkAblationSubdiv4(b *testing.B) { benchSubdiv(b, 4) }
+
+func benchSubdiv(b *testing.B, subdiv int) {
+	f := getFixture(b)
+	ms := sdn.BuildMSDNSubdiv(f.m, 0, subdiv)
+	region := f.m.Extent()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms.LowerBound(f.a.Pos, f.b.Pos, region, 1.0)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkSimplifyQEM(b *testing.B) {
+	g := dem.Synthesize(dem.BH, 16, 50, 5)
+	for i := 0; i < b.N; i++ {
+		m := mesh.FromGrid(g)
+		if _, err := simplify.Simplify(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstraMesh(b *testing.B) {
+	f := getFixture(b)
+	g := graph.New(f.m.NumVerts())
+	for _, e := range f.m.Edges() {
+		g.AddEdge(int(e.A), int(e.B), f.m.EdgeLength(e))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Dijkstra(g, i%f.m.NumVerts())
+	}
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	items := make([]index.Item, 10000)
+	for i := range items {
+		items[i] = index.Item{P: geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, ID: int64(i)}
+	}
+	tr := index.Bulk(items)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(geom.Vec2{X: 500, Y: 500}, 10)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	pool := storage.NewBufferPool(storage.NewMemFile(), 1024)
+	tree, err := storage.NewBTree(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(uint64(i*2654435761), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	pool := storage.NewBufferPool(storage.NewMemFile(), 1024)
+	tree, err := storage.NewBTree(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		tree.Insert(uint64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Search(uint64(i % 100000))
+	}
+}
+
+func BenchmarkMeshExtract(b *testing.B) {
+	f := getFixture(b)
+	tm := f.db.Tree.TimeForResolution(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.db.Tree.ExtractMesh(f.m, tm)
+	}
+}
+
+func BenchmarkSurfaceRange(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.SurfaceRange(f.q, 500, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBothFamiliesOff(b *testing.B) { benchMR3(b, core.S1, 10) }
+func BenchmarkAblationBothFamiliesOn(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.db.MR3(f.q, 10, core.S1, core.Options{BothFamilyLB: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

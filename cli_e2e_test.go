@@ -1,0 +1,80 @@
+package surfknn_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITools builds the four command-line tools and drives them end to
+// end: generate a terrain, view it, export a mesh, answer queries with every
+// algorithm, and regenerate a figure with CSV output.
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"skgen", "skquery", "skbench", "skview"} {
+		bin := filepath.Join(dir, tool)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[tool], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", tool, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	// skgen: generate a small terrain file with stats.
+	demPath := filepath.Join(dir, "t.sdem")
+	out := run("skgen", "-preset", "EP", "-size", "16", "-cell", "100", "-o", demPath, "-info")
+	if !strings.Contains(out, "17x17 samples") || !strings.Contains(out, "roughness") {
+		t.Errorf("skgen output:\n%s", out)
+	}
+	if _, err := os.Stat(demPath); err != nil {
+		t.Fatalf("terrain file missing: %v", err)
+	}
+
+	// skview: render the generated file and export an OBJ at 25% LOD.
+	out = run("skview", "-dem", demPath, "-width", "24")
+	if !strings.Contains(out, "km") {
+		t.Errorf("skview output:\n%s", out)
+	}
+	objPath := filepath.Join(dir, "t.obj")
+	out = run("skview", "-dem", demPath, "-obj", objPath, "-res", "0.25")
+	if !strings.Contains(out, "25.0% resolution") {
+		t.Errorf("skview obj output:\n%s", out)
+	}
+	objData, err := os.ReadFile(objPath)
+	if err != nil || !strings.HasPrefix(string(objData), "# surfknn mesh") {
+		t.Errorf("obj export broken: %v", err)
+	}
+
+	// skquery: every algorithm on the generated terrain.
+	for _, algo := range []string{"mr3", "ea", "brute", "range", "masked"} {
+		out = run("skquery", "-dem", demPath, "-objects", "25", "-k", "3", "-algo", algo, "-slope", "89")
+		if !strings.Contains(out, "object") {
+			t.Errorf("skquery %s output:\n%s", algo, out)
+		}
+	}
+
+	// skbench: one small figure with CSV output.
+	csvDir := filepath.Join(dir, "csv")
+	out = run("skbench", "-fig", "1", "-size", "16", "-csv", csvDir)
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "completed") {
+		t.Errorf("skbench output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig1.csv")); err != nil {
+		t.Errorf("csv missing: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Command skbench regenerates the paper's evaluation figures (§5) on the
+// synthetic terrains and prints each as an aligned text table.
+//
+// Usage:
+//
+//	skbench -fig 10 -size 64 -queries 3
+//	skbench -fig all -v
+//
+// Figures: 1 (multiresolution extraction), 7 (CH vs EA scalability),
+// 8 (distance-range accuracy), 9 (integrated I/O regions), 10 (effect of
+// k), 11 (effect of object density), ratio (surface/Euclidean overhead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"surfknn/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skbench: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 7, 8, 9, 10, 11, ratio or all")
+		size    = flag.Int("size", 64, "terrain grid size (power of two)")
+		cell    = flag.Float64("cell", 100, "sample spacing (m)")
+		queries = flag.Int("queries", 3, "queries averaged per data point")
+		density = flag.Float64("density", 4, "object density for the k sweep (objects/km²)")
+		k       = flag.Int("k", 10, "fixed k for the density sweep")
+		seed    = flag.Int64("seed", 2006, "random seed")
+		pageMs  = flag.Float64("pagems", 1, "simulated I/O cost per page (ms)")
+		verbose = flag.Bool("v", false, "log progress to stderr")
+		csvDir  = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		Size:     *size,
+		CellSize: *cell,
+		Queries:  *queries,
+		Density:  *density,
+		K:        *k,
+		Seed:     *seed,
+		PageCost: time.Duration(*pageMs * float64(time.Millisecond)),
+	}
+	if *verbose {
+		p.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	figs, err := experiments.Run(*fig, p)
+	for _, f := range figs {
+		fmt.Println(f.String())
+		if *csvDir != "" {
+			if werr := writeCSV(*csvDir, f); werr != nil {
+				log.Fatal(werr)
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSV renders one figure as a comma-separated file with the x column
+// first, for plotting tools.
+func writeCSV(dir string, f experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			fmt.Fprintf(&b, "%g", f.Series[0].X[i])
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, ",%g", s.Y[i])
+				} else {
+					b.WriteByte(',')
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, f.ID+".csv"), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,130 @@
+// Command skquery answers a single surface k-NN query on a terrain,
+// printing the result set, the distance ranges and the cost metrics.
+//
+// Usage:
+//
+//	skquery -dem bh.sdem -objects 200 -x 3200 -y 3200 -k 5 -algo mr3 -sched 1
+//	skquery -preset EP -size 64 -k 10 -algo ea
+//
+// When -x/-y are omitted the query point is the terrain centre.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"surfknn/internal/core"
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skquery: ")
+	var (
+		demPath = flag.String("dem", "", "terrain file produced by skgen (overrides -preset/-size)")
+		preset  = flag.String("preset", "BH", "synthesize preset when no -dem given: BH or EP")
+		size    = flag.Int("size", 64, "synthesized grid size")
+		cell    = flag.Float64("cell", 100, "synthesized sample spacing (m)")
+		seed    = flag.Int64("seed", 2006, "seed for terrain and objects")
+		objects = flag.Int("objects", 150, "number of uniformly placed objects")
+		qx      = flag.Float64("x", math.NaN(), "query x (default: terrain centre)")
+		qy      = flag.Float64("y", math.NaN(), "query y (default: terrain centre)")
+		k       = flag.Int("k", 5, "number of neighbours")
+		algo    = flag.String("algo", "mr3", "algorithm: mr3, ea, brute, range or masked")
+		sched   = flag.Int("sched", 1, "MR3 step-length schedule: 1, 2 or 3")
+		radius  = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
+		slope   = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
+	)
+	flag.Parse()
+
+	g, err := loadOrSynthesize(*demPath, *preset, *size, *cell, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mesh.FromGrid(g)
+	fmt.Printf("terrain: %d vertices, %d faces (%.1f km²)\n", m.NumVerts(), m.NumFaces(), g.AreaKm2())
+
+	db, err := core.BuildTerrainDB(m, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs, err := workload.RandomObjects(m, db.Loc, *objects, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.SetObjects(objs)
+
+	ext := m.Extent()
+	p := ext.Center()
+	if !math.IsNaN(*qx) {
+		p.X = *qx
+	}
+	if !math.IsNaN(*qy) {
+		p.Y = *qy
+	}
+	q, err := db.SurfacePointAt(geom.Vec2{X: p.X, Y: p.Y})
+	if err != nil {
+		log.Fatalf("query point: %v", err)
+	}
+	fmt.Printf("query: (%.1f, %.1f, %.1f), k=%d, algo=%s\n", q.Pos.X, q.Pos.Y, q.Pos.Z, *k, *algo)
+
+	s := core.S1
+	switch *sched {
+	case 2:
+		s = core.S2
+	case 3:
+		s = core.S3
+	}
+	var res core.Result
+	switch strings.ToLower(*algo) {
+	case "mr3":
+		res, err = db.MR3(q, *k, s, core.Options{})
+	case "ea":
+		res, err = db.EA(q, *k)
+	case "brute":
+		res.Neighbors = db.BruteForce(q, *k)
+	case "range":
+		res, err = db.SurfaceRange(q, *radius, s, core.Options{})
+		fmt.Printf("objects within %.0f m of surface travel:\n", *radius)
+	case "masked":
+		var ns []core.Neighbor
+		ns, err = db.MaskedKNN(q, *k, core.SlopeMask(m, *slope))
+		res.Neighbors = ns
+		fmt.Printf("k-NN over faces with slope ≤ %.0f°:\n", *slope)
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, n := range res.Neighbors {
+		fmt.Printf("%2d. object %-4d at (%.1f, %.1f, %.1f)  dS ∈ [%.2f, %.2f]\n",
+			i+1, n.Object.ID, n.Object.Point.Pos.X, n.Object.Point.Pos.Y, n.Object.Point.Pos.Z,
+			n.LB, n.UB)
+	}
+	if *algo == "mr3" || *algo == "ea" || *algo == "range" {
+		fmt.Printf("cost: %s\n", res.Metrics)
+	}
+}
+
+func loadOrSynthesize(path, preset string, size int, cell float64, seed int64) (*dem.Grid, error) {
+	if path != "" {
+		return dem.ReadFile(path)
+	}
+	var p dem.Preset
+	switch strings.ToUpper(preset) {
+	case "BH":
+		p = dem.BH
+	case "EP":
+		p = dem.EP
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	return dem.Synthesize(p, size, cell, seed), nil
+}

@@ -1,0 +1,154 @@
+// Command skview renders a terrain as an ASCII elevation/hillshade map in
+// the terminal and can export meshes (at any multiresolution level) as
+// Wavefront OBJ files — the closest text-mode equivalent of the paper's
+// Fig. 1 renderings.
+//
+// Usage:
+//
+//	skview -preset BH -size 64                 # ASCII elevation map
+//	skview -dem bh.sdem -shade                 # hillshade instead of ramp
+//	skview -preset BH -obj out.obj -res 0.1    # export the 10% LOD mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skview: ")
+	var (
+		demPath = flag.String("dem", "", "terrain file produced by skgen")
+		preset  = flag.String("preset", "BH", "synthesize preset when no -dem given")
+		size    = flag.Int("size", 64, "synthesized grid size")
+		cell    = flag.Float64("cell", 100, "synthesized sample spacing (m)")
+		seed    = flag.Int64("seed", 2006, "random seed")
+		width   = flag.Int("width", 72, "output columns")
+		shade   = flag.Bool("shade", false, "render a hillshade instead of an elevation ramp")
+		objPath = flag.String("obj", "", "export the mesh as Wavefront OBJ to this file instead of rendering")
+		res     = flag.Float64("res", 1.0, "multiresolution level for -obj (fraction of points, e.g. 0.1)")
+	)
+	flag.Parse()
+
+	var g *dem.Grid
+	var err error
+	if *demPath != "" {
+		g, err = dem.ReadFile(*demPath)
+	} else {
+		var p dem.Preset
+		switch strings.ToUpper(*preset) {
+		case "BH":
+			p = dem.BH
+		case "EP":
+			p = dem.EP
+		default:
+			log.Fatalf("unknown preset %q", *preset)
+		}
+		g = dem.Synthesize(p, *size, *cell, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *objPath != "" {
+		m := mesh.FromGrid(g)
+		out := m
+		if *res < 1.0 {
+			tree, err := multires.BuildFromMesh(m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = tree.ExtractMesh(m, tree.TimeForResolution(*res))
+		}
+		f, err := os.Create(*objPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.WriteOBJ(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d vertices, %d faces (%.1f%% resolution)\n",
+			*objPath, out.NumVerts(), out.NumFaces(), *res*100)
+		return
+	}
+
+	render(g, *width, *shade)
+}
+
+// render draws the grid as an ASCII map, downsampled to the requested
+// width with a 2:1 character aspect correction.
+func render(g *dem.Grid, width int, shade bool) {
+	if width < 8 {
+		width = 8
+	}
+	height := width * g.Rows / g.Cols / 2
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := g.MinMaxElev()
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	ramp := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for r := height - 1; r >= 0; r-- { // north up
+		for c := 0; c < width; c++ {
+			gc := c * (g.Cols - 1) / (width - 1)
+			gr := r * (g.Rows - 1) / (height - 1)
+			var v float64
+			if shade {
+				v = hillshade(g, gc, gr)
+			} else {
+				v = (g.At(gc, gr) - lo) / span
+			}
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+	fmt.Printf("%.1f km × %.1f km, elevation %.0f–%.0f m\n",
+		float64(g.Cols-1)*g.CellSize/1000, float64(g.Rows-1)*g.CellSize/1000, lo, hi)
+}
+
+// hillshade computes simple lambertian shading with a north-west light.
+func hillshade(g *dem.Grid, c, r int) float64 {
+	c1, r1 := c+1, r+1
+	if c1 >= g.Cols {
+		c1 = c
+	}
+	if r1 >= g.Rows {
+		r1 = r
+	}
+	dzdx := (g.At(c1, r) - g.At(c, r)) / g.CellSize
+	dzdy := (g.At(c, r1) - g.At(c, r)) / g.CellSize
+	// Light direction from the north-west, 45° elevation.
+	lx, ly, lz := -0.5, 0.5, 0.707
+	nx, ny, nz := -dzdx, -dzdy, 1.0
+	n := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	dot := (nx*lx + ny*ly + nz*lz) / n
+	if dot < 0 {
+		dot = 0
+	}
+	return dot
+}

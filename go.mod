@@ -1,0 +1,3 @@
+module surfknn
+
+go 1.22

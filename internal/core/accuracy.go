@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// DistanceRange is a bracketing of a surface distance with its achieved
+// accuracy ε = LB/UB.
+type DistanceRange struct {
+	LB, UB float64
+	// Accuracy is LB/UB in [0,1]; 1 means the range collapsed.
+	Accuracy float64
+	// Iterations is the number of resolution steps consumed.
+	Iterations int
+}
+
+// DistanceWithAccuracy answers the paper's §5.3 query — "what is the
+// surface distance between a and b within accuracy X%" — directly from the
+// multiresolution structures: it walks the schedule, tightening [lb, ub],
+// and stops as soon as lb/ub ≥ accuracy (or the ladder is exhausted, in
+// which case the best achieved range is returned). accuracy must be in
+// (0, 1]; the structures on typical terrains support up to roughly the
+// Fig. 8 plateau.
+func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+	if accuracy <= 0 || accuracy > 1 || math.IsNaN(accuracy) {
+		return DistanceRange{}, fmt.Errorf("core: accuracy %g outside (0,1]", accuracy)
+	}
+	out := DistanceRange{
+		LB: a.Pos.Dist(b.Pos),
+		UB: math.Inf(1),
+	}
+	ext := db.Mesh.Extent()
+	for it := 0; it < sched.Steps(); it++ {
+		out.Iterations = it + 1
+		dmRes, sdnRes := sched.At(it)
+		// Upper bound (running minimum).
+		var ub float64
+		region := ext
+		if !math.IsInf(out.UB, 1) {
+			if m := geom.NewEllipse(a.XY(), b.XY(), out.UB).MBR(); !m.IsEmpty() {
+				region = m
+			}
+		}
+		if dmRes >= PathnetResolution {
+			ub = db.Path.DistanceWithin(a, b, region)
+			if math.IsInf(ub, 1) {
+				ub, _ = db.Path.Distance(a, b)
+			}
+			// The pathnet level is the reference metric: collapse the range.
+			if ub < out.UB {
+				out.UB = ub
+			}
+			if out.UB > out.LB {
+				out.LB = out.UB
+			}
+		} else {
+			tm := db.Tree.TimeForResolution(dmRes)
+			ids, err := db.fetchDMTM(region, tm)
+			if err != nil {
+				return out, err
+			}
+			nw := db.Tree.NetworkFromEdgeIDs(tm, ids, nil)
+			est := nw.UpperBound(db.Mesh, a, b)
+			if est.UB < out.UB {
+				out.UB = est.UB
+			}
+		}
+		// Lower bound within the refreshed ellipse (running maximum).
+		if !math.IsInf(out.UB, 1) {
+			if m := geom.NewEllipse(a.XY(), b.XY(), out.UB).MBR(); !m.IsEmpty() {
+				region = m
+			}
+			if _, err := db.fetchSDN(region, SDNLevel(sdnRes)); err != nil {
+				return out, err
+			}
+			est := db.MSDN.LowerBound(a.Pos, b.Pos, region, sdnRes)
+			if est.LB > out.LB {
+				out.LB = est.LB
+			}
+			if out.LB > out.UB {
+				out.LB = out.UB
+			}
+		}
+		out.Accuracy = out.LB / out.UB
+		if out.Accuracy >= accuracy {
+			break
+		}
+	}
+	if math.IsInf(out.UB, 1) {
+		return out, fmt.Errorf("core: points are not connected on the surface")
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+	"surfknn/internal/workload"
+)
+
+// testDB builds a small terrain database with objects, shared across tests
+// via subtests to amortise construction.
+func buildDB(t testing.TB, preset dem.Preset, size int, nObjects int, seed int64) *TerrainDB {
+	t.Helper()
+	m := mesh.FromGrid(dem.Synthesize(preset, size, 10, seed))
+	db, err := BuildTerrainDB(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := workload.RandomObjects(m, db.Loc, nObjects, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetObjects(objs)
+	return db
+}
+
+func queryPoints(t testing.TB, db *TerrainDB, n int, seed int64) []mesh.SurfacePoint {
+	t.Helper()
+	qs, err := workload.RandomQueries(db.Mesh, db.Loc, n, db.Mesh.Extent().Width()/10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+func idsOf(ns []Neighbor) map[int64]bool {
+	out := make(map[int64]bool, len(ns))
+	for _, n := range ns {
+		out[n.Object.ID] = true
+	}
+	return out
+}
+
+// sameKSet compares result sets allowing ties at the boundary: every
+// returned object must have reference distance <= the brute-force k-th
+// distance (within tolerance).
+func sameKSet(t *testing.T, db *TerrainDB, q mesh.SurfacePoint, got []Neighbor, k int) {
+	t.Helper()
+	want := db.BruteForce(q, k)
+	if len(got) != len(want) {
+		t.Fatalf("got %d neighbours, want %d", len(got), len(want))
+	}
+	kth := want[len(want)-1].UB
+	tol := 1e-6 * (1 + kth)
+	wantIDs := idsOf(want)
+	for _, n := range got {
+		if wantIDs[n.Object.ID] {
+			continue
+		}
+		// Not in the brute-force set: must be a tie at the boundary.
+		d := db.ReferenceDistance(q, n.Object.Point)
+		if d > kth+tol {
+			t.Errorf("object %d (d=%v) in result but true k-th distance is %v", n.Object.ID, d, kth)
+		}
+	}
+}
+
+func TestMR3MatchesBruteForce(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 60, 101)
+	qs := queryPoints(t, db, 4, 55)
+	for _, sched := range []Schedule{S1, S2, S3} {
+		for _, k := range []int{1, 3, 8} {
+			for qi, q := range qs {
+				res, err := db.MR3(q, k, sched, Options{})
+				if err != nil {
+					t.Fatalf("%s k=%d q%d: %v", sched.Name, k, qi, err)
+				}
+				if len(res.Neighbors) != k {
+					t.Fatalf("%s k=%d q%d: %d neighbours", sched.Name, k, qi, len(res.Neighbors))
+				}
+				sameKSet(t, db, q, res.Neighbors, k)
+				// Ranges must bracket the reference distance.
+				for _, n := range res.Neighbors {
+					d := db.ReferenceDistance(q, n.Object.Point)
+					if n.LB > d+1e-6*(1+d) || n.UB < d-1e-6*(1+d) {
+						t.Errorf("%s k=%d: range [%v,%v] misses reference %v", sched.Name, k, n.LB, n.UB, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEAMatchesBruteForce(t *testing.T) {
+	db := buildDB(t, dem.EP, 16, 50, 202)
+	qs := queryPoints(t, db, 3, 56)
+	for _, k := range []int{1, 5} {
+		for qi, q := range qs {
+			res, err := db.EA(q, k)
+			if err != nil {
+				t.Fatalf("k=%d q%d: %v", k, qi, err)
+			}
+			if len(res.Neighbors) != k {
+				t.Fatalf("k=%d q%d: %d neighbours", k, qi, len(res.Neighbors))
+			}
+			sameKSet(t, db, q, res.Neighbors, k)
+		}
+	}
+}
+
+func TestMR3AndEAAgree(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 40, 303)
+	q := queryPoints(t, db, 1, 57)[0]
+	k := 5
+	mr3, err := db.MR3(q, k, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := db.EA(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the k-th reference distances of the two sets (MR3's final
+	// upper bounds may be loose once the set is determined, so compare
+	// under the reference metric; sets may permute on ties).
+	mrK, eaK := 0.0, 0.0
+	for _, n := range mr3.Neighbors {
+		mrK = math.Max(mrK, db.ReferenceDistance(q, n.Object.Point))
+	}
+	for _, n := range ea.Neighbors {
+		eaK = math.Max(eaK, db.ReferenceDistance(q, n.Object.Point))
+	}
+	if math.Abs(mrK-eaK) > 1e-6*(1+eaK) {
+		t.Errorf("k-th distance: MR3 %v vs EA %v", mrK, eaK)
+	}
+}
+
+func TestMR3MetricsPopulated(t *testing.T) {
+	db := buildDB(t, dem.EP, 16, 40, 404)
+	q := queryPoints(t, db, 1, 58)[0]
+	res, err := db.MR3(q, 5, S1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Pages == 0 || m.UpperBounds == 0 || m.LowerBounds == 0 || m.Iterations == 0 {
+		t.Errorf("metrics not populated: %+v", m)
+	}
+	if m.Elapsed < m.CPU {
+		t.Errorf("elapsed %v below cpu %v", m.Elapsed, m.CPU)
+	}
+}
+
+func TestIOIntegrationReducesPages(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 80, 505)
+	q := queryPoints(t, db, 1, 59)[0]
+	k := 10
+	on, err := db.MR3(q, k, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := db.MR3(q, k, S2, Options{DisableIOIntegration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Metrics.Pages > off.Metrics.Pages {
+		t.Errorf("integration on: %d pages, off: %d pages (on should not exceed off)",
+			on.Metrics.Pages, off.Metrics.Pages)
+	}
+	// Same answer either way.
+	sameKSet(t, db, q, on.Neighbors, k)
+	sameKSet(t, db, q, off.Neighbors, k)
+}
+
+func TestDummyLBSameAnswer(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 60, 606)
+	q := queryPoints(t, db, 1, 60)[0]
+	k := 6
+	with, err := db.MR3(q, k, S1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := db.MR3(q, k, S1, Options{DisableDummyLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameKSet(t, db, q, with.Neighbors, k)
+	sameKSet(t, db, q, without.Neighbors, k)
+}
+
+func TestScheduleAccessors(t *testing.T) {
+	if S1.Steps() != 6 || S2.Steps() != 4 || S3.Steps() != 3 {
+		t.Errorf("steps = %d,%d,%d", S1.Steps(), S2.Steps(), S3.Steps())
+	}
+	dm, ms := S1.At(0)
+	if dm != 0.005 || ms != 0.25 {
+		t.Errorf("S1.At(0) = %v,%v", dm, ms)
+	}
+	dm, ms = S1.At(5)
+	if dm != PathnetResolution || ms != 1.0 {
+		t.Errorf("S1.At(5) = %v,%v", dm, ms)
+	}
+	dm, ms = S3.At(10)
+	if dm != PathnetResolution || ms != 1.0 {
+		t.Errorf("S3.At(10) = %v,%v", dm, ms)
+	}
+	if SDNLevel(0.25) != 0 || SDNLevel(1.0) != 4 || SDNLevel(0.4) != 1 {
+		t.Error("SDNLevel mapping wrong")
+	}
+}
+
+func TestMR3ErrorsWithoutObjects(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.EP, 8, 10, 1))
+	db, err := BuildTerrainDB(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.SurfacePointAt(m.Extent().Center())
+	if _, err := db.MR3(q, 3, S1, Options{}); err == nil {
+		t.Error("MR3 without objects should error")
+	}
+	if _, err := db.EA(q, 3); err == nil {
+		t.Error("EA without objects should error")
+	}
+	db.SetObjects(nil)
+	if _, err := db.MR3(q, 0, S1, Options{}); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestKLargerThanObjects(t *testing.T) {
+	db := buildDB(t, dem.EP, 8, 5, 707)
+	q := queryPoints(t, db, 1, 61)[0]
+	res, err := db.MR3(q, 10, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != 5 {
+		t.Errorf("neighbours = %d, want all 5 objects", len(res.Neighbors))
+	}
+}
+
+// meshFromGrid is a tiny helper shared by persistence tests.
+func meshFromGrid(g *dem.Grid) *mesh.Mesh { return mesh.FromGrid(g) }
+
+func TestBothFamilyLBSameAnswer(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 50, 1414)
+	q := queryPoints(t, db, 1, 65)[0]
+	k := 5
+	res, err := db.MR3(q, k, S2, Options{BothFamilyLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameKSet(t, db, q, res.Neighbors, k)
+}

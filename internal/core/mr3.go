@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"surfknn/internal/index"
+	"surfknn/internal/mesh"
+	"surfknn/internal/stats"
+	"surfknn/internal/workload"
+)
+
+// Result is the outcome of one sk-NN query.
+type Result struct {
+	Neighbors []Neighbor
+	Metrics   stats.Metrics
+}
+
+// MR3 answers the surface k-NN query with Multi-Resolution Range Ranking
+// (§4.1):
+//
+//  1. 2-D k-NN: find the k objects nearest to q's (x,y) projection.
+//  2. Surface-distance ranking of those k to obtain a tight upper bound
+//     ub(q,b) of the k-th surface neighbour.
+//  3. 2-D range query with radius ub(q,b) to collect every possible
+//     surface neighbour (any object farther in the plane is farther on the
+//     surface).
+//  4. Surface-distance ranking of the collected candidates until the k-th
+//     neighbour's upper bound is no greater than the (k+1)-th's lower
+//     bound.
+func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
+	if db.Dxy == nil {
+		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	db.ResetCounters()
+	var met stats.Metrics
+	start := time.Now()
+
+	// Step 1: 2-D k-NN on Dxy.
+	c1 := db.Dxy.KNN(q.XY(), k)
+	objs1 := db.itemsToObjects(c1)
+
+	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
+	ranked := db.rank(q, objs1, k, sched, opt, &met, true)
+	radius := kthUB(ranked, k)
+	if math.IsInf(radius, 1) {
+		return Result{}, fmt.Errorf("core: could not bound the %d-th neighbour", k)
+	}
+
+	// Step 3: 2-D range query with the bound as radius.
+	c2 := db.Dxy.WithinDist(q.XY(), radius)
+	objs2 := db.itemsToObjects(c2)
+
+	// Step 4: rank C2 until the k-set is determined.
+	final := db.rank(q, objs2, k, sched, opt, &met, false)
+
+	met.CPU = time.Since(start)
+	met.Pages = db.PagesAccessed()
+	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
+	return Result{Neighbors: final, Metrics: met}, nil
+}
+
+func (db *TerrainDB) itemsToObjects(items []index.Item) []workload.Object {
+	out := make([]workload.Object, 0, len(items))
+	for _, it := range items {
+		if o, ok := db.objByID[it.ID]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// kthUB returns the k-th neighbour's upper bound from a ranked result.
+func kthUB(ranked []Neighbor, k int) float64 {
+	if len(ranked) == 0 {
+		return math.Inf(1)
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[k-1].UB
+}

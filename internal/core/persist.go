@@ -1,0 +1,317 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
+	"surfknn/internal/sdn"
+	"surfknn/internal/workload"
+)
+
+// Persistence: a TerrainDB snapshot holds the mesh, the DDM tree, the MSDN
+// and (optionally) the object set. The pathnet and the paged stores are
+// deterministic derivations and are rebuilt on load, which keeps snapshots
+// compact while reproducing identical query behaviour. All integers and
+// floats are little-endian; the format is versioned.
+
+var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '1'}
+
+type persistWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (p *persistWriter) u32(v uint32) {
+	if p.err == nil {
+		p.err = binary.Write(p.w, binary.LittleEndian, v)
+	}
+}
+func (p *persistWriter) i32(v int32) { p.u32(uint32(v)) }
+func (p *persistWriter) u64(v uint64) {
+	p.err = firstErr(p.err, binary.Write(p.w, binary.LittleEndian, v))
+}
+func (p *persistWriter) f64(v float64) { p.u64(math.Float64bits(v)) }
+func (p *persistWriter) vec3(v geom.Vec3) {
+	p.f64(v.X)
+	p.f64(v.Y)
+	p.f64(v.Z)
+}
+func (p *persistWriter) mbr(m geom.MBR) {
+	p.f64(m.MinX)
+	p.f64(m.MinY)
+	p.f64(m.MaxX)
+	p.f64(m.MaxY)
+}
+
+type persistReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (p *persistReader) u32() uint32 {
+	var v uint32
+	if p.err == nil {
+		p.err = binary.Read(p.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (p *persistReader) i32() int32 { return int32(p.u32()) }
+func (p *persistReader) u64() uint64 {
+	var v uint64
+	if p.err == nil {
+		p.err = binary.Read(p.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (p *persistReader) f64() float64 { return math.Float64frombits(p.u64()) }
+func (p *persistReader) vec3() geom.Vec3 {
+	return geom.Vec3{X: p.f64(), Y: p.f64(), Z: p.f64()}
+}
+func (p *persistReader) mbr() geom.MBR {
+	return geom.MBR{MinX: p.f64(), MinY: p.f64(), MaxX: p.f64(), MaxY: p.f64()}
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// Save writes a snapshot of the terrain database (including the installed
+// objects, if any) to w.
+func (db *TerrainDB) Save(w io.Writer) error {
+	pw := &persistWriter{w: bufio.NewWriter(w)}
+	if _, err := pw.w.Write(dbMagic[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+
+	// Mesh.
+	m := db.Mesh
+	pw.u32(uint32(m.NumVerts()))
+	for _, v := range m.Verts {
+		pw.vec3(v)
+	}
+	pw.u32(uint32(m.NumFaces()))
+	for _, f := range m.Faces {
+		pw.i32(int32(f[0]))
+		pw.i32(int32(f[1]))
+		pw.i32(int32(f[2]))
+	}
+
+	// DDM tree.
+	t := db.Tree
+	pw.u32(uint32(t.NumLeaves))
+	pw.u32(uint32(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		pw.i32(int32(n.Parent))
+		pw.i32(int32(n.Left))
+		pw.i32(int32(n.Right))
+		pw.f64(n.Error)
+		pw.i32(int32(n.Rep))
+		pw.vec3(n.RepPos)
+		pw.vec3(n.Pos)
+		pw.f64(n.Gather)
+		pw.i32(n.Birth)
+		pw.i32(n.Death)
+		pw.mbr(n.MBR)
+	}
+	pw.u32(uint32(len(t.Edges)))
+	for _, e := range t.Edges {
+		pw.i32(int32(e.U))
+		pw.i32(int32(e.W))
+		pw.f64(e.D)
+		pw.i32(e.Birth)
+		pw.i32(e.Death)
+	}
+
+	// MSDN.
+	pw.f64(db.MSDN.Spacing)
+	for _, fam := range [][]*sdn.CrossLine{db.MSDN.XLines, db.MSDN.YLines} {
+		pw.u32(uint32(len(fam)))
+		for _, cl := range fam {
+			pw.u32(uint32(cl.Axis))
+			pw.f64(cl.Coord)
+			pw.u32(uint32(len(cl.Pts)))
+			for i, pt := range cl.Pts {
+				pw.vec3(pt)
+				pw.u32(uint32(cl.Rank[i]))
+			}
+		}
+	}
+
+	// Objects.
+	pw.u32(uint32(len(db.objects)))
+	for _, o := range db.objects {
+		pw.u64(uint64(o.ID))
+		pw.vec3(o.Point.Pos)
+		pw.i32(int32(o.Point.Face))
+	}
+
+	if pw.err != nil {
+		return fmt.Errorf("core: save: %w", pw.err)
+	}
+	return pw.w.Flush()
+}
+
+// Load reconstructs a terrain database from a snapshot. cfg provides the
+// runtime knobs (pool size, page cost, Steiner level) exactly as for
+// BuildTerrainDB; the derived structures are rebuilt deterministically.
+func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
+	cfg = cfg.withDefaults()
+	pr := &persistReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	if _, err := io.ReadFull(pr.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if magic != dbMagic {
+		return nil, fmt.Errorf("core: load: bad magic %q", magic)
+	}
+
+	// Mesh.
+	nv := int(pr.u32())
+	if pr.err != nil || nv < 3 || nv > 1<<28 {
+		return nil, fmt.Errorf("core: load: implausible vertex count %d (%v)", nv, pr.err)
+	}
+	verts := make([]geom.Vec3, nv)
+	for i := range verts {
+		verts[i] = pr.vec3()
+	}
+	nf := int(pr.u32())
+	if pr.err != nil || nf < 1 || nf > 1<<29 {
+		return nil, fmt.Errorf("core: load: implausible face count %d (%v)", nf, pr.err)
+	}
+	faces := make([][3]mesh.VertexID, nf)
+	for i := range faces {
+		faces[i] = [3]mesh.VertexID{
+			mesh.VertexID(pr.i32()), mesh.VertexID(pr.i32()), mesh.VertexID(pr.i32()),
+		}
+	}
+	m := mesh.New(verts, faces)
+
+	// DDM tree.
+	tree := &multires.Tree{NumLeaves: int(pr.u32())}
+	nn := int(pr.u32())
+	if pr.err != nil || nn != 2*tree.NumLeaves-1 {
+		return nil, fmt.Errorf("core: load: node count %d for %d leaves (%v)", nn, tree.NumLeaves, pr.err)
+	}
+	tree.Nodes = make([]multires.Node, nn)
+	for i := range tree.Nodes {
+		tree.Nodes[i] = multires.Node{
+			Parent: multires.NodeID(pr.i32()),
+			Left:   multires.NodeID(pr.i32()),
+			Right:  multires.NodeID(pr.i32()),
+			Error:  pr.f64(),
+			Rep:    mesh.VertexID(pr.i32()),
+			RepPos: pr.vec3(),
+			Pos:    pr.vec3(),
+			Gather: pr.f64(),
+			Birth:  pr.i32(),
+			Death:  pr.i32(),
+			MBR:    pr.mbr(),
+		}
+	}
+	ne := int(pr.u32())
+	tree.Edges = make([]multires.EdgeRec, ne)
+	for i := range tree.Edges {
+		tree.Edges[i] = multires.EdgeRec{
+			U:     multires.NodeID(pr.i32()),
+			W:     multires.NodeID(pr.i32()),
+			D:     pr.f64(),
+			Birth: pr.i32(),
+			Death: pr.i32(),
+		}
+	}
+	tree.SetMaxTime(int32(tree.NumLeaves - 1))
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: tree: %w", pr.err)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+
+	// MSDN.
+	ms := &sdn.MSDN{Spacing: pr.f64()}
+	for fam := 0; fam < 2; fam++ {
+		count := int(pr.u32())
+		lines := make([]*sdn.CrossLine, count)
+		for li := range lines {
+			cl := &sdn.CrossLine{
+				Axis:  sdn.Axis(pr.u32()),
+				Coord: pr.f64(),
+			}
+			np := int(pr.u32())
+			if pr.err != nil || np > 1<<26 {
+				return nil, fmt.Errorf("core: load: implausible line size %d (%v)", np, pr.err)
+			}
+			cl.Pts = make([]geom.Vec3, np)
+			cl.Rank = make([]int, np)
+			for i := 0; i < np; i++ {
+				cl.Pts[i] = pr.vec3()
+				cl.Rank[i] = int(pr.u32())
+			}
+			lines[li] = cl
+		}
+		if fam == 0 {
+			ms.XLines = lines
+		} else {
+			ms.YLines = lines
+		}
+	}
+
+	// Objects.
+	nObj := int(pr.u32())
+	var objs []workload.Object
+	for i := 0; i < nObj; i++ {
+		objs = append(objs, workload.Object{
+			ID: int64(pr.u64()),
+			Point: mesh.SurfacePoint{
+				Pos:  pr.vec3(),
+				Face: mesh.FaceID(pr.i32()),
+			},
+		})
+		_ = i
+	}
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: %w", pr.err)
+	}
+
+	db, err := assembleTerrainDB(m, tree, ms, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(objs) > 0 {
+		db.SetObjects(objs)
+	}
+	return db, nil
+}
+
+// SaveFile writes the snapshot to the named file.
+func (db *TerrainDB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from the named file.
+func LoadFile(path string, cfg Config) (*TerrainDB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}

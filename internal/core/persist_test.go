@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"surfknn/internal/dem"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 40, 1212)
+	q := queryPoints(t, db, 1, 64)[0]
+	want, err := db.MR3(q, 5, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equality.
+	if db2.Mesh.NumVerts() != db.Mesh.NumVerts() || db2.Mesh.NumFaces() != db.Mesh.NumFaces() {
+		t.Fatalf("mesh mismatch: %v vs %v", db2.Mesh, db.Mesh)
+	}
+	if db2.Tree.NumLeaves != db.Tree.NumLeaves || len(db2.Tree.Edges) != len(db.Tree.Edges) {
+		t.Fatal("tree mismatch")
+	}
+	if db2.MSDN.NumLines() != db.MSDN.NumLines() || db2.MSDN.NumPoints() != db.MSDN.NumPoints() {
+		t.Fatal("MSDN mismatch")
+	}
+	if len(db2.Objects()) != len(db.Objects()) {
+		t.Fatal("objects mismatch")
+	}
+
+	// Identical query results (the loaded database is behaviourally equal).
+	q2, err := db2.SurfacePointAt(q.XY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.MR3(q2, 5, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("neighbour count %d vs %d", len(got.Neighbors), len(want.Neighbors))
+	}
+	for i := range want.Neighbors {
+		if got.Neighbors[i].Object.ID != want.Neighbors[i].Object.ID {
+			t.Errorf("neighbour %d: %d vs %d", i,
+				got.Neighbors[i].Object.ID, want.Neighbors[i].Object.ID)
+		}
+		if got.Neighbors[i].UB != want.Neighbors[i].UB {
+			t.Errorf("neighbour %d UB: %v vs %v", i, got.Neighbors[i].UB, want.Neighbors[i].UB)
+		}
+	}
+	if got.Metrics.Pages != want.Metrics.Pages {
+		t.Errorf("page count changed after reload: %d vs %d", got.Metrics.Pages, want.Metrics.Pages)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := buildDB(t, dem.EP, 8, 10, 1313)
+	path := filepath.Join(t.TempDir(), "terrain.skdb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Mesh.NumVerts() != db.Mesh.NumVerts() {
+		t.Error("mesh mismatch after file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.skdb"), Config{}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a database")), Config{}); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(dbMagic[:])
+	buf.Write([]byte{1, 2, 3})
+	if _, err := Load(&buf, Config{}); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}
+
+func TestLoadWithoutObjects(t *testing.T) {
+	// A database saved before SetObjects loads fine and reports no objects.
+	g := dem.Synthesize(dem.EP, 8, 10, 5)
+	m := meshFromGrid(g)
+	db, err := BuildTerrainDB(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Objects()) != 0 {
+		t.Errorf("expected no objects, got %d", len(db2.Objects()))
+	}
+	if db2.Dxy != nil {
+		t.Error("Dxy should be nil without objects")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"surfknn/internal/mesh"
+	"surfknn/internal/stats"
+	"surfknn/internal/workload"
+)
+
+// The paper's conclusion (§6) notes that DMTM and MSDN "provide a framework
+// capable of supporting other distance comparison based queries, such as
+// range queries and closest pair queries". This file implements both on the
+// same multiresolution machinery.
+
+// SurfaceRange returns every object whose surface distance to q is at most
+// radius, with final distance ranges. It uses the same filter-and-refine
+// strategy as MR3: a 2-D circular range query collects candidates (valid
+// because dE <= dS), then iterative bound refinement classifies each
+// candidate against the radius, falling back to the reference distance only
+// for ranges straddling it.
+func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
+	if db.Dxy == nil {
+		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return Result{}, fmt.Errorf("core: invalid radius %g", radius)
+	}
+	opt = opt.withDefaults()
+	db.ResetCounters()
+	var met stats.Metrics
+	start := time.Now()
+
+	items := db.Dxy.WithinDist(q.XY(), radius)
+	objs := db.itemsToObjects(items)
+	met.Candidates += len(objs)
+
+	r := &ranker{db: db, q: q, k: len(objs), sched: sched, opt: opt, met: &met}
+	for _, o := range objs {
+		r.cands = append(r.cands, &candidate{
+			obj: o,
+			lb:  q.Pos.Dist(o.Point.Pos),
+			ub:  math.Inf(1),
+		})
+	}
+	steps := sched.Steps()
+	for it := 0; it < steps; it++ {
+		targets := rangeUndecided(r.cands, radius)
+		if len(targets) == 0 {
+			break
+		}
+		met.Iterations++
+		dmRes, sdnRes := sched.At(it)
+		r.iterateRange(targets, dmRes, sdnRes, radius)
+	}
+	// Refinement for candidates whose range still straddles the radius.
+	var out []Neighbor
+	for _, c := range r.cands {
+		switch {
+		case c.ub <= radius:
+			out = append(out, Neighbor{Object: c.obj, LB: c.lb, UB: c.ub})
+		case c.lb > radius:
+			// excluded
+		default:
+			d := db.Path.DistanceWithin(q, c.obj.Point, r.regionOf(c))
+			if math.IsInf(d, 1) {
+				d, _ = db.Path.Distance(q, c.obj.Point)
+			}
+			met.UpperBounds++
+			if d <= radius {
+				out = append(out, Neighbor{Object: c.obj, LB: d, UB: d})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UB < out[j].UB })
+	met.CPU = time.Since(start)
+	met.Pages = db.PagesAccessed()
+	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
+	return Result{Neighbors: out, Metrics: met}, nil
+}
+
+// iterateRange is the range-query variant of one refinement iteration: the
+// classification target is the fixed radius rather than the k-th bound.
+func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float64) {
+	groups := r.groupRegions(targets)
+	level := SDNLevel(sdnRes)
+	for _, g := range groups {
+		tm := int32(0)
+		if dmRes < PathnetResolution {
+			tm = r.db.Tree.TimeForResolution(dmRes)
+		}
+		edgeIDs, _ := r.db.fetchDMTM(g.region, tm)
+		_, _ = r.db.fetchSDN(g.region, level)
+		for _, c := range g.cands {
+			r.updateUB(c, dmRes, tm, edgeIDs)
+			// For range queries the dummy-lower-bound test is against the
+			// radius: pass it as the exclusion threshold.
+			r.updateLB(c, sdnRes, radius)
+		}
+	}
+}
+
+func rangeUndecided(cands []*candidate, radius float64) []*candidate {
+	var out []*candidate
+	for _, c := range cands {
+		if c.lb <= radius && c.ub > radius {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClosestPair returns the pair of objects with the smallest surface
+// distance between them, found by running a 1-NN query from each object
+// against the remainder, cheapest (by 2-D nearest-neighbour distance)
+// first, with the running best distance pruning later sources. For larger
+// object sets this beats the naive all-pairs reference computation by
+// orders of magnitude while returning the same pair.
+func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err error) {
+	if db.Dxy == nil || len(db.objects) < 2 {
+		return a, b, fmt.Errorf("core: closest pair needs at least two objects")
+	}
+	// Order the sources by their 2-D 1-NN distance: pairs that are close
+	// in the plane are the best candidates for the surface closest pair.
+	type src struct {
+		idx int
+		d2  float64
+	}
+	srcs := make([]src, 0, len(db.objects))
+	for i, o := range db.objects {
+		nn := db.Dxy.KNN(o.Point.XY(), 2) // first hit is the object itself
+		d := math.Inf(1)
+		if len(nn) == 2 {
+			d = nn[1].P.Dist(o.Point.XY())
+		}
+		srcs = append(srcs, src{i, d})
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].d2 < srcs[j].d2 })
+
+	best := math.Inf(1)
+	for _, s := range srcs {
+		// The 2-D NN distance lower-bounds this source's surface NN
+		// distance; once it exceeds the best pair found, no later source
+		// can win.
+		if s.d2 >= best {
+			break
+		}
+		o := db.objects[s.idx]
+		res, qerr := db.knnExcluding(o, sched, opt)
+		if qerr != nil {
+			return a, b, qerr
+		}
+		if len(res) == 0 {
+			continue
+		}
+		d := db.ReferenceDistance(o.Point, res[0].Object.Point)
+		if d < best {
+			best = d
+			a = Neighbor{Object: o, LB: d, UB: d}
+			b = Neighbor{Object: res[0].Object, LB: d, UB: d}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return a, b, fmt.Errorf("core: no pair found")
+	}
+	return a, b, nil
+}
+
+// knnExcluding runs a 1-NN query from an object's location, excluding the
+// object itself.
+func (db *TerrainDB) knnExcluding(o workload.Object, sched Schedule, opt Options) ([]Neighbor, error) {
+	res, err := db.MR3(o.Point, 2, sched, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, 0, 1)
+	for _, n := range res.Neighbors {
+		if n.Object.ID != o.ID {
+			out = append(out, n)
+			break
+		}
+	}
+	return out, nil
+}

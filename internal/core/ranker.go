@@ -1,0 +1,460 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
+	"surfknn/internal/sdn"
+	"surfknn/internal/stats"
+	"surfknn/internal/workload"
+)
+
+// Options tunes query execution. The zero value enables every optimisation
+// from the paper (integrated I/O regions, dummy lower bounds).
+type Options struct {
+	// DisableIOIntegration turns off merging of significantly overlapping
+	// candidate I/O regions (§4.2, Fig. 9 studies this switch).
+	DisableIOIntegration bool
+	// DisableDummyLB turns off the envelope-based dummy-lower-bound
+	// optimisation (§4.2.2).
+	DisableDummyLB bool
+	// Step2Accuracy is the lb/ub accuracy at which step 2 stops tightening
+	// the k-th neighbour's upper bound (default 0.8).
+	Step2Accuracy float64
+	// OverlapThreshold is the minimum overlap fraction for merging I/O
+	// regions (default 0.8, the paper's "e.g., over 80%").
+	OverlapThreshold float64
+	// BothFamilyLB estimates lower bounds with both cutting-plane families
+	// and keeps the larger — a strictly tighter bound at roughly twice the
+	// lower-bound CPU (an extension over the paper's 45° heuristic).
+	BothFamilyLB bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Step2Accuracy == 0 {
+		o.Step2Accuracy = 0.8
+	}
+	if o.OverlapThreshold == 0 {
+		o.OverlapThreshold = 0.8
+	}
+	return o
+}
+
+// Neighbor is one result entry with its final distance range.
+type Neighbor struct {
+	Object workload.Object
+	LB, UB float64
+}
+
+type candState uint8
+
+const (
+	candActive candState = iota
+	candIn
+	candOut
+)
+
+type candidate struct {
+	obj    workload.Object
+	lb, ub float64
+	ubPath []multires.NodeID
+	lbPath []sdn.Segment
+	state  candState
+}
+
+// ranker runs the surface-distance ranking of §4.2 over a candidate set.
+type ranker struct {
+	db    *TerrainDB
+	q     mesh.SurfacePoint
+	k     int
+	sched Schedule
+	opt   Options
+	met   *stats.Metrics
+	cands []*candidate
+	// tighten keeps refining even after the k-set is determined, until the
+	// k-th neighbour's range reaches Step2Accuracy — the extra work step 2
+	// performs to obtain a tight search radius for step 3.
+	tighten bool
+}
+
+// rank ranks the objects and returns the k nearest by the reference
+// surface metric, with their final ranges.
+func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) []Neighbor {
+	opt = opt.withDefaults()
+	if k > len(objs) {
+		k = len(objs)
+	}
+	r := &ranker{db: db, q: q, k: k, sched: sched, opt: opt, met: met, tighten: tighten}
+	for _, o := range objs {
+		r.cands = append(r.cands, &candidate{
+			obj: o,
+			lb:  q.Pos.Dist(o.Point.Pos), // Euclidean floor (§4.2)
+			ub:  math.Inf(1),
+		})
+	}
+	met.Candidates += len(objs)
+	r.run()
+	return r.results()
+}
+
+func (r *ranker) run() {
+	steps := r.sched.Steps()
+	for it := 0; it < steps; it++ {
+		if r.classify() && !r.needTightening() {
+			return
+		}
+		targets := r.refinementTargets()
+		if len(targets) == 0 {
+			return
+		}
+		r.met.Iterations++
+		dmRes, sdnRes := r.sched.At(it)
+		r.iterate(targets, dmRes, sdnRes)
+	}
+	if r.classify() && !r.needTightening() {
+		return
+	}
+	// Ladders exhausted with overlapping ranges left: settle the remaining
+	// candidates with the reference (pathnet) distance, as the refinement
+	// step of filter-and-refine.
+	for _, c := range r.cands {
+		if c.state == candOut {
+			continue
+		}
+		if c.ub-c.lb < 1e-9*(1+c.ub) {
+			continue
+		}
+		d := r.db.Path.DistanceWithin(r.q, c.obj.Point, r.regionOf(c))
+		if math.IsInf(d, 1) {
+			d, _ = r.db.Path.Distance(r.q, c.obj.Point)
+		}
+		r.met.UpperBounds++
+		c.ub = d
+		c.lb = d
+	}
+	r.classify()
+}
+
+// needTightening reports whether step-2 style tightening still wants work.
+func (r *ranker) needTightening() bool {
+	if !r.tighten {
+		return false
+	}
+	kth := r.kthSmallestUB()
+	if math.IsInf(kth, 1) {
+		return true
+	}
+	// Find the k-th candidate's own range accuracy.
+	for _, c := range r.cands {
+		if c.state != candOut && c.ub == kth {
+			return c.lb/c.ub < r.opt.Step2Accuracy
+		}
+	}
+	return false
+}
+
+// refinementTargets returns the candidates to refine this iteration: the
+// active ones, plus (when tightening) the already-resolved in-set.
+func (r *ranker) refinementTargets() []*candidate {
+	var out []*candidate
+	for _, c := range r.cands {
+		switch {
+		case c.state == candActive:
+			out = append(out, c)
+		case r.tighten && c.state == candIn && c.lb < r.opt.Step2Accuracy*c.ub:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// regionOf returns the candidate's current I/O region: the MBR of the
+// ellipse with foci at the query and the candidate and constant equal to
+// the current upper bound — or the whole terrain before any bound exists
+// ("the I/O region is initially set to the entire terrain").
+func (r *ranker) regionOf(c *candidate) geom.MBR {
+	if math.IsInf(c.ub, 1) {
+		return r.db.Mesh.Extent()
+	}
+	e := geom.NewEllipse(r.q.XY(), c.obj.Point.XY(), c.ub)
+	m := e.MBR()
+	if m.IsEmpty() {
+		return r.db.Mesh.Extent()
+	}
+	return m
+}
+
+// ioGroup is a set of candidates whose I/O regions were merged.
+type ioGroup struct {
+	region geom.MBR
+	cands  []*candidate
+}
+
+// groupRegions merges candidate I/O regions that overlap by at least the
+// configured threshold (§4.1: "their I/O regions can be combined if they
+// are significantly overlapped (e.g., over 80%)").
+func (r *ranker) groupRegions(targets []*candidate) []*ioGroup {
+	var groups []*ioGroup
+	for _, c := range targets {
+		reg := r.regionOf(c)
+		if !r.opt.DisableIOIntegration {
+			merged := false
+			for _, g := range groups {
+				if g.region.OverlapFraction(reg) >= r.opt.OverlapThreshold {
+					g.region = g.region.Union(reg)
+					g.cands = append(g.cands, c)
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+		}
+		groups = append(groups, &ioGroup{region: reg, cands: []*candidate{c}})
+	}
+	return groups
+}
+
+// iterate performs one resolution iteration over the targets.
+func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) {
+	groups := r.groupRegions(targets)
+	level := SDNLevel(sdnRes)
+	kthUB := r.kthSmallestUB()
+	for _, g := range groups {
+		// One fetch per integrated I/O region: DMTM connectivity at this
+		// LOD plus the SDN segments of this level.
+		var edgeIDs []int32
+		tm := int32(0)
+		if dmRes < PathnetResolution {
+			tm = r.db.Tree.TimeForResolution(dmRes)
+		}
+		edgeIDs, _ = r.db.fetchDMTM(g.region, tm)
+		_, _ = r.db.fetchSDN(g.region, level)
+
+		for _, c := range g.cands {
+			r.updateUB(c, dmRes, tm, edgeIDs)
+			r.updateLB(c, sdnRes, kthUB)
+		}
+	}
+}
+
+// updateUB refines the candidate's upper bound at the given DMTM level
+// (§4.2.1). The bound is kept as the running minimum, so a failed or looser
+// estimate never hurts correctness.
+func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32) {
+	r.met.UpperBounds++
+	region := r.regionOf(c)
+	if dmRes >= PathnetResolution {
+		d := r.db.Path.DistanceWithin(r.q, c.obj.Point, region)
+		if d < c.ub {
+			c.ub = d
+			// At the pathnet level the network distance IS the reference
+			// surface distance (dN = dS at DMTM 200%, §5.3), so the lower
+			// bound may be raised to it as well.
+			if d > c.lb {
+				c.lb = d
+			}
+		}
+		return
+	}
+	// Refined search region: the descendants of the previous upper-bound
+	// path, represented by those nodes' subtree MBRs (Fig. 6(b)).
+	refined := r.refinedRegions(c)
+	est := r.tryUpperBound(c, tm, edgeIDs, region, refined)
+	if math.IsInf(est.UB, 1) && len(refined) > 0 {
+		// "If it is too narrow to compute the shortest network path, its
+		// area will be expanded by double each vertex's MBR."
+		for i := range refined {
+			refined[i] = refined[i].Expand(math.Max(refined[i].Width(), refined[i].Height()) / 2)
+		}
+		est = r.tryUpperBound(c, tm, edgeIDs, region, refined)
+		if math.IsInf(est.UB, 1) {
+			est = r.tryUpperBound(c, tm, edgeIDs, region, nil)
+		}
+	}
+	if est.UB < c.ub {
+		c.ub = est.UB
+		c.ubPath = est.Path
+	}
+}
+
+func (r *ranker) tryUpperBound(c *candidate, tm int32, edgeIDs []int32, region geom.MBR, refined []geom.MBR) multires.UpperEstimate {
+	tree := r.db.Tree
+	filter := func(e multires.EdgeRec) bool {
+		minX, minY, maxX, maxY := tree.EdgeMBR(e)
+		em := geom.MBR{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+		if !em.Intersects(region) {
+			return false
+		}
+		if len(refined) == 0 {
+			return true
+		}
+		for _, m := range refined {
+			if m.Intersects(em) {
+				return true
+			}
+		}
+		return false
+	}
+	nw := tree.NetworkFromEdgeIDs(tm, edgeIDs, filter)
+	return nw.UpperBound(r.db.Mesh, r.q, c.obj.Point)
+}
+
+// refinedRegions converts the previous upper-bound path into its
+// search-region MBRs.
+func (r *ranker) refinedRegions(c *candidate) []geom.MBR {
+	if len(c.ubPath) == 0 {
+		return nil
+	}
+	out := make([]geom.MBR, 0, len(c.ubPath))
+	for _, v := range c.ubPath {
+		out = append(out, r.db.Tree.Nodes[v].MBR)
+	}
+	return out
+}
+
+// updateLB refines the candidate's lower bound at the given SDN resolution
+// (§4.2.2), using the dummy-lower-bound envelope optimisation when enabled:
+// the cheap envelope estimate is an over-estimate of the true lower bound,
+// so if IT cannot re-rank the candidate the true bound cannot either and
+// the expensive full computation is skipped.
+func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
+	r.met.LowerBounds++
+	region := r.regionOf(c)
+	q3, o3 := r.q.Pos, c.obj.Point.Pos
+	if r.opt.DisableDummyLB || len(c.lbPath) == 0 {
+		r.applyLB(c, r.fullLB(q3, o3, region, sdnRes))
+		return
+	}
+	margin := 2 * r.db.MSDN.Spacing
+	dummy := r.db.MSDN.LowerBoundEnvelope(q3, o3, region, sdnRes, c.lbPath, margin)
+	dummyLB := math.Max(c.lb, dummy.LB)
+	// Would the (over-estimated) dummy bound change this candidate's fate?
+	if dummyLB <= kthUB {
+		// Not even the optimistic bound can exclude it: the true bound at
+		// this resolution cannot either; skip the full computation.
+		return
+	}
+	r.applyLB(c, r.fullLB(q3, o3, region, sdnRes))
+}
+
+// fullLB runs the configured full lower-bound estimation.
+func (r *ranker) fullLB(q3, o3 geom.Vec3, region geom.MBR, sdnRes float64) sdn.LowerEstimate {
+	if r.opt.BothFamilyLB {
+		return r.db.MSDN.LowerBoundBoth(q3, o3, region, sdnRes)
+	}
+	return r.db.MSDN.LowerBound(q3, o3, region, sdnRes)
+}
+
+func (r *ranker) applyLB(c *candidate, est sdn.LowerEstimate) {
+	if est.LB > c.lb {
+		c.lb = est.LB
+	}
+	if c.lb > c.ub {
+		c.lb = c.ub // the reference metric sits inside [lb, ub]
+	}
+	if len(est.Path) > 0 {
+		c.lbPath = est.Path
+	}
+}
+
+// kthSmallestUB returns the k-th smallest upper bound among non-out
+// candidates.
+func (r *ranker) kthSmallestUB() float64 {
+	var ubs []float64
+	for _, c := range r.cands {
+		if c.state != candOut {
+			ubs = append(ubs, c.ub)
+		}
+	}
+	if len(ubs) < r.k {
+		return math.Inf(1)
+	}
+	sort.Float64s(ubs)
+	return ubs[r.k-1]
+}
+
+// classify updates candidate states and reports whether the k-set is
+// determined: the k alive candidates with the smallest upper bounds are
+// separated from every other alive candidate's lower bound (the VA-file
+// termination rule ub(p_k) <= lb(p_{k+1}) generalised to sets).
+func (r *ranker) classify() bool {
+	alive := r.aliveCands()
+	if len(alive) <= r.k {
+		for _, c := range alive {
+			c.state = candIn
+		}
+		return true
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	kthUB := alive[r.k-1].ub
+	const eps = 1e-9
+	// Exclusion: a candidate whose lower bound exceeds the k-th upper
+	// bound can never enter the result.
+	for _, c := range alive[r.k:] {
+		if c.state == candActive && c.lb > kthUB*(1+eps)+eps {
+			c.state = candOut
+		}
+	}
+	alive = r.aliveCands()
+	if len(alive) <= r.k {
+		for _, c := range alive {
+			c.state = candIn
+		}
+		return true
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	// Inclusion: fewer than k candidates could possibly be closer.
+	for i, c := range alive[:r.k] {
+		if c.state != candActive {
+			continue
+		}
+		closer := 0
+		for j, o := range alive {
+			if j != i && o.lb <= c.ub+eps {
+				closer++
+			}
+		}
+		if closer <= r.k-1 {
+			c.state = candIn
+		}
+	}
+	// Termination: the k smallest-ub alive candidates beat everyone else's
+	// lower bound.
+	maxTopUB := alive[r.k-1].ub
+	minRestLB := math.Inf(1)
+	for _, c := range alive[r.k:] {
+		if c.lb < minRestLB {
+			minRestLB = c.lb
+		}
+	}
+	return maxTopUB <= minRestLB+eps
+}
+
+func (r *ranker) aliveCands() []*candidate {
+	var out []*candidate
+	for _, c := range r.cands {
+		if c.state != candOut {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// results returns the k nearest candidates, ranked by upper bound.
+func (r *ranker) results() []Neighbor {
+	alive := r.aliveCands()
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	if len(alive) > r.k {
+		alive = alive[:r.k]
+	}
+	out := make([]Neighbor, len(alive))
+	for i, c := range alive {
+		out[i] = Neighbor{Object: c.obj, LB: c.lb, UB: c.ub}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package dem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ReadArcGrid parses the Esri ASCII grid (ArcGrid / .asc) format, the
+// common interchange format for USGS-style DEM data — the real-world entry
+// point replacing the paper's DEM files:
+//
+//	ncols         4
+//	nrows         3
+//	xllcorner     500000.0
+//	yllcorner     4000000.0
+//	cellsize      10.0
+//	NODATA_value  -9999
+//	1.0 2.0 3.0 4.0
+//	...
+//
+// Rows are stored north-to-south in the file and flipped into this
+// package's south-to-north convention. NODATA cells are filled with the
+// minimum valid elevation (terrain queries need a complete surface); a
+// fully-NODATA grid is an error.
+func ReadArcGrid(r io.Reader) (*Grid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+
+	hdr := map[string]float64{}
+	var firstValue string
+	for len(hdr) < 6 {
+		key, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("dem: arcgrid header: %w", err)
+		}
+		lk := strings.ToLower(key)
+		switch lk {
+		case "ncols", "nrows", "xllcorner", "yllcorner", "xllcenter", "yllcenter", "cellsize", "nodata_value":
+			vs, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("dem: arcgrid header value for %s: %w", key, err)
+			}
+			v, err := strconv.ParseFloat(vs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dem: arcgrid header %s: %w", key, err)
+			}
+			if lk == "xllcenter" {
+				lk = "xllcorner"
+			}
+			if lk == "yllcenter" {
+				lk = "yllcorner"
+			}
+			hdr[lk] = v
+		default:
+			// Headers are optional beyond ncols/nrows/cellsize; the first
+			// non-header token is the first elevation value.
+			firstValue = key
+			goto data
+		}
+	}
+data:
+	cols := int(hdr["ncols"])
+	rows := int(hdr["nrows"])
+	cell := hdr["cellsize"]
+	if cols < 2 || rows < 2 {
+		return nil, fmt.Errorf("dem: arcgrid dimensions %dx%d invalid", cols, rows)
+	}
+	if cell <= 0 {
+		return nil, fmt.Errorf("dem: arcgrid cellsize %g invalid", cell)
+	}
+	nodata, hasNodata := hdr["nodata_value"]
+
+	g := NewGrid(cols, rows, cell)
+	g.OriginX = hdr["xllcorner"]
+	g.OriginY = hdr["yllcorner"]
+
+	total := cols * rows
+	vals := make([]float64, 0, total)
+	if firstValue != "" {
+		v, err := strconv.ParseFloat(firstValue, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dem: arcgrid value %q: %w", firstValue, err)
+		}
+		vals = append(vals, v)
+	}
+	for len(vals) < total {
+		tok, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("dem: arcgrid data (got %d of %d values): %w", len(vals), total, err)
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dem: arcgrid value %q: %w", tok, err)
+		}
+		vals = append(vals, v)
+	}
+
+	// Find the minimum valid elevation for NODATA filling.
+	minValid := math.Inf(1)
+	for _, v := range vals {
+		if (!hasNodata || v != nodata) && v < minValid {
+			minValid = v
+		}
+	}
+	if math.IsInf(minValid, 1) {
+		return nil, fmt.Errorf("dem: arcgrid contains no valid elevations")
+	}
+	// File rows run north→south; flip to this package's row order.
+	for fr := 0; fr < rows; fr++ {
+		gr := rows - 1 - fr
+		for c := 0; c < cols; c++ {
+			v := vals[fr*cols+c]
+			if hasNodata && v == nodata {
+				v = minValid
+			}
+			g.Set(c, gr, v)
+		}
+	}
+	return g, nil
+}
+
+// WriteArcGrid serialises the grid in Esri ASCII format (the inverse of
+// ReadArcGrid, NODATA-free).
+func (g *Grid) WriteArcGrid(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ncols %d\nnrows %d\nxllcorner %g\nyllcorner %g\ncellsize %g\nNODATA_value -9999\n",
+		g.Cols, g.Rows, g.OriginX, g.OriginY, g.CellSize)
+	for fr := 0; fr < g.Rows; fr++ {
+		gr := g.Rows - 1 - fr // north first
+		for c := 0; c < g.Cols; c++ {
+			if c > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%g", g.At(c, gr))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

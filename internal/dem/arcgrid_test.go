@@ -1,0 +1,99 @@
+package dem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleAsc = `ncols 4
+nrows 3
+xllcorner 500.0
+yllcorner 4000.0
+cellsize 10.0
+NODATA_value -9999
+9 10 11 12
+5 6 7 8
+1 2 3 4
+`
+
+func TestReadArcGrid(t *testing.T) {
+	g, err := ReadArcGrid(strings.NewReader(sampleAsc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cols != 4 || g.Rows != 3 || g.CellSize != 10 {
+		t.Fatalf("dims = %dx%d cell %g", g.Cols, g.Rows, g.CellSize)
+	}
+	if g.OriginX != 500 || g.OriginY != 4000 {
+		t.Errorf("origin = %g,%g", g.OriginX, g.OriginY)
+	}
+	// File top row (9..12) is the NORTH row → highest grid row.
+	if got := g.At(0, 2); got != 9 {
+		t.Errorf("north-west = %v, want 9", got)
+	}
+	if got := g.At(3, 0); got != 4 {
+		t.Errorf("south-east = %v, want 4", got)
+	}
+}
+
+func TestReadArcGridNodata(t *testing.T) {
+	asc := strings.Replace(sampleAsc, "5 6 7 8", "5 -9999 7 8", 1)
+	g, err := ReadArcGrid(strings.NewReader(asc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NODATA filled with the minimum valid elevation (1).
+	if got := g.At(1, 1); got != 1 {
+		t.Errorf("nodata fill = %v, want 1", got)
+	}
+}
+
+func TestReadArcGridErrors(t *testing.T) {
+	cases := map[string]string{
+		"truncated data": "ncols 4\nnrows 3\ncellsize 10\n1 2 3\n",
+		"bad value":      "ncols 2\nnrows 2\ncellsize 10\n1 2 3 x\n",
+		"zero cells":     "ncols 0\nnrows 3\ncellsize 10\n",
+		"negative cell":  "ncols 2\nnrows 2\ncellsize -5\n1 2 3 4\n",
+		"all nodata":     "ncols 2\nnrows 2\ncellsize 10\nNODATA_value -9\n-9 -9 -9 -9\n",
+		"bad header":     "ncols x\n",
+		"empty":          "",
+	}
+	for name, asc := range cases {
+		if _, err := ReadArcGrid(strings.NewReader(asc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestArcGridRoundTrip(t *testing.T) {
+	g := Synthesize(EP, 8, 25, 13)
+	g.OriginX, g.OriginY = 1234, 5678
+	var buf bytes.Buffer
+	if err := g.WriteArcGrid(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArcGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cols != g.Cols || got.Rows != g.Rows || got.OriginX != g.OriginX {
+		t.Fatalf("header mismatch")
+	}
+	for i := range g.Elev {
+		if got.Elev[i] != g.Elev[i] {
+			t.Fatalf("elevation mismatch at %d: %v vs %v", i, got.Elev[i], g.Elev[i])
+		}
+	}
+}
+
+func TestReadArcGridXllcenter(t *testing.T) {
+	asc := strings.Replace(sampleAsc, "xllcorner", "xllcenter", 1)
+	g, err := ReadArcGrid(strings.NewReader(asc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OriginX != 500 {
+		t.Errorf("xllcenter accepted as origin: %v", g.OriginX)
+	}
+}

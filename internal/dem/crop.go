@@ -1,0 +1,24 @@
+package dem
+
+import "fmt"
+
+// Crop returns the cols×rows sub-grid of g anchored at (col0, row0). The
+// origin is shifted so the cropped grid keeps its absolute coordinates.
+// Fig. 7's vertex-count sweep crops one synthesized terrain to increasing
+// sizes so every data point shares the same geography.
+func (g *Grid) Crop(col0, row0, cols, rows int) (*Grid, error) {
+	if col0 < 0 || row0 < 0 || cols < 2 || rows < 2 ||
+		col0+cols > g.Cols || row0+rows > g.Rows {
+		return nil, fmt.Errorf("dem: crop %dx%d@(%d,%d) out of %dx%d grid",
+			cols, rows, col0, row0, g.Cols, g.Rows)
+	}
+	out := NewGrid(cols, rows, g.CellSize)
+	out.OriginX = g.OriginX + float64(col0)*g.CellSize
+	out.OriginY = g.OriginY + float64(row0)*g.CellSize
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out.Set(c, r, g.At(col0+c, row0+r))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+// Package dem models digital elevation data. The paper builds its terrain
+// surfaces from USGS DEM files of Bearhead Mountain (rugged) and Eagle Peak
+// (smoother); those files are not redistributable here, so this package
+// synthesises statistically comparable elevation grids with a controllable
+// roughness (see Synthesize and the BH/EP presets) and provides a simple
+// binary file format for persisting them.
+package dem
+
+import (
+	"fmt"
+
+	"surfknn/internal/geom"
+)
+
+// Grid is a regular elevation grid: Elev[row*Cols+col] is the elevation at
+// (OriginX + col·CellSize, OriginY + row·CellSize).
+type Grid struct {
+	Cols, Rows       int
+	CellSize         float64 // horizontal spacing between samples
+	OriginX, OriginY float64
+	Elev             []float64 // row-major, len == Cols*Rows
+}
+
+// NewGrid allocates a zero-elevation grid.
+func NewGrid(cols, rows int, cellSize float64) *Grid {
+	if cols < 2 || rows < 2 {
+		panic(fmt.Sprintf("dem: grid must be at least 2x2, got %dx%d", cols, rows))
+	}
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("dem: cell size must be positive, got %g", cellSize))
+	}
+	return &Grid{
+		Cols:     cols,
+		Rows:     rows,
+		CellSize: cellSize,
+		Elev:     make([]float64, cols*rows),
+	}
+}
+
+// At returns the elevation at grid position (col, row).
+func (g *Grid) At(col, row int) float64 { return g.Elev[row*g.Cols+col] }
+
+// Set assigns the elevation at grid position (col, row).
+func (g *Grid) Set(col, row int, z float64) { g.Elev[row*g.Cols+col] = z }
+
+// Point returns the 3-D sample point at grid position (col, row).
+func (g *Grid) Point(col, row int) geom.Vec3 {
+	return geom.Vec3{
+		X: g.OriginX + float64(col)*g.CellSize,
+		Y: g.OriginY + float64(row)*g.CellSize,
+		Z: g.At(col, row),
+	}
+}
+
+// Samples returns the total number of elevation samples.
+func (g *Grid) Samples() int { return g.Cols * g.Rows }
+
+// Extent returns the (x,y) bounding rectangle covered by the grid.
+func (g *Grid) Extent() geom.MBR {
+	return geom.MBR{
+		MinX: g.OriginX,
+		MinY: g.OriginY,
+		MaxX: g.OriginX + float64(g.Cols-1)*g.CellSize,
+		MaxY: g.OriginY + float64(g.Rows-1)*g.CellSize,
+	}
+}
+
+// AreaKm2 returns the covered area in km², assuming coordinates are metres.
+// The paper's object density o is expressed in objects per km².
+func (g *Grid) AreaKm2() float64 {
+	e := g.Extent()
+	return e.Width() * e.Height() / 1e6
+}
+
+// MinMaxElev returns the lowest and highest sample elevations.
+func (g *Grid) MinMaxElev() (lo, hi float64) {
+	lo, hi = g.Elev[0], g.Elev[0]
+	for _, z := range g.Elev {
+		if z < lo {
+			lo = z
+		}
+		if z > hi {
+			hi = z
+		}
+	}
+	return lo, hi
+}
+
+// Roughness returns the mean absolute elevation difference between
+// horizontally/vertically adjacent samples, normalised by cell size — a
+// simple dimensionless slope statistic used to verify that the BH preset is
+// substantially more rugged than EP.
+func (g *Grid) Roughness() float64 {
+	var sum float64
+	var n int
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			z := g.At(c, r)
+			if c+1 < g.Cols {
+				sum += abs(z - g.At(c+1, r))
+				n++
+			}
+			if r+1 < g.Rows {
+				sum += abs(z - g.At(c, r+1))
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / (float64(n) * g.CellSize)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

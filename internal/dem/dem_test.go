@@ -1,0 +1,181 @@
+package dem
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	for _, c := range []struct{ cols, rows int }{{1, 5}, {5, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%d,%d) should panic", c.cols, c.rows)
+				}
+			}()
+			NewGrid(c.cols, c.rows, 10)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewGrid with zero cell size should panic")
+			}
+		}()
+		NewGrid(4, 4, 0)
+	}()
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(3, 2, 10)
+	g.OriginX, g.OriginY = 100, 200
+	g.Set(2, 1, 42)
+	if got := g.At(2, 1); got != 42 {
+		t.Errorf("At = %v", got)
+	}
+	p := g.Point(2, 1)
+	if p.X != 120 || p.Y != 210 || p.Z != 42 {
+		t.Errorf("Point = %v", p)
+	}
+	if g.Samples() != 6 {
+		t.Errorf("Samples = %d", g.Samples())
+	}
+	e := g.Extent()
+	if e.MinX != 100 || e.MaxX != 120 || e.MinY != 200 || e.MaxY != 210 {
+		t.Errorf("Extent = %v", e)
+	}
+}
+
+func TestAreaKm2(t *testing.T) {
+	// 101x101 samples at 10 m → 1 km x 1 km.
+	g := NewGrid(101, 101, 10)
+	if got := g.AreaKm2(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AreaKm2 = %v, want 1", got)
+	}
+}
+
+func TestMinMaxElev(t *testing.T) {
+	g := NewGrid(2, 2, 1)
+	g.Elev = []float64{3, -1, 7, 2}
+	lo, hi := g.MinMaxElev()
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(BH, 32, 10, 7)
+	b := Synthesize(BH, 32, 10, 7)
+	for i := range a.Elev {
+		if a.Elev[i] != b.Elev[i] {
+			t.Fatalf("same seed must give identical terrain (index %d)", i)
+		}
+	}
+	c := Synthesize(BH, 32, 10, 8)
+	same := true
+	for i := range a.Elev {
+		if a.Elev[i] != c.Elev[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different terrain")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	g := Synthesize(EP, 64, 10, 1)
+	if g.Cols != 65 || g.Rows != 65 {
+		t.Fatalf("dims = %dx%d", g.Cols, g.Rows)
+	}
+	lo, hi := g.MinMaxElev()
+	if lo < 0 || hi <= lo {
+		t.Errorf("elevation range [%v,%v] invalid", lo, hi)
+	}
+	// Relief normalisation: peak-to-valley span equals Relief*width.
+	width := 64.0 * 10
+	if math.Abs((hi-lo)-EP.Relief*width) > 1e-6 {
+		t.Errorf("relief = %v, want %v", hi-lo, EP.Relief*width)
+	}
+}
+
+func TestSynthesizeSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size should panic")
+		}
+	}()
+	Synthesize(BH, 33, 10, 1)
+}
+
+func TestBHRougherThanEP(t *testing.T) {
+	bh := Synthesize(BH, 128, 10, 42)
+	ep := Synthesize(EP, 128, 10, 42)
+	rb, re := bh.Roughness(), ep.Roughness()
+	if rb <= 1.5*re {
+		t.Errorf("BH roughness %v should clearly exceed EP roughness %v", rb, re)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := Synthesize(BH, 16, 25, 3)
+	g.OriginX, g.OriginY = -500, 1234.5
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cols != g.Cols || got.Rows != g.Rows || got.CellSize != g.CellSize ||
+		got.OriginX != g.OriginX || got.OriginY != g.OriginY {
+		t.Fatalf("header mismatch: %+v vs %+v", got, g)
+	}
+	for i := range g.Elev {
+		if got.Elev[i] != g.Elev[i] {
+			t.Fatalf("elevation mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a dem file at all"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Correct magic, truncated body.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write(make([]byte, 4))
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := Synthesize(EP, 8, 30, 11)
+	path := filepath.Join(t.TempDir(), "t.sdem")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples() != g.Samples() {
+		t.Fatalf("samples = %d, want %d", got.Samples(), g.Samples())
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.sdem")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRoughnessFlat(t *testing.T) {
+	g := NewGrid(8, 8, 10)
+	if got := g.Roughness(); got != 0 {
+		t.Errorf("flat roughness = %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package dem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The on-disk format is deliberately simple: a fixed header followed by
+// row-major float64 elevations, all little-endian. It plays the role of the
+// USGS DEM files in the paper's setup.
+//
+//	magic    [4]byte  "SDEM"
+//	version  uint32   1
+//	cols     uint32
+//	rows     uint32
+//	cellSize float64
+//	originX  float64
+//	originY  float64
+//	elev     [cols*rows]float64
+
+var magic = [4]byte{'S', 'D', 'E', 'M'}
+
+const formatVersion = 1
+
+// Write serialises the grid to w.
+func (g *Grid) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("dem: write header: %w", err)
+	}
+	hdr := []any{
+		uint32(formatVersion), uint32(g.Cols), uint32(g.Rows),
+		g.CellSize, g.OriginX, g.OriginY,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("dem: write header: %w", err)
+		}
+	}
+	buf := make([]byte, 8)
+	for _, z := range g.Elev {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(z))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dem: write elevations: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a grid from r.
+func Read(r io.Reader) (*Grid, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dem: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dem: bad magic %q", m)
+	}
+	var version, cols, rows uint32
+	var cellSize, originX, originY float64
+	for _, p := range []any{&version, &cols, &rows, &cellSize, &originX, &originY} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("dem: read header: %w", err)
+		}
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("dem: unsupported version %d", version)
+	}
+	if cols < 2 || rows < 2 || cols > 1<<20 || rows > 1<<20 {
+		return nil, fmt.Errorf("dem: implausible dimensions %dx%d", cols, rows)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("dem: invalid cell size %g", cellSize)
+	}
+	g := NewGrid(int(cols), int(rows), cellSize)
+	g.OriginX, g.OriginY = originX, originY
+	buf := make([]byte, 8)
+	for i := range g.Elev {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dem: read elevations: %w", err)
+		}
+		g.Elev[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return g, nil
+}
+
+// WriteFile writes the grid to the named file.
+func (g *Grid) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dem: %w", err)
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a grid from the named file.
+func ReadFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dem: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

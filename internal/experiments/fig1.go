@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
+	"surfknn/internal/stats"
+)
+
+// Fig1 reproduces Figure 1: the same terrain at decreasing resolutions.
+// The paper shows renderings at 100,000 and 10,000 triangles; the series
+// here reports the triangle counts actually obtained when the DM tree is
+// cut at decreasing fractions of the original points, demonstrating the
+// multiresolution extraction that underlies everything else.
+func Fig1(p Params) (Figure, error) {
+	p = p.WithDefaults()
+	g := dem.Synthesize(dem.BH, p.Size, p.CellSize, p.Seed)
+	m := mesh.FromGrid(g)
+	tree, err := multires.BuildFromMesh(m)
+	if err != nil {
+		return Figure{}, err
+	}
+	fractions := []float64{1.0, 0.5, 0.25, 0.1, 0.05, 0.01}
+	var verts, faces, errs stats.Series
+	verts.Label = "vertices"
+	faces.Label = "triangles"
+	errs.Label = "sqrt(QEM err)"
+	for _, f := range fractions {
+		tm := tree.TimeForResolution(f)
+		ex := tree.ExtractMesh(m, tm)
+		verts.Add(f*100, float64(ex.NumVerts()))
+		faces.Add(f*100, float64(ex.NumFaces()))
+		errs.Add(f*100, math.Sqrt(tree.ErrorAt(tm)))
+	}
+	return Figure{
+		ID:     "fig1",
+		Title:  "terrain extracted at decreasing resolution (BH)",
+		XLabel: "resolution %",
+		Series: []stats.Series{verts, faces, errs},
+		Notes:  "the paper renders 100k- and 10k-triangle versions; here the extraction itself is measured",
+	}, nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/stats"
+)
+
+// Fig11 reproduces Figure 11: total time, CPU time and pages accessed as
+// the object density grows from 1 to 10 objects/km² with k fixed at 10,
+// for MR3 s = 1, 2, 3 and EA, on (a–c) BH and (d–f) EP. The paper finds
+// every cost dropping as density grows (a denser object set shrinks the
+// search region) with EA deteriorating sharply at low density.
+func Fig11(p Params) ([]Figure, error) {
+	p = p.WithDefaults()
+	densities := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var figs []Figure
+	for _, preset := range []dem.Preset{dem.BH, dem.EP} {
+		var total, cpu, pages []stats.Series
+		labels := []string{"MR3 s=1", "MR3 s=2", "MR3 s=3", "EA"}
+		total = makeSeries(labels)
+		cpu = makeSeries(labels)
+		pages = makeSeries(labels)
+		for _, o := range densities {
+			db, qs, err := p.buildDB(preset, o)
+			if err != nil {
+				return nil, err
+			}
+			k := p.K
+			if k > len(db.Objects()) {
+				k = len(db.Objects())
+			}
+			algos := mrAndEA(db, qs)
+			for ai, a := range algos {
+				var agg stats.Metrics
+				for qi := range qs {
+					m, err := a.run(qi, k)
+					if err != nil {
+						return nil, fmt.Errorf("fig11 %s %s o=%g: %w", preset.Name, a.label, o, err)
+					}
+					agg.Add(m)
+				}
+				agg.Scale(len(qs))
+				total[ai].Add(o, agg.Elapsed.Seconds()*1000)
+				cpu[ai].Add(o, agg.CPU.Seconds()*1000)
+				pages[ai].Add(o, float64(agg.Pages))
+				p.Logf("fig11 %s %s o=%g k=%d %s", preset.Name, a.label, o, k, agg)
+			}
+		}
+		suffix := " (" + preset.Name + ", k=10)"
+		figs = append(figs,
+			Figure{ID: "fig11-" + preset.Name + "-total", Title: "total time ms vs density" + suffix, XLabel: "o", Series: total},
+			Figure{ID: "fig11-" + preset.Name + "-cpu", Title: "CPU time ms vs density" + suffix, XLabel: "o", Series: cpu},
+			Figure{ID: "fig11-" + preset.Name + "-pages", Title: "pages accessed vs density" + suffix, XLabel: "o", Series: pages},
+		)
+	}
+	return figs, nil
+}
+
+func makeSeries(labels []string) []stats.Series {
+	out := make([]stats.Series, len(labels))
+	for i, l := range labels {
+		out[i].Label = l
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic BH/EP terrains: one driver per figure,
+// each producing labelled series that print as aligned text tables. The
+// scale is configurable so the same drivers back both the quick `go test
+// -bench` targets and the full `skbench` runs.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"surfknn/internal/core"
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+	"surfknn/internal/stats"
+	"surfknn/internal/workload"
+)
+
+// Params scales an experiment run.
+type Params struct {
+	// Size is the terrain grid size (power of two; the grid has
+	// (Size+1)² samples). Default 64.
+	Size int
+	// CellSize is the sample spacing in metres. Default 100 m, making the
+	// default terrain 6.4 km × 6.4 km ≈ 41 km² so that the paper's object
+	// densities (1–10 per km²) are meaningful.
+	CellSize float64
+	// Queries is the number of queries averaged per data point. Default 3.
+	Queries int
+	// Density is the object density (objects/km²) for the k-sweep
+	// experiments. Default 4 (as in Fig. 10).
+	Density float64
+	// K is the fixed k for the density sweep (Fig. 11). Default 10.
+	K int
+	// Seed makes runs reproducible. Default 2006 (the paper's year).
+	Seed int64
+	// PageCost is the simulated per-page I/O latency. Default 1 ms.
+	PageCost time.Duration
+	// Verbose enables progress logging to stderr.
+	Verbose bool
+	Logf    func(format string, args ...any)
+}
+
+// WithDefaults fills zero fields.
+func (p Params) WithDefaults() Params {
+	if p.Size == 0 {
+		p.Size = 64
+	}
+	if p.CellSize == 0 {
+		p.CellSize = 100
+	}
+	if p.Queries == 0 {
+		p.Queries = 3
+	}
+	if p.Density == 0 {
+		p.Density = 4
+	}
+	if p.K == 0 {
+		p.K = 10
+	}
+	if p.Seed == 0 {
+		p.Seed = 2006
+	}
+	if p.PageCost == 0 {
+		p.PageCost = time.Millisecond
+	}
+	if p.Logf == nil {
+		p.Logf = func(string, ...any) {}
+	}
+	return p
+}
+
+// Figure is the output of one experiment driver.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []stats.Series
+	Notes  string
+}
+
+// String renders the figure as an aligned text table.
+func (f Figure) String() string {
+	out := stats.Table(fmt.Sprintf("%s — %s", f.ID, f.Title), f.XLabel, f.Series)
+	if f.Notes != "" {
+		out += "note: " + f.Notes + "\n"
+	}
+	return out
+}
+
+// buildDB constructs a terrain database for a preset at the configured
+// scale, with objects at the given density.
+func (p Params) buildDB(preset dem.Preset, density float64) (*core.TerrainDB, []mesh.SurfacePoint, error) {
+	g := dem.Synthesize(preset, p.Size, p.CellSize, p.Seed)
+	m := mesh.FromGrid(g)
+	db, err := core.BuildTerrainDB(m, core.Config{PageCost: p.PageCost})
+	if err != nil {
+		return nil, nil, err
+	}
+	objs, err := workload.UniformObjects(m, db.Loc, density, p.Seed+7)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.SetObjects(objs)
+	qs, err := workload.RandomQueries(m, db.Loc, p.Queries, m.Extent().Width()/8, p.Seed+13)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, qs, nil
+}

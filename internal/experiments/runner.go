@@ -1,0 +1,44 @@
+package experiments
+
+import "fmt"
+
+// Run executes the named experiment ("1", "7", "8", "9", "10", "11",
+// "ratio", "ablation" or "all") and returns its figures.
+func Run(name string, p Params) ([]Figure, error) {
+	switch name {
+	case "1", "fig1":
+		f, err := Fig1(p)
+		return []Figure{f}, err
+	case "7", "fig7":
+		f, err := Fig7(p)
+		return []Figure{f}, err
+	case "8", "fig8":
+		f, err := Fig8(p)
+		return []Figure{f}, err
+	case "9", "fig9":
+		f, err := Fig9(p)
+		return []Figure{f}, err
+	case "10", "fig10":
+		return Fig10(p)
+	case "11", "fig11":
+		return Fig11(p)
+	case "ratio":
+		f, err := Ratio(p)
+		return []Figure{f}, err
+	case "ablation":
+		f, err := Ablation(p)
+		return []Figure{f}, err
+	case "all":
+		var out []Figure
+		for _, n := range []string{"1", "ratio", "7", "8", "9", "10", "11", "ablation"} {
+			figs, err := Run(n, p)
+			if err != nil {
+				return out, fmt.Errorf("experiment %s: %w", n, err)
+			}
+			out = append(out, figs...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want 1, 7, 8, 9, 10, 11, ratio, ablation or all)", name)
+	}
+}

@@ -1,0 +1,511 @@
+package geodesic
+
+import (
+	"container/heap"
+	"math"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+)
+
+// Stats reports the work done by one Distance query.
+type Stats struct {
+	WindowsCreated   int
+	WindowsProcessed int
+	VertexEvents     int
+	Capped           bool // MaxWindows hit: result is an upper bound, not exact
+}
+
+// Solver computes exact geodesic distances on a fixed mesh. It precomputes
+// the edge table once; queries are independent.
+type Solver struct {
+	// MaxWindows caps the number of windows created per query as a safety
+	// valve against pathological blowup. When hit, the query returns the
+	// best upper bound found so far and marks Stats.Capped.
+	MaxWindows int
+
+	debugNoClip bool // tests only: disable window clipping
+
+	m       *mesh.Mesh
+	edges   []edgeInfo
+	edgeIdx map[mesh.Edge]int32
+	netG    *graph.Graph // plain mesh network, for the initial upper bound
+
+	stats Stats
+}
+
+type edgeInfo struct {
+	A, B    mesh.VertexID // A < B
+	Len     float64
+	Faces   [2]mesh.FaceID   // adjacent faces (NoFace when boundary)
+	Apex    [2]mesh.VertexID // third vertex of each adjacent face
+	ApexPos [2]geom.Vec2     // apex unfolded into the canonical frame (+y)
+}
+
+// NewSolver prepares a solver for the mesh.
+func NewSolver(m *mesh.Mesh) *Solver {
+	s := &Solver{
+		MaxWindows: 4_000_000,
+		m:          m,
+		edgeIdx:    make(map[mesh.Edge]int32),
+		netG:       graph.New(m.NumVerts()),
+	}
+	for _, e := range m.Edges() {
+		s.edgeIdx[e] = int32(len(s.edges))
+		s.edges = append(s.edges, edgeInfo{
+			A: e.A, B: e.B,
+			Len:   m.EdgeLength(e),
+			Faces: [2]mesh.FaceID{mesh.NoFace, mesh.NoFace},
+			Apex:  [2]mesh.VertexID{mesh.NoVertex, mesh.NoVertex},
+		})
+		s.netG.AddEdge(int(e.A), int(e.B), m.EdgeLength(e))
+	}
+	for f := 0; f < m.NumFaces(); f++ {
+		face := m.Faces[f]
+		for i := 0; i < 3; i++ {
+			a, b := face[i], face[(i+1)%3]
+			apex := face[(i+2)%3]
+			ek := normEdge(a, b)
+			ei := s.edgeIdx[ek]
+			info := &s.edges[ei]
+			slot := 0
+			if info.Faces[0] != mesh.NoFace {
+				slot = 1
+			}
+			info.Faces[slot] = mesh.FaceID(f)
+			info.Apex[slot] = apex
+			la := m.Verts[ek.A].Dist(m.Verts[apex])
+			lb := m.Verts[ek.B].Dist(m.Verts[apex])
+			info.ApexPos[slot], _ = geom.PlaceApex(
+				geom.Vec2{}, geom.Vec2{X: info.Len}, la, lb, +1)
+		}
+	}
+	return s
+}
+
+func normEdge(a, b mesh.VertexID) mesh.Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return mesh.Edge{A: a, B: b}
+}
+
+// LastStats returns the statistics of the most recent Distance call.
+func (s *Solver) LastStats() Stats { return s.stats }
+
+// event is a queue entry: either a window or a vertex settlement.
+type event struct {
+	prio float64
+	win  *window
+	vert int32 // valid when win == nil
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// query carries the per-query state.
+type query struct {
+	s          *Solver
+	a, b       mesh.SurfacePoint
+	vdist      []float64
+	winsByEdge [][]*window
+	pq         eventHeap
+	best       float64
+	bCorners   [3]mesh.VertexID
+	// fieldMode disables target evaluation: the query computes the full
+	// vertex distance field instead of a single pair (see VertexDistances).
+	fieldMode bool
+}
+
+// Distance returns the exact surface distance between two surface points.
+func (s *Solver) Distance(a, b mesh.SurfacePoint) float64 {
+	s.stats = Stats{}
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos)
+	}
+	q := &query{
+		s: s, a: a, b: b,
+		vdist:      make([]float64, s.m.NumVerts()),
+		winsByEdge: make([][]*window, len(s.edges)),
+		best:       math.Inf(1),
+		bCorners:   b.Corners(s.m),
+	}
+	for i := range q.vdist {
+		q.vdist[i] = math.Inf(1)
+	}
+	q.seedUpperBound()
+	q.seedSource()
+	q.run()
+	return q.best
+}
+
+// seedUpperBound obtains an initial upper bound from the plain mesh network
+// so that window propagation can be pruned aggressively.
+func (q *query) seedUpperBound() {
+	ca := q.a.Corners(q.s.m)
+	cb := q.bCorners
+	targets := []int{int(cb[0]), int(cb[1]), int(cb[2])}
+	for _, cu := range ca {
+		d := graph.DijkstraMultiTarget(q.s.netG, int(cu), targets)
+		base := q.a.Pos.Dist(q.s.m.Verts[cu])
+		for j, cv := range cb {
+			cand := base + d[j] + q.s.m.Verts[cv].Dist(q.b.Pos)
+			if cand < q.best {
+				q.best = cand
+			}
+		}
+	}
+}
+
+// seedSource plants the initial windows on the source face's edges and the
+// initial vertex distances at its corners.
+func (q *query) seedSource() {
+	m := q.s.m
+	face := m.Faces[q.a.Face]
+	for i := 0; i < 3; i++ {
+		va, vb := face[i], face[(i+1)%3]
+		ek := normEdge(va, vb)
+		ei := q.s.edgeIdx[ek]
+		info := &q.s.edges[ei]
+		la := q.a.Pos.Dist(m.Verts[ek.A])
+		lb := q.a.Pos.Dist(m.Verts[ek.B])
+		src, _ := geom.PlaceApex(geom.Vec2{}, geom.Vec2{X: info.Len}, la, lb, -1)
+		toFace := info.otherFace(q.a.Face)
+		w := &window{
+			edge: ei, toFace: int32(toFace),
+			B0: 0, B1: info.Len,
+			S: src, Sigma: 0,
+		}
+		q.addWindow(w)
+	}
+	for _, v := range face {
+		q.updateVertex(v, q.a.Pos.Dist(m.Verts[v]))
+	}
+}
+
+func (e *edgeInfo) otherFace(f mesh.FaceID) mesh.FaceID {
+	if e.Faces[0] == f {
+		return e.Faces[1]
+	}
+	return e.Faces[0]
+}
+
+func (e *edgeInfo) slotOf(f mesh.FaceID) int {
+	if e.Faces[0] == f {
+		return 0
+	}
+	return 1
+}
+
+func (q *query) updateVertex(v mesh.VertexID, d float64) {
+	if d < q.vdist[v]-1e-12 {
+		q.vdist[v] = d
+		heap.Push(&q.pq, event{prio: d, vert: int32(v)})
+	}
+}
+
+// addWindow clips w against the existing windows on its edge and enqueues
+// the surviving pieces. It also performs vertex updates at covered
+// endpoints and evaluates the target when the edge borders the target face.
+func (q *query) addWindow(w *window) {
+	info := &q.s.edges[w.edge]
+	if w.B1-w.B0 < 1e-12 {
+		return
+	}
+	if w.minDist() >= q.best {
+		return
+	}
+	// Vertex updates at covered endpoints.
+	if w.B0 < 1e-9 {
+		q.updateVertex(info.A, w.Sigma+w.S.Norm())
+	}
+	if w.B1 > info.Len-1e-9 {
+		q.updateVertex(info.B, w.Sigma+math.Hypot(info.Len-w.S.X, w.S.Y))
+	}
+	q.evalTarget(w)
+
+	pieces := [][2]float64{{w.B0, w.B1}}
+	if !q.s.debugNoClip {
+		for _, u := range q.winsByEdge[w.edge] {
+			pieces = clipAgainst(w, u, pieces)
+			if len(pieces) == 0 {
+				return
+			}
+		}
+	}
+	for _, p := range pieces {
+		if p[1]-p[0] < 1e-12 {
+			continue
+		}
+		piece := &window{
+			edge: w.edge, toFace: w.toFace,
+			B0: p[0], B1: p[1],
+			S: w.S, Sigma: w.Sigma,
+		}
+		if piece.minDist() >= q.best {
+			continue
+		}
+		q.s.stats.WindowsCreated++
+		q.winsByEdge[w.edge] = append(q.winsByEdge[w.edge], piece)
+		heap.Push(&q.pq, event{prio: piece.minDist(), win: piece})
+	}
+}
+
+// evalTarget updates the best distance using window w when its edge borders
+// the target's face: the path source→(crossing point on the edge)→target,
+// with the in-face leg unfolded isometrically into the edge frame.
+func (q *query) evalTarget(w *window) {
+	if q.fieldMode {
+		return
+	}
+	info := &q.s.edges[w.edge]
+	if info.Faces[0] != q.b.Face && info.Faces[1] != q.b.Face {
+		return
+	}
+	la := q.b.Pos.Dist(q.s.m.Verts[info.A])
+	lb := q.b.Pos.Dist(q.s.m.Verts[info.B])
+	tp, _ := geom.PlaceApex(geom.Vec2{}, geom.Vec2{X: info.Len}, la, lb, +1)
+	// Minimise f(t) = w.distAt(t) + |(t,0)-tp| over [B0,B1]; f is convex.
+	f := func(t float64) float64 { return w.distAt(t) + math.Hypot(t-tp.X, tp.Y) }
+	lo, hi := w.B0, w.B1
+	for iter := 0; iter < 80 && hi-lo > 1e-12*(1+info.Len); iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	if cand := f((lo + hi) / 2); cand < q.best {
+		q.best = cand
+	}
+}
+
+// run processes events in order of increasing distance until no event can
+// improve the best target distance.
+func (q *query) run() {
+	m := q.s.m
+	for q.pq.Len() > 0 {
+		if q.s.stats.WindowsCreated > q.s.MaxWindows {
+			q.s.stats.Capped = true
+			return
+		}
+		ev := heap.Pop(&q.pq).(event)
+		if ev.prio >= q.best {
+			return // nothing left can improve the answer
+		}
+		if ev.win == nil {
+			v := mesh.VertexID(ev.vert)
+			if ev.prio > q.vdist[v]+1e-12 {
+				continue // stale
+			}
+			q.s.stats.VertexEvents++
+			// Target candidate when v is a corner of the target face.
+			if !q.fieldMode {
+				for _, cv := range q.bCorners {
+					if cv == v {
+						if cand := q.vdist[v] + m.Verts[v].Dist(q.b.Pos); cand < q.best {
+							q.best = cand
+						}
+					}
+				}
+			}
+			// Relax along mesh edges (network fallback keeps completeness).
+			for _, u := range m.VertexNeighbors(v) {
+				q.updateVertex(u, q.vdist[v]+m.Verts[v].Dist(m.Verts[u]))
+			}
+			// Pseudo-source windows across each incident face.
+			for _, f := range m.FacesOfVertex(v) {
+				q.seedVertexWindow(v, f)
+			}
+			continue
+		}
+		q.s.stats.WindowsProcessed++
+		q.propagate(ev.win)
+	}
+}
+
+// seedVertexWindow plants a pseudo-source window from vertex v across face
+// f onto the opposite edge.
+func (q *query) seedVertexWindow(v mesh.VertexID, f mesh.FaceID) {
+	face := q.s.m.Faces[f]
+	var oa, ob mesh.VertexID
+	switch v {
+	case face[0]:
+		oa, ob = face[1], face[2]
+	case face[1]:
+		oa, ob = face[2], face[0]
+	default:
+		oa, ob = face[0], face[1]
+	}
+	ek := normEdge(oa, ob)
+	ei := q.s.edgeIdx[ek]
+	info := &q.s.edges[ei]
+	slot := info.slotOf(f)
+	apex := info.ApexPos[slot] // v unfolded at +y
+	w := &window{
+		edge:   ei,
+		toFace: int32(info.otherFace(f)),
+		B0:     0, B1: info.Len,
+		S:     geom.Vec2{X: apex.X, Y: -apex.Y},
+		Sigma: q.vdist[v],
+	}
+	q.addWindow(w)
+}
+
+// propagate unfolds w across its toFace and plants windows on the two
+// opposite edges.
+func (q *query) propagate(w *window) {
+	if w.toFace < 0 {
+		return // boundary edge
+	}
+	if w.minDist() >= q.best {
+		return
+	}
+	info := &q.s.edges[w.edge]
+	f := mesh.FaceID(w.toFace)
+	slot := info.slotOf(f)
+	apexV := info.Apex[slot]
+	apex := info.ApexPos[slot]
+	A := geom.Vec2{}
+	B := geom.Vec2{X: info.Len}
+
+	if math.Abs(w.S.Y) < 1e-9 {
+		// Degenerate wedge: the (pseudo-)source lies on the edge line.
+		// When it lies within the window it is a point source on the edge
+		// and illuminates the entire opposite face; otherwise the rays
+		// graze along the edge and only the endpoints matter (already
+		// handled by vertex updates in addWindow).
+		if w.S.X >= w.B0-1e-9 && w.S.X <= w.B1+1e-9 {
+			src := geom.Vec2{X: w.S.X}
+			q.updateVertex(apexV, w.Sigma+apex.Sub(src).Norm())
+			q.litSegment(w, f, info.A, apexV, A, apex, 0, 1, src)
+			q.litSegment(w, f, apexV, info.B, apex, B, 0, 1, src)
+		}
+		return
+	}
+
+	d0 := geom.Vec2{X: w.B0}.Sub(w.S)
+	d1 := geom.Vec2{X: w.B1}.Sub(w.S)
+
+	// Apex illumination: the wedge contains the apex → vertex update.
+	dq := apex.Sub(w.S)
+	if d0.Cross(dq) <= 1e-12 && dq.Cross(d1) <= 1e-12 {
+		q.updateVertex(apexV, w.Sigma+dq.Norm())
+	}
+
+	// Opposite segments (A→apex) and (apex→B).
+	q.propagateOnto(w, f, info.A, apexV, A, apex, d0, d1)
+	q.propagateOnto(w, f, apexV, info.B, apex, B, d0, d1)
+}
+
+// propagateOnto intersects the wedge with the segment P(va)→P(vb) (given in
+// the current frame) and plants the lit sub-window onto that mesh edge.
+func (q *query) propagateOnto(w *window, from mesh.FaceID, va, vb mesh.VertexID, pa, pb geom.Vec2, d0, d1 geom.Vec2) {
+	// Lit t-range on the segment pa + t*(pb-pa), t in [0,1]:
+	// cross(d0, p(t)-S) <= 0 and cross(p(t)-S, d1) <= 0.
+	D := pb.Sub(pa)
+	rel := pa.Sub(w.S)
+	// g(t) = cross(d0, rel + tD) = cross(d0,rel) + t*cross(d0,D) <= 0
+	lo, hi := 0.0, 1.0
+	if !clipLinear(d0.Cross(rel), d0.Cross(D), &lo, &hi) {
+		return
+	}
+	// h(t) = cross(rel + tD, d1) = cross(rel,d1) + t*cross(D,d1) <= 0
+	if !clipLinear(rel.Cross(d1), D.Cross(d1), &lo, &hi) {
+		return
+	}
+	if hi-lo < 1e-12 {
+		return
+	}
+	q.litSegment(w, from, va, vb, pa, pb, lo, hi, w.S)
+}
+
+// litSegment plants the window covering sub-range [lo,hi] of the segment
+// P(va)→P(vb) with pseudo-source src (current-frame coordinates).
+func (q *query) litSegment(w *window, from mesh.FaceID, va, vb mesh.VertexID, pa, pb geom.Vec2, lo, hi float64, src geom.Vec2) {
+	D := pb.Sub(pa)
+	p0 := pa.Add(D.Scale(lo))
+	p1 := pa.Add(D.Scale(hi))
+
+	ek := normEdge(va, vb)
+	ei, ok := q.s.edgeIdx[ek]
+	if !ok {
+		return
+	}
+	info := &q.s.edges[ei]
+	// Canonical frame of the new edge: smaller vertex at origin.
+	var o, e2 geom.Vec2
+	if ek.A == va {
+		o, e2 = pa, pb
+	} else {
+		o, e2 = pb, pa
+	}
+	ux := e2.Sub(o).Scale(1 / info.Len)
+	uy := geom.Vec2{X: -ux.Y, Y: ux.X}
+	xform := func(p geom.Vec2) geom.Vec2 {
+		r := p.Sub(o)
+		return geom.Vec2{X: r.Dot(ux), Y: r.Dot(uy)}
+	}
+	s2 := xform(src)
+	if s2.Y > 0 {
+		s2.Y = -s2.Y // reflection: keep the source below the edge
+	}
+	t0 := xform(p0).X
+	t1 := xform(p1).X
+	if t0 > t1 {
+		t0, t1 = t1, t0
+	}
+	// Clamp to the edge (numerical safety).
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 > info.Len {
+		t1 = info.Len
+	}
+	q.addWindow(&window{
+		edge:   ei,
+		toFace: int32(info.otherFace(from)),
+		B0:     t0, B1: t1,
+		S: s2, Sigma: w.Sigma,
+	})
+}
+
+// clipLinear restricts [lo,hi] to where c + t*m <= 0; reports false when the
+// result is empty.
+func clipLinear(c, m float64, lo, hi *float64) bool {
+	const eps = 1e-12
+	if math.Abs(m) < eps {
+		return c <= eps
+	}
+	t := -c / m
+	if m > 0 {
+		// c + t*m increasing: need t <= root.
+		if t < *hi {
+			*hi = t
+		}
+	} else {
+		if t > *lo {
+			*lo = t
+		}
+	}
+	return *hi-*lo > -eps
+}
+
+// Distance is a convenience wrapper constructing a throw-away solver.
+func Distance(m *mesh.Mesh, a, b mesh.SurfacePoint) float64 {
+	return NewSolver(m).Distance(a, b)
+}

@@ -1,0 +1,62 @@
+package geodesic
+
+import (
+	"math"
+
+	"surfknn/internal/mesh"
+)
+
+// VertexDistances computes the exact geodesic distance from a source
+// surface point to every mesh vertex (a geodesic distance field, the basis
+// of isochrone analysis). The propagation runs to exhaustion — cost grows
+// quickly with mesh size, as for single-pair queries; intended for small
+// and medium meshes.
+//
+// An optional radius bounds the field: vertices farther than radius along
+// the surface report +Inf and propagation is pruned beyond it (pass +Inf
+// for the full field).
+func (s *Solver) VertexDistances(src mesh.SurfacePoint, radius float64) []float64 {
+	s.stats = Stats{}
+	q := &query{
+		s: s, a: src,
+		// A target that can never be reached keeps evalTarget inert: use
+		// the source's own face but rely on fieldMode to skip target logic.
+		b:          src,
+		vdist:      make([]float64, s.m.NumVerts()),
+		winsByEdge: make([][]*window, len(s.edges)),
+		best:       math.Inf(1),
+		fieldMode:  true,
+	}
+	if radius > 0 && !math.IsInf(radius, 1) {
+		// Pruning bound: nothing beyond radius matters.
+		q.best = radius
+	}
+	for i := range q.vdist {
+		q.vdist[i] = math.Inf(1)
+	}
+	q.seedSource()
+	q.run()
+	out := make([]float64, len(q.vdist))
+	copy(out, q.vdist)
+	if radius > 0 && !math.IsInf(radius, 1) {
+		for i, d := range out {
+			if d > radius {
+				out[i] = math.Inf(1)
+			}
+		}
+	}
+	return out
+}
+
+// Isochrone returns the mesh vertices whose geodesic distance from src is
+// at most radius, with their distances (evacuation/coverage contours).
+func (s *Solver) Isochrone(src mesh.SurfacePoint, radius float64) map[mesh.VertexID]float64 {
+	d := s.VertexDistances(src, radius)
+	out := make(map[mesh.VertexID]float64)
+	for v, dv := range d {
+		if dv <= radius {
+			out[mesh.VertexID(v)] = dv
+		}
+	}
+	return out
+}

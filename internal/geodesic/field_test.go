@@ -1,0 +1,66 @@
+package geodesic
+
+import (
+	"math"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+)
+
+func TestVertexDistancesMatchPairwise(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 4, 10, 51))
+	s := NewSolver(m)
+	loc := mesh.NewLocator(m)
+	src := sp(t, m, loc, 12, 17)
+	field := s.VertexDistances(src, math.Inf(1))
+	if len(field) != m.NumVerts() {
+		t.Fatalf("field size %d", len(field))
+	}
+	// Spot-check a handful of vertices against single-pair queries.
+	for _, v := range []mesh.VertexID{0, 7, 12, 20, 24} {
+		b := mesh.SurfacePoint{Pos: m.Verts[v], Face: m.FacesOfVertex(v)[0]}
+		want := s.Distance(src, b)
+		// The pairwise query may cut into the target's face interior; the
+		// field value is the distance to the vertex itself, so they must
+		// agree within tolerance.
+		if math.Abs(field[v]-want) > 1e-6*(1+want) {
+			t.Fatalf("vertex %d: field %v vs pairwise %v", v, field[v], want)
+		}
+	}
+	// Euclidean floor.
+	for v, d := range field {
+		if d < src.Pos.Dist(m.Verts[v])-1e-9 {
+			t.Fatalf("vertex %d: field %v below chord", v, d)
+		}
+	}
+}
+
+func TestIsochrone(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.EP, 4, 10, 52))
+	s := NewSolver(m)
+	loc := mesh.NewLocator(m)
+	src := sp(t, m, loc, 20, 20)
+	radius := 18.0
+	iso := s.Isochrone(src, radius)
+	if len(iso) == 0 {
+		t.Fatal("empty isochrone")
+	}
+	full := s.VertexDistances(src, math.Inf(1))
+	for v, d := range iso {
+		if d > radius {
+			t.Fatalf("vertex %d beyond radius: %v", v, d)
+		}
+		if math.Abs(full[v]-d) > 1e-6*(1+d) {
+			t.Fatalf("vertex %d: isochrone %v vs full field %v", v, d, full[v])
+		}
+	}
+	// No vertex within radius is missing.
+	for v, d := range full {
+		if d <= radius-1e-9 {
+			if _, ok := iso[mesh.VertexID(v)]; !ok {
+				t.Fatalf("vertex %d (d=%v) missing from isochrone", v, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package geodesic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+	"surfknn/internal/pathnet"
+)
+
+func flatMesh(size int) *mesh.Mesh {
+	return mesh.FromGrid(dem.NewGrid(size+1, size+1, 10))
+}
+
+func sp(t *testing.T, m *mesh.Mesh, loc *mesh.Locator, x, y float64) mesh.SurfacePoint {
+	t.Helper()
+	p, err := mesh.MakeSurfacePoint(m, loc, geom.Vec2{X: x, Y: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlatMeshExactEqualsEuclidean(t *testing.T) {
+	m := flatMesh(6)
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	cases := [][4]float64{
+		{5, 5, 55, 45},
+		{1, 1, 59, 59},
+		{12, 48, 51, 7},
+		{30, 30, 31, 31},
+		{0, 0, 60, 0}, // along the boundary
+	}
+	for _, c := range cases {
+		a := sp(t, m, loc, c[0], c[1])
+		b := sp(t, m, loc, c[2], c[3])
+		want := a.Pos.Dist(b.Pos)
+		got := s.Distance(a, b)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("flat distance (%v)-(%v) = %v, want %v", a.Pos, b.Pos, got, want)
+		}
+	}
+}
+
+// tentMesh builds a ridge ("tent"): two rectangular slopes meeting at a
+// ridge of height h, each slope projecting to depth 1 in y.
+func tentMesh(h float64) *mesh.Mesh {
+	verts := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, {X: 4, Y: 0, Z: 0}, // front bottom
+		{X: 0, Y: 1, Z: h}, {X: 4, Y: 1, Z: h}, // ridge
+		{X: 0, Y: 2, Z: 0}, {X: 4, Y: 2, Z: 0}, // back bottom
+	}
+	faces := [][3]mesh.VertexID{
+		{0, 1, 3}, {0, 3, 2}, // front slope
+		{2, 3, 5}, {2, 5, 4}, // back slope
+	}
+	return mesh.New(verts, faces)
+}
+
+func TestTentGeodesicMatchesUnfolding(t *testing.T) {
+	h := 1.0
+	slant := math.Sqrt(1 + h*h) // slope length in the y–z plane
+	m := tentMesh(h)
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	// a on the front slope at y=0.5 (halfway up), b mirrored on the back.
+	a := sp(t, m, loc, 1, 0.5)
+	b := sp(t, m, loc, 3, 1.5)
+	// Unfold both slopes into a plane: a sits slant/2 before the ridge,
+	// b slant/2 after; the geodesic is the straight line.
+	want := math.Hypot(3-1, slant)
+	got := s.Distance(a, b)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("tent geodesic = %v, want %v", got, want)
+	}
+	// Same-slope distance is the in-plane distance.
+	c := sp(t, m, loc, 3, 0.5)
+	want = 2.0 // same height on the slope, straight across
+	got = s.Distance(a, c)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("same-slope geodesic = %v, want %v", got, want)
+	}
+}
+
+func TestSameFaceShortcut(t *testing.T) {
+	m := flatMesh(2)
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	a := sp(t, m, loc, 1, 1)
+	b := sp(t, m, loc, 3, 2)
+	if a.Face == b.Face {
+		if got := s.Distance(a, b); math.Abs(got-a.Pos.Dist(b.Pos)) > 1e-12 {
+			t.Errorf("same-face distance = %v", got)
+		}
+	}
+}
+
+func TestExactBracketedByBounds(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 21))
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	pn := pathnet.Build(m, 3)
+	// Mesh network distances for the upper side.
+	g := graph.New(m.NumVerts())
+	for _, e := range m.Edges() {
+		g.AddEdge(int(e.A), int(e.B), m.EdgeLength(e))
+	}
+	ext := m.Extent()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		a := sp(t, m, loc, ext.MinX+rng.Float64()*ext.Width(), ext.MinY+rng.Float64()*ext.Height())
+		b := sp(t, m, loc, ext.MinX+rng.Float64()*ext.Width(), ext.MinY+rng.Float64()*ext.Height())
+		exact := s.Distance(a, b)
+		if s.LastStats().Capped {
+			t.Fatal("solver capped on a small mesh")
+		}
+		chord := a.Pos.Dist(b.Pos)
+		if exact < chord-1e-9 {
+			t.Fatalf("exact %v below 3-D chord %v", exact, chord)
+		}
+		approx, _ := pn.Distance(a, b)
+		if exact > approx+1e-9 {
+			t.Fatalf("exact %v above pathnet approximation %v", exact, approx)
+		}
+		// Pathnet with 3 Steiner points should be within ~10%.
+		if approx > exact*1.10+1e-9 {
+			t.Fatalf("pathnet %v too far above exact %v", approx, exact)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.EP, 8, 10, 5))
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	a := sp(t, m, loc, 8, 12)
+	b := sp(t, m, loc, 66, 70)
+	d1 := s.Distance(a, b)
+	d2 := s.Distance(b, a)
+	if math.Abs(d1-d2) > 1e-6*(1+d1) {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestTriangleInequalitySampled(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 13))
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	a := sp(t, m, loc, 10, 10)
+	b := sp(t, m, loc, 70, 70)
+	c := sp(t, m, loc, 40, 20)
+	ab := s.Distance(a, b)
+	ac := s.Distance(a, c)
+	cb := s.Distance(c, b)
+	if ab > ac+cb+1e-6 {
+		t.Errorf("triangle inequality violated: %v > %v + %v", ab, ac, cb)
+	}
+}
+
+func TestCappedStillReturnsBound(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 17))
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	s.MaxWindows = 1
+	a := sp(t, m, loc, 5, 5)
+	b := sp(t, m, loc, 70, 70)
+	d := s.Distance(a, b)
+	if math.IsInf(d, 1) || d <= 0 {
+		t.Fatalf("capped distance = %v", d)
+	}
+	if !s.LastStats().Capped {
+		t.Error("expected Capped stat")
+	}
+	// The capped result is still an upper bound on the true distance.
+	s2 := NewSolver(m)
+	exact := s2.Distance(a, b)
+	if d < exact-1e-9 {
+		t.Errorf("capped result %v below exact %v", d, exact)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := flatMesh(4)
+	loc := mesh.NewLocator(m)
+	s := NewSolver(m)
+	a := sp(t, m, loc, 2, 2)
+	b := sp(t, m, loc, 38, 35)
+	s.Distance(a, b)
+	st := s.LastStats()
+	if st.WindowsCreated == 0 || st.WindowsProcessed == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestExactNeverAboveNetwork(t *testing.T) {
+	// The geodesic can cut across faces, so it is never longer than the
+	// edge-network shortest path between two vertices.
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 29))
+	g := graph.New(m.NumVerts())
+	for _, e := range m.Edges() {
+		g.AddEdge(int(e.A), int(e.B), m.EdgeLength(e))
+	}
+	s := NewSolver(m)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		u := mesh.VertexID(rng.Intn(m.NumVerts()))
+		v := mesh.VertexID(rng.Intn(m.NumVerts()))
+		if u == v {
+			continue
+		}
+		fu := m.FacesOfVertex(u)[0]
+		fv := m.FacesOfVertex(v)[0]
+		a := mesh.SurfacePoint{Pos: m.Verts[u], Face: fu}
+		b := mesh.SurfacePoint{Pos: m.Verts[v], Face: fv}
+		net, _ := graph.DijkstraTarget(g, int(u), int(v))
+		exact := s.Distance(a, b)
+		if exact > net+1e-6 {
+			t.Fatalf("exact %v above network %v", exact, net)
+		}
+	}
+}

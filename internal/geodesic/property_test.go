@@ -1,0 +1,68 @@
+package geodesic
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/pathnet"
+)
+
+// TestExactAgainstDensePathnet cross-validates the solver against a very
+// fine pathnet on several random terrains: the exact distance must never
+// exceed the dense approximation (which is an upper bound by construction)
+// and must stay within a small factor below it (the approximation converges
+// from above).
+func TestExactAgainstDensePathnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, preset := range []dem.Preset{dem.BH, dem.EP} {
+			m := mesh.FromGrid(dem.Synthesize(preset, 4, 10, seed))
+			s := NewSolver(m)
+			pn := pathnet.Build(m, 15)
+			rng := rand.New(rand.NewSource(seed * 31))
+			loc := mesh.NewLocator(m)
+			ext := m.Extent()
+			for trial := 0; trial < 6; trial++ {
+				pa := geom.Vec2{X: ext.MinX + rng.Float64()*ext.Width(), Y: ext.MinY + rng.Float64()*ext.Height()}
+				pb := geom.Vec2{X: ext.MinX + rng.Float64()*ext.Width(), Y: ext.MinY + rng.Float64()*ext.Height()}
+				a, errA := mesh.MakeSurfacePoint(m, loc, pa)
+				b, errB := mesh.MakeSurfacePoint(m, loc, pb)
+				if errA != nil || errB != nil {
+					continue
+				}
+				exact := s.Distance(a, b)
+				dense, _ := pn.Distance(a, b)
+				if exact > dense+1e-6 {
+					t.Fatalf("%s seed=%d: exact %v above dense pathnet %v", preset.Name, seed, exact, dense)
+				}
+				if dense > exact*1.02+1e-6 {
+					t.Fatalf("%s seed=%d: dense pathnet %v more than 2%% above exact %v", preset.Name, seed, dense, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestVertexToAdjacentVertex checks the trivial geodesic: between two
+// vertices joined by an edge on a convex-free flat strip, the distance is
+// the edge length or shorter (cutting across faces).
+func TestVertexToAdjacentVertex(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 4, 10, 9))
+	s := NewSolver(m)
+	for _, e := range m.Edges()[:10] {
+		a := mesh.SurfacePoint{Pos: m.Verts[e.A], Face: m.FacesOfVertex(e.A)[0]}
+		b := mesh.SurfacePoint{Pos: m.Verts[e.B], Face: m.FacesOfVertex(e.B)[0]}
+		d := s.Distance(a, b)
+		if d > m.EdgeLength(e)+1e-9 {
+			t.Fatalf("d(%d,%d) = %v above edge length %v", e.A, e.B, d, m.EdgeLength(e))
+		}
+		if d < m.Verts[e.A].Dist(m.Verts[e.B])-1e-9 {
+			t.Fatalf("d(%d,%d) = %v below chord", e.A, e.B, d)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package geodesic computes exact shortest paths on a polyhedral surface by
+// continuous-Dijkstra window propagation (the approach underlying Chen &
+// Han's algorithm, the paper's CH baseline). Distance "windows" — intervals
+// of mesh edges together with an unfolded pseudo-source — are propagated
+// across faces in order of increasing distance; the target distance is the
+// minimum over all windows reaching the target's face.
+//
+// The implementation is exact up to floating-point tolerance but, like CH,
+// scales poorly with mesh size: it exists as ground truth for small meshes
+// and to regenerate Fig. 7's scalability comparison.
+package geodesic
+
+import (
+	"math"
+
+	"surfknn/internal/geom"
+)
+
+// window is an interval [B0,B1] of a mesh edge (in the edge's canonical
+// frame: smaller-ID endpoint at the origin, larger at (len,0)), reached by
+// straight paths from the unfolded pseudo-source S (Sy <= 0) after
+// accumulating Sigma distance from the real source to the pseudo-source.
+// The distance to edge point (t,0) is Sigma + |S - (t,0)|.
+type window struct {
+	edge   int32 // edge index in the solver's edge table
+	toFace int32 // face the window propagates into (-1: boundary, no propagation)
+	B0, B1 float64
+	S      geom.Vec2
+	Sigma  float64
+}
+
+// distAt returns the window's distance value at edge parameter t.
+func (w *window) distAt(t float64) float64 {
+	return w.Sigma + math.Hypot(t-w.S.X, w.S.Y)
+}
+
+// minDist returns the smallest distance value over the window's interval.
+func (w *window) minDist() float64 {
+	t := w.S.X
+	if t < w.B0 {
+		t = w.B0
+	} else if t > w.B1 {
+		t = w.B1
+	}
+	return w.distAt(t)
+}
+
+// crossings returns the parameters in (lo,hi) where the distance functions
+// of w and u are equal, in ascending order (at most two).
+func crossings(w, u *window, lo, hi float64) []float64 {
+	// Solve sqrt((t-x1)²+y1²) - sqrt((t-x2)²+y2²) = c, c = u.Sigma - w.Sigma.
+	x1, y1 := w.S.X, w.S.Y
+	x2, y2 := u.S.X, u.S.Y
+	c := u.Sigma - w.Sigma
+	// d1² - d2² = L(t) = 2t(x2-x1) + (x1²+y1²-x2²-y2²)  (linear).
+	la := 2 * (x2 - x1)
+	lb := x1*x1 + y1*y1 - x2*x2 - y2*y2
+	var roots []float64
+	add := func(t float64) {
+		if t > lo+1e-12 && t < hi-1e-12 {
+			// Verify it is a genuine crossing of the (unsquared) equation.
+			if math.Abs(w.distAt(t)-u.distAt(t)) < 1e-6*(1+w.distAt(t)) {
+				roots = append(roots, t)
+			}
+		}
+	}
+	if math.Abs(c) < 1e-15 {
+		// d1 = d2 → L(t) = 0.
+		if math.Abs(la) > 1e-15 {
+			add(-lb / la)
+		}
+	} else {
+		// d1 = d2 + c → d1² = d2² + 2c·d2 + c² → (L(t)-c²) = 2c·d2(t)
+		// → (L(t)-c²)² = 4c²((t-x2)²+y2²): quadratic in t.
+		// (la·t + lb - c²)² = 4c²(t² - 2x2·t + x2² + y2²)
+		A := la*la - 4*c*c
+		B := 2*la*(lb-c*c) + 8*c*c*x2
+		C := (lb-c*c)*(lb-c*c) - 4*c*c*(x2*x2+y2*y2)
+		if math.Abs(A) < 1e-15 {
+			if math.Abs(B) > 1e-15 {
+				add(-C / B)
+			}
+		} else {
+			disc := B*B - 4*A*C
+			if disc >= 0 {
+				sq := math.Sqrt(disc)
+				add((-B - sq) / (2 * A))
+				add((-B + sq) / (2 * A))
+			}
+		}
+	}
+	if len(roots) == 2 && roots[0] > roots[1] {
+		roots[0], roots[1] = roots[1], roots[0]
+	}
+	return roots
+}
+
+// clipAgainst returns the sub-intervals of [w.B0, w.B1] ∩ [u.B0, u.B1] where
+// w is strictly better than u, plus the parts of w outside u untouched.
+// It implements one-sided clipping: u is never modified, so redundant (but
+// never wrong) windows may survive.
+func clipAgainst(w, u *window, pieces [][2]float64) [][2]float64 {
+	var out [][2]float64
+	for _, p := range pieces {
+		lo, hi := p[0], p[1]
+		olo, ohi := math.Max(lo, u.B0), math.Min(hi, u.B1)
+		if olo >= ohi {
+			out = append(out, p)
+			continue
+		}
+		// Left part outside u survives.
+		if lo < olo {
+			out = append(out, [2]float64{lo, olo})
+		}
+		// Inside the overlap, keep where w < u.
+		cuts := append([]float64{olo}, crossings(w, u, olo, ohi)...)
+		cuts = append(cuts, ohi)
+		for i := 0; i+1 < len(cuts); i++ {
+			a, b := cuts[i], cuts[i+1]
+			if b-a < 1e-12 {
+				continue
+			}
+			mid := (a + b) / 2
+			if w.distAt(mid) < u.distAt(mid)-1e-12 {
+				out = append(out, [2]float64{a, b})
+			}
+		}
+		// Right part outside u survives.
+		if ohi < hi {
+			out = append(out, [2]float64{ohi, hi})
+		}
+	}
+	return out
+}

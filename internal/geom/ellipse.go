@@ -1,0 +1,84 @@
+package geom
+
+import "math"
+
+// Ellipse is the ellipse-shaped search region used by MR3 (§4.2.1 of the
+// paper): the locus of points p with |p-F1| + |p-F2| ≤ Sum. F1 and F2 are
+// the (x,y) projections of the query point and the candidate point and Sum
+// is the current upper-bound estimate of their surface distance.
+type Ellipse struct {
+	F1, F2 Vec2    // foci
+	Sum    float64 // the ellipse "constant": max total distance to both foci
+}
+
+// NewEllipse constructs the search ellipse for foci f1, f2 and bound sum.
+// A sum smaller than the focal distance yields an empty region; Contains
+// then reports false for every point.
+func NewEllipse(f1, f2 Vec2, sum float64) Ellipse {
+	return Ellipse{F1: f1, F2: f2, Sum: sum}
+}
+
+// IsEmpty reports whether no point satisfies the ellipse inequality.
+func (e Ellipse) IsEmpty() bool { return e.Sum < e.F1.Dist(e.F2) }
+
+// Contains reports whether p lies inside or on the ellipse.
+func (e Ellipse) Contains(p Vec2) bool {
+	return p.Dist(e.F1)+p.Dist(e.F2) <= e.Sum+Eps
+}
+
+// SemiMajor returns a, the semi-major axis length (Sum/2).
+func (e Ellipse) SemiMajor() float64 { return e.Sum / 2 }
+
+// SemiMinor returns b = sqrt(a² - c²) where c is half the focal distance.
+// An empty ellipse returns 0.
+func (e Ellipse) SemiMinor() float64 {
+	a := e.SemiMajor()
+	c := e.F1.Dist(e.F2) / 2
+	if a <= c {
+		return 0
+	}
+	return math.Sqrt(a*a - c*c)
+}
+
+// MBR returns the exact axis-aligned bounding rectangle of the ellipse,
+// which the paper uses as the I/O region ("its MBR will be used as the I/O
+// region"). For an empty ellipse the result is empty.
+func (e Ellipse) MBR() MBR {
+	if e.IsEmpty() {
+		return EmptyMBR()
+	}
+	a := e.SemiMajor()
+	b := e.SemiMinor()
+	center := e.F1.Add(e.F2).Scale(0.5)
+	d := e.F2.Sub(e.F1)
+	l := d.Norm()
+	var cos, sin float64
+	if l < Eps {
+		// Degenerate foci: circle of radius a.
+		cos, sin = 1, 0
+	} else {
+		cos, sin = d.X/l, d.Y/l
+	}
+	// Extent of a rotated ellipse along each axis:
+	// ex = sqrt(a²cos²θ + b²sin²θ), ey = sqrt(a²sin²θ + b²cos²θ).
+	ex := math.Sqrt(a*a*cos*cos + b*b*sin*sin)
+	ey := math.Sqrt(a*a*sin*sin + b*b*cos*cos)
+	return MBR{center.X - ex, center.Y - ey, center.X + ex, center.Y + ey}
+}
+
+// IntersectsMBR conservatively reports whether the ellipse could intersect
+// rectangle m (it tests the ellipse's bounding box and, when the box test
+// passes, refines using the closest point of the rectangle to both foci).
+func (e Ellipse) IntersectsMBR(m MBR) bool {
+	if e.IsEmpty() || m.IsEmpty() {
+		return false
+	}
+	if !e.MBR().Intersects(m) {
+		return false
+	}
+	// A rectangle intersects the ellipse iff the minimum over the rectangle
+	// of |p-F1|+|p-F2| is ≤ Sum. We lower-bound that minimum by
+	// dist(m,F1)+dist(m,F2), which can only under-estimate, keeping the
+	// test conservative (never rejects a truly intersecting rectangle).
+	return m.DistToPoint(e.F1)+m.DistToPoint(e.F2) <= e.Sum+Eps
+}

@@ -1,0 +1,166 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEllipseCircleCase(t *testing.T) {
+	// Coincident foci → circle of radius Sum/2.
+	e := NewEllipse(Vec2{0, 0}, Vec2{0, 0}, 10)
+	if e.IsEmpty() {
+		t.Fatal("circle should not be empty")
+	}
+	if !e.Contains(Vec2{5, 0}) || !e.Contains(Vec2{0, -5}) {
+		t.Error("boundary points should be contained")
+	}
+	if e.Contains(Vec2{5.1, 0}) {
+		t.Error("exterior point contained")
+	}
+	m := e.MBR()
+	want := MBR{-5, -5, 5, 5}
+	if math.Abs(m.MinX-want.MinX) > 1e-9 || math.Abs(m.MaxY-want.MaxY) > 1e-9 {
+		t.Errorf("MBR = %v, want %v", m, want)
+	}
+}
+
+func TestEllipseAxisAligned(t *testing.T) {
+	// Foci at (±3, 0), sum 10 → a=5, b=4 (classic 3-4-5).
+	e := NewEllipse(Vec2{-3, 0}, Vec2{3, 0}, 10)
+	if !almostEq(e.SemiMajor(), 5, 1e-12) {
+		t.Errorf("a = %v", e.SemiMajor())
+	}
+	if !almostEq(e.SemiMinor(), 4, 1e-12) {
+		t.Errorf("b = %v", e.SemiMinor())
+	}
+	m := e.MBR()
+	if !almostEq(m.MinX, -5, 1e-9) || !almostEq(m.MaxX, 5, 1e-9) ||
+		!almostEq(m.MinY, -4, 1e-9) || !almostEq(m.MaxY, 4, 1e-9) {
+		t.Errorf("MBR = %v", m)
+	}
+	if !e.Contains(Vec2{5, 0}) || !e.Contains(Vec2{0, 4}) {
+		t.Error("vertices of ellipse should be contained")
+	}
+	if e.Contains(Vec2{5, 1}) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestEllipseRotatedMBR(t *testing.T) {
+	// Foci on the diagonal: MBR must still contain sampled boundary points.
+	e := NewEllipse(Vec2{0, 0}, Vec2{6, 6}, 14)
+	m := e.MBR()
+	// Sample the ellipse boundary via its parametric form.
+	a := e.SemiMajor()
+	b := e.SemiMinor()
+	c := e.F1.Add(e.F2).Scale(0.5)
+	dir := e.F2.Sub(e.F1).Normalize()
+	perp := Vec2{-dir.Y, dir.X}
+	for i := 0; i < 64; i++ {
+		th := 2 * math.Pi * float64(i) / 64
+		p := c.Add(dir.Scale(a * math.Cos(th))).Add(perp.Scale(b * math.Sin(th)))
+		if !m.Contains(p) {
+			t.Fatalf("MBR %v misses boundary point %v", m, p)
+		}
+		if !e.Contains(p) {
+			t.Fatalf("ellipse misses own boundary point %v (sum=%v)", p, p.Dist(e.F1)+p.Dist(e.F2))
+		}
+	}
+}
+
+func TestEmptyEllipse(t *testing.T) {
+	e := NewEllipse(Vec2{0, 0}, Vec2{10, 0}, 5) // sum < focal distance
+	if !e.IsEmpty() {
+		t.Fatal("should be empty")
+	}
+	if !e.MBR().IsEmpty() {
+		t.Error("empty ellipse should have empty MBR")
+	}
+	if e.IntersectsMBR(MBR{0, 0, 1, 1}) {
+		t.Error("empty ellipse intersects nothing")
+	}
+	if e.SemiMinor() != 0 {
+		t.Error("empty ellipse SemiMinor should be 0")
+	}
+}
+
+func TestEllipseIntersectsMBRConservative(t *testing.T) {
+	e := NewEllipse(Vec2{0, 0}, Vec2{4, 0}, 6)
+	if !e.IntersectsMBR(MBR{1, -1, 3, 1}) {
+		t.Error("rect through center must intersect")
+	}
+	if e.IntersectsMBR(MBR{100, 100, 101, 101}) {
+		t.Error("distant rect must not intersect")
+	}
+	// Conservativeness: any rect containing a point of the ellipse must
+	// report intersection.
+	f := func(px, py float64) bool {
+		p := Vec2{math.Mod(sanitize(px), 10), math.Mod(sanitize(py), 10)}
+		if !e.Contains(p) {
+			return true // vacuous
+		}
+		r := MBR{p.X - 0.1, p.Y - 0.1, p.X + 0.1, p.Y + 0.1}
+		return e.IntersectsMBR(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceApex(t *testing.T) {
+	// Equilateral triangle with side 2: apex at (1, √3).
+	p, ok := PlaceApex(Vec2{0, 0}, Vec2{2, 0}, 2, 2, +1)
+	if !ok {
+		t.Fatal("PlaceApex failed")
+	}
+	if !almostEq(p.X, 1, 1e-9) || !almostEq(p.Y, math.Sqrt(3), 1e-9) {
+		t.Errorf("apex = %v", p)
+	}
+	// Mirror side.
+	p, _ = PlaceApex(Vec2{0, 0}, Vec2{2, 0}, 2, 2, -1)
+	if !almostEq(p.Y, -math.Sqrt(3), 1e-9) {
+		t.Errorf("mirrored apex = %v", p)
+	}
+	// Infeasible lengths get flagged.
+	_, ok = PlaceApex(Vec2{0, 0}, Vec2{10, 0}, 1, 1, +1)
+	if ok {
+		t.Error("violating triangle inequality should report !ok")
+	}
+}
+
+func TestUnfoldTriangleIsometry(t *testing.T) {
+	tri := Triangle3{Vec3{1, 2, 3}, Vec3{4, 6, 3}, Vec3{2, 2, 8}}
+	a, b, c := UnfoldTriangle(tri)
+	if a != (Vec2{0, 0}) {
+		t.Errorf("a = %v", a)
+	}
+	if !almostEq(a.Dist(b), tri.A.Dist(tri.B), 1e-9) {
+		t.Errorf("|ab| mismatch")
+	}
+	if !almostEq(a.Dist(c), tri.A.Dist(tri.C), 1e-9) {
+		t.Errorf("|ac| mismatch")
+	}
+	if !almostEq(b.Dist(c), tri.B.Dist(tri.C), 1e-9) {
+		t.Errorf("|bc| mismatch")
+	}
+	if c.Y < 0 {
+		t.Errorf("apex should be in upper half-plane, got %v", c)
+	}
+}
+
+func TestRaySegment(t *testing.T) {
+	s := Segment2{Vec2{2, -1}, Vec2{2, 1}}
+	tp, u, ok := RaySegment(Vec2{0, 0}, Vec2{1, 0}, s)
+	if !ok || !almostEq(tp, 0.5, 1e-9) || !almostEq(u, 2, 1e-9) {
+		t.Errorf("RaySegment = t=%v u=%v ok=%v", tp, u, ok)
+	}
+	// Ray pointing away.
+	if _, _, ok := RaySegment(Vec2{0, 0}, Vec2{-1, 0}, s); ok {
+		t.Error("backward ray should miss")
+	}
+	// Parallel ray.
+	if _, _, ok := RaySegment(Vec2{0, 0}, Vec2{0, 1}, s); ok {
+		t.Error("parallel ray should miss")
+	}
+}

@@ -1,0 +1,162 @@
+package geom
+
+import "math"
+
+// Segment3 is a 3-D line segment.
+type Segment3 struct {
+	A, B Vec3
+}
+
+// Length returns the segment length.
+func (s Segment3) Length() float64 { return s.A.Dist(s.B) }
+
+// Box returns the 3-D bounding box of the segment.
+func (s Segment3) Box() Box3 { return Box3Of(s.A, s.B) }
+
+// At returns the point (1-t)·A + t·B.
+func (s Segment3) At(t float64) Vec3 { return s.A.Lerp(s.B, t) }
+
+// ClosestPoint returns the point on the segment nearest to p and its
+// parameter t in [0,1].
+func (s Segment3) ClosestPoint(p Vec3) (Vec3, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 < Eps*Eps {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.At(t), t
+}
+
+// DistToPoint returns the minimum distance from p to the segment.
+func (s Segment3) DistToPoint(p Vec3) float64 {
+	q, _ := s.ClosestPoint(p)
+	return q.Dist(p)
+}
+
+// Segment2 is a line segment in the plane.
+type Segment2 struct {
+	A, B Vec2
+}
+
+// Length returns the segment length.
+func (s Segment2) Length() float64 { return s.A.Dist(s.B) }
+
+// At returns the point (1-t)·A + t·B.
+func (s Segment2) At(t float64) Vec2 { return s.A.Lerp(s.B, t) }
+
+// ClosestPoint returns the point on the segment nearest to p and its
+// parameter t in [0,1].
+func (s Segment2) ClosestPoint(p Vec2) (Vec2, float64) {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 < Eps*Eps {
+		return s.A, 0
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.At(t), t
+}
+
+// DistToPoint returns the minimum distance from p to the segment.
+func (s Segment2) DistToPoint(p Vec2) float64 {
+	q, _ := s.ClosestPoint(p)
+	return q.Dist(p)
+}
+
+// Intersect reports whether the two segments intersect, and if they cross at
+// a single point returns that point. Collinear overlap reports ok=true with
+// the midpoint of the shared portion's first endpoint.
+func (s Segment2) Intersect(o Segment2) (Vec2, bool) {
+	r := s.B.Sub(s.A)
+	q := o.B.Sub(o.A)
+	den := r.Cross(q)
+	ao := o.A.Sub(s.A)
+	if math.Abs(den) < Eps {
+		// Parallel. Check collinear overlap.
+		if math.Abs(ao.Cross(r)) > Eps {
+			return Vec2{}, false
+		}
+		rl2 := r.Norm2()
+		if rl2 < Eps*Eps {
+			// s degenerates to a point.
+			if o.DistToPoint(s.A) < Eps {
+				return s.A, true
+			}
+			return Vec2{}, false
+		}
+		t0 := ao.Dot(r) / rl2
+		t1 := o.B.Sub(s.A).Dot(r) / rl2
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		lo := math.Max(0, t0)
+		hi := math.Min(1, t1)
+		if lo > hi {
+			return Vec2{}, false
+		}
+		return s.At(lo), true
+	}
+	t := ao.Cross(q) / den
+	u := ao.Cross(r) / den
+	if t < -Eps || t > 1+Eps || u < -Eps || u > 1+Eps {
+		return Vec2{}, false
+	}
+	return s.At(clamp01(t)), true
+}
+
+// CrossesVertical reports whether the segment's x-range spans the vertical
+// line x = x0, and if so returns the parameter t of the crossing.
+func (s Segment2) CrossesVertical(x0 float64) (float64, bool) {
+	return crossParam(s.A.X, s.B.X, x0)
+}
+
+// CrossesHorizontal reports whether the segment's y-range spans the
+// horizontal line y = y0, and if so returns the parameter t of the crossing.
+func (s Segment2) CrossesHorizontal(y0 float64) (float64, bool) {
+	return crossParam(s.A.Y, s.B.Y, y0)
+}
+
+func crossParam(a, b, v float64) (float64, bool) {
+	if (a < v && b < v) || (a > v && b > v) {
+		return 0, false
+	}
+	d := b - a
+	if math.Abs(d) < Eps {
+		// Segment lies on the line.
+		return 0, true
+	}
+	t := (v - a) / d
+	if t < 0 || t > 1 {
+		return 0, false
+	}
+	return t, true
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// PolylineLength returns the total length of the polyline through pts.
+func PolylineLength(pts []Vec3) float64 {
+	var l float64
+	for i := 1; i < len(pts); i++ {
+		l += pts[i-1].Dist(pts[i])
+	}
+	return l
+}

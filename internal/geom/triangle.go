@@ -1,0 +1,101 @@
+package geom
+
+import "math"
+
+// Triangle3 is a triangle in 3-D space.
+type Triangle3 struct {
+	A, B, C Vec3
+}
+
+// Normal returns the (unnormalised) face normal (B-A)×(C-A).
+func (t Triangle3) Normal() Vec3 { return t.B.Sub(t.A).Cross(t.C.Sub(t.A)) }
+
+// Area returns the triangle's area.
+func (t Triangle3) Area() float64 { return t.Normal().Norm() / 2 }
+
+// Centroid returns the triangle's centroid.
+func (t Triangle3) Centroid() Vec3 {
+	return Vec3{
+		(t.A.X + t.B.X + t.C.X) / 3,
+		(t.A.Y + t.B.Y + t.C.Y) / 3,
+		(t.A.Z + t.B.Z + t.C.Z) / 3,
+	}
+}
+
+// Plane returns the plane coefficients (a,b,c,d) with unit normal such that
+// a·x + b·y + c·z + d = 0 for points on the triangle's supporting plane.
+// Degenerate triangles return all-zero coefficients.
+func (t Triangle3) Plane() (a, b, c, d float64) {
+	n := t.Normal()
+	l := n.Norm()
+	if l < Eps {
+		return 0, 0, 0, 0
+	}
+	n = n.Scale(1 / l)
+	return n.X, n.Y, n.Z, -n.Dot(t.A)
+}
+
+// Barycentric returns the barycentric coordinates (u,v,w), u+v+w=1, of the
+// (x,y) projection of p with respect to the (x,y) projection of the
+// triangle. ok is false for triangles that are degenerate in projection.
+func (t Triangle3) Barycentric(p Vec2) (u, v, w float64, ok bool) {
+	a, b, c := t.A.XY(), t.B.XY(), t.C.XY()
+	v0 := b.Sub(a)
+	v1 := c.Sub(a)
+	v2 := p.Sub(a)
+	den := v0.Cross(v1)
+	if math.Abs(den) < Eps {
+		return 0, 0, 0, false
+	}
+	v = v2.Cross(v1) / den
+	w = v0.Cross(v2) / den
+	u = 1 - v - w
+	return u, v, w, true
+}
+
+// ContainsXY reports whether the (x,y) projection of p falls inside or on
+// the boundary of the triangle's projection.
+func (t Triangle3) ContainsXY(p Vec2) bool {
+	u, v, w, ok := t.Barycentric(p)
+	if !ok {
+		return false
+	}
+	const tol = 1e-9
+	return u >= -tol && v >= -tol && w >= -tol
+}
+
+// InterpolateZ returns the elevation of the triangle's plane at the given
+// (x,y) location using barycentric interpolation. ok is false when the
+// projected triangle is degenerate.
+func (t Triangle3) InterpolateZ(p Vec2) (float64, bool) {
+	u, v, w, ok := t.Barycentric(p)
+	if !ok {
+		return 0, false
+	}
+	return u*t.A.Z + v*t.B.Z + w*t.C.Z, true
+}
+
+// Triangle2 is a triangle in the plane.
+type Triangle2 struct {
+	A, B, C Vec2
+}
+
+// SignedArea returns the signed area (positive for counter-clockwise
+// orientation).
+func (t Triangle2) SignedArea() float64 {
+	return t.B.Sub(t.A).Cross(t.C.Sub(t.A)) / 2
+}
+
+// Area returns the absolute area.
+func (t Triangle2) Area() float64 { return math.Abs(t.SignedArea()) }
+
+// Contains reports whether p lies inside or on the boundary of the triangle.
+func (t Triangle2) Contains(p Vec2) bool {
+	d1 := p.Sub(t.A).Cross(t.B.Sub(t.A))
+	d2 := p.Sub(t.B).Cross(t.C.Sub(t.B))
+	d3 := p.Sub(t.C).Cross(t.A.Sub(t.C))
+	const tol = 1e-9
+	hasNeg := d1 < -tol || d2 < -tol || d3 < -tol
+	hasPos := d1 > tol || d2 > tol || d3 > tol
+	return !(hasNeg && hasPos)
+}

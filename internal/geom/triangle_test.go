@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTriangle3AreaNormal(t *testing.T) {
+	tri := Triangle3{Vec3{0, 0, 0}, Vec3{2, 0, 0}, Vec3{0, 2, 0}}
+	if got := tri.Area(); got != 2 {
+		t.Errorf("Area = %v", got)
+	}
+	n := tri.Normal().Normalize()
+	if !almostEq(n.Z, 1, 1e-12) {
+		t.Errorf("Normal = %v", n)
+	}
+	c := tri.Centroid()
+	want := Vec3{2.0 / 3, 2.0 / 3, 0}
+	if c.Dist(want) > 1e-12 {
+		t.Errorf("Centroid = %v", c)
+	}
+}
+
+func TestTrianglePlane(t *testing.T) {
+	tri := Triangle3{Vec3{0, 0, 5}, Vec3{1, 0, 5}, Vec3{0, 1, 5}}
+	a, b, c, d := tri.Plane()
+	// Plane z = 5 → (0,0,1,-5) up to sign.
+	if !almostEq(math.Abs(c), 1, 1e-12) || !almostEq(a, 0, 1e-12) || !almostEq(b, 0, 1e-12) {
+		t.Errorf("plane normal = (%v,%v,%v)", a, b, c)
+	}
+	if !almostEq(math.Abs(d), 5, 1e-12) {
+		t.Errorf("plane d = %v", d)
+	}
+	// Degenerate triangle yields zero plane.
+	deg := Triangle3{Vec3{0, 0, 0}, Vec3{1, 1, 1}, Vec3{2, 2, 2}}
+	a, b, c, d = deg.Plane()
+	if a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Errorf("degenerate plane = (%v,%v,%v,%v)", a, b, c, d)
+	}
+}
+
+func TestBarycentricInterpolation(t *testing.T) {
+	tri := Triangle3{Vec3{0, 0, 0}, Vec3{4, 0, 8}, Vec3{0, 4, 4}}
+	// At A.
+	z, ok := tri.InterpolateZ(Vec2{0, 0})
+	if !ok || !almostEq(z, 0, 1e-12) {
+		t.Errorf("z(A) = %v ok=%v", z, ok)
+	}
+	// Midpoint of BC.
+	z, ok = tri.InterpolateZ(Vec2{2, 2})
+	if !ok || !almostEq(z, 6, 1e-12) {
+		t.Errorf("z(mid BC) = %v ok=%v", z, ok)
+	}
+	// Centroid.
+	z, ok = tri.InterpolateZ(Vec2{4.0 / 3, 4.0 / 3})
+	if !ok || !almostEq(z, 4, 1e-12) {
+		t.Errorf("z(centroid) = %v ok=%v", z, ok)
+	}
+}
+
+func TestContainsXY(t *testing.T) {
+	tri := Triangle3{Vec3{0, 0, 0}, Vec3{4, 0, 0}, Vec3{0, 4, 0}}
+	cases := []struct {
+		p    Vec2
+		want bool
+	}{
+		{Vec2{1, 1}, true},
+		{Vec2{0, 0}, true},   // vertex
+		{Vec2{2, 0}, true},   // edge
+		{Vec2{2, 2}, true},   // hypotenuse
+		{Vec2{3, 3}, false},  // outside
+		{Vec2{-1, 0}, false}, // outside
+	}
+	for _, c := range cases {
+		if got := tri.ContainsXY(c.p); got != c.want {
+			t.Errorf("ContainsXY(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTriangle2(t *testing.T) {
+	ccw := Triangle2{Vec2{0, 0}, Vec2{1, 0}, Vec2{0, 1}}
+	if got := ccw.SignedArea(); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("SignedArea = %v", got)
+	}
+	cw := Triangle2{Vec2{0, 0}, Vec2{0, 1}, Vec2{1, 0}}
+	if got := cw.SignedArea(); !almostEq(got, -0.5, 1e-12) {
+		t.Errorf("SignedArea(cw) = %v", got)
+	}
+	if !cw.Contains(Vec2{0.2, 0.2}) {
+		t.Error("Contains should be orientation-independent")
+	}
+	if ccw.Contains(Vec2{1, 1}) {
+		t.Error("point outside reported inside")
+	}
+}
+
+func TestSegment2Intersect(t *testing.T) {
+	s := Segment2{Vec2{0, 0}, Vec2{2, 2}}
+	o := Segment2{Vec2{0, 2}, Vec2{2, 0}}
+	p, ok := s.Intersect(o)
+	if !ok || p.Dist(Vec2{1, 1}) > 1e-12 {
+		t.Errorf("Intersect = %v ok=%v", p, ok)
+	}
+	// Parallel, non-collinear.
+	if _, ok := s.Intersect(Segment2{Vec2{0, 1}, Vec2{2, 3}}); ok {
+		t.Error("parallel segments should not intersect")
+	}
+	// Collinear overlap.
+	if _, ok := s.Intersect(Segment2{Vec2{1, 1}, Vec2{3, 3}}); !ok {
+		t.Error("collinear overlap should intersect")
+	}
+	// Collinear disjoint.
+	if _, ok := s.Intersect(Segment2{Vec2{3, 3}, Vec2{4, 4}}); ok {
+		t.Error("collinear disjoint should not intersect")
+	}
+	// Disjoint crossing lines but not segments.
+	if _, ok := s.Intersect(Segment2{Vec2{3, 0}, Vec2{4, -5}}); ok {
+		t.Error("segments should not intersect")
+	}
+}
+
+func TestSegmentCrossings(t *testing.T) {
+	s := Segment2{Vec2{0, 0}, Vec2{4, 2}}
+	tpar, ok := s.CrossesVertical(2)
+	if !ok || !almostEq(tpar, 0.5, 1e-12) {
+		t.Errorf("CrossesVertical = %v ok=%v", tpar, ok)
+	}
+	if _, ok := s.CrossesVertical(5); ok {
+		t.Error("should not cross x=5")
+	}
+	tpar, ok = s.CrossesHorizontal(1)
+	if !ok || !almostEq(tpar, 0.5, 1e-12) {
+		t.Errorf("CrossesHorizontal = %v ok=%v", tpar, ok)
+	}
+	if _, ok := s.CrossesHorizontal(-1); ok {
+		t.Error("should not cross y=-1")
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment3{Vec3{0, 0, 0}, Vec3{10, 0, 0}}
+	q, tp := s.ClosestPoint(Vec3{5, 3, 4})
+	if q.Dist(Vec3{5, 0, 0}) > 1e-12 || !almostEq(tp, 0.5, 1e-12) {
+		t.Errorf("ClosestPoint = %v t=%v", q, tp)
+	}
+	if got := s.DistToPoint(Vec3{5, 3, 4}); got != 5 {
+		t.Errorf("DistToPoint = %v", got)
+	}
+	// Beyond endpoints clamps.
+	q, tp = s.ClosestPoint(Vec3{-3, 0, 0})
+	if q != (Vec3{0, 0, 0}) || tp != 0 {
+		t.Errorf("clamped = %v t=%v", q, tp)
+	}
+	// 2-D variant.
+	s2 := Segment2{Vec2{0, 0}, Vec2{0, 10}}
+	if got := s2.DistToPoint(Vec2{3, 5}); got != 3 {
+		t.Errorf("2D DistToPoint = %v", got)
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pts := []Vec3{{0, 0, 0}, {3, 4, 0}, {3, 4, 12}}
+	if got := PolylineLength(pts); got != 17 {
+		t.Errorf("PolylineLength = %v", got)
+	}
+	if got := PolylineLength(nil); got != 0 {
+		t.Errorf("empty polyline = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import "math"
+
+// Planar unfolding utilities. Exact geodesic algorithms (Chen–Han style)
+// work by flattening a strip of adjacent triangles into the plane so that a
+// geodesic becomes a straight line. The canonical frame used here places a
+// triangle's edge on the x-axis with its origin endpoint at (0,0) and the
+// apex in the upper half-plane (y ≥ 0).
+
+// PlaceApex computes the 2-D position of the apex of a triangle whose base
+// endpoints are at p0 and p1 in the plane, given the 3-D edge lengths
+// l0 = |base0→apex| and l1 = |base1→apex|. The apex is placed on side
+// sign (+1 = left of p0→p1, -1 = right). ok is false when the triangle
+// inequality is violated beyond numerical tolerance (the lengths are then
+// clamped to the nearest feasible configuration).
+func PlaceApex(p0, p1 Vec2, l0, l1 float64, sign float64) (Vec2, bool) {
+	d := p1.Sub(p0)
+	base := d.Norm()
+	ok := true
+	if base < Eps {
+		// Degenerate base; put the apex straight "up".
+		return Vec2{p0.X, p0.Y + l0}, false
+	}
+	// Law of cosines: x along the base, y off it.
+	x := (l0*l0 - l1*l1 + base*base) / (2 * base)
+	h2 := l0*l0 - x*x
+	if h2 < 0 {
+		if h2 < -1e-6*l0*l0 {
+			ok = false
+		}
+		h2 = 0
+	}
+	y := math.Sqrt(h2) * sign
+	ux := d.Scale(1 / base)
+	uy := Vec2{-ux.Y, ux.X}
+	return p0.Add(ux.Scale(x)).Add(uy.Scale(y)), ok
+}
+
+// UnfoldTriangle maps a 3-D triangle into the plane: A goes to (0,0), B to
+// (|AB|, 0), and C to the upper half-plane. The mapping is an isometry of
+// the triangle.
+func UnfoldTriangle(t Triangle3) (a, b, c Vec2) {
+	ab := t.A.Dist(t.B)
+	a = Vec2{0, 0}
+	b = Vec2{ab, 0}
+	c, _ = PlaceApex(a, b, t.A.Dist(t.C), t.B.Dist(t.C), +1)
+	return a, b, c
+}
+
+// RaySegment intersects the ray from origin o through direction dir with
+// segment s. It returns the parameter t along the segment (0 at s.A) and
+// the ray parameter u ≥ 0, with ok=false when there is no forward
+// intersection.
+func RaySegment(o, dir Vec2, s Segment2) (t, u float64, ok bool) {
+	d := s.B.Sub(s.A)
+	den := dir.Cross(d)
+	if math.Abs(den) < Eps {
+		return 0, 0, false
+	}
+	ao := s.A.Sub(o)
+	u = ao.Cross(d) / den
+	t = ao.Cross(dir) / den
+	if u < -Eps || t < -Eps || t > 1+Eps {
+		return 0, 0, false
+	}
+	return clamp01(t), math.Max(u, 0), true
+}

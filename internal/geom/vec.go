@@ -1,0 +1,157 @@
+// Package geom provides the 2-D and 3-D computational-geometry primitives
+// used throughout the surface k-NN library: vectors, segments, triangles,
+// minimum bounding rectangles, ellipse-shaped search regions and the planar
+// unfolding of triangle pairs that underpins exact geodesic computation.
+//
+// All coordinates are float64 and all lengths are in the same (arbitrary)
+// unit as the input terrain; the library never assumes a particular unit.
+package geom
+
+import "math"
+
+// Eps is the tolerance used for geometric predicates in this package.
+// Terrain coordinates are typically O(10^4) metres, so 1e-9 relative
+// tolerance keeps predicates stable without masking real degeneracies.
+const Eps = 1e-9
+
+// Vec3 is a point or displacement in 3-D space. Z is elevation.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Vec2 is a point or displacement in the (x,y) plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// XY projects the 3-D point onto the (x,y) plane, discarding elevation.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n < Eps {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation (1-t)·v + t·w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + (w.X-v.X)*t,
+		v.Y + (w.Y-v.Y)*t,
+		v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product of v and w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec2) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec2) Dist2(w Vec2) float64 { return v.Sub(w).Norm2() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec2) Normalize() Vec2 {
+	n := v.Norm()
+	if n < Eps {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation (1-t)·v + t·w.
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// Angle returns the angle of v measured counter-clockwise from the +x axis,
+// in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// AngleBetween returns the unsigned angle between v and w in [0, π].
+func AngleBetween(v, w Vec2) float64 {
+	d := v.Norm() * w.Norm()
+	if d < Eps {
+		return 0
+	}
+	c := v.Dot(w) / d
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// AngleBetween3 returns the unsigned angle between 3-D vectors v and w
+// in [0, π].
+func AngleBetween3(v, w Vec3) float64 {
+	d := v.Norm() * w.Norm()
+	if d < Eps {
+		return 0
+	}
+	c := v.Dot(w) / d
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}

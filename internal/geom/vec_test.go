@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec3Basics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.XY(); got != (Vec2{1, 2}) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	z := Vec3{0, 0, 1}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want %v", got, z)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y×x = %v, want %v", got, z.Scale(-1))
+	}
+	// Cross product is orthogonal to both operands.
+	v := Vec3{1, 2, 3}
+	w := Vec3{-2, 0.5, 4}
+	c := v.Cross(w)
+	if !almostEq(c.Dot(v), 0, 1e-12) || !almostEq(c.Dot(w), 0, 1e-12) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+}
+
+func TestVec3NormDist(t *testing.T) {
+	v := Vec3{3, 4, 12}
+	if got := v.Norm(); got != 13 {
+		t.Errorf("Norm = %v, want 13", got)
+	}
+	if got := v.Norm2(); got != 169 {
+		t.Errorf("Norm2 = %v, want 169", got)
+	}
+	a := Vec3{1, 1, 1}
+	b := Vec3{4, 5, 1}
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestVec3Normalize(t *testing.T) {
+	v := Vec3{0, 3, 4}
+	n := v.Normalize()
+	if !almostEq(n.Norm(), 1, 1e-12) {
+		t.Errorf("normalized length = %v", n.Norm())
+	}
+	zero := Vec3{}
+	if got := zero.Normalize(); got != zero {
+		t.Errorf("Normalize(0) = %v, want zero", got)
+	}
+}
+
+func TestVec3Lerp(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 4, 6}
+	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 3}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestVec2Basics(t *testing.T) {
+	v := Vec2{3, 4}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := v.Cross(Vec2{1, 0}); got != -4 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec2{1, 0}).Angle(); got != 0 {
+		t.Errorf("Angle = %v", got)
+	}
+	if got := (Vec2{0, 1}).Angle(); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("Angle = %v", got)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	if got := AngleBetween(Vec2{1, 0}, Vec2{0, 2}); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("AngleBetween = %v", got)
+	}
+	if got := AngleBetween(Vec2{1, 0}, Vec2{-3, 0}); !almostEq(got, math.Pi, 1e-12) {
+		t.Errorf("AngleBetween = %v", got)
+	}
+	if got := AngleBetween(Vec2{}, Vec2{1, 1}); got != 0 {
+		t.Errorf("AngleBetween with zero vec = %v", got)
+	}
+	if got := AngleBetween3(Vec3{1, 0, 0}, Vec3{0, 0, 5}); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("AngleBetween3 = %v", got)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestVec3TriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a := Vec3{sanitize(ax), sanitize(ay), sanitize(az)}
+		b := Vec3{sanitize(bx), sanitize(by), sanitize(bz)}
+		c := Vec3{sanitize(cx), sanitize(cy), sanitize(cz)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |v×w|² + (v·w)² == |v|²|w|² (Lagrange identity).
+func TestLagrangeIdentity(t *testing.T) {
+	f := func(vx, vy, vz, wx, wy, wz float64) bool {
+		v := Vec3{sanitize(vx), sanitize(vy), sanitize(vz)}
+		w := Vec3{sanitize(wx), sanitize(wy), sanitize(wz)}
+		lhs := v.Cross(w).Norm2() + v.Dot(w)*v.Dot(w)
+		rhs := v.Norm2() * w.Norm2()
+		scale := math.Max(1, rhs)
+		return almostEq(lhs, rhs, 1e-9*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps arbitrary float64 values from testing/quick into a bounded,
+// finite range so geometric identities are tested away from overflow.
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e4)
+}

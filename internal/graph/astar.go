@@ -1,0 +1,50 @@
+package graph
+
+import "math"
+
+// Heuristic estimates the remaining distance from a vertex to the goal. It
+// must never over-estimate (be admissible) for AStar to return exact
+// shortest distances.
+type Heuristic func(v int) float64
+
+// AStar computes the shortest distance and path from src to dst guided by
+// an admissible heuristic. With h ≡ 0 it degenerates to DijkstraTarget.
+func AStar(g *Graph, src, dst int, h Heuristic) (float64, []int) {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	closed := make([]bool, n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	var pq minHeap
+	dist[src] = 0
+	pq.push(int32(src), h(src))
+	for pq.len() > 0 {
+		it := pq.pop()
+		v := it.v
+		if closed[v] {
+			continue
+		}
+		closed[v] = true
+		if int(v) == dst {
+			break
+		}
+		for _, a := range g.adj[v] {
+			if closed[a.To] {
+				continue
+			}
+			nd := dist[v] + a.W
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				prev[a.To] = v
+				pq.push(a.To, nd+h(int(a.To)))
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Inf, nil
+	}
+	return dist[dst], reconstruct(prev, src, dst)
+}

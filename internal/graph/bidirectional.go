@@ -1,0 +1,78 @@
+package graph
+
+import "math"
+
+// BidirectionalDijkstra computes the shortest distance from src to dst by
+// searching simultaneously from both endpoints, typically settling far
+// fewer vertices than a one-sided search on sparse geometric graphs. Only
+// valid on graphs whose arcs are symmetric (every AddEdge; AddArc-built
+// digraphs need the one-sided search).
+func BidirectionalDijkstra(g *Graph, src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	n := g.NumVertices()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	doneF := make([]bool, n)
+	doneB := make([]bool, n)
+	for i := range distF {
+		distF[i] = Inf
+		distB[i] = Inf
+	}
+	var hf, hb minHeap
+	distF[src] = 0
+	distB[dst] = 0
+	hf.push(int32(src), 0)
+	hb.push(int32(dst), 0)
+	best := Inf
+
+	expand := func(h *minHeap, dist []float64, done []bool, otherDist []float64, otherDone []bool) (float64, bool) {
+		for h.len() > 0 {
+			it := h.pop()
+			if it.prio > dist[it.v] {
+				continue // stale
+			}
+			done[it.v] = true
+			// Meeting point: a settled-on-both-sides vertex closes a path.
+			if otherDist[it.v] < Inf {
+				if cand := dist[it.v] + otherDist[it.v]; cand < best {
+					best = cand
+				}
+			}
+			for _, a := range g.adj[it.v] {
+				nd := it.prio + a.W
+				if nd < dist[a.To] {
+					dist[a.To] = nd
+					h.push(a.To, nd)
+					if otherDist[a.To] < Inf {
+						if cand := nd + otherDist[a.To]; cand < best {
+							best = cand
+						}
+					}
+				}
+			}
+			return it.prio, true
+		}
+		return Inf, false
+	}
+
+	topF, topB := 0.0, 0.0
+	okF, okB := true, true
+	for okF || okB {
+		// Standard termination: stop once the two frontiers' minima sum to
+		// at least the best path found.
+		if topF+topB >= best {
+			break
+		}
+		if okF && (topF <= topB || !okB) {
+			topF, okF = expand(&hf, distF, doneF, distB, doneB)
+		} else if okB {
+			topB, okB = expand(&hb, distB, doneB, distF, doneF)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return Inf
+	}
+	return best
+}

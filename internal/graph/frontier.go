@@ -1,0 +1,42 @@
+package graph
+
+// Frontier is an exported min-priority queue over (vertex, priority) pairs
+// for callers that implement custom graph searches (filtered Dijkstra,
+// window propagation). It uses lazy deletion: stale entries must be skipped
+// by the caller by comparing the popped priority with its distance array.
+type Frontier struct {
+	h minHeap
+}
+
+// NewFrontier returns an empty frontier.
+func NewFrontier() *Frontier { return &Frontier{} }
+
+// Len returns the number of queued entries (including stale ones).
+func (f *Frontier) Len() int { return f.h.len() }
+
+// Push queues vertex v with the given priority.
+func (f *Frontier) Push(v int32, prio float64) { f.h.push(v, prio) }
+
+// Pop removes and returns the entry with the smallest priority.
+func (f *Frontier) Pop() (v int32, prio float64) {
+	it := f.h.pop()
+	return it.v, it.prio
+}
+
+// Reset empties the frontier for reuse.
+func (f *Frontier) Reset() { f.h.reset() }
+
+// TruncateVertices removes all vertices with index >= keep together with
+// their adjacency lists. Callers must have already removed arcs pointing at
+// the truncated vertices from surviving lists (see pathnet's embed/undo
+// cycle, the only intended user).
+func (g *Graph) TruncateVertices(keep int) {
+	if keep < 0 || keep > len(g.adj) {
+		return
+	}
+	g.adj = g.adj[:keep]
+}
+
+// SetArcs replaces the adjacency list of vertex v (used together with
+// TruncateVertices to undo temporary embeddings).
+func (g *Graph) SetArcs(v int, arcs []Arc) { g.adj[v] = arcs }

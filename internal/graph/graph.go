@@ -1,0 +1,63 @@
+// Package graph provides the weighted-graph machinery shared by every
+// distance computation in the library: network distance on surface meshes
+// (upper bounds), layered SDN graphs (lower bounds) and pathnets
+// (approximate surface distance). Only non-negative weights are supported,
+// as required by Dijkstra's algorithm.
+package graph
+
+import "fmt"
+
+// Arc is a weighted directed connection to vertex To.
+type Arc struct {
+	To int32
+	W  float64
+}
+
+// Graph is an adjacency-list weighted graph with int-indexed vertices.
+type Graph struct {
+	adj      [][]Arc
+	numEdges int
+}
+
+// New creates a graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of AddEdge/AddArc calls (an undirected edge
+// counts once).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds an undirected edge of weight w. Negative weights panic:
+// every caller in this library produces lengths, and a negative length is a
+// bug upstream that Dijkstra would silently turn into wrong answers.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %g (%d-%d)", w, u, v))
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: int32(v), W: w})
+	g.adj[v] = append(g.adj[v], Arc{To: int32(u), W: w})
+	g.numEdges++
+}
+
+// AddArc adds a directed edge u→v of weight w.
+func (g *Graph) AddArc(u, v int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative arc weight %g (%d->%d)", w, u, v))
+	}
+	g.adj[u] = append(g.adj[u], Arc{To: int32(v), W: w})
+	g.numEdges++
+}
+
+// Arcs returns the outgoing arcs of u. The slice is shared; callers must
+// not modify it.
+func (g *Graph) Arcs(u int) []Arc { return g.adj[u] }

@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineGraph returns 0-1-2-...-(n-1) with unit weights.
+func lineGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New(3)
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	g.AddEdge(0, 1, 2.5)
+	g.AddArc(1, 2, 1)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if len(g.Arcs(0)) != 1 || len(g.Arcs(1)) != 2 || len(g.Arcs(2)) != 0 {
+		t.Error("adjacency lists wrong")
+	}
+	v := g.AddVertex()
+	if v != 3 || g.NumVertices() != 4 {
+		t.Errorf("AddVertex = %d", v)
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative weight should panic")
+		}
+	}()
+	g.AddEdge(0, 1, -1)
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	d := Dijkstra(g, 0)
+	for i := 0; i < 5; i++ {
+		if d[i] != float64(i) {
+			t.Errorf("d[%d] = %v", i, d[i])
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	d := Dijkstra(g, 0)
+	if !math.IsInf(d[2], 1) {
+		t.Errorf("unreachable d[2] = %v", d[2])
+	}
+	dist, path := DijkstraTarget(g, 0, 2)
+	if !math.IsInf(dist, 1) || path != nil {
+		t.Errorf("unreachable target: %v %v", dist, path)
+	}
+}
+
+func TestDijkstraTargetPath(t *testing.T) {
+	//     1
+	//  0 --- 1
+	//  |     |
+	//  4     1
+	//  |     |
+	//  3 --- 2
+	//     1
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 4)
+	dist, path := DijkstraTarget(g, 0, 3)
+	if dist != 3 {
+		t.Errorf("dist = %v, want 3", dist)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestDijkstraBounded(t *testing.T) {
+	g := lineGraph(10)
+	d := DijkstraBounded(g, 0, 4.5)
+	for i := 0; i <= 4; i++ {
+		if d[i] != float64(i) {
+			t.Errorf("d[%d] = %v", i, d[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if !math.IsInf(d[i], 1) {
+			t.Errorf("d[%d] = %v, want Inf (beyond bound)", i, d[i])
+		}
+	}
+}
+
+func TestDijkstraMultiTarget(t *testing.T) {
+	g := lineGraph(10)
+	got := DijkstraMultiTarget(g, 3, []int{0, 7, 3, 7})
+	want := []float64{3, 4, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	// Random geometric-ish graph with Euclidean heuristic via embedding on
+	// a line (admissible because weights >= coordinate gaps).
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	coord := make([]float64, n)
+	for i := range coord {
+		coord[i] = rng.Float64() * 100
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			w := math.Abs(coord[i]-coord[j]) + rng.Float64()
+			g.AddEdge(i, j, w)
+		}
+	}
+	dst := n - 1
+	h := func(v int) float64 { return math.Abs(coord[v] - coord[dst]) }
+	for src := 0; src < 20; src++ {
+		want, _ := DijkstraTarget(g, src, dst)
+		got, path := AStar(g, src, dst, h)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("AStar(%d) = %v, Dijkstra = %v", src, got, want)
+		}
+		if want < math.Inf(1) {
+			if len(path) == 0 || path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("bad path endpoints: %v", path)
+			}
+			// Path length must equal reported distance.
+			var sum float64
+			for i := 1; i < len(path); i++ {
+				best := math.Inf(1)
+				for _, a := range g.Arcs(path[i-1]) {
+					if int(a.To) == path[i] && a.W < best {
+						best = a.W
+					}
+				}
+				sum += best
+			}
+			if math.Abs(sum-got) > 1e-9 {
+				t.Fatalf("path length %v != dist %v", sum, got)
+			}
+		}
+	}
+}
+
+func TestAStarUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	d, path := AStar(g, 0, 2, func(int) float64 { return 0 })
+	if !math.IsInf(d, 1) || path != nil {
+		t.Errorf("unreachable AStar: %v %v", d, path)
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over edges —
+// for every edge (u,v,w): d[v] <= d[u] + w.
+func TestDijkstraRelaxationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(100)
+		g := New(n)
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Float64()*10)
+			}
+		}
+		d := Dijkstra(g, 0)
+		for u := 0; u < n; u++ {
+			if math.IsInf(d[u], 1) {
+				continue
+			}
+			for _, a := range g.Arcs(u) {
+				if d[a.To] > d[u]+a.W+1e-9 {
+					t.Fatalf("relaxation violated: d[%d]=%v > d[%d]=%v + %v", a.To, d[a.To], u, d[u], a.W)
+				}
+			}
+		}
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	var h minHeap
+	vals := []float64{5, 3, 8, 1, 9, 2, 7}
+	for i, v := range vals {
+		h.push(int32(i), v)
+	}
+	prev := math.Inf(-1)
+	for h.len() > 0 {
+		it := h.pop()
+		if it.prio < prev {
+			t.Fatalf("heap pop out of order: %v after %v", it.prio, prev)
+		}
+		prev = it.prio
+	}
+	h.push(1, 1)
+	h.reset()
+	if h.len() != 0 {
+		t.Error("reset should empty the heap")
+	}
+}
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 100 + rng.Intn(200)
+		g := New(n)
+		for i := 0; i < n*4; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Float64()*10+0.1)
+			}
+		}
+		for q := 0; q < 10; q++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			want, _ := DijkstraTarget(g, src, dst)
+			got := BidirectionalDijkstra(g, src, dst)
+			if math.IsInf(want, 1) != math.IsInf(got, 1) {
+				t.Fatalf("reachability mismatch: %v vs %v", got, want)
+			}
+			if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+				t.Fatalf("bidirectional %v != dijkstra %v (src=%d dst=%d)", got, want, src, dst)
+			}
+		}
+	}
+	// Same vertex.
+	g := lineGraph(3)
+	if d := BidirectionalDijkstra(g, 1, 1); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Disconnected.
+	g2 := New(4)
+	g2.AddEdge(0, 1, 1)
+	g2.AddEdge(2, 3, 1)
+	if d := BidirectionalDijkstra(g2, 0, 3); !math.IsInf(d, 1) {
+		t.Errorf("disconnected distance = %v", d)
+	}
+}

@@ -1,0 +1,55 @@
+package graph
+
+// pqItem is a (vertex, priority) pair in the binary heap.
+type pqItem struct {
+	v    int32
+	prio float64
+}
+
+// minHeap is a specialised binary min-heap of pqItems. It is a lazy-deletion
+// heap: a vertex may appear multiple times; stale entries are skipped when
+// popped (cheaper in practice than decrease-key for sparse graphs).
+type minHeap struct {
+	items []pqItem
+}
+
+func (h *minHeap) len() int { return len(h.items) }
+
+func (h *minHeap) push(v int32, prio float64) {
+	h.items = append(h.items, pqItem{v, prio})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].prio <= h.items[i].prio {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() pqItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].prio < h.items[small].prio {
+			small = l
+		}
+		if r < last && h.items[r].prio < h.items[small].prio {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+func (h *minHeap) reset() { h.items = h.items[:0] }

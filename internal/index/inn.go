@@ -1,0 +1,40 @@
+package index
+
+import (
+	"container/heap"
+
+	"surfknn/internal/geom"
+)
+
+// NearestIter returns an incremental nearest-neighbour iterator from q:
+// each call to the returned function yields the next-closest item in
+// ascending distance order (ok=false once exhausted). This is the
+// distance-browsing pattern of Hjaltason & Samet [6], the building block of
+// algorithms that do not know k in advance (closest pairs, expanding
+// searches).
+func (t *RTree) NearestIter(q geom.Vec2) func() (Item, float64, bool) {
+	pq := &knnHeap{}
+	qp := q
+	if t.size > 0 {
+		heap.Push(pq, knnEntry{dist: t.root.mbr.DistToPoint(qp), n: t.root})
+	}
+	return func() (Item, float64, bool) {
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(knnEntry)
+			if e.leaf {
+				return e.item, e.dist, true
+			}
+			t.Accesses++
+			if e.n.leaf {
+				for _, it := range e.n.items {
+					heap.Push(pq, knnEntry{dist: it.P.Dist(qp), item: it, leaf: true})
+				}
+				continue
+			}
+			for _, c := range e.n.children {
+				heap.Push(pq, knnEntry{dist: c.mbr.DistToPoint(qp), n: c})
+			}
+		}
+		return Item{}, 0, false
+	}
+}

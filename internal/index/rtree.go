@@ -1,0 +1,359 @@
+// Package index provides the 2-D spatial index over object points (the
+// paper's Dxy, the projections of the objects onto the (x,y)-plane): an
+// R-tree with best-first k-NN search and range queries. Node visits are
+// counted as the index's page-access contribution.
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"surfknn/internal/geom"
+)
+
+// Item is an indexed point with an opaque identifier.
+type Item struct {
+	P  geom.Vec2
+	ID int64
+}
+
+const (
+	maxEntries = 32 // entries per node (≈ a 4 KiB page of point records)
+	minEntries = maxEntries * 2 / 5
+)
+
+type node struct {
+	leaf     bool
+	mbr      geom.MBR
+	children []*node
+	items    []Item
+}
+
+// RTree is a dynamic R-tree over 2-D points (quadratic split).
+// Not safe for concurrent mutation.
+type RTree struct {
+	root *node
+	size int
+	// Accesses counts node visits across queries — the R-tree's
+	// page-access proxy (one node ≈ one page).
+	Accesses int64
+}
+
+// New returns an empty tree.
+func New() *RTree {
+	return &RTree{root: &node{leaf: true, mbr: geom.EmptyMBR()}}
+}
+
+// Bulk builds a tree from items using STR (sort-tile-recursive) packing,
+// which yields well-clustered leaves for static object sets.
+func Bulk(items []Item) *RTree {
+	t := New()
+	if len(items) == 0 {
+		return t
+	}
+	leaves := strPack(items)
+	t.size = len(items)
+	for {
+		if len(leaves) == 1 {
+			t.root = leaves[0]
+			return t
+		}
+		leaves = strPackNodes(leaves)
+	}
+}
+
+func strPack(items []Item) []*node {
+	its := make([]Item, len(items))
+	copy(its, items)
+	sort.Slice(its, func(i, j int) bool { return its[i].P.X < its[j].P.X })
+	nLeaves := (len(its) + maxEntries - 1) / maxEntries
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * maxEntries
+	var leaves []*node
+	for s := 0; s < len(its); s += sliceSize {
+		e := s + sliceSize
+		if e > len(its) {
+			e = len(its)
+		}
+		slice := its[s:e]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].P.Y < slice[j].P.Y })
+		for o := 0; o < len(slice); o += maxEntries {
+			oe := o + maxEntries
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			n := &node{leaf: true, mbr: geom.EmptyMBR()}
+			n.items = append(n.items, slice[o:oe]...)
+			for _, it := range n.items {
+				n.mbr = n.mbr.ExtendPoint(it.P)
+			}
+			leaves = append(leaves, n)
+		}
+	}
+	return leaves
+}
+
+func strPackNodes(ns []*node) []*node {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].mbr.Center().X < ns[j].mbr.Center().X })
+	nParents := (len(ns) + maxEntries - 1) / maxEntries
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := nSlices * maxEntries
+	var parents []*node
+	for s := 0; s < len(ns); s += sliceSize {
+		e := s + sliceSize
+		if e > len(ns) {
+			e = len(ns)
+		}
+		slice := append([]*node(nil), ns[s:e]...)
+		sort.Slice(slice, func(i, j int) bool { return slice[i].mbr.Center().Y < slice[j].mbr.Center().Y })
+		for o := 0; o < len(slice); o += maxEntries {
+			oe := o + maxEntries
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			p := &node{mbr: geom.EmptyMBR()}
+			p.children = append(p.children, slice[o:oe]...)
+			for _, c := range p.children {
+				p.mbr = p.mbr.Union(c.mbr)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Len returns the number of indexed items.
+func (t *RTree) Len() int { return t.size }
+
+// ResetAccesses zeroes the node-visit counter.
+func (t *RTree) ResetAccesses() { t.Accesses = 0 }
+
+// Insert adds an item.
+func (t *RTree) Insert(it Item) {
+	t.size++
+	split := t.insert(t.root, it)
+	if split != nil {
+		newRoot := &node{mbr: t.root.mbr.Union(split.mbr)}
+		newRoot.children = []*node{t.root, split}
+		t.root = newRoot
+	}
+}
+
+func (t *RTree) insert(n *node, it Item) *node {
+	n.mbr = n.mbr.ExtendPoint(it.P)
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > maxEntries {
+			return splitLeaf(n)
+		}
+		return nil
+	}
+	best := chooseSubtree(n, it.P)
+	split := t.insert(best, it)
+	if split == nil {
+		return nil
+	}
+	n.children = append(n.children, split)
+	if len(n.children) > maxEntries {
+		return splitInternal(n)
+	}
+	return nil
+}
+
+func chooseSubtree(n *node, p geom.Vec2) *node {
+	var best *node
+	bestGrow := math.Inf(1)
+	bestArea := math.Inf(1)
+	for _, c := range n.children {
+		grown := c.mbr.ExtendPoint(p)
+		grow := grown.Area() - c.mbr.Area()
+		if grow < bestGrow || (grow == bestGrow && c.mbr.Area() < bestArea) {
+			best, bestGrow, bestArea = c, grow, c.mbr.Area()
+		}
+	}
+	return best
+}
+
+func splitLeaf(n *node) *node {
+	// Split along the axis with the greater spread, at the median.
+	its := n.items
+	if n.mbr.Width() >= n.mbr.Height() {
+		sort.Slice(its, func(i, j int) bool { return its[i].P.X < its[j].P.X })
+	} else {
+		sort.Slice(its, func(i, j int) bool { return its[i].P.Y < its[j].P.Y })
+	}
+	mid := len(its) / 2
+	right := &node{leaf: true, mbr: geom.EmptyMBR()}
+	right.items = append(right.items, its[mid:]...)
+	n.items = its[:mid]
+	n.mbr = geom.EmptyMBR()
+	for _, it := range n.items {
+		n.mbr = n.mbr.ExtendPoint(it.P)
+	}
+	for _, it := range right.items {
+		right.mbr = right.mbr.ExtendPoint(it.P)
+	}
+	return right
+}
+
+func splitInternal(n *node) *node {
+	ch := n.children
+	if n.mbr.Width() >= n.mbr.Height() {
+		sort.Slice(ch, func(i, j int) bool { return ch[i].mbr.Center().X < ch[j].mbr.Center().X })
+	} else {
+		sort.Slice(ch, func(i, j int) bool { return ch[i].mbr.Center().Y < ch[j].mbr.Center().Y })
+	}
+	mid := len(ch) / 2
+	right := &node{mbr: geom.EmptyMBR()}
+	right.children = append(right.children, ch[mid:]...)
+	n.children = ch[:mid]
+	n.mbr = geom.EmptyMBR()
+	for _, c := range n.children {
+		n.mbr = n.mbr.Union(c.mbr)
+	}
+	for _, c := range right.children {
+		right.mbr = right.mbr.Union(c.mbr)
+	}
+	return right
+}
+
+// Range returns all items inside region (inclusive of the boundary).
+func (t *RTree) Range(region geom.MBR) []Item {
+	var out []Item
+	t.rangeScan(t.root, region, &out)
+	return out
+}
+
+func (t *RTree) rangeScan(n *node, region geom.MBR, out *[]Item) {
+	t.Accesses++
+	if n.leaf {
+		for _, it := range n.items {
+			if region.Contains(it.P) {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.mbr.Intersects(region) {
+			t.rangeScan(c, region, out)
+		}
+	}
+}
+
+// WithinDist returns the items within Euclidean distance r of center — the
+// circular range query of MR3's step 3.
+func (t *RTree) WithinDist(center geom.Vec2, r float64) []Item {
+	var out []Item
+	t.within(t.root, center, r, &out)
+	return out
+}
+
+func (t *RTree) within(n *node, center geom.Vec2, r float64, out *[]Item) {
+	t.Accesses++
+	if n.leaf {
+		for _, it := range n.items {
+			if it.P.Dist(center) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.mbr.DistToPoint(center) <= r {
+			t.within(c, center, r, out)
+		}
+	}
+}
+
+// knnEntry is a best-first queue entry: either a node or an item.
+type knnEntry struct {
+	dist float64
+	n    *node
+	item Item
+	leaf bool
+}
+
+type knnHeap []knnEntry
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// KNN returns the k items nearest to q in ascending distance order
+// (fewer when the tree holds fewer than k items), using the classic
+// best-first traversal [Hjaltason & Samet].
+func (t *RTree) KNN(q geom.Vec2, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &knnHeap{}
+	heap.Push(pq, knnEntry{dist: t.root.mbr.DistToPoint(q), n: t.root})
+	var out []Item
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(knnEntry)
+		if e.leaf {
+			out = append(out, e.item)
+			continue
+		}
+		t.Accesses++
+		if e.n.leaf {
+			for _, it := range e.n.items {
+				heap.Push(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})
+			}
+			continue
+		}
+		for _, c := range e.n.children {
+			heap.Push(pq, knnEntry{dist: c.mbr.DistToPoint(q), n: c})
+		}
+	}
+	return out
+}
+
+// Validate checks R-tree invariants (MBR containment, entry counts).
+func (t *RTree) Validate() error {
+	return validateNode(t.root, true)
+}
+
+func validateNode(n *node, isRoot bool) error {
+	if n.leaf {
+		if !isRoot && (len(n.items) < 1 || len(n.items) > maxEntries) {
+			return errCount(len(n.items))
+		}
+		for _, it := range n.items {
+			if !n.mbr.Contains(it.P) {
+				return errMBR{}
+			}
+		}
+		return nil
+	}
+	if !isRoot && (len(n.children) < 1 || len(n.children) > maxEntries) {
+		return errCount(len(n.children))
+	}
+	for _, c := range n.children {
+		if !n.mbr.ContainsMBR(c.mbr) {
+			return errMBR{}
+		}
+		if err := validateNode(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type errCount int
+
+func (e errCount) Error() string { return "index: node entry count out of bounds" }
+
+type errMBR struct{}
+
+func (errMBR) Error() string { return "index: node MBR does not cover contents" }

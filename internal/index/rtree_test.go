@@ -1,0 +1,221 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"surfknn/internal/geom"
+)
+
+func randomItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			P:  geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			ID: int64(i),
+		}
+	}
+	return items
+}
+
+func bruteKNN(items []Item, q geom.Vec2, k int) []Item {
+	s := append([]Item(nil), items...)
+	sort.Slice(s, func(i, j int) bool { return s[i].P.Dist2(q) < s[j].P.Dist2(q) })
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[:k]
+}
+
+func TestInsertAndValidate(t *testing.T) {
+	tr := New()
+	items := randomItems(500, 1)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	items := randomItems(2000, 2)
+	tr := Bulk(items)
+	if tr.Len() != 2000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All items findable by range over the whole area.
+	all := tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000})
+	if len(all) != 2000 {
+		t.Errorf("full range = %d items", len(all))
+	}
+	// Empty bulk works.
+	if Bulk(nil).Len() != 0 {
+		t.Error("empty bulk")
+	}
+}
+
+func TestKNNAgainstBruteForce(t *testing.T) {
+	items := randomItems(1000, 3)
+	for _, build := range []func() *RTree{
+		func() *RTree { return Bulk(items) },
+		func() *RTree {
+			tr := New()
+			for _, it := range items {
+				tr.Insert(it)
+			}
+			return tr
+		},
+	} {
+		tr := build()
+		rng := rand.New(rand.NewSource(4))
+		for trial := 0; trial < 20; trial++ {
+			q := geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			k := 1 + rng.Intn(20)
+			got := tr.KNN(q, k)
+			want := bruteKNN(items, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("KNN returned %d items, want %d", len(got), len(want))
+			}
+			for i := range got {
+				// Compare distances (ties may permute IDs).
+				if gd, wd := got[i].P.Dist(q), want[i].P.Dist(q); gd != wd {
+					t.Fatalf("k=%d item %d: dist %v, want %v", k, i, gd, wd)
+				}
+			}
+			// Ascending order.
+			for i := 1; i < len(got); i++ {
+				if got[i-1].P.Dist2(q) > got[i].P.Dist2(q) {
+					t.Fatal("KNN results not sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := New()
+	if got := tr.KNN(geom.Vec2{}, 5); got != nil {
+		t.Errorf("empty tree KNN = %v", got)
+	}
+	tr.Insert(Item{P: geom.Vec2{X: 1, Y: 1}, ID: 7})
+	got := tr.KNN(geom.Vec2{}, 5)
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("KNN on single-item tree = %v", got)
+	}
+	if got := tr.KNN(geom.Vec2{}, 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestRangeAgainstBruteForce(t *testing.T) {
+	items := randomItems(800, 5)
+	tr := Bulk(items)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		region := geom.MBR{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
+		got := tr.Range(region)
+		want := 0
+		for _, it := range items {
+			if region.Contains(it.P) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("Range = %d items, want %d", len(got), want)
+		}
+		for _, it := range got {
+			if !region.Contains(it.P) {
+				t.Fatalf("item %v outside region", it)
+			}
+		}
+	}
+}
+
+func TestWithinDist(t *testing.T) {
+	items := randomItems(800, 7)
+	tr := Bulk(items)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		c := geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		r := rng.Float64() * 200
+		got := tr.WithinDist(c, r)
+		want := 0
+		for _, it := range items {
+			if it.P.Dist(c) <= r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("WithinDist = %d, want %d", len(got), want)
+		}
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	items := randomItems(5000, 9)
+	tr := Bulk(items)
+	tr.ResetAccesses()
+	tr.KNN(geom.Vec2{X: 500, Y: 500}, 10)
+	knnAccesses := tr.Accesses
+	if knnAccesses == 0 {
+		t.Fatal("KNN accesses not counted")
+	}
+	// A k-NN for small k should touch far fewer nodes than a full scan.
+	tr.ResetAccesses()
+	tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000})
+	fullScan := tr.Accesses
+	if knnAccesses*5 > fullScan {
+		t.Errorf("KNN touched %d nodes vs full scan %d; expected strong pruning", knnAccesses, fullScan)
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{P: geom.Vec2{X: 5, Y: 5}, ID: int64(i)})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.KNN(geom.Vec2{X: 5, Y: 5}, 100)
+	if len(got) != 100 {
+		t.Errorf("KNN over duplicates = %d", len(got))
+	}
+}
+
+func TestNearestIter(t *testing.T) {
+	items := randomItems(500, 11)
+	tr := Bulk(items)
+	q := geom.Vec2{X: 333, Y: 444}
+	next := tr.NearestIter(q)
+	brute := bruteKNN(items, q, len(items))
+	for i := 0; i < len(items); i++ {
+		it, d, ok := next()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d of %d", i, len(items))
+		}
+		if want := brute[i].P.Dist(q); d != want {
+			t.Fatalf("item %d: dist %v, want %v", i, d, want)
+		}
+		if got := it.P.Dist(q); got != d {
+			t.Fatalf("item %d: reported dist %v != actual %v", i, d, got)
+		}
+	}
+	if _, _, ok := next(); ok {
+		t.Error("iterator should be exhausted")
+	}
+	// Empty tree yields nothing.
+	if _, _, ok := New().NearestIter(q)(); ok {
+		t.Error("empty tree iterator should yield nothing")
+	}
+}

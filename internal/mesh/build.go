@@ -1,0 +1,41 @@
+package mesh
+
+import (
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+)
+
+// FromGrid triangulates a regular elevation grid into a TIN. Each grid cell
+// is split along alternating diagonals (a "union-jack-like" pattern) to
+// avoid directional bias in surface distances. All faces are oriented
+// counter-clockwise in (x,y) projection.
+func FromGrid(g *dem.Grid) *Mesh {
+	verts := make([]geom.Vec3, 0, g.Samples())
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			verts = append(verts, g.Point(c, r))
+		}
+	}
+	id := func(c, r int) VertexID { return VertexID(r*g.Cols + c) }
+	faces := make([][3]VertexID, 0, 2*(g.Cols-1)*(g.Rows-1))
+	for r := 0; r < g.Rows-1; r++ {
+		for c := 0; c < g.Cols-1; c++ {
+			v00 := id(c, r)
+			v10 := id(c+1, r)
+			v01 := id(c, r+1)
+			v11 := id(c+1, r+1)
+			if (c+r)%2 == 0 {
+				// Diagonal v00-v11.
+				faces = append(faces,
+					[3]VertexID{v00, v10, v11},
+					[3]VertexID{v00, v11, v01})
+			} else {
+				// Diagonal v10-v01.
+				faces = append(faces,
+					[3]VertexID{v00, v10, v01},
+					[3]VertexID{v10, v11, v01})
+			}
+		}
+	}
+	return New(verts, faces)
+}

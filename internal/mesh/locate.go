@@ -1,0 +1,126 @@
+package mesh
+
+import (
+	"math"
+
+	"surfknn/internal/geom"
+)
+
+// Locator answers "which face contains this (x,y) point?" queries with a
+// uniform bucket grid over face bounding boxes. Build cost is O(F); a query
+// touches only the faces overlapping one bucket.
+type Locator struct {
+	m          *Mesh
+	extent     geom.MBR
+	cols, rows int
+	cellW      float64
+	cellH      float64
+	buckets    [][]FaceID
+}
+
+// NewLocator builds a locator sized so the average bucket holds a small
+// constant number of faces.
+func NewLocator(m *Mesh) *Locator {
+	ext := m.Extent()
+	n := m.NumFaces()
+	if n == 0 {
+		return &Locator{m: m, extent: ext, cols: 1, rows: 1, cellW: 1, cellH: 1, buckets: make([][]FaceID, 1)}
+	}
+	side := int(math.Sqrt(float64(n)/2)) + 1
+	l := &Locator{
+		m:      m,
+		extent: ext,
+		cols:   side,
+		rows:   side,
+	}
+	l.cellW = ext.Width() / float64(side)
+	l.cellH = ext.Height() / float64(side)
+	if l.cellW <= 0 {
+		l.cellW = 1
+	}
+	if l.cellH <= 0 {
+		l.cellH = 1
+	}
+	l.buckets = make([][]FaceID, side*side)
+	for f := 0; f < n; f++ {
+		bb := geom.MBROf3(m.Verts[m.Faces[f][0]], m.Verts[m.Faces[f][1]], m.Verts[m.Faces[f][2]])
+		c0, r0 := l.cellOf(bb.MinX, bb.MinY)
+		c1, r1 := l.cellOf(bb.MaxX, bb.MaxY)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				l.buckets[r*side+c] = append(l.buckets[r*side+c], FaceID(f))
+			}
+		}
+	}
+	return l
+}
+
+func (l *Locator) cellOf(x, y float64) (c, r int) {
+	c = int((x - l.extent.MinX) / l.cellW)
+	r = int((y - l.extent.MinY) / l.cellH)
+	if c < 0 {
+		c = 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	if c >= l.cols {
+		c = l.cols - 1
+	}
+	if r >= l.rows {
+		r = l.rows - 1
+	}
+	return c, r
+}
+
+// Locate returns a face whose (x,y) projection contains p, or NoFace when p
+// is outside the triangulated area.
+func (l *Locator) Locate(p geom.Vec2) FaceID {
+	if !l.extent.Contains(p) {
+		return NoFace
+	}
+	c, r := l.cellOf(p.X, p.Y)
+	for _, f := range l.buckets[r*l.cols+c] {
+		if l.m.Triangle(f).ContainsXY(p) {
+			return f
+		}
+	}
+	// Numerical edge cases near bucket borders: scan the 8-neighbourhood.
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			rr, cc := r+dr, c+dc
+			if rr < 0 || cc < 0 || rr >= l.rows || cc >= l.cols {
+				continue
+			}
+			for _, f := range l.buckets[rr*l.cols+cc] {
+				if l.m.Triangle(f).ContainsXY(p) {
+					return f
+				}
+			}
+		}
+	}
+	return NoFace
+}
+
+// ElevationAt returns the surface elevation at (x,y), interpolated on the
+// containing face. ok is false outside the mesh.
+func (l *Locator) ElevationAt(p geom.Vec2) (float64, bool) {
+	f := l.Locate(p)
+	if f == NoFace {
+		return 0, false
+	}
+	return l.m.Triangle(f).InterpolateZ(p)
+}
+
+// SurfacePoint lifts a 2-D point onto the surface. ok is false outside the
+// mesh.
+func (l *Locator) SurfacePoint(p geom.Vec2) (geom.Vec3, bool) {
+	z, ok := l.ElevationAt(p)
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	return geom.Vec3{X: p.X, Y: p.Y, Z: z}, true
+}

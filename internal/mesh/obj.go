@@ -1,0 +1,43 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"surfknn/internal/geom"
+)
+
+// WriteOBJ serialises the mesh in Wavefront OBJ format (vertices + faces),
+// the lingua franca of mesh tooling — handy for inspecting multiresolution
+// extractions (Fig. 1 of the paper) in any external viewer.
+func (m *Mesh) WriteOBJ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# surfknn mesh: %d vertices, %d faces\n", m.NumVerts(), m.NumFaces())
+	for _, v := range m.Verts {
+		fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range m.Faces {
+		// OBJ indices are 1-based.
+		fmt.Fprintf(bw, "f %d %d %d\n", f[0]+1, f[1]+1, f[2]+1)
+	}
+	return bw.Flush()
+}
+
+// WriteOBJPolyline serialises a 3-D polyline (e.g. a surface shortest path)
+// as an OBJ line element, composable with WriteOBJ output in viewers.
+func WriteOBJPolyline(w io.Writer, pts []geom.Vec3) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# surfknn path: %d points\n", len(pts))
+	for _, p := range pts {
+		fmt.Fprintf(bw, "v %g %g %g\n", p.X, p.Y, p.Z)
+	}
+	if len(pts) > 1 {
+		fmt.Fprint(bw, "l")
+		for i := range pts {
+			fmt.Fprintf(bw, " %d", i+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,55 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"surfknn/internal/geom"
+)
+
+func TestWriteOBJ(t *testing.T) {
+	m := twoTriangleMesh()
+	var buf bytes.Buffer
+	if err := m.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "\nv "); got+boolToInt(strings.HasPrefix(out, "v ")) != m.NumVerts() {
+		t.Errorf("vertex lines = %d, want %d", got, m.NumVerts())
+	}
+	if got := strings.Count(out, "\nf "); got != m.NumFaces() {
+		t.Errorf("face lines = %d, want %d", got, m.NumFaces())
+	}
+	// Indices are 1-based: no "f 0".
+	if strings.Contains(out, "f 0 ") {
+		t.Error("OBJ faces must be 1-based")
+	}
+}
+
+func TestWriteOBJPolyline(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 1}, {X: 2, Y: 0, Z: 0}}
+	if err := WriteOBJPolyline(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "l 1 2 3") {
+		t.Errorf("missing line element:\n%s", out)
+	}
+	// Single point: no line element.
+	buf.Reset()
+	if err := WriteOBJPolyline(&buf, pts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\nl") {
+		t.Error("single point should have no line element")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

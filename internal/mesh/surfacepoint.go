@@ -1,0 +1,36 @@
+package mesh
+
+import (
+	"fmt"
+
+	"surfknn/internal/geom"
+)
+
+// SurfacePoint is an arbitrary point lying on the terrain surface, together
+// with the face that contains it. Query points and object points are
+// SurfacePoints; distance estimators embed them into their networks by
+// connecting them to the containing face's corners (on-facet segments are
+// valid surface paths).
+type SurfacePoint struct {
+	Pos  geom.Vec3
+	Face FaceID
+}
+
+// MakeSurfacePoint lifts the 2-D location p onto the surface.
+func MakeSurfacePoint(m *Mesh, loc *Locator, p geom.Vec2) (SurfacePoint, error) {
+	f := loc.Locate(p)
+	if f == NoFace {
+		return SurfacePoint{}, fmt.Errorf("%w: (%g,%g)", ErrOutsideMesh, p.X, p.Y)
+	}
+	z, ok := m.Triangle(f).InterpolateZ(p)
+	if !ok {
+		return SurfacePoint{}, fmt.Errorf("mesh: degenerate face %d at (%g,%g)", f, p.X, p.Y)
+	}
+	return SurfacePoint{Pos: geom.Vec3{X: p.X, Y: p.Y, Z: z}, Face: f}, nil
+}
+
+// Corners returns the vertices of the point's containing face.
+func (sp SurfacePoint) Corners(m *Mesh) [3]VertexID { return m.Faces[sp.Face] }
+
+// XY returns the point's (x,y) projection.
+func (sp SurfacePoint) XY() geom.Vec2 { return sp.Pos.XY() }

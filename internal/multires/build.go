@@ -1,0 +1,124 @@
+package multires
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/simplify"
+)
+
+// Build replays a QEM collapse history into the DDM tree, recording edge
+// lifetimes and the distance annotation of §3.2:
+//
+//	d(c,w) = d(a,w)            if w ∈ N(a)
+//	d(c,w) = d(b,w) + d(a,b)   if w ∈ N(b) − N(a)
+//
+// where the collapse merges a and b into c and a carries the representative.
+func Build(m *mesh.Mesh, hist *simplify.History) (*Tree, error) {
+	n := hist.NumLeaves
+	if n != m.NumVerts() {
+		return nil, fmt.Errorf("multires: history has %d leaves for a %d-vertex mesh", n, m.NumVerts())
+	}
+	total := hist.NumNodes()
+	t := &Tree{
+		Nodes:     make([]Node, total),
+		NumLeaves: n,
+		maxTime:   int32(n - 1),
+	}
+	deathless := int32(n) // root's death: one past the last time
+	for v := 0; v < n; v++ {
+		p := m.Verts[v]
+		t.Nodes[v] = Node{
+			Parent: NoNode, Left: NoNode, Right: NoNode,
+			Rep:    mesh.VertexID(v),
+			RepPos: p,
+			Pos:    p,
+			Birth:  0, Death: deathless,
+			MBR: geom.MBROf(p.XY()),
+		}
+	}
+
+	// Live adjacency: for each active node, the edge-record index per
+	// neighbour, so records can be closed when an endpoint dies.
+	adj := make([]map[NodeID]int32, total)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[NodeID]int32, 8)
+	}
+	addEdge := func(u, w NodeID, d float64, birth int32) {
+		idx := int32(len(t.Edges))
+		t.Edges = append(t.Edges, EdgeRec{U: u, W: w, D: d, Birth: birth, Death: deathless})
+		adj[u][w] = idx
+		adj[w][u] = idx
+	}
+	for _, e := range m.Edges() {
+		addEdge(NodeID(e.A), NodeID(e.B), m.EdgeLength(e), 0)
+	}
+
+	for i, c := range hist.Collapses {
+		now := int32(i + 1) // a and b die, parent is born, at time i+1
+		a, b, parent := NodeID(c.A), NodeID(c.B), NodeID(c.Parent)
+		if int(parent) != n+i {
+			return nil, fmt.Errorf("multires: collapse %d has parent %d, want %d", i, parent, n+i)
+		}
+		na, nb := &t.Nodes[a], &t.Nodes[b]
+		dAB := c.Dist
+		t.Nodes[parent] = Node{
+			Parent: NoNode, Left: a, Right: b,
+			Error:  c.Error,
+			Rep:    na.Rep,
+			RepPos: na.RepPos,
+			Pos:    c.Pos,
+			Gather: math.Max(na.Gather, nb.Gather+dAB),
+			Birth:  now, Death: deathless,
+			MBR: na.MBR.Union(nb.MBR),
+		}
+		na.Parent, nb.Parent = parent, parent
+		na.Death, nb.Death = now, now
+
+		// Close all edge records incident to a or b and derive the
+		// parent's neighbour distances.
+		merged := make(map[NodeID]float64, len(adj[a])+len(adj[b]))
+		for w, idx := range adj[a] {
+			t.Edges[idx].Death = now
+			delete(adj[w], a)
+			if w != b {
+				merged[w] = t.Edges[idx].D
+			}
+		}
+		for w, idx := range adj[b] {
+			t.Edges[idx].Death = now
+			delete(adj[w], b)
+			if w == a {
+				continue
+			}
+			if _, ok := merged[w]; !ok {
+				merged[w] = t.Edges[idx].D + dAB
+			}
+		}
+		adj[a], adj[b] = nil, nil
+		adj[parent] = make(map[NodeID]int32, len(merged))
+		// Sorted iteration keeps edge-record order — and with it the
+		// on-disk clustering — deterministic run to run.
+		keys := make([]NodeID, 0, len(merged))
+		for w := range merged {
+			keys = append(keys, w)
+		}
+		sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+		for _, w := range keys {
+			addEdge(parent, w, merged[w], now)
+		}
+	}
+	return t, nil
+}
+
+// BuildFromMesh simplifies the mesh and builds the tree in one call.
+func BuildFromMesh(m *mesh.Mesh) (*Tree, error) {
+	hist, err := simplify.Simplify(m)
+	if err != nil {
+		return nil, err
+	}
+	return Build(m, hist)
+}

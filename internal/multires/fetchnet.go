@@ -1,0 +1,62 @@
+package multires
+
+import "surfknn/internal/graph"
+
+// NetworkFromEdgeIDs materialises a network from an explicit set of edge
+// indices (typically the records fetched from the clustered store for an
+// I/O region), further restricted by an optional per-edge filter (MR3's
+// per-candidate refined search region). Edges not alive at tm are skipped,
+// so passing a superset is safe.
+func (t *Tree) NetworkFromEdgeIDs(tm int32, ids []int32, filter func(EdgeRec) bool) *Network {
+	nw := &Network{
+		Time:  tm,
+		IdxOf: make(map[NodeID]int32),
+		tree:  t,
+	}
+	idx := func(v NodeID) int32 {
+		if i, ok := nw.IdxOf[v]; ok {
+			return i
+		}
+		i := int32(len(nw.NodeOf))
+		nw.IdxOf[v] = i
+		nw.NodeOf = append(nw.NodeOf, v)
+		return i
+	}
+	type arc struct {
+		u, w int32
+		d    float64
+	}
+	var arcs []arc
+	for _, id := range ids {
+		e := t.Edges[id]
+		if e.Birth > tm || tm >= e.Death {
+			continue
+		}
+		if filter != nil && !filter(e) {
+			continue
+		}
+		arcs = append(arcs, arc{idx(e.U), idx(e.W), e.D})
+	}
+	nw.G = graph.New(len(nw.NodeOf))
+	for _, a := range arcs {
+		nw.G.AddEdge(int(a.u), int(a.w), a.d)
+	}
+	return nw
+}
+
+// EdgeMBR returns the (x,y) bounding rectangle of an edge record's
+// representative endpoints (the geometry used for spatial clustering and
+// region filtering).
+func (t *Tree) EdgeMBR(e EdgeRec) (minX, minY, maxX, maxY float64) {
+	pu := t.Nodes[e.U].RepPos
+	pw := t.Nodes[e.W].RepPos
+	minX, maxX = pu.X, pw.X
+	if minX > maxX {
+		minX, maxX = maxX, minX
+	}
+	minY, maxY = pu.Y, pw.Y
+	if minY > maxY {
+		minY, maxY = maxY, minY
+	}
+	return
+}

@@ -1,0 +1,73 @@
+package multires
+
+import (
+	"math"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+)
+
+// TestNetworkFromEdgeIDsMatchesExtract: feeding every edge index through
+// NetworkFromEdgeIDs must produce a network with identical shortest
+// distances to ExtractNetwork at the same time.
+func TestNetworkFromEdgeIDsMatchesExtract(t *testing.T) {
+	_, tr := buildTree(t, 8, dem.BH, 44)
+	allIDs := make([]int32, len(tr.Edges))
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+	for _, res := range []float64{0.1, 0.5, 1.0} {
+		tm := tr.TimeForResolution(res)
+		a := tr.ExtractNetwork(tm, IncludeAll)
+		b := tr.NetworkFromEdgeIDs(tm, allIDs, nil)
+		if a.G.NumVertices() != b.G.NumVertices() {
+			t.Fatalf("res %v: %d vs %d vertices", res, a.G.NumVertices(), b.G.NumVertices())
+		}
+		// Compare a single-source distance field through the NodeID maps.
+		var src NodeID
+		for v := range a.IdxOf {
+			src = v
+			break
+		}
+		da := graph.Dijkstra(a.G, int(a.IdxOf[src]))
+		db := graph.Dijkstra(b.G, int(b.IdxOf[src]))
+		for v, ia := range a.IdxOf {
+			ib, ok := b.IdxOf[v]
+			if !ok {
+				t.Fatalf("res %v: node %d missing from id-built network", res, v)
+			}
+			if math.Abs(da[ia]-db[ib]) > 1e-9 {
+				t.Fatalf("res %v node %d: %v vs %v", res, v, da[ia], db[ib])
+			}
+		}
+	}
+}
+
+// TestNetworkFromEdgeIDsFilter: the per-edge filter restricts the network.
+func TestNetworkFromEdgeIDsFilter(t *testing.T) {
+	m, tr := buildTree(t, 8, dem.BH, 45)
+	allIDs := make([]int32, len(tr.Edges))
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+	ext := m.Extent()
+	half := geom.MBR{MinX: ext.MinX, MinY: ext.MinY, MaxX: ext.Center().X, MaxY: ext.MaxY}
+	nw := tr.NetworkFromEdgeIDs(0, allIDs, func(e EdgeRec) bool {
+		minX, _, _, _ := tr.EdgeMBR(e)
+		return minX <= half.MaxX
+	})
+	full := tr.NetworkFromEdgeIDs(0, allIDs, nil)
+	if nw.G.NumVertices() >= full.G.NumVertices() {
+		t.Errorf("filtered network (%d) not smaller than full (%d)",
+			nw.G.NumVertices(), full.G.NumVertices())
+	}
+	// Stale (dead-at-tm) edges are skipped even when passed explicitly.
+	coarseTm := tr.TimeForResolution(0.1)
+	coarse := tr.NetworkFromEdgeIDs(coarseTm, allIDs, nil)
+	if coarse.G.NumVertices() >= full.G.NumVertices() {
+		t.Errorf("coarse network (%d) not smaller than fine (%d)",
+			coarse.G.NumVertices(), full.G.NumVertices())
+	}
+}

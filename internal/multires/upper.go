@@ -1,0 +1,41 @@
+package multires
+
+import (
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+)
+
+// UpperEstimate is the result of one DMTM upper-bound estimation.
+type UpperEstimate struct {
+	UB   float64  // the upper bound on the surface distance (Inf when disconnected in the region)
+	Path []NodeID // the network path realising it (tree nodes, endpoints excluded)
+}
+
+// UpperBound estimates an upper bound on the surface distance between two
+// surface points using the resolution-tm network restricted by include.
+// It implements §4.2.1: a Dijkstra network distance on the approximate
+// mesh, valid because every edge weight is a real original-surface path
+// length.
+//
+// A failed estimate (points disconnected within the included region)
+// returns UB = +Inf; the caller is expected to enlarge the region.
+func (t *Tree) UpperBound(m *mesh.Mesh, a, b mesh.SurfacePoint, tm int32, include func(NodeID) bool) UpperEstimate {
+	nw := t.ExtractNetwork(tm, include)
+	return nw.UpperBound(m, a, b)
+}
+
+// UpperBound runs the estimation on an already-extracted network, allowing
+// MR3 to reuse one extraction for several candidates.
+func (nw *Network) UpperBound(m *mesh.Mesh, a, b mesh.SurfacePoint) UpperEstimate {
+	// Same-face shortcut: the straight on-facet segment is a valid path.
+	if a.Face == b.Face {
+		return UpperEstimate{UB: a.Pos.Dist(b.Pos)}
+	}
+	src, okA := nw.Embed(m, a)
+	dst, okB := nw.Embed(m, b)
+	if !okA || !okB {
+		return UpperEstimate{UB: graph.Inf}
+	}
+	d, path := graph.DijkstraTarget(nw.G, src, dst)
+	return UpperEstimate{UB: d, Path: nw.NodePath(path)}
+}

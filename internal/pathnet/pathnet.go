@@ -1,0 +1,267 @@
+// Package pathnet implements the Steiner-point refinement of a surface mesh
+// used for approximate surface-distance computation (Kanai & Suzuki style),
+// which the paper unifies with the DDM into the DMTM as its
+// higher-than-original ("200%") resolution levels: inserting Steiner points
+// into mesh edges and linking all points on each triangular facet lets
+// network paths cut across facet interiors, so the network distance
+// converges to the true surface distance from above.
+package pathnet
+
+import (
+	"fmt"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+)
+
+// Pathnet is the refined network over a mesh (or a subset of its faces).
+type Pathnet struct {
+	G   *graph.Graph
+	Pos []geom.Vec3 // position of each network vertex
+
+	m          *mesh.Mesh
+	steiner    int             // Steiner points per edge
+	facePoints map[int][]int32 // per included face: network vertices on its boundary
+}
+
+// Build constructs a pathnet with steinerPerEdge Steiner points inserted
+// into every mesh edge (0 reproduces the plain mesh network augmented with
+// in-facet shortcuts between corners, which the triangle edges already
+// provide, so 0 is effectively the original network).
+func Build(m *mesh.Mesh, steinerPerEdge int) *Pathnet {
+	return BuildSubset(m, steinerPerEdge, nil)
+}
+
+// BuildSubset constructs a pathnet over a subset of the mesh's faces (nil
+// means all faces) — the "selectively refined region" of Kanai & Suzuki.
+// Mesh vertices keep their IDs (graph vertices 0..NumVerts-1) even when
+// excluded, so distances between vertex IDs remain meaningful; excluded
+// faces contribute no Steiner points and no links.
+func BuildSubset(m *mesh.Mesh, steinerPerEdge int, faces []mesh.FaceID) *Pathnet {
+	if steinerPerEdge < 0 {
+		panic(fmt.Sprintf("pathnet: negative steiner count %d", steinerPerEdge))
+	}
+	n := m.NumVerts()
+	p := &Pathnet{m: m, steiner: steinerPerEdge, facePoints: make(map[int][]int32)}
+	var faceList []mesh.FaceID
+	if faces == nil {
+		faceList = make([]mesh.FaceID, m.NumFaces())
+		for i := range faceList {
+			faceList[i] = mesh.FaceID(i)
+		}
+	} else {
+		faceList = faces
+	}
+	p.Pos = make([]geom.Vec3, n, n+steinerPerEdge*3*len(faceList)/2)
+	copy(p.Pos, m.Verts)
+
+	// Subdivide each undirected edge of an included face once; remember the
+	// point ids per edge.
+	edgePoints := make(map[mesh.Edge][]int32)
+	subdivide := func(ek mesh.Edge) []int32 {
+		if pts, ok := edgePoints[ek]; ok {
+			return pts
+		}
+		pts := make([]int32, steinerPerEdge)
+		a, b := m.Verts[ek.A], m.Verts[ek.B]
+		for i := 0; i < steinerPerEdge; i++ {
+			t := float64(i+1) / float64(steinerPerEdge+1)
+			pts[i] = int32(len(p.Pos))
+			p.Pos = append(p.Pos, a.Lerp(b, t))
+		}
+		edgePoints[ek] = pts
+		return pts
+	}
+
+	// First pass: create all Steiner points so the graph can be sized.
+	for _, f := range faceList {
+		face := m.Faces[f]
+		for i := 0; i < 3; i++ {
+			subdivide(normEdge(face[i], face[(i+1)%3]))
+		}
+	}
+
+	p.G = graph.New(len(p.Pos))
+	// Avoid duplicating the same link when two faces share an edge.
+	type link struct{ a, b int32 }
+	added := make(map[link]bool)
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if added[link{a, b}] {
+			return
+		}
+		added[link{a, b}] = true
+		p.G.AddEdge(int(a), int(b), p.Pos[a].Dist(p.Pos[b]))
+	}
+
+	for _, f := range faceList {
+		face := m.Faces[f]
+		pts := make([]int32, 0, 3+3*steinerPerEdge)
+		for i := 0; i < 3; i++ {
+			pts = append(pts, int32(face[i]))
+			pts = append(pts, edgePoints[normEdge(face[i], face[(i+1)%3])]...)
+		}
+		p.facePoints[int(f)] = pts
+		// Connect every pair of boundary points of the facet; the segment
+		// between any two of them lies on the (planar) facet, so the link
+		// length is a valid surface path length.
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				addEdge(pts[i], pts[j])
+			}
+		}
+	}
+	return p
+}
+
+func normEdge(a, b mesh.VertexID) mesh.Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return mesh.Edge{A: a, B: b}
+}
+
+// NumVertices returns the number of network vertices (mesh vertices plus
+// Steiner points).
+func (p *Pathnet) NumVertices() int { return len(p.Pos) }
+
+// SteinerPerEdge returns the refinement level the pathnet was built with.
+func (p *Pathnet) SteinerPerEdge() int { return p.steiner }
+
+// Embed adds a surface point to the network, linked to every boundary point
+// of its containing facet.
+func (p *Pathnet) Embed(sp mesh.SurfacePoint) int {
+	v := p.G.AddVertex()
+	p.Pos = append(p.Pos, sp.Pos)
+	for _, w := range p.facePoints[int(sp.Face)] {
+		p.G.AddEdge(v, int(w), sp.Pos.Dist(p.Pos[w]))
+	}
+	return v
+}
+
+// Distance returns the pathnet approximation of the surface distance
+// between two surface points, and the 3-D polyline realising it.
+//
+// Embedding mutates the network (adds two vertices); Distance restores the
+// vertex count afterwards so the pathnet can be reused, but it is not safe
+// for concurrent use.
+func (p *Pathnet) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3) {
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos), []geom.Vec3{a.Pos, b.Pos}
+	}
+	src := p.Embed(a)
+	dst := p.Embed(b)
+	d, path := graph.DijkstraTarget(p.G, src, dst)
+	pts := make([]geom.Vec3, len(path))
+	for i, v := range path {
+		pts[i] = p.Pos[v]
+	}
+	p.Pos = p.Pos[:src]
+	p.trimGraph(src)
+	return d, pts
+}
+
+// DistanceWithin behaves like Distance but ignores network vertices whose
+// (x,y) position falls outside region — the search-region restriction used
+// by EA and by MR3's pathnet-level refinement. Distances can only grow
+// (or become +Inf) under restriction.
+func (p *Pathnet) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float64 {
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos)
+	}
+	src := p.Embed(a)
+	dst := p.Embed(b)
+	defer func() {
+		p.Pos = p.Pos[:src]
+		p.trimGraph(src)
+	}()
+	d := p.dijkstraFiltered(src, dst, region)
+	return d
+}
+
+// trimGraph drops vertices >= keep (embedded points) from the graph. The
+// embedded vertices are always the most recently added, and their links
+// were added symmetrically, so dropping the adjacency lists of survivors'
+// arcs pointing at removed vertices is required too.
+func (p *Pathnet) trimGraph(keep int) {
+	// Collect the facet points the embedded vertices were linked to, then
+	// filter their adjacency.
+	g := p.G
+	for v := keep; v < g.NumVertices(); v++ {
+		for _, a := range g.Arcs(v) {
+			p.filterArcs(int(a.To), keep)
+		}
+	}
+	g.TruncateVertices(keep)
+}
+
+func (p *Pathnet) filterArcs(v, keep int) {
+	arcs := p.G.Arcs(v)
+	out := arcs[:0]
+	for _, a := range arcs {
+		if int(a.To) < keep {
+			out = append(out, a)
+		}
+	}
+	p.G.SetArcs(v, out)
+}
+
+// dijkstraFiltered is DijkstraTarget over the subgraph induced by vertices
+// inside region (embedded endpoints always included).
+func (p *Pathnet) dijkstraFiltered(src, dst int, region geom.MBR) float64 {
+	n := p.G.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	inside := func(v int) bool {
+		return v >= n-2 || region.Contains(p.Pos[v].XY())
+	}
+	pq := graph.NewFrontier()
+	dist[src] = 0
+	pq.Push(int32(src), 0)
+	for pq.Len() > 0 {
+		v, d := pq.Pop()
+		if d > dist[v] {
+			continue
+		}
+		if int(v) == dst {
+			return d
+		}
+		for _, a := range p.G.Arcs(int(v)) {
+			if !inside(int(a.To)) {
+				continue
+			}
+			nd := d + a.W
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				pq.Push(a.To, nd)
+			}
+		}
+	}
+	return graph.Inf
+}
+
+// DistanceToFacePoint evaluates the shortest distance to an arbitrary
+// surface point given a precomputed distance field over the network (from
+// graph.Dijkstra on p.G): the minimum over the point's facet boundary
+// points of their network distance plus the straight in-face leg. Returns
+// +Inf when the face has no points in this (possibly subset) pathnet.
+func (p *Pathnet) DistanceToFacePoint(dist []float64, sp mesh.SurfacePoint) float64 {
+	best := graph.Inf
+	for _, w := range p.facePoints[int(sp.Face)] {
+		if int(w) >= len(dist) {
+			continue
+		}
+		if d := dist[w] + sp.Pos.Dist(p.Pos[w]); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package pathnet
+
+import (
+	"math"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// Refiner implements Kanai & Suzuki's selective refinement (§2.3 of the
+// paper): "the shortest path search operation is performed repeatedly on
+// the pathnet with increasing level of resolutions in a selectively refined
+// region until reaching the required accuracy". Each round doubles the
+// Steiner density (bisection: 1, 3, 7, ... points per edge) but only over a
+// corridor of faces around the previous round's path, so the network stays
+// small while the distance converges from above.
+type Refiner struct {
+	// Tol stops refinement once a round improves the distance by less than
+	// this relative amount (the paper allows 3% error; default 0.03).
+	Tol float64
+	// MaxLevel caps the bisection depth (Steiner points per edge =
+	// 2^level - 1). Default 4 (up to 15 points per edge).
+	MaxLevel int
+	// CorridorRings controls how many face-adjacency rings around the
+	// current path are included in the refined region. Default 2.
+	CorridorRings int
+
+	m   *mesh.Mesh
+	loc *mesh.Locator
+}
+
+// RefineStats reports the work of one refined distance computation.
+type RefineStats struct {
+	Levels       int // refinement rounds run (including the initial one)
+	FinalFaces   int // faces in the last corridor
+	FinalNetwork int // vertices of the last network
+}
+
+// NewRefiner creates a refiner for the mesh.
+func NewRefiner(m *mesh.Mesh, loc *mesh.Locator) *Refiner {
+	return &Refiner{Tol: 0.03, MaxLevel: 4, CorridorRings: 2, m: m, loc: loc}
+}
+
+// Distance returns the selectively refined surface distance between two
+// surface points and the refined path polyline.
+func (r *Refiner) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3, RefineStats) {
+	var st RefineStats
+	if a.Face == b.Face {
+		st.Levels = 1
+		return a.Pos.Dist(b.Pos), []geom.Vec3{a.Pos, b.Pos}, st
+	}
+	// Level 0: one Steiner point per edge over the whole mesh (the paper's
+	// initial pathnet).
+	pn := Build(r.m, 1)
+	best, path := pn.Distance(a, b)
+	st.Levels = 1
+	st.FinalNetwork = pn.NumVertices()
+	st.FinalFaces = r.m.NumFaces()
+	if math.IsInf(best, 1) {
+		return best, nil, st
+	}
+	steiner := 3
+	for level := 2; level <= r.MaxLevel; level++ {
+		ca := a.Corners(r.m)
+		cb := b.Corners(r.m)
+		ends := append(ca[:], cb[:]...)
+		corridor := r.corridorFaces(path, ends)
+		sub := BuildSubset(r.m, steiner, corridor)
+		d, p2 := sub.Distance(a, b)
+		st.Levels = level
+		st.FinalFaces = len(corridor)
+		st.FinalNetwork = sub.NumVertices()
+		if math.IsInf(d, 1) {
+			break // corridor failed to connect; keep the previous answer
+		}
+		improved := (best - d) / best
+		if d < best {
+			best = d
+			path = p2
+		}
+		if improved < r.Tol {
+			break
+		}
+		steiner = steiner*2 + 1
+	}
+	return best, path, st
+}
+
+// corridorFaces collects the faces within CorridorRings adjacency rings of
+// the path polyline (plus the endpoints' faces).
+func (r *Refiner) corridorFaces(path []geom.Vec3, endpoints []mesh.VertexID) []mesh.FaceID {
+	seen := make(map[mesh.FaceID]bool)
+	var frontier []mesh.FaceID
+	addFace := func(f mesh.FaceID) {
+		if f != mesh.NoFace && !seen[f] {
+			seen[f] = true
+			frontier = append(frontier, f)
+		}
+	}
+	for _, p := range path {
+		// A path point lies on an edge or vertex; the locator returns one
+		// containing face and ring expansion picks up the rest.
+		addFace(r.loc.Locate(p.XY()))
+	}
+	for _, v := range endpoints {
+		for _, f := range r.m.FacesOfVertex(v) {
+			addFace(f)
+		}
+	}
+	for ring := 0; ring < r.CorridorRings; ring++ {
+		cur := frontier
+		frontier = nil
+		for _, f := range cur {
+			for side := 0; side < 3; side++ {
+				addFace(r.m.AdjacentFace(f, side))
+			}
+			// Vertex-adjacent faces too, so corners of the corridor close.
+			for _, v := range r.m.Faces[f] {
+				for _, g := range r.m.FacesOfVertex(v) {
+					addFace(g)
+				}
+			}
+		}
+	}
+	out := make([]mesh.FaceID, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package pathnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geodesic"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+func TestBuildSubset(t *testing.T) {
+	m := flatMesh(4)
+	// A subset of four faces around the centre.
+	faces := []mesh.FaceID{0, 1, 2, 3}
+	p := BuildSubset(m, 1, faces)
+	// Mesh vertices keep their IDs; Steiner points only for subset edges.
+	if p.NumVertices() <= m.NumVerts() {
+		t.Fatalf("no Steiner points created: %d", p.NumVertices())
+	}
+	full := Build(m, 1)
+	if p.NumVertices() >= full.NumVertices() {
+		t.Errorf("subset pathnet (%d verts) should be smaller than full (%d)",
+			p.NumVertices(), full.NumVertices())
+	}
+}
+
+func TestRefinerConvergesOnFlat(t *testing.T) {
+	m := flatMesh(8)
+	loc := mesh.NewLocator(m)
+	r := NewRefiner(m, loc)
+	a := sp(t, m, loc, 4, 7)
+	b := sp(t, m, loc, 73, 69)
+	d, path, st := r.Distance(a, b)
+	euclid := a.Pos.Dist(b.Pos)
+	if d < euclid-1e-9 {
+		t.Fatalf("refined distance %v below Euclidean %v", d, euclid)
+	}
+	if d > euclid*1.02 {
+		t.Fatalf("refined distance %v more than 2%% above Euclidean %v", d, euclid)
+	}
+	if len(path) < 2 || st.Levels < 1 {
+		t.Fatalf("path=%d levels=%d", len(path), st.Levels)
+	}
+	// Path length equals distance.
+	if got := geom.PolylineLength(path); math.Abs(got-d) > 1e-9 {
+		t.Errorf("polyline %v != distance %v", got, d)
+	}
+}
+
+func TestRefinerAgainstExactAndDense(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 33))
+	loc := mesh.NewLocator(m)
+	r := NewRefiner(m, loc)
+	exact := geodesic.NewSolver(m)
+	rng := rand.New(rand.NewSource(35))
+	ext := m.Extent()
+	for trial := 0; trial < 6; trial++ {
+		a := sp(t, m, loc, ext.MinX+rng.Float64()*ext.Width(), ext.MinY+rng.Float64()*ext.Height())
+		b := sp(t, m, loc, ext.MinX+rng.Float64()*ext.Width(), ext.MinY+rng.Float64()*ext.Height())
+		d, _, _ := r.Distance(a, b)
+		truth := exact.Distance(a, b)
+		if d < truth-1e-6 {
+			t.Fatalf("refined %v below exact %v", d, truth)
+		}
+		if d > truth*(1+0.04) {
+			t.Fatalf("refined %v more than 4%% above exact %v (tol 3%%)", d, truth)
+		}
+	}
+}
+
+func TestRefinerNeverWorseThanInitial(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 37))
+	loc := mesh.NewLocator(m)
+	pn := Build(m, 1)
+	r := NewRefiner(m, loc)
+	a := sp(t, m, loc, 8, 10)
+	b := sp(t, m, loc, 68, 71)
+	initial, _ := pn.Distance(a, b)
+	refined, _, st := r.Distance(a, b)
+	if refined > initial+1e-9 {
+		t.Fatalf("refinement worsened: %v > %v", refined, initial)
+	}
+	if st.FinalFaces >= m.NumFaces() && st.Levels > 1 {
+		t.Errorf("corridor (%d faces) did not shrink below the mesh (%d)", st.FinalFaces, m.NumFaces())
+	}
+}
+
+func TestRefinerSameFace(t *testing.T) {
+	m := flatMesh(4)
+	loc := mesh.NewLocator(m)
+	r := NewRefiner(m, loc)
+	a := sp(t, m, loc, 1, 1)
+	b := sp(t, m, loc, 2, 2)
+	if a.Face != b.Face {
+		t.Skip("points in different faces")
+	}
+	d, path, _ := r.Distance(a, b)
+	if math.Abs(d-a.Pos.Dist(b.Pos)) > 1e-12 || len(path) != 2 {
+		t.Errorf("same-face refined = %v path=%d", d, len(path))
+	}
+}

@@ -1,0 +1,209 @@
+package simplify
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// Collapse records one edge collapse: nodes A and B merge into Parent.
+// Node IDs follow the DM convention: the n original vertices are nodes
+// 0..n-1 and the i-th collapse (0-based) creates node n+i, so the root of
+// the final tree is node 2n-2.
+type Collapse struct {
+	A, B   int32     // merged nodes (A's representative survives)
+	Parent int32     // the new node, == NumLeaves + index of this collapse
+	Error  float64   // monotone (clamped) quadric error of the merge
+	Pos    geom.Vec3 // QEM-optimal position of the merged node
+	Dist   float64   // recorded network distance between A and B's representatives
+}
+
+// History is the full collapse sequence of a mesh down to a single node.
+type History struct {
+	NumLeaves int
+	Collapses []Collapse
+}
+
+// NumNodes returns the total number of tree nodes (leaves + parents).
+func (h *History) NumNodes() int { return h.NumLeaves + len(h.Collapses) }
+
+// candidate is a potential collapse in the priority queue. Entries are
+// invalidated lazily via per-node version counters.
+type candidate struct {
+	a, b   int32
+	va, vb uint32 // versions of a and b at push time
+	err    float64
+	pos    geom.Vec3
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].err < h[j].err }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simplify collapses the mesh down to a single node and returns the full
+// history. The mesh must be connected; a disconnected mesh returns an
+// error once no collapsible pair remains.
+//
+// Distances recorded with each collapse follow the paper's DDM rule:
+// d(A,B) is the current network distance annotation between the two nodes,
+// which is by construction the length of a real path on the original mesh
+// between their representative vertices.
+func Simplify(m *mesh.Mesh) (*History, error) {
+	n := m.NumVerts()
+	if n == 0 {
+		return nil, fmt.Errorf("simplify: empty mesh")
+	}
+	if n == 1 {
+		return &History{NumLeaves: 1}, nil
+	}
+
+	total := 2*n - 1
+	quadrics := make([]Quadric, n, total)
+	pos := make([]geom.Vec3, n, total)
+	alive := make([]bool, n, total)
+	version := make([]uint32, n, total)
+	neighbors := make([]map[int32]float64, n, total)
+
+	for v := 0; v < n; v++ {
+		pos[v] = m.Verts[v]
+		alive[v] = true
+		neighbors[v] = make(map[int32]float64, 8)
+	}
+	// Initial quadrics: area-weighted face planes.
+	for f := 0; f < m.NumFaces(); f++ {
+		tri := m.Triangle(mesh.FaceID(f))
+		a, b, c, d := tri.Plane()
+		if a == 0 && b == 0 && c == 0 && d == 0 {
+			continue // degenerate face contributes nothing
+		}
+		q := QuadricFromPlane(a, b, c, d).Scale(tri.Area())
+		for _, v := range m.Faces[f] {
+			quadrics[v] = quadrics[v].Add(q)
+		}
+	}
+	// Initial connectivity with edge lengths as the recorded distances.
+	for _, e := range m.Edges() {
+		d := m.EdgeLength(e)
+		neighbors[e.A][int32(e.B)] = d
+		neighbors[e.B][int32(e.A)] = d
+	}
+
+	pq := &candHeap{}
+	pushCandidate := func(a, b int32) {
+		q := quadrics[a].Add(quadrics[b])
+		p, ok := q.OptimalPoint()
+		err := 0.0
+		if ok && p.Dist(pos[a]) < 10*pos[a].Dist(pos[b])+1 {
+			err = q.Error(p)
+		} else {
+			// Singular quadric: evaluate endpoints and midpoint.
+			p = pos[a]
+			err = q.Error(p)
+			if e2 := q.Error(pos[b]); e2 < err {
+				p, err = pos[b], e2
+			}
+			if mid := pos[a].Lerp(pos[b], 0.5); q.Error(mid) < err {
+				p, err = mid, q.Error(mid)
+			}
+		}
+		heap.Push(pq, candidate{a: a, b: b, va: version[a], vb: version[b], err: err, pos: p})
+	}
+	for a := int32(0); a < int32(n); a++ {
+		for _, b := range sortedKeys(neighbors[a]) {
+			if b > a {
+				pushCandidate(a, b)
+			}
+		}
+	}
+
+	hist := &History{NumLeaves: n, Collapses: make([]Collapse, 0, n-1)}
+	lastErr := 0.0
+	for len(hist.Collapses) < n-1 {
+		if pq.Len() == 0 {
+			return nil, fmt.Errorf("simplify: mesh is disconnected (%d of %d collapses done)", len(hist.Collapses), n-1)
+		}
+		cand := heap.Pop(pq).(candidate)
+		a, b := cand.a, cand.b
+		if !alive[a] || !alive[b] || version[a] != cand.va || version[b] != cand.vb {
+			continue // stale
+		}
+		dAB, connected := neighbors[a][b]
+		if !connected {
+			continue
+		}
+
+		parent := int32(len(pos))
+		// Monotone error: DM LOD intervals require child error <= parent
+		// error, so clamp to the largest error seen so far.
+		e := cand.err
+		if e < lastErr {
+			e = lastErr
+		}
+		lastErr = e
+		hist.Collapses = append(hist.Collapses, Collapse{
+			A: a, B: b, Parent: parent, Error: e, Pos: cand.pos, Dist: dAB,
+		})
+
+		// Create the parent node: N(c) = N(a) ∪ N(b) \ {a,b}; the recorded
+		// distance follows the paper's rule — d(c,w) = d(a,w) when w ∈ N(a),
+		// otherwise d(b,w) + d(a,b).
+		merged := make(map[int32]float64, len(neighbors[a])+len(neighbors[b]))
+		for w, d := range neighbors[a] {
+			if w != b {
+				merged[w] = d
+			}
+		}
+		for w, d := range neighbors[b] {
+			if w == a {
+				continue
+			}
+			if _, ok := merged[w]; !ok {
+				merged[w] = d + dAB
+			}
+		}
+		quadrics = append(quadrics, quadrics[a].Add(quadrics[b]))
+		pos = append(pos, cand.pos)
+		alive[a], alive[b] = false, false
+		alive = append(alive, true)
+		version = append(version, 0)
+		neighbors[a], neighbors[b] = nil, nil
+		neighbors = append(neighbors, merged)
+
+		// Rewire neighbours to point at the parent and refresh candidates.
+		// Iterate in sorted order so heap tie-breaking — and therefore the
+		// whole collapse history — is deterministic run to run.
+		for _, w := range sortedKeys(merged) {
+			d := merged[w]
+			nw := neighbors[w]
+			delete(nw, a)
+			delete(nw, b)
+			nw[parent] = d
+			version[w]++
+			pushCandidate(parent, w)
+		}
+	}
+	return hist, nil
+}
+
+// sortedKeys returns the map's keys in ascending order (determinism).
+func sortedKeys(m map[int32]float64) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

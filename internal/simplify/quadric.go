@@ -1,0 +1,122 @@
+// Package simplify implements Garland–Heckbert quadric-error-metric (QEM)
+// mesh simplification by iterative edge collapse. The paper builds its DDM
+// structure "by adapting [the] simplification tool [5] with the Quadric
+// Error Metrics"; this package provides that tool. Its output is the full
+// binary collapse history, which internal/multires replays into the DM/DDM
+// tree.
+package simplify
+
+import (
+	"math"
+
+	"surfknn/internal/geom"
+)
+
+// Quadric is the symmetric 4x4 quadric form Q(p) = pᵀAp + 2bᵀp + c used to
+// measure the squared distance of a point to a set of planes. The symmetric
+// 3x3 matrix A is stored as its upper triangle [a00,a01,a02,a11,a12,a22].
+type Quadric struct {
+	A [6]float64
+	B geom.Vec3
+	C float64
+}
+
+// QuadricFromPlane returns the fundamental error quadric of the plane
+// a·x + b·y + c·z + d = 0 with (a,b,c) a unit normal: Q(p) is the squared
+// distance from p to the plane.
+func QuadricFromPlane(a, b, c, d float64) Quadric {
+	return Quadric{
+		A: [6]float64{a * a, a * b, a * c, b * b, b * c, c * c},
+		B: geom.Vec3{X: a * d, Y: b * d, Z: c * d},
+		C: d * d,
+	}
+}
+
+// Add returns q + o.
+func (q Quadric) Add(o Quadric) Quadric {
+	var r Quadric
+	for i := range q.A {
+		r.A[i] = q.A[i] + o.A[i]
+	}
+	r.B = q.B.Add(o.B)
+	r.C = q.C + o.C
+	return r
+}
+
+// Scale returns q scaled by s (used to weight planes by face area).
+func (q Quadric) Scale(s float64) Quadric {
+	var r Quadric
+	for i := range q.A {
+		r.A[i] = q.A[i] * s
+	}
+	r.B = q.B.Scale(s)
+	r.C = q.C * s
+	return r
+}
+
+// Error evaluates Q(p). Accumulated floating-point error can make the
+// mathematically non-negative form dip slightly below zero; it is clamped.
+func (q Quadric) Error(p geom.Vec3) float64 {
+	ax := q.A[0]*p.X + q.A[1]*p.Y + q.A[2]*p.Z
+	ay := q.A[1]*p.X + q.A[3]*p.Y + q.A[4]*p.Z
+	az := q.A[2]*p.X + q.A[4]*p.Y + q.A[5]*p.Z
+	e := p.X*ax + p.Y*ay + p.Z*az + 2*q.B.Dot(p) + q.C
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// OptimalPoint returns the position minimising Q, obtained by solving
+// A·p = -b. ok is false when A is (near-)singular — the caller should then
+// fall back to evaluating candidate positions.
+func (q Quadric) OptimalPoint() (geom.Vec3, bool) {
+	m := [3][3]float64{
+		{q.A[0], q.A[1], q.A[2]},
+		{q.A[1], q.A[3], q.A[4]},
+		{q.A[2], q.A[4], q.A[5]},
+	}
+	rhs := [3]float64{-q.B.X, -q.B.Y, -q.B.Z}
+	p, ok := solve3(m, rhs)
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	return geom.Vec3{X: p[0], Y: p[1], Z: p[2]}, true
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, b [3]float64) ([3]float64, bool) {
+	const tol = 1e-12
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < tol {
+			return [3]float64{}, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 3; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 3; c++ {
+			x[r] -= m[r][c] * x[c]
+		}
+		x[r] /= m[r][r]
+	}
+	return x, true
+}

@@ -1,0 +1,245 @@
+package simplify
+
+import (
+	"math"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+func TestQuadricFromPlane(t *testing.T) {
+	// Plane z = 0: squared distance is z².
+	q := QuadricFromPlane(0, 0, 1, 0)
+	if got := q.Error(geom.Vec3{X: 5, Y: -3, Z: 4}); math.Abs(got-16) > 1e-12 {
+		t.Errorf("Error = %v, want 16", got)
+	}
+	if got := q.Error(geom.Vec3{X: 1, Y: 2, Z: 0}); got != 0 {
+		t.Errorf("on-plane error = %v", got)
+	}
+	// Offset plane z = 2 → (0,0,1,-2).
+	q = QuadricFromPlane(0, 0, 1, -2)
+	if got := q.Error(geom.Vec3{X: 0, Y: 0, Z: 5}); math.Abs(got-9) > 1e-12 {
+		t.Errorf("offset plane error = %v, want 9", got)
+	}
+}
+
+func TestQuadricAddScale(t *testing.T) {
+	qa := QuadricFromPlane(1, 0, 0, 0) // x²
+	qb := QuadricFromPlane(0, 1, 0, 0) // y²
+	s := qa.Add(qb)
+	p := geom.Vec3{X: 3, Y: 4, Z: 7}
+	if got := s.Error(p); math.Abs(got-25) > 1e-12 {
+		t.Errorf("sum error = %v, want 25", got)
+	}
+	if got := qa.Scale(2).Error(p); math.Abs(got-18) > 1e-12 {
+		t.Errorf("scaled error = %v, want 18", got)
+	}
+}
+
+func TestQuadricOptimalPoint(t *testing.T) {
+	// Three orthogonal planes meeting at (1,2,3).
+	q := QuadricFromPlane(1, 0, 0, -1).
+		Add(QuadricFromPlane(0, 1, 0, -2)).
+		Add(QuadricFromPlane(0, 0, 1, -3))
+	p, ok := q.OptimalPoint()
+	if !ok {
+		t.Fatal("expected solvable quadric")
+	}
+	if p.Dist(geom.Vec3{X: 1, Y: 2, Z: 3}) > 1e-9 {
+		t.Errorf("optimal = %v", p)
+	}
+	if got := q.Error(p); got > 1e-18 {
+		t.Errorf("error at optimum = %v", got)
+	}
+	// Single plane: singular.
+	if _, ok := QuadricFromPlane(0, 0, 1, 0).OptimalPoint(); ok {
+		t.Error("single-plane quadric should be singular")
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	m := [3][3]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}}
+	want := [3]float64{1, -2, 3}
+	b := [3]float64{
+		2*want[0] + want[1],
+		want[0] + 3*want[1] + want[2],
+		want[1] + 4*want[2],
+	}
+	x, ok := solve3(m, b)
+	if !ok {
+		t.Fatal("solve3 failed")
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if _, ok := solve3([3][3]float64{{1, 1, 1}, {1, 1, 1}, {0, 0, 1}}, [3]float64{1, 1, 1}); ok {
+		t.Error("singular system should fail")
+	}
+}
+
+func buildTestMesh(size int, preset dem.Preset) *mesh.Mesh {
+	return mesh.FromGrid(dem.Synthesize(preset, size, 10, 42))
+}
+
+func TestSimplifyStructure(t *testing.T) {
+	m := buildTestMesh(8, dem.EP) // 81 vertices
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NumVerts()
+	if h.NumLeaves != n {
+		t.Fatalf("NumLeaves = %d, want %d", h.NumLeaves, n)
+	}
+	if len(h.Collapses) != n-1 {
+		t.Fatalf("collapses = %d, want %d", len(h.Collapses), n-1)
+	}
+	if h.NumNodes() != 2*n-1 {
+		t.Fatalf("NumNodes = %d, want %d", h.NumNodes(), 2*n-1)
+	}
+	// Every node is merged exactly once; parents are numbered sequentially.
+	merged := make(map[int32]bool)
+	for i, c := range h.Collapses {
+		if c.Parent != int32(n+i) {
+			t.Fatalf("collapse %d parent = %d, want %d", i, c.Parent, n+i)
+		}
+		if merged[c.A] || merged[c.B] {
+			t.Fatalf("collapse %d reuses a dead node (%d,%d)", i, c.A, c.B)
+		}
+		if c.A == c.B {
+			t.Fatalf("collapse %d merges node with itself", i)
+		}
+		if int(c.A) >= n+i || int(c.B) >= n+i {
+			t.Fatalf("collapse %d references unborn node", i)
+		}
+		merged[c.A], merged[c.B] = true, true
+	}
+	// The root (2n-2) is never merged.
+	if merged[int32(2*n-2)] {
+		t.Error("root should never be merged")
+	}
+}
+
+func TestSimplifyErrorMonotone(t *testing.T) {
+	m := buildTestMesh(8, dem.BH)
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, c := range h.Collapses {
+		if c.Error < prev {
+			t.Fatalf("collapse %d error %v < previous %v (must be monotone)", i, c.Error, prev)
+		}
+		prev = c.Error
+	}
+}
+
+func TestSimplifyDistancesValid(t *testing.T) {
+	// Every recorded collapse distance must be at least the Euclidean
+	// distance between representative positions of the merged nodes'
+	// representatives (it is a path length on the original mesh).
+	m := buildTestMesh(8, dem.BH)
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := h.NumLeaves
+	// Representative original vertex per node: leaves map to themselves,
+	// parents inherit A's representative.
+	rep := make([]int32, h.NumNodes())
+	for i := 0; i < n; i++ {
+		rep[i] = int32(i)
+	}
+	for _, c := range h.Collapses {
+		rep[c.Parent] = rep[c.A]
+	}
+	for i, c := range h.Collapses {
+		ra, rb := rep[c.A], rep[c.B]
+		euclid := m.Verts[ra].Dist(m.Verts[rb])
+		if c.Dist < euclid-1e-9 {
+			t.Fatalf("collapse %d: recorded dist %v < Euclidean %v between reps", i, c.Dist, euclid)
+		}
+	}
+}
+
+func TestSimplifyFlatMeshLowError(t *testing.T) {
+	// A perfectly flat mesh should simplify with ~zero error throughout.
+	g := dem.NewGrid(9, 9, 10)
+	m := mesh.FromGrid(g)
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range h.Collapses {
+		if c.Error > 1e-6 {
+			t.Fatalf("collapse %d on flat mesh has error %v", i, c.Error)
+		}
+	}
+}
+
+func TestSimplifyOrdersByError(t *testing.T) {
+	// A mesh that is flat except for one sharp spike: the spike vertex
+	// should be among the very last merged (its collapse is expensive).
+	g := dem.NewGrid(9, 9, 10)
+	spikeCol, spikeRow := 4, 4
+	g.Set(spikeCol, spikeRow, 100)
+	m := mesh.FromGrid(g)
+	spike := int32(spikeRow*9 + spikeCol)
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track when the spike's subtree first gets merged.
+	containsSpike := make(map[int32]bool)
+	containsSpike[spike] = true
+	firstMerge := -1
+	for i, c := range h.Collapses {
+		if containsSpike[c.A] || containsSpike[c.B] {
+			if firstMerge == -1 {
+				firstMerge = i
+			}
+			containsSpike[c.Parent] = true
+		}
+	}
+	if firstMerge < len(h.Collapses)/2 {
+		t.Errorf("spike merged at step %d of %d; expected late", firstMerge, len(h.Collapses))
+	}
+}
+
+func TestSimplifyTinyMeshes(t *testing.T) {
+	// Single triangle.
+	m := mesh.New(
+		[]geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}},
+		[][3]mesh.VertexID{{0, 1, 2}},
+	)
+	h, err := Simplify(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Collapses) != 2 {
+		t.Errorf("collapses = %d, want 2", len(h.Collapses))
+	}
+	// Empty mesh errors.
+	if _, err := Simplify(mesh.New(nil, nil)); err == nil {
+		t.Error("empty mesh should error")
+	}
+}
+
+func TestSimplifyDisconnected(t *testing.T) {
+	// Two separate triangles cannot collapse to one node.
+	m := mesh.New(
+		[]geom.Vec3{
+			{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0},
+			{X: 10, Y: 10, Z: 0}, {X: 11, Y: 10, Z: 0}, {X: 10, Y: 11, Z: 0},
+		},
+		[][3]mesh.VertexID{{0, 1, 2}, {3, 4, 5}},
+	)
+	if _, err := Simplify(m); err == nil {
+		t.Error("disconnected mesh should error")
+	}
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsAddScale(t *testing.T) {
+	a := Metrics{Elapsed: 10 * time.Second, CPU: 8 * time.Second, Pages: 100, UpperBounds: 4, LowerBounds: 6, Iterations: 2, Candidates: 10}
+	b := Metrics{Elapsed: 2 * time.Second, CPU: 2 * time.Second, Pages: 50, UpperBounds: 2, LowerBounds: 2, Iterations: 2, Candidates: 6}
+	a.Add(b)
+	if a.Elapsed != 12*time.Second || a.Pages != 150 || a.UpperBounds != 6 {
+		t.Errorf("Add = %+v", a)
+	}
+	a.Scale(2)
+	if a.Elapsed != 6*time.Second || a.Pages != 75 || a.Candidates != 8 {
+		t.Errorf("Scale = %+v", a)
+	}
+	a.Scale(0) // no-op
+	if a.Pages != 75 {
+		t.Error("Scale(0) should be a no-op")
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := Series{Label: "MR3"}
+	s1.Add(3, 1.5)
+	s1.Add(6, 2.5)
+	s2 := Series{Label: "EA"}
+	s2.Add(3, 10)
+	s2.Add(6, 20)
+	out := Table("Fig 10(a) total time", "k", []Series{s1, s2})
+	if !strings.Contains(out, "Fig 10(a)") || !strings.Contains(out, "MR3") || !strings.Contains(out, "EA") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500") || !strings.Contains(out, "20.000") {
+		t.Errorf("table missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Ragged series render a dash.
+	s3 := Series{Label: "short"}
+	s3.Add(3, 1)
+	out = Table("t", "k", []Series{s1, s3})
+	if !strings.Contains(out, "-") {
+		t.Errorf("ragged table missing dash:\n%s", out)
+	}
+	if got := Table("empty", "x", nil); !strings.Contains(got, "empty") {
+		t.Error("empty table should still have a title")
+	}
+}

@@ -1,0 +1,427 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BTree is a clustering B+-tree over uint64 keys and uint64 values, stored
+// in pages through a buffer pool (the paper clusters DMTM with "a
+// clustering B+ tree index"). Keys are unique; inserting an existing key
+// overwrites its value. Deletes are tombstone-free lazy deletes (the entry
+// is removed from its leaf; leaves are not rebalanced), which is adequate
+// for the read-mostly workloads of this library.
+type BTree struct {
+	pool *BufferPool
+	root PageID
+	size int
+}
+
+const (
+	nodeInternal byte = 0
+	nodeLeaf     byte = 1
+
+	hdrSize      = 8
+	leafEntry    = 16 // key u64 + value u64
+	internEntry  = 12 // key u64 + child u32
+	leafCap      = (PageSize - hdrSize) / leafEntry
+	internCap    = (PageSize - hdrSize) / internEntry
+	offType      = 0
+	offCount     = 2
+	offNextChild = 4 // leaf: right sibling; internal: leftmost child
+)
+
+// NewBTree creates an empty tree.
+func NewBTree(pool *BufferPool) (*BTree, error) {
+	fr, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initNode(fr.Data, nodeLeaf)
+	setNext(fr.Data, InvalidPage)
+	pool.Unpin(fr, true)
+	return &BTree{pool: pool, root: fr.ID}, nil
+}
+
+// Len returns the number of stored keys.
+func (t *BTree) Len() int { return t.size }
+
+// Root exposes the current root page (for persistence headers).
+func (t *BTree) Root() PageID { return t.root }
+
+func initNode(p []byte, typ byte) {
+	for i := range p[:hdrSize] {
+		p[i] = 0
+	}
+	p[offType] = typ
+}
+
+func nodeType(p []byte) byte { return p[offType] }
+func count(p []byte) int     { return int(binary.LittleEndian.Uint16(p[offCount:])) }
+func setCount(p []byte, n int) {
+	binary.LittleEndian.PutUint16(p[offCount:], uint16(n))
+}
+func next(p []byte) PageID { return PageID(binary.LittleEndian.Uint32(p[offNextChild:])) }
+func setNext(p []byte, id PageID) {
+	binary.LittleEndian.PutUint32(p[offNextChild:], uint32(id))
+}
+
+func leafKey(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[hdrSize+i*leafEntry:])
+}
+func leafVal(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[hdrSize+i*leafEntry+8:])
+}
+func setLeaf(p []byte, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(p[hdrSize+i*leafEntry:], k)
+	binary.LittleEndian.PutUint64(p[hdrSize+i*leafEntry+8:], v)
+}
+func internKey(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[hdrSize+i*internEntry:])
+}
+func internChild(p []byte, i int) PageID {
+	return PageID(binary.LittleEndian.Uint32(p[hdrSize+i*internEntry+8:]))
+}
+func setIntern(p []byte, i int, k uint64, c PageID) {
+	binary.LittleEndian.PutUint64(p[hdrSize+i*internEntry:], k)
+	binary.LittleEndian.PutUint32(p[hdrSize+i*internEntry+8:], uint32(c))
+}
+
+// childFor returns the child page to follow for key k: the leftmost child
+// when k < key0, else the child of the last entry with key <= k.
+func childFor(p []byte, k uint64) PageID {
+	n := count(p)
+	lo, hi := 0, n // first entry with key > k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internKey(p, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return next(p) // leftmost child
+	}
+	return internChild(p, lo-1)
+}
+
+// leafSlot returns the position of k (found=true) or its insertion point.
+func leafSlot(p []byte, k uint64) (int, bool) {
+	n := count(p)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < n && leafKey(p, lo) == k
+}
+
+// Search returns the value for key k.
+func (t *BTree) Search(k uint64) (uint64, bool, error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return 0, false, err
+		}
+		p := fr.Data
+		if nodeType(p) == nodeLeaf {
+			slot, found := leafSlot(p, k)
+			var v uint64
+			if found {
+				v = leafVal(p, slot)
+			}
+			t.pool.Unpin(fr, false)
+			return v, found, nil
+		}
+		nextID := childFor(p, k)
+		t.pool.Unpin(fr, false)
+		id = nextID
+	}
+}
+
+// splitResult reports a child split to its parent.
+type splitResult struct {
+	midKey   uint64
+	newRight PageID
+	split    bool
+}
+
+// Insert stores (k, v), overwriting any existing value for k.
+func (t *BTree) Insert(k, v uint64) error {
+	res, err := t.insert(t.root, k, v)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		fr, err := t.pool.Alloc()
+		if err != nil {
+			return err
+		}
+		initNode(fr.Data, nodeInternal)
+		setNext(fr.Data, t.root)
+		setIntern(fr.Data, 0, res.midKey, res.newRight)
+		setCount(fr.Data, 1)
+		t.root = fr.ID
+		t.pool.Unpin(fr, true)
+	}
+	return nil
+}
+
+func (t *BTree) insert(id PageID, k, v uint64) (splitResult, error) {
+	fr, err := t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	p := fr.Data
+	if nodeType(p) == nodeLeaf {
+		slot, found := leafSlot(p, k)
+		if found {
+			setLeaf(p, slot, k, v)
+			t.pool.Unpin(fr, true)
+			return splitResult{}, nil
+		}
+		n := count(p)
+		if n < leafCap {
+			copy(p[hdrSize+(slot+1)*leafEntry:], p[hdrSize+slot*leafEntry:hdrSize+n*leafEntry])
+			setLeaf(p, slot, k, v)
+			setCount(p, n+1)
+			t.size++
+			t.pool.Unpin(fr, true)
+			return splitResult{}, nil
+		}
+		// Split the leaf.
+		right, err := t.pool.Alloc()
+		if err != nil {
+			t.pool.Unpin(fr, false)
+			return splitResult{}, err
+		}
+		initNode(right.Data, nodeLeaf)
+		half := n / 2
+		moved := n - half
+		copy(right.Data[hdrSize:], p[hdrSize+half*leafEntry:hdrSize+n*leafEntry])
+		setCount(right.Data, moved)
+		setCount(p, half)
+		setNext(right.Data, next(p))
+		setNext(p, right.ID)
+		// Insert into the proper half.
+		if k >= leafKey(right.Data, 0) {
+			slot, _ := leafSlot(right.Data, k)
+			nr := count(right.Data)
+			copy(right.Data[hdrSize+(slot+1)*leafEntry:], right.Data[hdrSize+slot*leafEntry:hdrSize+nr*leafEntry])
+			setLeaf(right.Data, slot, k, v)
+			setCount(right.Data, nr+1)
+		} else {
+			slot, _ := leafSlot(p, k)
+			nl := count(p)
+			copy(p[hdrSize+(slot+1)*leafEntry:], p[hdrSize+slot*leafEntry:hdrSize+nl*leafEntry])
+			setLeaf(p, slot, k, v)
+			setCount(p, nl+1)
+		}
+		t.size++
+		res := splitResult{midKey: leafKey(right.Data, 0), newRight: right.ID, split: true}
+		t.pool.Unpin(right, true)
+		t.pool.Unpin(fr, true)
+		return res, nil
+	}
+
+	// Internal node.
+	child := childFor(p, k)
+	t.pool.Unpin(fr, false)
+	res, err := t.insert(child, k, v)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+	// Re-pin to add the separator.
+	fr, err = t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	p = fr.Data
+	n := count(p)
+	// Find insertion slot for midKey.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internKey(p, mid) < res.midKey {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if n < internCap {
+		copy(p[hdrSize+(lo+1)*internEntry:], p[hdrSize+lo*internEntry:hdrSize+n*internEntry])
+		setIntern(p, lo, res.midKey, res.newRight)
+		setCount(p, n+1)
+		t.pool.Unpin(fr, true)
+		return splitResult{}, nil
+	}
+	// Split the internal node.
+	right, err := t.pool.Alloc()
+	if err != nil {
+		t.pool.Unpin(fr, false)
+		return splitResult{}, err
+	}
+	initNode(right.Data, nodeInternal)
+	// Entries: current n entries plus the new one, conceptually merged.
+	type entry struct {
+		k uint64
+		c PageID
+	}
+	all := make([]entry, 0, n+1)
+	for i := 0; i < n; i++ {
+		all = append(all, entry{internKey(p, i), internChild(p, i)})
+	}
+	all = append(all[:lo], append([]entry{{res.midKey, res.newRight}}, all[lo:]...)...)
+	mid := len(all) / 2
+	up := all[mid]
+	// Left keeps entries [0, mid), right gets (mid, end]; up.k moves up.
+	setCount(p, 0)
+	for i := 0; i < mid; i++ {
+		setIntern(p, i, all[i].k, all[i].c)
+	}
+	setCount(p, mid)
+	setNext(right.Data, up.c) // leftmost child of right node
+	cnt := 0
+	for i := mid + 1; i < len(all); i++ {
+		setIntern(right.Data, cnt, all[i].k, all[i].c)
+		cnt++
+	}
+	setCount(right.Data, cnt)
+	out := splitResult{midKey: up.k, newRight: right.ID, split: true}
+	t.pool.Unpin(right, true)
+	t.pool.Unpin(fr, true)
+	return out, nil
+}
+
+// Delete removes key k. It reports whether the key existed. Leaves are not
+// rebalanced (lazy delete).
+func (t *BTree) Delete(k uint64) (bool, error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return false, err
+		}
+		p := fr.Data
+		if nodeType(p) == nodeLeaf {
+			slot, found := leafSlot(p, k)
+			if !found {
+				t.pool.Unpin(fr, false)
+				return false, nil
+			}
+			n := count(p)
+			copy(p[hdrSize+slot*leafEntry:], p[hdrSize+(slot+1)*leafEntry:hdrSize+n*leafEntry])
+			setCount(p, n-1)
+			t.size--
+			t.pool.Unpin(fr, true)
+			return true, nil
+		}
+		nextID := childFor(p, k)
+		t.pool.Unpin(fr, false)
+		id = nextID
+	}
+}
+
+// RangeScan calls fn for every (k,v) with lo <= k <= hi in ascending key
+// order; fn returning false stops the scan early.
+func (t *BTree) RangeScan(lo, hi uint64, fn func(k, v uint64) bool) error {
+	// Descend to the leaf containing lo.
+	id := t.root
+	for {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := fr.Data
+		if nodeType(p) == nodeLeaf {
+			t.pool.Unpin(fr, false)
+			break
+		}
+		nextID := childFor(p, lo)
+		t.pool.Unpin(fr, false)
+		id = nextID
+	}
+	// Walk leaf chain.
+	for id != InvalidPage {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := fr.Data
+		n := count(p)
+		start, _ := leafSlot(p, lo)
+		for i := start; i < n; i++ {
+			k := leafKey(p, i)
+			if k > hi {
+				t.pool.Unpin(fr, false)
+				return nil
+			}
+			if !fn(k, leafVal(p, i)) {
+				t.pool.Unpin(fr, false)
+				return nil
+			}
+		}
+		nextID := next(p)
+		t.pool.Unpin(fr, false)
+		id = nextID
+	}
+	return nil
+}
+
+// Validate walks the whole tree checking structural invariants (key order,
+// counts within capacity). Intended for tests.
+func (t *BTree) Validate() error {
+	return t.validate(t.root, 0, ^uint64(0))
+}
+
+func (t *BTree) validate(id PageID, lo, hi uint64) error {
+	fr, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	defer t.pool.Unpin(fr, false)
+	p := fr.Data
+	n := count(p)
+	if nodeType(p) == nodeLeaf {
+		if n > leafCap {
+			return fmt.Errorf("btree: leaf %d overfull (%d)", id, n)
+		}
+		for i := 0; i < n; i++ {
+			k := leafKey(p, i)
+			if k < lo || k > hi {
+				return fmt.Errorf("btree: leaf %d key %d outside [%d,%d]", id, k, lo, hi)
+			}
+			if i > 0 && leafKey(p, i-1) >= k {
+				return fmt.Errorf("btree: leaf %d keys out of order", id)
+			}
+		}
+		return nil
+	}
+	if n > internCap || n < 1 {
+		return fmt.Errorf("btree: internal %d bad count %d", id, n)
+	}
+	prev := lo
+	child := next(p)
+	for i := 0; i <= n; i++ {
+		var upper uint64
+		if i < n {
+			upper = internKey(p, i) - 1
+		} else {
+			upper = hi
+		}
+		if err := t.validate(child, prev, upper); err != nil {
+			return err
+		}
+		if i < n {
+			prev = internKey(p, i)
+			child = internChild(p, i)
+		}
+	}
+	return nil
+}

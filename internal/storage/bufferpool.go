@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats counts buffer-pool activity. Accesses is the paper's "number of
+// disk pages accessed" metric (logical page reads requested by queries);
+// Misses are the subset that had to hit the page file.
+type Stats struct {
+	Accesses  int64
+	Misses    int64
+	Evictions int64
+	Writes    int64
+}
+
+// Frame is a pinned page in the buffer pool. Data is valid until Unpin.
+type Frame struct {
+	ID    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// BufferPool caches pages with LRU replacement. Pinned pages are never
+// evicted. Not safe for concurrent use (queries in this library are
+// single-threaded, as in the paper's experiments).
+type BufferPool struct {
+	file     PageFile
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently used; holds unpinned frames
+	stats    Stats
+}
+
+// NewBufferPool wraps file with a pool of the given capacity (pages).
+func NewBufferPool(file PageFile, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("storage: buffer pool capacity %d", capacity))
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+
+// Alloc allocates a fresh page and returns it pinned.
+func (bp *BufferPool) Alloc() (*Frame, error) {
+	id, err := bp.file.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.makeRoom(); err != nil {
+		return nil, err
+	}
+	fr := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1, dirty: true}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+// Get returns the page pinned, fetching it from the file on a miss.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.stats.Accesses++
+	if fr, ok := bp.frames[id]; ok {
+		if fr.pins == 0 && fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return fr, nil
+	}
+	bp.stats.Misses++
+	if err := bp.makeRoom(); err != nil {
+		return nil, err
+	}
+	fr := &Frame{ID: id, Data: make([]byte, PageSize), pins: 1}
+	if err := bp.file.ReadPage(id, fr.Data); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin; dirty marks the page for write-back.
+func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {
+	if fr.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", fr.ID))
+	}
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(fr)
+	}
+}
+
+// makeRoom evicts the least recently used unpinned frame if the pool is at
+// capacity.
+func (bp *BufferPool) makeRoom() error {
+	for len(bp.frames) >= bp.capacity {
+		back := bp.lru.Back()
+		if back == nil {
+			return fmt.Errorf("storage: buffer pool full with all %d pages pinned", len(bp.frames))
+		}
+		victim := back.Value.(*Frame)
+		bp.lru.Remove(back)
+		victim.elem = nil
+		if victim.dirty {
+			if err := bp.file.WritePage(victim.ID, victim.Data); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+		}
+		delete(bp.frames, victim.ID)
+		bp.stats.Evictions++
+	}
+	return nil
+}
+
+// Flush writes every dirty cached page back to the file.
+func (bp *BufferPool) Flush() error {
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.file.WritePage(fr.ID, fr.Data); err != nil {
+				return err
+			}
+			fr.dirty = false
+			bp.stats.Writes++
+		}
+	}
+	return nil
+}
+
+// PinnedCount reports how many frames are currently pinned (testing aid).
+func (bp *BufferPool) PinnedCount() int {
+	n := 0
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

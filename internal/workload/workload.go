@@ -1,0 +1,75 @@
+// Package workload generates the experimental workloads of the paper:
+// object points uniformly distributed on the terrain surface with a chosen
+// density (objects per km²) and query points, all reproducible by seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// Object is a data point lying on the terrain surface.
+type Object struct {
+	ID    int64
+	Point mesh.SurfacePoint
+}
+
+// UniformObjects places density·areaKm² objects uniformly at random on the
+// surface (positions uniform in the (x,y) projection, lifted to the
+// surface), mirroring §5.1: "The object points are uniformly distributed on
+// the surface with varying object density 1 <= o <= 10".
+func UniformObjects(m *mesh.Mesh, loc *mesh.Locator, densityPerKm2 float64, seed int64) ([]Object, error) {
+	ext := m.Extent()
+	areaKm2 := ext.Width() * ext.Height() / 1e6
+	n := int(densityPerKm2*areaKm2 + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return RandomObjects(m, loc, n, seed)
+}
+
+// RandomObjects places exactly n objects uniformly at random on the surface.
+func RandomObjects(m *mesh.Mesh, loc *mesh.Locator, n int, seed int64) ([]Object, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ext := m.Extent()
+	objs := make([]Object, 0, n)
+	for len(objs) < n {
+		p := geom.Vec2{
+			X: ext.MinX + rng.Float64()*ext.Width(),
+			Y: ext.MinY + rng.Float64()*ext.Height(),
+		}
+		sp, err := mesh.MakeSurfacePoint(m, loc, p)
+		if err != nil {
+			continue // numerical boundary case: resample
+		}
+		objs = append(objs, Object{ID: int64(len(objs)), Point: sp})
+	}
+	return objs, nil
+}
+
+// RandomQueries returns n query points uniformly distributed on the
+// surface, kept away from the boundary by the given margin so that search
+// regions are meaningful.
+func RandomQueries(m *mesh.Mesh, loc *mesh.Locator, n int, margin float64, seed int64) ([]mesh.SurfacePoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ext := m.Extent()
+	if 2*margin >= ext.Width() || 2*margin >= ext.Height() {
+		return nil, fmt.Errorf("workload: margin %g too large for extent %v", margin, ext)
+	}
+	out := make([]mesh.SurfacePoint, 0, n)
+	for len(out) < n {
+		p := geom.Vec2{
+			X: ext.MinX + margin + rng.Float64()*(ext.Width()-2*margin),
+			Y: ext.MinY + margin + rng.Float64()*(ext.Height()-2*margin),
+		}
+		sp, err := mesh.MakeSurfacePoint(m, loc, p)
+		if err != nil {
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/mesh"
+)
+
+func setup(t *testing.T) (*mesh.Mesh, *mesh.Locator) {
+	t.Helper()
+	m := mesh.FromGrid(dem.Synthesize(dem.EP, 16, 10, 3))
+	return m, mesh.NewLocator(m)
+}
+
+func TestUniformObjectsDensity(t *testing.T) {
+	m, loc := setup(t)
+	// 160 m x 160 m = 0.0256 km²; density 1000/km² → ~26 objects.
+	objs, err := UniformObjects(m, loc, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) < 20 || len(objs) > 32 {
+		t.Errorf("object count = %d, want ≈26", len(objs))
+	}
+	ext := m.Extent()
+	seen := map[int64]bool{}
+	for _, o := range objs {
+		if !ext.Contains(o.Point.XY()) {
+			t.Errorf("object %d outside extent: %v", o.ID, o.Point.Pos)
+		}
+		if seen[o.ID] {
+			t.Errorf("duplicate ID %d", o.ID)
+		}
+		seen[o.ID] = true
+		if o.Point.Face == mesh.NoFace {
+			t.Errorf("object %d has no face", o.ID)
+		}
+	}
+}
+
+func TestUniformObjectsMinimum(t *testing.T) {
+	m, loc := setup(t)
+	objs, err := UniformObjects(m, loc, 0.0001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Errorf("tiny density should still give 1 object, got %d", len(objs))
+	}
+}
+
+func TestRandomObjectsDeterministic(t *testing.T) {
+	m, loc := setup(t)
+	a, _ := RandomObjects(m, loc, 20, 7)
+	b, _ := RandomObjects(m, loc, 20, 7)
+	for i := range a {
+		if a[i].Point.Pos != b[i].Point.Pos {
+			t.Fatal("same seed must give identical objects")
+		}
+	}
+	c, _ := RandomObjects(m, loc, 20, 8)
+	if a[0].Point.Pos == c[0].Point.Pos {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomQueriesMargin(t *testing.T) {
+	m, loc := setup(t)
+	margin := 30.0
+	qs, err := RandomQueries(m, loc, 50, margin, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	ext := m.Extent()
+	for _, q := range qs {
+		p := q.XY()
+		if p.X < ext.MinX+margin || p.X > ext.MaxX-margin ||
+			p.Y < ext.MinY+margin || p.Y > ext.MaxY-margin {
+			t.Errorf("query %v violates margin", p)
+		}
+	}
+	// Margin too large errors.
+	if _, err := RandomQueries(m, loc, 1, 1000, 9); err == nil {
+		t.Error("oversized margin should error")
+	}
+}

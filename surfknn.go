@@ -1,0 +1,169 @@
+// Package surfknn answers k-nearest-neighbour queries over terrain
+// surfaces where distance is measured along the surface, implementing
+// "Surface k-NN Query Processing" (Deng, Zhou, Shen, Xu, Lin — ICDE 2006).
+//
+// The workflow is: synthesize or load a terrain grid, triangulate it, build
+// a TerrainDB (which derives the paper's DMTM and MSDN multiresolution
+// structures and the paged stores), install objects, and query:
+//
+//	grid    := surfknn.Synthesize(surfknn.BH, 64, 50, 42)
+//	surface := surfknn.FromGrid(grid)
+//	db, _   := surfknn.BuildTerrainDB(surface, surfknn.Config{})
+//	objs, _ := surfknn.RandomObjects(surface, db.Loc, 100, 7)
+//	db.SetObjects(objs)
+//	q, _    := db.SurfacePointAt(surfknn.Vec2{X: 800, Y: 800})
+//	res, _  := db.MR3(q, 5, surfknn.S1, surfknn.Options{})
+//
+// This file is the public facade over the implementation packages in
+// internal/; the aliases below are the supported API surface.
+package surfknn
+
+import (
+	"io"
+
+	"surfknn/internal/core"
+	"surfknn/internal/dem"
+	"surfknn/internal/geodesic"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/pathnet"
+	"surfknn/internal/workload"
+)
+
+// Geometry primitives.
+type (
+	// Vec2 is a point in the (x,y) plane.
+	Vec2 = geom.Vec2
+	// Vec3 is a point in space; Z is elevation.
+	Vec3 = geom.Vec3
+	// MBR is an axis-aligned rectangle in the (x,y) plane.
+	MBR = geom.MBR
+)
+
+// Terrain data.
+type (
+	// Grid is a regular elevation grid (the DEM).
+	Grid = dem.Grid
+	// Preset selects a synthetic terrain character.
+	Preset = dem.Preset
+	// Mesh is the triangulated terrain surface.
+	Mesh = mesh.Mesh
+	// SurfacePoint is a point on the surface with its containing face.
+	SurfacePoint = mesh.SurfacePoint
+)
+
+// Synthetic terrain presets calibrated after the paper's two datasets.
+var (
+	// BH is the rugged preset (Bearhead Mountain stand-in).
+	BH = dem.BH
+	// EP is the smooth preset (Eagle Peak stand-in).
+	EP = dem.EP
+)
+
+// Synthesize generates a deterministic synthetic terrain: a (size+1)²
+// sample grid (size must be a power of two) spaced cellSize metres apart.
+func Synthesize(p Preset, size int, cellSize float64, seed int64) *Grid {
+	return dem.Synthesize(p, size, cellSize, seed)
+}
+
+// ReadGridFile loads a terrain written by (*Grid).WriteFile or cmd/skgen.
+func ReadGridFile(path string) (*Grid, error) { return dem.ReadFile(path) }
+
+// FromGrid triangulates an elevation grid into a surface mesh.
+func FromGrid(g *Grid) *Mesh { return mesh.FromGrid(g) }
+
+// Query engine.
+type (
+	// TerrainDB bundles a surface with every structure sk-NN queries need.
+	TerrainDB = core.TerrainDB
+	// Config tunes TerrainDB construction (pathnet level, buffer pool,
+	// simulated page cost). The zero value uses the paper's settings.
+	Config = core.Config
+	// Options tunes query execution; the zero value enables every paper
+	// optimisation.
+	Options = core.Options
+	// Schedule is a resolution step-length schedule (§5.3).
+	Schedule = core.Schedule
+	// Result is a query result with cost metrics.
+	Result = core.Result
+	// Neighbor is one result entry with its distance range.
+	Neighbor = core.Neighbor
+	// Object is an indexed data point on the surface.
+	Object = workload.Object
+)
+
+// The paper's three step-length schedules.
+var (
+	// S1 walks every resolution level (most I/O, tightest refinement).
+	S1 = core.S1
+	// S2 skips every other level.
+	S2 = core.S2
+	// S3 jumps almost directly to full resolution (fewest iterations).
+	S3 = core.S3
+)
+
+// BuildTerrainDB derives the DMTM, MSDN and paged stores from a surface —
+// the paper's offline preprocessing step.
+func BuildTerrainDB(m *Mesh, cfg Config) (*TerrainDB, error) {
+	return core.BuildTerrainDB(m, cfg)
+}
+
+// LoadTerrainDB reads a snapshot written by (*TerrainDB).SaveFile.
+func LoadTerrainDB(path string, cfg Config) (*TerrainDB, error) {
+	return core.LoadFile(path, cfg)
+}
+
+// RandomObjects places n objects uniformly at random on the surface.
+func RandomObjects(m *Mesh, loc *mesh.Locator, n int, seed int64) ([]Object, error) {
+	return workload.RandomObjects(m, loc, n, seed)
+}
+
+// UniformObjects places objects with the given density (objects per km²).
+func UniformObjects(m *Mesh, loc *mesh.Locator, densityPerKm2 float64, seed int64) ([]Object, error) {
+	return workload.UniformObjects(m, loc, densityPerKm2, seed)
+}
+
+// Surface distances outside the query engine.
+
+// ExactDistance computes the exact geodesic distance between two surface
+// points (Chen–Han-style window propagation). Exponentially more expensive
+// than the query engine's bounds — intended for small meshes and ground
+// truth.
+func ExactDistance(m *Mesh, a, b SurfacePoint) float64 {
+	return geodesic.Distance(m, a, b)
+}
+
+// Refiner computes approximate surface distances by Kanai–Suzuki selective
+// refinement (the paper's EA distance computation).
+type Refiner = pathnet.Refiner
+
+// NewRefiner creates a refiner for the mesh with the paper's 3% tolerance.
+func NewRefiner(m *Mesh, loc *mesh.Locator) *Refiner {
+	return pathnet.NewRefiner(m, loc)
+}
+
+// Constrained traversal (the paper's §6 obstacle-constraint future work).
+type (
+	// FaceMask marks terrain faces as traversable.
+	FaceMask = core.FaceMask
+	// DistanceRange brackets a surface distance with its accuracy.
+	DistanceRange = core.DistanceRange
+)
+
+// SlopeMask admits faces no steeper than maxSlopeDeg (rover stability).
+func SlopeMask(m *Mesh, maxSlopeDeg float64) FaceMask {
+	return core.SlopeMask(m, maxSlopeDeg)
+}
+
+// RegionMask blocks faces whose centroids fall inside the obstacle
+// rectangles.
+func RegionMask(m *Mesh, obstacles []MBR) FaceMask {
+	return core.RegionMask(m, obstacles)
+}
+
+// AndMask combines masks conjunctively.
+func AndMask(masks ...FaceMask) FaceMask { return core.AndMask(masks...) }
+
+// ReadArcGrid parses an Esri ASCII grid (.asc) DEM — the interchange format
+// for real USGS-style elevation data.
+func ReadArcGrid(r io.Reader) (*Grid, error) { return dem.ReadArcGrid(r) }
