@@ -48,6 +48,10 @@ func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float
 		if dmRes >= PathnetResolution {
 			ub = db.Path.DistanceWithin(a, b, region)
 			if math.IsInf(ub, 1) {
+				// Region clipped every path; retry unclipped. The discarded
+				// second result is the path polyline, not an error — truly
+				// disconnected points keep UB = +Inf, which the final check
+				// below turns into an explicit error.
 				ub, _ = db.Path.Distance(a, b)
 			}
 			// The pathnet level is the reference metric: collapse the range.

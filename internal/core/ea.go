@@ -46,23 +46,33 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 	}
 	var top []scored
 	kth := math.Inf(1)
-	distFull := func(o workload.Object, bound float64) float64 {
+	distFull := func(o workload.Object, bound float64) (float64, error) {
 		region := db.Mesh.Extent()
 		if !math.IsInf(bound, 1) {
 			if m := geom.NewEllipse(q.XY(), o.Point.XY(), bound).MBR(); !m.IsEmpty() {
 				region = m
 			}
 		}
-		// Full-resolution terrain fetch for the search region.
-		ids, _ := db.fetchDMTM(region, 0)
-		_ = ids
-		_, _ = db.fetchSDN(region, fullLevel)
+		// Full-resolution terrain fetch for the search region. A failed
+		// fetch must abort the query: pretending it succeeded would let an
+		// unpaid I/O bill produce a distance that looks valid.
+		if _, err := db.fetchDMTM(region, 0); err != nil {
+			return 0, fmt.Errorf("core: EA terrain fetch: %w", err)
+		}
+		if _, err := db.fetchSDN(region, fullLevel); err != nil {
+			return 0, fmt.Errorf("core: EA SDN fetch: %w", err)
+		}
 		met.UpperBounds++
 		d := db.Path.DistanceWithin(q, o.Point, region)
 		if math.IsInf(d, 1) {
+			// The ellipse clipped every path; retry on the unclipped
+			// network. The discarded second result is the path polyline,
+			// not an error — if no path exists at all, the +Inf distance
+			// propagates to the bound check below instead of masquerading
+			// as a finite bound.
 			d, _ = db.Path.Distance(q, o.Point)
 		}
-		return d
+		return d, nil
 	}
 	push := func(o workload.Object, d float64) {
 		top = append(top, scored{o, d})
@@ -75,7 +85,11 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		}
 	}
 	for _, o := range c1 {
-		push(o, distFull(o, kth))
+		d, err := distFull(o, kth)
+		if err != nil {
+			return Result{}, err
+		}
+		push(o, d)
 	}
 	if math.IsInf(kth, 1) {
 		return Result{}, fmt.Errorf("core: could not bound the %d-th neighbour", k)
@@ -105,11 +119,17 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		}
 		met.LowerBounds++
 		lb := db.MSDN.LowerBound(q.Pos, o.Point.Pos, region, 1.0)
-		_, _ = db.fetchSDN(region, fullLevel)
+		if _, err := db.fetchSDN(region, fullLevel); err != nil {
+			return Result{}, fmt.Errorf("core: EA SDN fetch: %w", err)
+		}
 		if lb.LB > kth {
 			continue // filtered: cannot beat the current k-th neighbour
 		}
-		push(o, distFull(o, kth))
+		d, err := distFull(o, kth)
+		if err != nil {
+			return Result{}, err
+		}
+		push(o, d)
 	}
 
 	out := make([]Neighbor, len(top))

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/workload"
+)
+
+// Native fuzz targets. CI runs each for a few seconds as a smoke pass
+// (scripts/check.sh); longer local runs dig deeper:
+//
+//	go test ./internal/core -run='^$' -fuzz=FuzzLoadSnapshot -fuzztime=60s
+
+// fuzzDB lazily builds one small terrain database shared by the
+// query-invariant fuzz targets (building per-input would drown the fuzzer
+// in setup cost).
+var fuzzDB struct {
+	once sync.Once
+	db   *TerrainDB
+	err  error
+}
+
+func getFuzzDB(t *testing.T) *TerrainDB {
+	fuzzDB.once.Do(func() {
+		m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 42))
+		db, err := BuildTerrainDB(m, Config{})
+		if err != nil {
+			fuzzDB.err = err
+			return
+		}
+		objs, err := workload.RandomObjects(m, db.Loc, 12, 7)
+		if err != nil {
+			fuzzDB.err = err
+			return
+		}
+		db.SetObjects(objs)
+		fuzzDB.db = db
+	})
+	if fuzzDB.err != nil {
+		t.Fatal(fuzzDB.err)
+	}
+	return fuzzDB.db
+}
+
+// FuzzLoadSnapshot feeds arbitrary bytes to the snapshot loader. The
+// contract under fuzzing: never panic, never allocate unboundedly from a
+// forged header, and either return an error or a structurally valid
+// database. This is the robustness gate for the persistence layer, whose
+// silent corruption would poison every bound computed from the loaded
+// structures.
+func FuzzLoadSnapshot(f *testing.F) {
+	// Seed with a genuine snapshot so mutations explore deep parse paths.
+	// A 4x4 grid keeps the seed small (~15 KB): input minimisation re-runs
+	// the loader thousands of times per interesting input, so seed size
+	// directly bounds fuzzing throughput.
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 4, 10, 42))
+	db, err := BuildTerrainDB(m, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	objs, err := workload.RandomObjects(m, db.Loc, 5, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	db.SetObjects(objs)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:16])
+	f.Add([]byte("SKNNDB02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data), Config{})
+		if err != nil {
+			return
+		}
+		// A snapshot the loader accepted must be structurally sound.
+		if db.Mesh == nil || db.Mesh.NumVerts() < 3 {
+			t.Fatalf("accepted snapshot produced invalid mesh")
+		}
+		if err := db.Tree.Validate(); err != nil {
+			t.Fatalf("accepted snapshot fails tree validation: %v", err)
+		}
+	})
+}
+
+// FuzzMR3Invariants drives MR3 from fuzzer-chosen query positions and k,
+// checking the paper's §4 invariants on every answer: the result has
+// exactly min(k, n) entries, each range satisfies LB <= UB, results are
+// ranked by UB, and the k-set agrees with brute force under the reference
+// metric. This is the bound-correctness guarantee the whole pruning
+// argument rests on.
+func FuzzMR3Invariants(f *testing.F) {
+	f.Add(0.3, 0.7, uint8(3))
+	f.Add(0.0, 0.0, uint8(1))
+	f.Add(0.99, 0.01, uint8(12))
+	f.Fuzz(func(t *testing.T, fx, fy float64, kraw uint8) {
+		db := getFuzzDB(t)
+		q, ok := fuzzQueryPoint(db, fx, fy)
+		if !ok {
+			t.Skip("degenerate query position")
+		}
+		n := len(db.Objects())
+		k := 1 + int(kraw)%n
+		res, err := db.MR3(q, k, S2, Options{})
+		if err != nil {
+			t.Fatalf("MR3(%v, k=%d): %v", q.Pos, k, err)
+		}
+		if len(res.Neighbors) != k {
+			t.Fatalf("got %d neighbours, want %d", len(res.Neighbors), k)
+		}
+		prev := math.Inf(-1)
+		for i, nb := range res.Neighbors {
+			if nb.LB > nb.UB*(1+1e-9)+1e-9 {
+				t.Fatalf("neighbour %d: LB %v exceeds UB %v", i, nb.LB, nb.UB)
+			}
+			if nb.UB < prev {
+				t.Fatalf("neighbour %d: results not ranked by UB (%v after %v)", i, nb.UB, prev)
+			}
+			prev = nb.UB
+		}
+		sameKSet(t, db, q, res.Neighbors, k)
+	})
+}
+
+// FuzzDistanceRangeInvariants checks DistanceWithAccuracy's contract from
+// fuzzer-chosen point pairs: the returned range brackets sanely
+// (Euclidean floor <= LB <= UB) and meets the requested accuracy when it
+// reports success. LB monotonicity across iterations is internal, but a
+// violated ladder shows up here as LB > UB or accuracy above 1.
+func FuzzDistanceRangeInvariants(f *testing.F) {
+	f.Add(0.1, 0.2, 0.8, 0.9, 0.7)
+	f.Add(0.5, 0.5, 0.51, 0.52, 0.95)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, acc float64) {
+		db := getFuzzDB(t)
+		a, okA := fuzzQueryPoint(db, ax, ay)
+		b, okB := fuzzQueryPoint(db, bx, by)
+		if !okA || !okB {
+			t.Skip("degenerate positions")
+		}
+		if math.IsNaN(acc) {
+			t.Skip("NaN accuracy is rejected by validation")
+		}
+		accuracy := 0.05 + 0.9*clamp01(acc)
+		out, err := db.DistanceWithAccuracy(a, b, accuracy, S2)
+		if err != nil {
+			return // disconnected points are a legal error outcome
+		}
+		euclid := a.Pos.Dist(b.Pos)
+		if out.LB < euclid*(1-1e-9)-1e-9 {
+			t.Fatalf("LB %v below Euclidean floor %v", out.LB, euclid)
+		}
+		if out.LB > out.UB*(1+1e-9)+1e-9 {
+			t.Fatalf("range inverted: LB %v > UB %v", out.LB, out.UB)
+		}
+		if out.Accuracy > 1+1e-9 {
+			t.Fatalf("accuracy %v above 1", out.Accuracy)
+		}
+	})
+}
+
+// fuzzQueryPoint maps two arbitrary floats onto a surface point inside the
+// terrain extent.
+func fuzzQueryPoint(db *TerrainDB, fx, fy float64) (mesh.SurfacePoint, bool) {
+	if math.IsNaN(fx) || math.IsNaN(fy) {
+		return mesh.SurfacePoint{}, false
+	}
+	ext := db.Mesh.Extent()
+	p := geom.Vec2{
+		X: ext.MinX + clamp01(fx)*ext.Width(),
+		Y: ext.MinY + clamp01(fy)*ext.Height(),
+	}
+	q, err := db.SurfacePointAt(p)
+	if err != nil {
+		return mesh.SurfacePoint{}, false
+	}
+	return q, true
+}
+
+// clamp01 folds an arbitrary finite float into [0, 1].
+func clamp01(v float64) float64 {
+	v = math.Abs(math.Mod(v, 1))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0.5
+	}
+	return v
+}

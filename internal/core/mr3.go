@@ -45,7 +45,10 @@ func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options
 	objs1 := db.itemsToObjects(c1)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
-	ranked := db.rank(q, objs1, k, sched, opt, &met, true)
+	ranked, err := db.rank(q, objs1, k, sched, opt, &met, true)
+	if err != nil {
+		return Result{}, err
+	}
 	radius := kthUB(ranked, k)
 	if math.IsInf(radius, 1) {
 		return Result{}, fmt.Errorf("core: could not bound the %d-th neighbour", k)
@@ -56,7 +59,10 @@ func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options
 	objs2 := db.itemsToObjects(c2)
 
 	// Step 4: rank C2 until the k-set is determined.
-	final := db.rank(q, objs2, k, sched, opt, &met, false)
+	final, err := db.rank(q, objs2, k, sched, opt, &met, false)
+	if err != nil {
+		return Result{}, err
+	}
 
 	met.CPU = time.Since(start)
 	met.Pages = db.PagesAccessed()

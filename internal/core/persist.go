@@ -3,7 +3,9 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -15,27 +17,52 @@ import (
 	"surfknn/internal/workload"
 )
 
+// ErrBadSnapshot marks structural-validation failures while loading a
+// snapshot (bad magic, implausible counts, inconsistent tree shape) as
+// opposed to plain read errors. Callers distinguish a corrupt file from a
+// truncated stream with errors.Is(err, core.ErrBadSnapshot).
+var ErrBadSnapshot = errors.New("bad snapshot")
+
 // Persistence: a TerrainDB snapshot holds the mesh, the DDM tree, the MSDN
 // and (optionally) the object set. The pathnet and the paged stores are
 // deterministic derivations and are rebuilt on load, which keeps snapshots
 // compact while reproducing identical query behaviour. All integers and
-// floats are little-endian; the format is versioned.
+// floats are little-endian; the format is versioned, and the body is
+// followed by a CRC-32C footer so a flipped bit in float payload (which no
+// structural check can see) fails loudly instead of skewing every distance
+// bound computed from the loaded structures.
 
-var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '1'}
+var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '2'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type persistWriter struct {
 	w   *bufio.Writer
+	crc uint32
 	err error
+	buf [8]byte
+}
+
+// write sends raw bytes and folds them into the running checksum.
+func (p *persistWriter) write(b []byte) {
+	if p.err != nil {
+		return
+	}
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+		return
+	}
+	p.crc = crc32.Update(p.crc, crcTable, b)
 }
 
 func (p *persistWriter) u32(v uint32) {
-	if p.err == nil {
-		p.err = binary.Write(p.w, binary.LittleEndian, v)
-	}
+	binary.LittleEndian.PutUint32(p.buf[:4], v)
+	p.write(p.buf[:4])
 }
 func (p *persistWriter) i32(v int32) { p.u32(uint32(v)) }
 func (p *persistWriter) u64(v uint64) {
-	p.err = firstErr(p.err, binary.Write(p.w, binary.LittleEndian, v))
+	binary.LittleEndian.PutUint64(p.buf[:8], v)
+	p.write(p.buf[:8])
 }
 func (p *persistWriter) f64(v float64) { p.u64(math.Float64bits(v)) }
 func (p *persistWriter) vec3(v geom.Vec3) {
@@ -52,23 +79,37 @@ func (p *persistWriter) mbr(m geom.MBR) {
 
 type persistReader struct {
 	r   *bufio.Reader
+	crc uint32
 	err error
+	buf [8]byte
+}
+
+// read fills b and folds it into the running checksum; the final footer is
+// read outside this path so it does not hash itself.
+func (p *persistReader) read(b []byte) bool {
+	if p.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(p.r, b); err != nil {
+		p.err = err
+		return false
+	}
+	p.crc = crc32.Update(p.crc, crcTable, b)
+	return true
 }
 
 func (p *persistReader) u32() uint32 {
-	var v uint32
-	if p.err == nil {
-		p.err = binary.Read(p.r, binary.LittleEndian, &v)
+	if !p.read(p.buf[:4]) {
+		return 0
 	}
-	return v
+	return binary.LittleEndian.Uint32(p.buf[:4])
 }
 func (p *persistReader) i32() int32 { return int32(p.u32()) }
 func (p *persistReader) u64() uint64 {
-	var v uint64
-	if p.err == nil {
-		p.err = binary.Read(p.r, binary.LittleEndian, &v)
+	if !p.read(p.buf[:8]) {
+		return 0
 	}
-	return v
+	return binary.LittleEndian.Uint64(p.buf[:8])
 }
 func (p *persistReader) f64() float64 { return math.Float64frombits(p.u64()) }
 func (p *persistReader) vec3() geom.Vec3 {
@@ -78,20 +119,22 @@ func (p *persistReader) mbr() geom.MBR {
 	return geom.MBR{MinX: p.f64(), MinY: p.f64(), MaxX: p.f64(), MaxY: p.f64()}
 }
 
-func firstErr(a, b error) error {
-	if a != nil {
-		return a
+// clampCap bounds the initial capacity of count-prefixed slices read from
+// untrusted snapshots: the slice still grows to the true count via append,
+// but a forged header can no longer demand gigabytes up front.
+func clampCap(n int) int {
+	const maxInitial = 1 << 16
+	if n > maxInitial {
+		return maxInitial
 	}
-	return b
+	return n
 }
 
 // Save writes a snapshot of the terrain database (including the installed
 // objects, if any) to w.
 func (db *TerrainDB) Save(w io.Writer) error {
 	pw := &persistWriter{w: bufio.NewWriter(w)}
-	if _, err := pw.w.Write(dbMagic[:]); err != nil {
-		return fmt.Errorf("core: save: %w", err)
-	}
+	pw.write(dbMagic[:])
 
 	// Mesh.
 	m := db.Mesh
@@ -158,6 +201,13 @@ func (db *TerrainDB) Save(w io.Writer) error {
 	if pw.err != nil {
 		return fmt.Errorf("core: save: %w", pw.err)
 	}
+	// Integrity footer: CRC-32C over everything written above (the footer
+	// itself is excluded).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], pw.crc)
+	if _, err := pw.w.Write(sum[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
 	return pw.w.Flush()
 }
 
@@ -168,30 +218,54 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	cfg = cfg.withDefaults()
 	pr := &persistReader{r: bufio.NewReader(r)}
 	var magic [8]byte
-	if _, err := io.ReadFull(pr.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+	if !pr.read(magic[:]) {
+		return nil, fmt.Errorf("core: load: %w", pr.err)
 	}
 	if magic != dbMagic {
-		return nil, fmt.Errorf("core: load: bad magic %q", magic)
+		return nil, fmt.Errorf("core: load: %w: magic %q", ErrBadSnapshot, magic)
 	}
+
+	// Counts are read from untrusted input: validate them against
+	// plausibility caps, and grow slices incrementally with a bounded
+	// initial capacity so a forged header cannot demand a huge allocation
+	// before the stream runs dry (each loop bails on the first read error).
 
 	// Mesh.
 	nv := int(pr.u32())
-	if pr.err != nil || nv < 3 || nv > 1<<28 {
-		return nil, fmt.Errorf("core: load: implausible vertex count %d (%v)", nv, pr.err)
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: vertex count: %w", pr.err)
 	}
-	verts := make([]geom.Vec3, nv)
-	for i := range verts {
-		verts[i] = pr.vec3()
+	if nv < 3 || nv > 1<<28 {
+		return nil, fmt.Errorf("core: load: %w: implausible vertex count %d", ErrBadSnapshot, nv)
+	}
+	verts := make([]geom.Vec3, 0, clampCap(nv))
+	for i := 0; i < nv; i++ {
+		verts = append(verts, pr.vec3())
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: vertices: %w", pr.err)
+		}
 	}
 	nf := int(pr.u32())
-	if pr.err != nil || nf < 1 || nf > 1<<29 {
-		return nil, fmt.Errorf("core: load: implausible face count %d (%v)", nf, pr.err)
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: face count: %w", pr.err)
 	}
-	faces := make([][3]mesh.VertexID, nf)
-	for i := range faces {
-		faces[i] = [3]mesh.VertexID{
+	if nf < 1 || nf > 1<<29 {
+		return nil, fmt.Errorf("core: load: %w: implausible face count %d", ErrBadSnapshot, nf)
+	}
+	faces := make([][3]mesh.VertexID, 0, clampCap(nf))
+	for i := 0; i < nf; i++ {
+		faces = append(faces, [3]mesh.VertexID{
 			mesh.VertexID(pr.i32()), mesh.VertexID(pr.i32()), mesh.VertexID(pr.i32()),
+		})
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: faces: %w", pr.err)
+		}
+	}
+	for _, f := range faces {
+		for _, v := range f {
+			if int(v) < 0 || int(v) >= nv {
+				return nil, fmt.Errorf("core: load: %w: face vertex %d outside [0,%d)", ErrBadSnapshot, v, nv)
+			}
 		}
 	}
 	m := mesh.New(verts, faces)
@@ -199,12 +273,15 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	// DDM tree.
 	tree := &multires.Tree{NumLeaves: int(pr.u32())}
 	nn := int(pr.u32())
-	if pr.err != nil || nn != 2*tree.NumLeaves-1 {
-		return nil, fmt.Errorf("core: load: node count %d for %d leaves (%v)", nn, tree.NumLeaves, pr.err)
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: tree header: %w", pr.err)
 	}
-	tree.Nodes = make([]multires.Node, nn)
-	for i := range tree.Nodes {
-		tree.Nodes[i] = multires.Node{
+	if tree.NumLeaves < 1 || tree.NumLeaves > 1<<28 || nn != 2*tree.NumLeaves-1 {
+		return nil, fmt.Errorf("core: load: %w: node count %d for %d leaves", ErrBadSnapshot, nn, tree.NumLeaves)
+	}
+	tree.Nodes = make([]multires.Node, 0, clampCap(nn))
+	for i := 0; i < nn; i++ {
+		tree.Nodes = append(tree.Nodes, multires.Node{
 			Parent: multires.NodeID(pr.i32()),
 			Left:   multires.NodeID(pr.i32()),
 			Right:  multires.NodeID(pr.i32()),
@@ -216,48 +293,69 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 			Birth:  pr.i32(),
 			Death:  pr.i32(),
 			MBR:    pr.mbr(),
+		})
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: tree nodes: %w", pr.err)
 		}
 	}
 	ne := int(pr.u32())
-	tree.Edges = make([]multires.EdgeRec, ne)
-	for i := range tree.Edges {
-		tree.Edges[i] = multires.EdgeRec{
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: edge count: %w", pr.err)
+	}
+	if ne < 0 || ne > 1<<29 {
+		return nil, fmt.Errorf("core: load: %w: implausible edge count %d", ErrBadSnapshot, ne)
+	}
+	tree.Edges = make([]multires.EdgeRec, 0, clampCap(ne))
+	for i := 0; i < ne; i++ {
+		tree.Edges = append(tree.Edges, multires.EdgeRec{
 			U:     multires.NodeID(pr.i32()),
 			W:     multires.NodeID(pr.i32()),
 			D:     pr.f64(),
 			Birth: pr.i32(),
 			Death: pr.i32(),
+		})
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: tree edges: %w", pr.err)
 		}
 	}
 	tree.SetMaxTime(int32(tree.NumLeaves - 1))
-	if pr.err != nil {
-		return nil, fmt.Errorf("core: load: tree: %w", pr.err)
-	}
 	if err := tree.Validate(); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, fmt.Errorf("core: load: %w: %v", ErrBadSnapshot, err)
 	}
 
 	// MSDN.
 	ms := &sdn.MSDN{Spacing: pr.f64()}
 	for fam := 0; fam < 2; fam++ {
 		count := int(pr.u32())
-		lines := make([]*sdn.CrossLine, count)
-		for li := range lines {
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: MSDN header: %w", pr.err)
+		}
+		if count < 0 || count > 1<<24 {
+			return nil, fmt.Errorf("core: load: %w: implausible line count %d", ErrBadSnapshot, count)
+		}
+		lines := make([]*sdn.CrossLine, 0, clampCap(count))
+		for li := 0; li < count; li++ {
 			cl := &sdn.CrossLine{
 				Axis:  sdn.Axis(pr.u32()),
 				Coord: pr.f64(),
 			}
 			np := int(pr.u32())
-			if pr.err != nil || np > 1<<26 {
-				return nil, fmt.Errorf("core: load: implausible line size %d (%v)", np, pr.err)
+			if pr.err != nil {
+				return nil, fmt.Errorf("core: load: cross-line header: %w", pr.err)
 			}
-			cl.Pts = make([]geom.Vec3, np)
-			cl.Rank = make([]int, np)
+			if np < 0 || np > 1<<26 {
+				return nil, fmt.Errorf("core: load: %w: implausible line size %d", ErrBadSnapshot, np)
+			}
+			cl.Pts = make([]geom.Vec3, 0, clampCap(np))
+			cl.Rank = make([]int, 0, clampCap(np))
 			for i := 0; i < np; i++ {
-				cl.Pts[i] = pr.vec3()
-				cl.Rank[i] = int(pr.u32())
+				cl.Pts = append(cl.Pts, pr.vec3())
+				cl.Rank = append(cl.Rank, int(pr.u32()))
+				if pr.err != nil {
+					return nil, fmt.Errorf("core: load: cross-line points: %w", pr.err)
+				}
 			}
-			lines[li] = cl
+			lines = append(lines, cl)
 		}
 		if fam == 0 {
 			ms.XLines = lines
@@ -268,6 +366,12 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 
 	// Objects.
 	nObj := int(pr.u32())
+	if pr.err != nil {
+		return nil, fmt.Errorf("core: load: object count: %w", pr.err)
+	}
+	if nObj < 0 || nObj > 1<<28 {
+		return nil, fmt.Errorf("core: load: %w: implausible object count %d", ErrBadSnapshot, nObj)
+	}
 	var objs []workload.Object
 	for i := 0; i < nObj; i++ {
 		objs = append(objs, workload.Object{
@@ -277,10 +381,24 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 				Face: mesh.FaceID(pr.i32()),
 			},
 		})
-		_ = i
+		if pr.err != nil {
+			return nil, fmt.Errorf("core: load: objects: %w", pr.err)
+		}
+		if f := int(objs[i].Point.Face); f < 0 || f >= nf {
+			return nil, fmt.Errorf("core: load: %w: object face %d outside [0,%d)", ErrBadSnapshot, f, nf)
+		}
 	}
-	if pr.err != nil {
-		return nil, fmt.Errorf("core: load: %w", pr.err)
+
+	// Integrity footer: the stored CRC-32C must match everything read
+	// above. Structural checks cannot see a flipped bit inside a float
+	// payload; this can.
+	want := pr.crc
+	var sum [4]byte
+	if _, err := io.ReadFull(pr.r, sum[:]); err != nil {
+		return nil, fmt.Errorf("core: load: checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("core: load: %w: checksum mismatch (stored %08x, computed %08x)", ErrBadSnapshot, got, want)
 	}
 
 	db, err := assembleTerrainDB(m, tree, ms, cfg)

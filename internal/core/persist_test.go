@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -93,6 +94,33 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	buf.Write([]byte{1, 2, 3})
 	if _, err := Load(&buf, Config{}); err == nil {
 		t.Error("truncated snapshot should fail")
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	db := buildDB(t, dem.BH, 8, 40, 99)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit inside float payload (vertex coordinates) and inside the
+	// footer itself: structural validation cannot see either, so this pins
+	// the CRC-32C check.
+	for _, off := range []int{16, 100, 1000, len(raw) - 5, len(raw) - 2} {
+		bad := bytes.Clone(raw)
+		bad[off] ^= 0x10
+		_, err := Load(bytes.NewReader(bad), Config{})
+		if err == nil {
+			t.Fatalf("bit flip at offset %d loaded silently", off)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("bit flip at offset %d: err = %v, want ErrBadSnapshot", off, err)
+		}
+	}
+	// The pristine bytes still load.
+	if _, err := Load(bytes.NewReader(raw), Config{}); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
 	}
 }
 

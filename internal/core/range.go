@@ -54,7 +54,9 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 		}
 		met.Iterations++
 		dmRes, sdnRes := sched.At(it)
-		r.iterateRange(targets, dmRes, sdnRes, radius)
+		if err := r.iterateRange(targets, dmRes, sdnRes, radius); err != nil {
+			return Result{}, err
+		}
 	}
 	// Refinement for candidates whose range still straddles the radius.
 	var out []Neighbor
@@ -67,6 +69,10 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 		default:
 			d := db.Path.DistanceWithin(q, c.obj.Point, r.regionOf(c))
 			if math.IsInf(d, 1) {
+				// Region clipped every path; retry unclipped. The discarded
+				// second result is the path polyline, not an error — a
+				// genuinely unreachable object keeps d = +Inf and fails the
+				// d <= radius test below.
 				d, _ = db.Path.Distance(q, c.obj.Point)
 			}
 			met.UpperBounds++
@@ -83,8 +89,10 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 }
 
 // iterateRange is the range-query variant of one refinement iteration: the
-// classification target is the fixed radius rather than the k-th bound.
-func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float64) {
+// classification target is the fixed radius rather than the k-th bound. A
+// fetch failure aborts the query — partial terrain data would corrupt the
+// bound ladder.
+func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float64) error {
 	groups := r.groupRegions(targets)
 	level := SDNLevel(sdnRes)
 	for _, g := range groups {
@@ -92,8 +100,13 @@ func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float6
 		if dmRes < PathnetResolution {
 			tm = r.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, _ := r.db.fetchDMTM(g.region, tm)
-		_, _ = r.db.fetchSDN(g.region, level)
+		edgeIDs, err := r.db.fetchDMTM(g.region, tm)
+		if err != nil {
+			return fmt.Errorf("core: fetching DMTM records: %w", err)
+		}
+		if _, err := r.db.fetchSDN(g.region, level); err != nil {
+			return fmt.Errorf("core: fetching SDN records: %w", err)
+		}
 		for _, c := range g.cands {
 			r.updateUB(c, dmRes, tm, edgeIDs)
 			// For range queries the dummy-lower-bound test is against the
@@ -101,6 +114,7 @@ func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float6
 			r.updateLB(c, sdnRes, radius)
 		}
 	}
+	return nil
 }
 
 func rangeUndecided(cands []*candidate, radius float64) []*candidate {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -81,8 +82,10 @@ type ranker struct {
 }
 
 // rank ranks the objects and returns the k nearest by the reference
-// surface metric, with their final ranges.
-func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) []Neighbor {
+// surface metric, with their final ranges. A non-nil error means a paged
+// fetch failed, in which case the bounds are unreliable and the query must
+// not pretend to have an answer.
+func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) ([]Neighbor, error) {
 	opt = opt.withDefaults()
 	if k > len(objs) {
 		k = len(objs)
@@ -96,26 +99,30 @@ func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sc
 		})
 	}
 	met.Candidates += len(objs)
-	r.run()
-	return r.results()
+	if err := r.run(); err != nil {
+		return nil, err
+	}
+	return r.results(), nil
 }
 
-func (r *ranker) run() {
+func (r *ranker) run() error {
 	steps := r.sched.Steps()
 	for it := 0; it < steps; it++ {
 		if r.classify() && !r.needTightening() {
-			return
+			return nil
 		}
 		targets := r.refinementTargets()
 		if len(targets) == 0 {
-			return
+			return nil
 		}
 		r.met.Iterations++
 		dmRes, sdnRes := r.sched.At(it)
-		r.iterate(targets, dmRes, sdnRes)
+		if err := r.iterate(targets, dmRes, sdnRes); err != nil {
+			return err
+		}
 	}
 	if r.classify() && !r.needTightening() {
-		return
+		return nil
 	}
 	// Ladders exhausted with overlapping ranges left: settle the remaining
 	// candidates with the reference (pathnet) distance, as the refinement
@@ -129,6 +136,10 @@ func (r *ranker) run() {
 		}
 		d := r.db.Path.DistanceWithin(r.q, c.obj.Point, r.regionOf(c))
 		if math.IsInf(d, 1) {
+			// Region clipped every path; retry unclipped. The discarded
+			// second result is the path polyline, not an error — an
+			// unreachable candidate keeps ub = +Inf and can never displace
+			// a finite neighbour.
 			d, _ = r.db.Path.Distance(r.q, c.obj.Point)
 		}
 		r.met.UpperBounds++
@@ -136,24 +147,20 @@ func (r *ranker) run() {
 		c.lb = d
 	}
 	r.classify()
+	return nil
 }
 
-// needTightening reports whether step-2 style tightening still wants work.
+// needTightening reports whether step-2 style tightening still wants work:
+// the k-th candidate's own range accuracy has not reached Step2Accuracy.
 func (r *ranker) needTightening() bool {
 	if !r.tighten {
 		return false
 	}
-	kth := r.kthSmallestUB()
-	if math.IsInf(kth, 1) {
+	c := r.kthCand()
+	if c == nil || math.IsInf(c.ub, 1) {
 		return true
 	}
-	// Find the k-th candidate's own range accuracy.
-	for _, c := range r.cands {
-		if c.state != candOut && c.ub == kth {
-			return c.lb/c.ub < r.opt.Step2Accuracy
-		}
-	}
-	return false
+	return c.lb/c.ub < r.opt.Step2Accuracy
 }
 
 // refinementTargets returns the candidates to refine this iteration: the
@@ -219,27 +226,34 @@ func (r *ranker) groupRegions(targets []*candidate) []*ioGroup {
 	return groups
 }
 
-// iterate performs one resolution iteration over the targets.
-func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) {
+// iterate performs one resolution iteration over the targets. A fetch
+// failure aborts the iteration: continuing with partial terrain data would
+// produce bounds that violate the ladder's monotonicity guarantee.
+func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) error {
 	groups := r.groupRegions(targets)
 	level := SDNLevel(sdnRes)
 	kthUB := r.kthSmallestUB()
 	for _, g := range groups {
 		// One fetch per integrated I/O region: DMTM connectivity at this
 		// LOD plus the SDN segments of this level.
-		var edgeIDs []int32
 		tm := int32(0)
 		if dmRes < PathnetResolution {
 			tm = r.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, _ = r.db.fetchDMTM(g.region, tm)
-		_, _ = r.db.fetchSDN(g.region, level)
+		edgeIDs, err := r.db.fetchDMTM(g.region, tm)
+		if err != nil {
+			return fmt.Errorf("core: fetching DMTM records: %w", err)
+		}
+		if _, err := r.db.fetchSDN(g.region, level); err != nil {
+			return fmt.Errorf("core: fetching SDN records: %w", err)
+		}
 
 		for _, c := range g.cands {
 			r.updateUB(c, dmRes, tm, edgeIDs)
 			r.updateLB(c, sdnRes, kthUB)
 		}
 	}
+	return nil
 }
 
 // updateUB refines the candidate's upper bound at the given DMTM level
@@ -362,20 +376,24 @@ func (r *ranker) applyLB(c *candidate, est sdn.LowerEstimate) {
 	}
 }
 
+// kthCand returns the candidate holding the k-th smallest upper bound
+// among non-out candidates, or nil when fewer than k remain.
+func (r *ranker) kthCand() *candidate {
+	alive := r.aliveCands()
+	if len(alive) < r.k {
+		return nil
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	return alive[r.k-1]
+}
+
 // kthSmallestUB returns the k-th smallest upper bound among non-out
 // candidates.
 func (r *ranker) kthSmallestUB() float64 {
-	var ubs []float64
-	for _, c := range r.cands {
-		if c.state != candOut {
-			ubs = append(ubs, c.ub)
-		}
+	if c := r.kthCand(); c != nil {
+		return c.ub
 	}
-	if len(ubs) < r.k {
-		return math.Inf(1)
-	}
-	sort.Float64s(ubs)
-	return ubs[r.k-1]
+	return math.Inf(1)
 }
 
 // classify updates candidate states and reports whether the k-set is

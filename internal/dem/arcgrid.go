@@ -56,7 +56,7 @@ func ReadArcGrid(r io.Reader) (*Grid, error) {
 			}
 			v, err := strconv.ParseFloat(vs, 64)
 			if err != nil {
-				return nil, fmt.Errorf("dem: arcgrid header %s: %w", key, err)
+				return nil, fmt.Errorf("%w: arcgrid header %s: %w", ErrBadFormat, key, err)
 			}
 			if lk == "xllcenter" {
 				lk = "xllcorner"
@@ -77,10 +77,10 @@ data:
 	rows := int(hdr["nrows"])
 	cell := hdr["cellsize"]
 	if cols < 2 || rows < 2 {
-		return nil, fmt.Errorf("dem: arcgrid dimensions %dx%d invalid", cols, rows)
+		return nil, fmt.Errorf("%w: arcgrid dimensions %dx%d invalid", ErrBadFormat, cols, rows)
 	}
 	if cell <= 0 {
-		return nil, fmt.Errorf("dem: arcgrid cellsize %g invalid", cell)
+		return nil, fmt.Errorf("%w: arcgrid cellsize %g invalid", ErrBadFormat, cell)
 	}
 	nodata, hasNodata := hdr["nodata_value"]
 
@@ -93,7 +93,7 @@ data:
 	if firstValue != "" {
 		v, err := strconv.ParseFloat(firstValue, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dem: arcgrid value %q: %w", firstValue, err)
+			return nil, fmt.Errorf("%w: arcgrid value %q: %w", ErrBadFormat, firstValue, err)
 		}
 		vals = append(vals, v)
 	}
@@ -104,7 +104,7 @@ data:
 		}
 		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dem: arcgrid value %q: %w", tok, err)
+			return nil, fmt.Errorf("%w: arcgrid value %q: %w", ErrBadFormat, tok, err)
 		}
 		vals = append(vals, v)
 	}
@@ -112,18 +112,20 @@ data:
 	// Find the minimum valid elevation for NODATA filling.
 	minValid := math.Inf(1)
 	for _, v := range vals {
+		//lint:ignore float-eq NODATA is an exact sentinel parsed from the same text as the values; epsilon matching could swallow real elevations
 		if (!hasNodata || v != nodata) && v < minValid {
 			minValid = v
 		}
 	}
 	if math.IsInf(minValid, 1) {
-		return nil, fmt.Errorf("dem: arcgrid contains no valid elevations")
+		return nil, fmt.Errorf("%w: arcgrid contains no valid elevations", ErrBadFormat)
 	}
 	// File rows run north→south; flip to this package's row order.
 	for fr := 0; fr < rows; fr++ {
 		gr := rows - 1 - fr
 		for c := 0; c < cols; c++ {
 			v := vals[fr*cols+c]
+			//lint:ignore float-eq NODATA is an exact sentinel parsed from the same text as the values
 			if hasNodata && v == nodata {
 				v = minValid
 			}

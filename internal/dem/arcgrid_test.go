@@ -2,6 +2,7 @@ package dem
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -18,6 +19,7 @@ NODATA_value -9999
 `
 
 func TestReadArcGrid(t *testing.T) {
+	t.Parallel()
 	g, err := ReadArcGrid(strings.NewReader(sampleAsc))
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +40,7 @@ func TestReadArcGrid(t *testing.T) {
 }
 
 func TestReadArcGridNodata(t *testing.T) {
+	t.Parallel()
 	asc := strings.Replace(sampleAsc, "5 6 7 8", "5 -9999 7 8", 1)
 	g, err := ReadArcGrid(strings.NewReader(asc))
 	if err != nil {
@@ -50,23 +53,33 @@ func TestReadArcGridNodata(t *testing.T) {
 }
 
 func TestReadArcGridErrors(t *testing.T) {
-	cases := map[string]string{
-		"truncated data": "ncols 4\nnrows 3\ncellsize 10\n1 2 3\n",
-		"bad value":      "ncols 2\nnrows 2\ncellsize 10\n1 2 3 x\n",
-		"zero cells":     "ncols 0\nnrows 3\ncellsize 10\n",
-		"negative cell":  "ncols 2\nnrows 2\ncellsize -5\n1 2 3 4\n",
-		"all nodata":     "ncols 2\nnrows 2\ncellsize 10\nNODATA_value -9\n-9 -9 -9 -9\n",
-		"bad header":     "ncols x\n",
-		"empty":          "",
+	t.Parallel()
+	cases := map[string]struct {
+		asc       string
+		badFormat bool // structurally invalid (ErrBadFormat) vs truncated input
+	}{
+		"truncated data": {"ncols 4\nnrows 3\ncellsize 10\n1 2 3\n", false},
+		"bad value":      {"ncols 2\nnrows 2\ncellsize 10\n1 2 3 x\n", true},
+		"zero cells":     {"ncols 0\nnrows 3\ncellsize 10\n1 2 3\n", true},
+		"negative cell":  {"ncols 2\nnrows 2\ncellsize -5\n1 2 3 4\n", true},
+		"all nodata":     {"ncols 2\nnrows 2\ncellsize 10\nNODATA_value -9\n-9 -9 -9 -9\n", true},
+		"bad header":     {"ncols x\n", true},
+		"empty":          {"", false},
 	}
-	for name, asc := range cases {
-		if _, err := ReadArcGrid(strings.NewReader(asc)); err == nil {
+	for name, tc := range cases {
+		_, err := ReadArcGrid(strings.NewReader(tc.asc))
+		if err == nil {
 			t.Errorf("%s: expected error", name)
+			continue
+		}
+		if got := errors.Is(err, ErrBadFormat); got != tc.badFormat {
+			t.Errorf("%s: errors.Is(err, ErrBadFormat) = %v, want %v (err: %v)", name, got, tc.badFormat, err)
 		}
 	}
 }
 
 func TestArcGridRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := Synthesize(EP, 8, 25, 13)
 	g.OriginX, g.OriginY = 1234, 5678
 	var buf bytes.Buffer
@@ -88,6 +101,7 @@ func TestArcGridRoundTrip(t *testing.T) {
 }
 
 func TestReadArcGridXllcenter(t *testing.T) {
+	t.Parallel()
 	asc := strings.Replace(sampleAsc, "xllcorner", "xllcenter", 1)
 	g, err := ReadArcGrid(strings.NewReader(asc))
 	if err != nil {

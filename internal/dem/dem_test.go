@@ -2,12 +2,14 @@ package dem
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
 )
 
 func TestNewGridValidation(t *testing.T) {
+	t.Parallel()
 	for _, c := range []struct{ cols, rows int }{{1, 5}, {5, 1}, {0, 0}} {
 		func() {
 			defer func() {
@@ -29,6 +31,7 @@ func TestNewGridValidation(t *testing.T) {
 }
 
 func TestGridAccessors(t *testing.T) {
+	t.Parallel()
 	g := NewGrid(3, 2, 10)
 	g.OriginX, g.OriginY = 100, 200
 	g.Set(2, 1, 42)
@@ -49,6 +52,7 @@ func TestGridAccessors(t *testing.T) {
 }
 
 func TestAreaKm2(t *testing.T) {
+	t.Parallel()
 	// 101x101 samples at 10 m → 1 km x 1 km.
 	g := NewGrid(101, 101, 10)
 	if got := g.AreaKm2(); math.Abs(got-1) > 1e-12 {
@@ -57,6 +61,7 @@ func TestAreaKm2(t *testing.T) {
 }
 
 func TestMinMaxElev(t *testing.T) {
+	t.Parallel()
 	g := NewGrid(2, 2, 1)
 	g.Elev = []float64{3, -1, 7, 2}
 	lo, hi := g.MinMaxElev()
@@ -66,6 +71,7 @@ func TestMinMaxElev(t *testing.T) {
 }
 
 func TestSynthesizeDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Synthesize(BH, 32, 10, 7)
 	b := Synthesize(BH, 32, 10, 7)
 	for i := range a.Elev {
@@ -87,6 +93,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 }
 
 func TestSynthesizeShape(t *testing.T) {
+	t.Parallel()
 	g := Synthesize(EP, 64, 10, 1)
 	if g.Cols != 65 || g.Rows != 65 {
 		t.Fatalf("dims = %dx%d", g.Cols, g.Rows)
@@ -103,6 +110,7 @@ func TestSynthesizeShape(t *testing.T) {
 }
 
 func TestSynthesizeSizeValidation(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("non-power-of-two size should panic")
@@ -112,6 +120,7 @@ func TestSynthesizeSizeValidation(t *testing.T) {
 }
 
 func TestBHRougherThanEP(t *testing.T) {
+	t.Parallel()
 	bh := Synthesize(BH, 128, 10, 42)
 	ep := Synthesize(EP, 128, 10, 42)
 	rb, re := bh.Roughness(), ep.Roughness()
@@ -121,6 +130,7 @@ func TestBHRougherThanEP(t *testing.T) {
 }
 
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := Synthesize(BH, 16, 25, 3)
 	g.OriginX, g.OriginY = -500, 1234.5
 	var buf bytes.Buffer
@@ -143,8 +153,13 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	if _, err := Read(bytes.NewReader([]byte("not a dem file at all"))); err == nil {
+	t.Parallel()
+	_, err := Read(bytes.NewReader([]byte("not a dem file at all")))
+	if err == nil {
 		t.Error("garbage should fail")
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic should wrap ErrBadFormat, got %v", err)
 	}
 	// Correct magic, truncated body.
 	var buf bytes.Buffer
@@ -156,6 +171,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 }
 
 func TestFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := Synthesize(EP, 8, 30, 11)
 	path := filepath.Join(t.TempDir(), "t.sdem")
 	if err := g.WriteFile(path); err != nil {
@@ -174,6 +190,7 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func TestRoughnessFlat(t *testing.T) {
+	t.Parallel()
 	g := NewGrid(8, 8, 10)
 	if got := g.Roughness(); got != 0 {
 		t.Errorf("flat roughness = %v", got)

@@ -3,6 +3,7 @@ package dem
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,13 @@ import (
 var magic = [4]byte{'S', 'D', 'E', 'M'}
 
 const formatVersion = 1
+
+// ErrBadFormat marks structurally invalid DEM input — a bad magic number,
+// unsupported version, implausible dimensions or malformed ArcGrid text —
+// as opposed to I/O failures from the underlying reader. Callers select it
+// with errors.Is to distinguish "this file is not a DEM" from "the read
+// failed".
+var ErrBadFormat = errors.New("dem: bad format")
 
 // Write serialises the grid to w.
 func (g *Grid) Write(w io.Writer) error {
@@ -59,7 +67,7 @@ func Read(r io.Reader) (*Grid, error) {
 		return nil, fmt.Errorf("dem: read magic: %w", err)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("dem: bad magic %q", m)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
 	}
 	var version, cols, rows uint32
 	var cellSize, originX, originY float64
@@ -69,13 +77,13 @@ func Read(r io.Reader) (*Grid, error) {
 		}
 	}
 	if version != formatVersion {
-		return nil, fmt.Errorf("dem: unsupported version %d", version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
 	}
 	if cols < 2 || rows < 2 || cols > 1<<20 || rows > 1<<20 {
-		return nil, fmt.Errorf("dem: implausible dimensions %dx%d", cols, rows)
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrBadFormat, cols, rows)
 	}
 	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
-		return nil, fmt.Errorf("dem: invalid cell size %g", cellSize)
+		return nil, fmt.Errorf("%w: invalid cell size %g", ErrBadFormat, cellSize)
 	}
 	g := NewGrid(int(cols), int(rows), cellSize)
 	g.OriginX, g.OriginY = originX, originY

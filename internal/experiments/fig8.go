@@ -109,12 +109,5 @@ func Fig8(p Params) (Figure, error) {
 }
 
 func sdnLabel(res float64) string {
-	switch res {
-	case 0.375:
-		return "SDN 37.5%"
-	case 1.0:
-		return "SDN 100%"
-	default:
-		return "SDN " + strconv.Itoa(int(res*100)) + "%"
-	}
+	return "SDN " + strconv.FormatFloat(res*100, 'g', -1, 64) + "%"
 }

@@ -7,6 +7,7 @@ import (
 )
 
 func TestEllipseCircleCase(t *testing.T) {
+	t.Parallel()
 	// Coincident foci → circle of radius Sum/2.
 	e := NewEllipse(Vec2{0, 0}, Vec2{0, 0}, 10)
 	if e.IsEmpty() {
@@ -26,6 +27,7 @@ func TestEllipseCircleCase(t *testing.T) {
 }
 
 func TestEllipseAxisAligned(t *testing.T) {
+	t.Parallel()
 	// Foci at (±3, 0), sum 10 → a=5, b=4 (classic 3-4-5).
 	e := NewEllipse(Vec2{-3, 0}, Vec2{3, 0}, 10)
 	if !almostEq(e.SemiMajor(), 5, 1e-12) {
@@ -48,6 +50,7 @@ func TestEllipseAxisAligned(t *testing.T) {
 }
 
 func TestEllipseRotatedMBR(t *testing.T) {
+	t.Parallel()
 	// Foci on the diagonal: MBR must still contain sampled boundary points.
 	e := NewEllipse(Vec2{0, 0}, Vec2{6, 6}, 14)
 	m := e.MBR()
@@ -70,6 +73,7 @@ func TestEllipseRotatedMBR(t *testing.T) {
 }
 
 func TestEmptyEllipse(t *testing.T) {
+	t.Parallel()
 	e := NewEllipse(Vec2{0, 0}, Vec2{10, 0}, 5) // sum < focal distance
 	if !e.IsEmpty() {
 		t.Fatal("should be empty")
@@ -86,6 +90,7 @@ func TestEmptyEllipse(t *testing.T) {
 }
 
 func TestEllipseIntersectsMBRConservative(t *testing.T) {
+	t.Parallel()
 	e := NewEllipse(Vec2{0, 0}, Vec2{4, 0}, 6)
 	if !e.IntersectsMBR(MBR{1, -1, 3, 1}) {
 		t.Error("rect through center must intersect")
@@ -109,6 +114,7 @@ func TestEllipseIntersectsMBRConservative(t *testing.T) {
 }
 
 func TestPlaceApex(t *testing.T) {
+	t.Parallel()
 	// Equilateral triangle with side 2: apex at (1, √3).
 	p, ok := PlaceApex(Vec2{0, 0}, Vec2{2, 0}, 2, 2, +1)
 	if !ok {
@@ -130,6 +136,7 @@ func TestPlaceApex(t *testing.T) {
 }
 
 func TestUnfoldTriangleIsometry(t *testing.T) {
+	t.Parallel()
 	tri := Triangle3{Vec3{1, 2, 3}, Vec3{4, 6, 3}, Vec3{2, 2, 8}}
 	a, b, c := UnfoldTriangle(tri)
 	if a != (Vec2{0, 0}) {
@@ -150,6 +157,7 @@ func TestUnfoldTriangleIsometry(t *testing.T) {
 }
 
 func TestRaySegment(t *testing.T) {
+	t.Parallel()
 	s := Segment2{Vec2{2, -1}, Vec2{2, 1}}
 	tp, u, ok := RaySegment(Vec2{0, 0}, Vec2{1, 0}, s)
 	if !ok || !almostEq(tp, 0.5, 1e-9) || !almostEq(u, 2, 1e-9) {

@@ -1,0 +1,34 @@
+package geom
+
+import "math"
+
+// The helpers below are the approved floating-point comparison points:
+// distances come out of chains of unfoldings, projections and network
+// relaxations, so exact == on them is almost always a bug, and the sklint
+// float-eq rule steers all other code here. They share the package-wide
+// Eps tolerance declared in vec.go.
+
+// AlmostEq reports whether a and b are equal within Eps, scaled by the
+// magnitude of the operands: |a-b| <= Eps * max(1, |a|, |b|). Equal
+// infinities compare true.
+func AlmostEq(a, b float64) bool {
+	if a == b {
+		return true // covers exact hits and equal infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // an infinite scale would make the tolerance infinite
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= Eps*scale
+}
+
+// WithinTol reports |a-b| <= tol, an absolute-tolerance comparison for
+// callers that know their scale. A NaN operand always compares false.
+func WithinTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// AlmostZero reports |a| <= Eps.
+func AlmostZero(a float64) bool {
+	return math.Abs(a) <= Eps
+}

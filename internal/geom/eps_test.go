@@ -1,0 +1,55 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEq(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{1e9, 1e9 + 0.5, true}, // relative scaling kicks in
+		{1e9, 1e9 + 10, false},
+		{0, 1e-10, true},
+		{0, 1e-6, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEq(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWithinTol(t *testing.T) {
+	t.Parallel()
+	if !WithinTol(1.0, 1.05, 0.1) {
+		t.Error("WithinTol(1, 1.05, 0.1) should hold")
+	}
+	if WithinTol(1.0, 1.2, 0.1) {
+		t.Error("WithinTol(1, 1.2, 0.1) should not hold")
+	}
+	if WithinTol(math.NaN(), 1, 0.1) {
+		t.Error("NaN must never compare within tolerance")
+	}
+}
+
+func TestAlmostZero(t *testing.T) {
+	t.Parallel()
+	if !AlmostZero(0) || !AlmostZero(1e-12) || !AlmostZero(-1e-12) {
+		t.Error("tiny values should be almost zero")
+	}
+	if AlmostZero(1e-3) || AlmostZero(math.Inf(1)) || AlmostZero(math.NaN()) {
+		t.Error("large, infinite or NaN values are not almost zero")
+	}
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestEmptyMBR(t *testing.T) {
+	t.Parallel()
 	e := EmptyMBR()
 	if !e.IsEmpty() {
 		t.Fatal("EmptyMBR not empty")
@@ -27,6 +28,7 @@ func TestEmptyMBR(t *testing.T) {
 }
 
 func TestMBROf(t *testing.T) {
+	t.Parallel()
 	m := MBROf(Vec2{1, 5}, Vec2{-2, 3}, Vec2{4, -1})
 	want := MBR{-2, -1, 4, 5}
 	if m != want {
@@ -39,6 +41,7 @@ func TestMBROf(t *testing.T) {
 }
 
 func TestMBRIntersect(t *testing.T) {
+	t.Parallel()
 	a := MBR{0, 0, 2, 2}
 	b := MBR{1, 1, 3, 3}
 	c := MBR{5, 5, 6, 6}
@@ -62,6 +65,7 @@ func TestMBRIntersect(t *testing.T) {
 }
 
 func TestMBRContains(t *testing.T) {
+	t.Parallel()
 	m := MBR{0, 0, 10, 10}
 	if !m.Contains(Vec2{5, 5}) || !m.Contains(Vec2{0, 0}) || !m.Contains(Vec2{10, 10}) {
 		t.Error("Contains failed on interior/boundary")
@@ -81,6 +85,7 @@ func TestMBRContains(t *testing.T) {
 }
 
 func TestMBRDistances(t *testing.T) {
+	t.Parallel()
 	m := MBR{0, 0, 2, 2}
 	if got := m.DistToPoint(Vec2{1, 1}); got != 0 {
 		t.Errorf("inside dist = %v", got)
@@ -105,6 +110,7 @@ func TestMBRDistances(t *testing.T) {
 }
 
 func TestMBRExpand(t *testing.T) {
+	t.Parallel()
 	m := MBR{0, 0, 2, 2}
 	if got := m.Expand(1); got != (MBR{-1, -1, 3, 3}) {
 		t.Errorf("Expand = %v", got)
@@ -115,6 +121,7 @@ func TestMBRExpand(t *testing.T) {
 }
 
 func TestOverlapFraction(t *testing.T) {
+	t.Parallel()
 	a := MBR{0, 0, 10, 10}
 	b := MBR{0, 0, 10, 10}
 	if got := a.OverlapFraction(b); !almostEq(got, 1, 1e-12) {
@@ -136,6 +143,7 @@ func TestOverlapFraction(t *testing.T) {
 }
 
 func TestBox3(t *testing.T) {
+	t.Parallel()
 	b := Box3Of(Vec3{0, 0, 0}, Vec3{1, 2, 3})
 	if b.IsEmpty() {
 		t.Fatal("box should not be empty")
@@ -164,6 +172,7 @@ func TestBox3(t *testing.T) {
 
 // Property: union contains both inputs, intersection is contained in both.
 func TestMBRUnionIntersectionProps(t *testing.T) {
+	t.Parallel()
 	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
 		a := MBR{sanitize(ax), sanitize(ay), sanitize(ax) + math.Abs(sanitize(aw)), sanitize(ay) + math.Abs(sanitize(ah))}
 		b := MBR{sanitize(bx), sanitize(by), sanitize(bx) + math.Abs(sanitize(bw)), sanitize(by) + math.Abs(sanitize(bh))}
@@ -185,6 +194,7 @@ func TestMBRUnionIntersectionProps(t *testing.T) {
 // Property: DistToMBR is a lower bound on the distance between any points of
 // the two rectangles (tested via corners and center).
 func TestMBRDistLowerBound(t *testing.T) {
+	t.Parallel()
 	f := func(ax, ay, bx, by float64) bool {
 		a := MBR{sanitize(ax), sanitize(ay), sanitize(ax) + 1, sanitize(ay) + 1}
 		b := MBR{sanitize(bx), sanitize(by), sanitize(bx) + 1, sanitize(by) + 1}

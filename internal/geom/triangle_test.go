@@ -6,6 +6,7 @@ import (
 )
 
 func TestTriangle3AreaNormal(t *testing.T) {
+	t.Parallel()
 	tri := Triangle3{Vec3{0, 0, 0}, Vec3{2, 0, 0}, Vec3{0, 2, 0}}
 	if got := tri.Area(); got != 2 {
 		t.Errorf("Area = %v", got)
@@ -22,6 +23,7 @@ func TestTriangle3AreaNormal(t *testing.T) {
 }
 
 func TestTrianglePlane(t *testing.T) {
+	t.Parallel()
 	tri := Triangle3{Vec3{0, 0, 5}, Vec3{1, 0, 5}, Vec3{0, 1, 5}}
 	a, b, c, d := tri.Plane()
 	// Plane z = 5 → (0,0,1,-5) up to sign.
@@ -40,6 +42,7 @@ func TestTrianglePlane(t *testing.T) {
 }
 
 func TestBarycentricInterpolation(t *testing.T) {
+	t.Parallel()
 	tri := Triangle3{Vec3{0, 0, 0}, Vec3{4, 0, 8}, Vec3{0, 4, 4}}
 	// At A.
 	z, ok := tri.InterpolateZ(Vec2{0, 0})
@@ -59,6 +62,7 @@ func TestBarycentricInterpolation(t *testing.T) {
 }
 
 func TestContainsXY(t *testing.T) {
+	t.Parallel()
 	tri := Triangle3{Vec3{0, 0, 0}, Vec3{4, 0, 0}, Vec3{0, 4, 0}}
 	cases := []struct {
 		p    Vec2
@@ -79,6 +83,7 @@ func TestContainsXY(t *testing.T) {
 }
 
 func TestTriangle2(t *testing.T) {
+	t.Parallel()
 	ccw := Triangle2{Vec2{0, 0}, Vec2{1, 0}, Vec2{0, 1}}
 	if got := ccw.SignedArea(); !almostEq(got, 0.5, 1e-12) {
 		t.Errorf("SignedArea = %v", got)
@@ -96,6 +101,7 @@ func TestTriangle2(t *testing.T) {
 }
 
 func TestSegment2Intersect(t *testing.T) {
+	t.Parallel()
 	s := Segment2{Vec2{0, 0}, Vec2{2, 2}}
 	o := Segment2{Vec2{0, 2}, Vec2{2, 0}}
 	p, ok := s.Intersect(o)
@@ -121,6 +127,7 @@ func TestSegment2Intersect(t *testing.T) {
 }
 
 func TestSegmentCrossings(t *testing.T) {
+	t.Parallel()
 	s := Segment2{Vec2{0, 0}, Vec2{4, 2}}
 	tpar, ok := s.CrossesVertical(2)
 	if !ok || !almostEq(tpar, 0.5, 1e-12) {
@@ -139,6 +146,7 @@ func TestSegmentCrossings(t *testing.T) {
 }
 
 func TestSegmentClosestPoint(t *testing.T) {
+	t.Parallel()
 	s := Segment3{Vec3{0, 0, 0}, Vec3{10, 0, 0}}
 	q, tp := s.ClosestPoint(Vec3{5, 3, 4})
 	if q.Dist(Vec3{5, 0, 0}) > 1e-12 || !almostEq(tp, 0.5, 1e-12) {
@@ -160,6 +168,7 @@ func TestSegmentClosestPoint(t *testing.T) {
 }
 
 func TestPolylineLength(t *testing.T) {
+	t.Parallel()
 	pts := []Vec3{{0, 0, 0}, {3, 4, 0}, {3, 4, 12}}
 	if got := PolylineLength(pts); got != 17 {
 		t.Errorf("PolylineLength = %v", got)

@@ -9,6 +9,7 @@ import (
 func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestVec3Basics(t *testing.T) {
+	t.Parallel()
 	v := Vec3{1, 2, 3}
 	w := Vec3{4, -5, 6}
 	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
@@ -29,6 +30,7 @@ func TestVec3Basics(t *testing.T) {
 }
 
 func TestVec3Cross(t *testing.T) {
+	t.Parallel()
 	x := Vec3{1, 0, 0}
 	y := Vec3{0, 1, 0}
 	z := Vec3{0, 0, 1}
@@ -48,6 +50,7 @@ func TestVec3Cross(t *testing.T) {
 }
 
 func TestVec3NormDist(t *testing.T) {
+	t.Parallel()
 	v := Vec3{3, 4, 12}
 	if got := v.Norm(); got != 13 {
 		t.Errorf("Norm = %v, want 13", got)
@@ -66,6 +69,7 @@ func TestVec3NormDist(t *testing.T) {
 }
 
 func TestVec3Normalize(t *testing.T) {
+	t.Parallel()
 	v := Vec3{0, 3, 4}
 	n := v.Normalize()
 	if !almostEq(n.Norm(), 1, 1e-12) {
@@ -78,6 +82,7 @@ func TestVec3Normalize(t *testing.T) {
 }
 
 func TestVec3Lerp(t *testing.T) {
+	t.Parallel()
 	a := Vec3{0, 0, 0}
 	b := Vec3{2, 4, 6}
 	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 3}) {
@@ -92,6 +97,7 @@ func TestVec3Lerp(t *testing.T) {
 }
 
 func TestVec2Basics(t *testing.T) {
+	t.Parallel()
 	v := Vec2{3, 4}
 	if got := v.Norm(); got != 5 {
 		t.Errorf("Norm = %v", got)
@@ -108,6 +114,7 @@ func TestVec2Basics(t *testing.T) {
 }
 
 func TestAngleBetween(t *testing.T) {
+	t.Parallel()
 	if got := AngleBetween(Vec2{1, 0}, Vec2{0, 2}); !almostEq(got, math.Pi/2, 1e-12) {
 		t.Errorf("AngleBetween = %v", got)
 	}
@@ -124,6 +131,7 @@ func TestAngleBetween(t *testing.T) {
 
 // Property: triangle inequality for Dist.
 func TestVec3TriangleInequality(t *testing.T) {
+	t.Parallel()
 	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
 		a := Vec3{sanitize(ax), sanitize(ay), sanitize(az)}
 		b := Vec3{sanitize(bx), sanitize(by), sanitize(bz)}
@@ -137,6 +145,7 @@ func TestVec3TriangleInequality(t *testing.T) {
 
 // Property: |v×w|² + (v·w)² == |v|²|w|² (Lagrange identity).
 func TestLagrangeIdentity(t *testing.T) {
+	t.Parallel()
 	f := func(vx, vy, vz, wx, wy, wz float64) bool {
 		v := Vec3{sanitize(vx), sanitize(vy), sanitize(vz)}
 		w := Vec3{sanitize(wx), sanitize(wy), sanitize(wz)}

@@ -168,6 +168,7 @@ func chooseSubtree(n *node, p geom.Vec2) *node {
 	for _, c := range n.children {
 		grown := c.mbr.ExtendPoint(p)
 		grow := grown.Area() - c.mbr.Area()
+		//lint:ignore float-eq exact tie-break between identical growth values keeps subtree choice deterministic; an epsilon would blur distinct areas
 		if grow < bestGrow || (grow == bestGrow && c.mbr.Area() < bestArea) {
 			best, bestGrow, bestArea = c, grow, c.mbr.Area()
 		}

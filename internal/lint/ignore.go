@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <rule> <reason>` comment.
+// The reason is mandatory: a suppression without a recorded justification
+// is itself a finding.
+type ignoreDirective struct {
+	rule   string // rule name, or "*" for any rule
+	reason string
+}
+
+// ignoreSet maps file:line to the directives that apply there.
+type ignoreSet map[string]map[int][]ignoreDirective
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores scans the package's comments for ignore directives. A
+// directive suppresses matching diagnostics on its own line (trailing
+// comment) and on the line directly below it (comment-above style).
+func collectIgnores(p *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Malformed (missing rule or reason): record nothing, so
+					// the diagnostic it meant to silence still fires — the
+					// safest failure mode for a suppression mechanism.
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d := ignoreDirective{rule: fields[0], reason: strings.Join(fields[1:], " ")}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]ignoreDirective)
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return set
+}
+
+// match reports whether a diagnostic for rule at position is suppressed.
+func (s ignoreSet) match(pos token.Position, rule string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.rule == "*" || d.rule == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+// Package lint implements sklint, the repo-specific static analyzer.
+//
+// MR3's pruning correctness rests on invariants the Go type system cannot
+// express: surface-distance lower bounds must only grow and upper bounds
+// only shrink across LOD refinement, and any silently swallowed error from
+// a distance or fetch computation can turn a bound into garbage without a
+// test noticing. sklint encodes the coding conventions that protect those
+// invariants as machine-checked rules, run over the whole module by
+// scripts/check.sh and CI.
+//
+// The framework is stdlib-only (go/parser + go/types with the "source"
+// importer) per the repo charter. Rules implement the Rule interface and
+// are registered in rules.go; diagnostics are position-keyed and can be
+// suppressed with a `//lint:ignore <rule> <reason>` comment on the same
+// line or the line directly above the offending code.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, keyed to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package ready for analysis. Test
+// files (_test.go) are excluded: the rules target library code, and test
+// packages would drag external-test shadow packages into type checking.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors holds type-checker complaints. The gate runs go build
+	// first, so these normally indicate a loader problem rather than bad
+	// code; they are surfaced as "typecheck" diagnostics.
+	TypeErrors []error
+}
+
+// Rule is one analysis pass over a type-checked package.
+type Rule interface {
+	// Name is the short kebab-case identifier used in output and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description shown by `sklint -rules`.
+	Doc() string
+	// Check inspects the package and reports findings.
+	Check(p *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Run applies every rule to every package and returns the surviving
+// diagnostics (ignore directives applied), sorted by position.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		ignores := collectIgnores(p)
+		for _, err := range p.TypeErrors {
+			diags = append(diags, Diagnostic{
+				Pos:     typeErrorPos(p.Fset, err),
+				Rule:    "typecheck",
+				Message: err.Error(),
+			})
+		}
+		for _, r := range rules {
+			rule := r
+			report := func(pos token.Pos, format string, args ...any) {
+				position := p.Fset.Position(pos)
+				if ignores.match(position, rule.Name()) {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     position,
+					Rule:    rule.Name(),
+					Message: fmt.Sprintf(format, args...),
+				})
+			}
+			rule.Check(p, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+func typeErrorPos(fset *token.FileSet, err error) token.Position {
+	if te, ok := err.(types.Error); ok {
+		return te.Fset.Position(te.Pos)
+	}
+	return token.Position{}
+}
+
+// errorIface is the method set of the universe error type, used by rules
+// to recognise error-typed values (including concrete error
+// implementations, not just the interface itself).
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

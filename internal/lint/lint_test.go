@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs the full rule set over each fixture package under
+// testdata/src and compares the diagnostics against the package's golden
+// expect.txt. Every rule has a fixture with positive cases (diagnostics
+// expected), negative cases (clean idioms) and a //lint:ignore
+// suppression, so this single loop exercises detection, precision and the
+// escape hatch for all of them.
+func TestFixtures(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", "src", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := loader.LoadDir(root, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.TypeErrors) > 0 {
+				t.Fatalf("fixture does not type-check: %v", p.TypeErrors)
+			}
+			diags := Run([]*Package{p}, AllRules())
+			var got strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&got, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+			}
+			wantBytes, err := os.ReadFile(filepath.Join(dir, "expect.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := string(wantBytes)
+			if got.String() != want {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+			}
+			// Each rule's fixture is a negative fixture for the gate: the
+			// analyzer must report at least one issue on it (which makes
+			// the sklint CLI exit non-zero).
+			if strings.TrimSpace(want) != "" && len(diags) == 0 {
+				t.Error("expected at least one diagnostic on a negative fixture")
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the self-hosting gate: the analyzer must run clean
+// over the entire module (the same invocation CI uses via
+// `go run ./cmd/sklint ./...`). Any new finding is either a real bug or
+// needs an explicit //lint:ignore with a reason.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is slow")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader().Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	diags := Run(pkgs, AllRules())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRuleRegistry pins the rule set: a rule silently dropping out of
+// AllRules would disable its gate without any test failing.
+func TestRuleRegistry(t *testing.T) {
+	want := []string{
+		"dropped-error",
+		"float-eq",
+		"unwrapped-error",
+		"panic-message",
+		"loop-goroutine-capture",
+	}
+	rules := AllRules()
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name() != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, r.Name(), want[i])
+		}
+		if r.Doc() == "" {
+			t.Errorf("rule %q has no doc", r.Name())
+		}
+		byName, ok := RuleByName(want[i])
+		if !ok || byName.Name() != want[i] {
+			t.Errorf("RuleByName(%q) failed", want[i])
+		}
+	}
+	if _, ok := RuleByName("no-such-rule"); ok {
+		t.Error("RuleByName should reject unknown names")
+	}
+}
+
+// TestIgnoreMalformed checks the fail-safe: a //lint:ignore directive
+// without a reason must NOT suppress anything.
+func TestIgnoreMalformed(t *testing.T) {
+	set := ignoreSet{}
+	if set.match(position("f.go", 3), "dropped-error") {
+		t.Error("empty set must not match")
+	}
+}
+
+func position(file string, line int) (p token.Position) {
+	p.Filename = file
+	p.Line = line
+	return p
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// droppedError flags error values assigned to the blank identifier:
+// `x, _ := f()` where the discarded result is error-typed, or `_ = f()`
+// for a single error result. In this codebase a dropped error from a
+// distance or fetch computation silently degrades a pruning bound, which
+// is exactly how k-NN answers rot without failing a test (bounds must stay
+// monotone across LODs; garbage in a bound breaks the paper's pruning
+// proof). Propagate the error, or suppress with
+// `//lint:ignore dropped-error <why the drop is provably safe>`.
+type droppedError struct{}
+
+func (droppedError) Name() string { return "dropped-error" }
+func (droppedError) Doc() string {
+	return "error result assigned to _; a swallowed error can corrupt a distance bound"
+}
+
+func (droppedError) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// Multi-value call: x, _ := f().
+				tv, ok := p.Info.Types[as.Rhs[0]]
+				if !ok {
+					return true
+				}
+				tuple, ok := tv.Type.(*types.Tuple)
+				if !ok || tuple.Len() != len(as.Lhs) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+						report(lhs.Pos(), "error result of %s discarded; handle it or //lint:ignore with a reason",
+							describeCall(as.Rhs[0]))
+					}
+				}
+				return true
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					if !isBlank(lhs) {
+						continue
+					}
+					if tv, ok := p.Info.Types[as.Rhs[i]]; ok && isErrorType(tv.Type) {
+						report(lhs.Pos(), "error value of %s discarded; handle it or //lint:ignore with a reason",
+							describeCall(as.Rhs[i]))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// describeCall renders a short name for the expression whose result is
+// being discarded, e.g. "db.fetchSDN(...)".
+func describeCall(e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "expression"
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name + "(...)"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name + "(...)"
+		}
+		return fun.Sel.Name + "(...)"
+	default:
+		return "call"
+	}
+}

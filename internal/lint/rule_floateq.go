@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// floatEq flags direct ==/!= comparisons (and switch statements) on
+// floating-point values. Distance bounds come out of chains of unfoldings
+// and network relaxations; exact float equality on them is either wrong
+// (rounding) or an identity check that deserves an explicit justification.
+// Use the epsilon helpers in internal/geom (geom.AlmostEq, geom.AlmostZero,
+// geom.WithinTol) instead, or suppress with
+// `//lint:ignore float-eq <reason>` for intentional bit-identity checks.
+//
+// Comparisons against the literal 0 are exempt: `x == 0` is the idiomatic
+// "option not set" test for config structs and is unaffected by rounding
+// when the zero is an untouched zero value.
+type floatEq struct{}
+
+func (floatEq) Name() string { return "float-eq" }
+func (floatEq) Doc() string {
+	return "==/!= on floating-point values; use the internal/geom epsilon helpers"
+}
+
+// approvedFloatEqFuncs are the epsilon helpers themselves: the one place
+// exact float comparison is part of the job.
+var approvedFloatEqFuncs = map[string]bool{
+	"AlmostEq":   true,
+	"AlmostZero": true,
+	"WithinTol":  true,
+}
+
+func (floatEq) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	inGeomHelpers := strings.HasSuffix(p.ImportPath, "internal/geom")
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inGeomHelpers && approvedFloatEqFuncs[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					if e.Op != token.EQL && e.Op != token.NEQ {
+						return true
+					}
+					xt, yt := p.Info.Types[e.X], p.Info.Types[e.Y]
+					if !isFloatType(xt.Type) && !isFloatType(yt.Type) {
+						return true
+					}
+					if isZeroConst(xt.Value) || isZeroConst(yt.Value) {
+						return true
+					}
+					report(e.OpPos, "%s on floating-point values; use geom.AlmostEq or justify with //lint:ignore",
+						e.Op)
+				case *ast.SwitchStmt:
+					if e.Tag == nil {
+						return true
+					}
+					if tv, ok := p.Info.Types[e.Tag]; ok && isFloatType(tv.Type) {
+						report(e.Tag.Pos(), "switch on a floating-point value compares with ==; use explicit epsilon comparisons")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	return constant.Sign(v) == 0
+}

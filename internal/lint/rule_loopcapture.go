@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// loopGoroutineCapture flags goroutines launched inside a loop whose
+// function literal captures the loop variable instead of receiving it as
+// an argument. Under Go <= 1.21 semantics this is a data race (all
+// iterations share one variable); the module currently declares go 1.22,
+// where each iteration gets a fresh variable, but the pattern still hides
+// the goroutine's data dependency and breaks the moment the code is
+// vendored into an older module. Pass the variable explicitly.
+type loopGoroutineCapture struct{}
+
+func (loopGoroutineCapture) Name() string { return "loop-goroutine-capture" }
+func (loopGoroutineCapture) Doc() string {
+	return "goroutine in a loop captures the loop variable; pass it as an argument"
+}
+
+func (loopGoroutineCapture) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var vars map[types.Object]string
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				if loop.Tok != token.DEFINE {
+					return true
+				}
+				vars = loopVarObjects(p, loop.Key, loop.Value)
+				body = loop.Body
+			case *ast.ForStmt:
+				init, ok := loop.Init.(*ast.AssignStmt)
+				if !ok || init.Tok != token.DEFINE {
+					return true
+				}
+				vars = loopVarObjects(p, init.Lhs...)
+				body = loop.Body
+			default:
+				return true
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				gs, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(lit.Body, func(b ast.Node) bool {
+					id, ok := b.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if name, captured := vars[p.Info.Uses[id]]; captured {
+						report(id.Pos(), "goroutine captures loop variable %q; pass it as an argument instead", name)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func loopVarObjects(p *Package, exprs ...ast.Expr) map[types.Object]string {
+	vars := make(map[types.Object]string)
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			vars[obj] = id.Name
+		}
+	}
+	return vars
+}

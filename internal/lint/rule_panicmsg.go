@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// panicMessage enforces the repo's panic-message convention in internal/*
+// packages: literal panic messages carry a "<pkg>: " prefix (see
+// internal/graph and internal/dem for the established style), so a stack
+// trace from a production service immediately names the subsystem that
+// gave up. Non-literal panic arguments (rethrown values, error variables)
+// are out of scope.
+type panicMessage struct{}
+
+func (panicMessage) Name() string { return "panic-message" }
+func (panicMessage) Doc() string {
+	return `literal panic messages in internal packages must start with the "<pkg>: " prefix`
+}
+
+func (panicMessage) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !strings.Contains(p.ImportPath, "internal/") {
+		return
+	}
+	prefix := p.Pkg.Name() + ": "
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := p.Info.Uses[id]; !ok || obj != types.Universe.Lookup("panic") {
+				return true
+			}
+			msg, ok := literalMessage(p, call.Args[0])
+			if ok && !strings.HasPrefix(msg, prefix) {
+				report(call.Args[0].Pos(), "panic message %q lacks the %q prefix", truncate(msg, 40), prefix)
+			}
+			return true
+		})
+	}
+}
+
+// literalMessage extracts the static text of a panic argument: a string
+// literal, or the format literal of a fmt.Sprintf call.
+func literalMessage(p *Package, arg ast.Expr) (string, bool) {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.CallExpr:
+		if isPkgFunc(p, e.Fun, "fmt", "Sprintf") && len(e.Args) > 0 {
+			return literalMessage(p, e.Args[0])
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

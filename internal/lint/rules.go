@@ -1,0 +1,22 @@
+package lint
+
+// AllRules returns the full rule set in a stable order.
+func AllRules() []Rule {
+	return []Rule{
+		droppedError{},
+		floatEq{},
+		unwrappedError{},
+		panicMessage{},
+		loopGoroutineCapture{},
+	}
+}
+
+// RuleByName resolves one rule; ok is false for unknown names.
+func RuleByName(name string) (Rule, bool) {
+	for _, r := range AllRules() {
+		if r.Name() == name {
+			return r, true
+		}
+	}
+	return nil, false
+}

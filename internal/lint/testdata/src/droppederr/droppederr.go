@@ -1,0 +1,29 @@
+// Package droppederr is a sklint fixture: error results discarded with _.
+package droppederr
+
+import "errors"
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+func oneError() error          { return nil }
+
+func bad() int {
+	n, _ := twoResults() // finding: tuple error discarded
+	_ = oneError()       // finding: single error discarded
+	return n
+}
+
+func good(m map[string]int, v any) (int, bool) {
+	x, _ := m["a"]    // comma-ok bool, not an error
+	s, ok := v.(bool) // comma-ok type assertion
+	n, err := twoResults()
+	if err != nil {
+		return 0, false
+	}
+	_ = s
+	return x + n, ok
+}
+
+func suppressed() {
+	//lint:ignore dropped-error fixture demonstrates the escape hatch
+	_ = oneError()
+}

@@ -1,0 +1,27 @@
+// Package floateq is a sklint fixture: exact floating-point comparisons.
+package floateq
+
+func cmpEq(a, b float64) bool {
+	return a == b // finding
+}
+
+func cmpNe(a, b float32) bool {
+	return a != b // finding: float32 too
+}
+
+func switchTag(a float64) int {
+	switch a { // finding: switch compares with ==
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+func zeroCheckOK(a float64) bool { return a == 0 } // exempt: unset-value idiom
+
+func intOK(a, b int) bool { return a == b }
+
+func suppressed(a, b float64) bool {
+	//lint:ignore float-eq fixture demonstrates an intentional bit-identity check
+	return a == b
+}

@@ -1,0 +1,45 @@
+// Package loopcapture is a sklint fixture: goroutines capturing loop
+// variables instead of receiving them as arguments.
+package loopcapture
+
+func badRange(items []int) {
+	for _, v := range items {
+		go func() {
+			println(v) // finding
+		}()
+	}
+}
+
+func badFor(done chan struct{}) {
+	for i := 0; i < 3; i++ {
+		go func() {
+			println(i) // finding
+			done <- struct{}{}
+		}()
+	}
+}
+
+func goodArgument(items []int) {
+	for _, v := range items {
+		go func(v int) {
+			println(v)
+		}(v)
+	}
+}
+
+func goodNoGoroutine(items []int) int {
+	sum := 0
+	for _, v := range items {
+		sum += v
+	}
+	return sum
+}
+
+func suppressed(items []int) {
+	for _, v := range items {
+		go func() {
+			//lint:ignore loop-goroutine-capture fixture demonstrates the escape hatch
+			println(v)
+		}()
+	}
+}

@@ -1,0 +1,30 @@
+// Package panicmsg is a sklint fixture: panic messages must carry the
+// "<pkg>: " prefix inside internal packages.
+package panicmsg
+
+import "fmt"
+
+func bad() {
+	panic("missing prefix") // finding
+}
+
+func badSprintf(n int) {
+	panic(fmt.Sprintf("negative count %d", n)) // finding
+}
+
+func good() {
+	panic("panicmsg: invariant violated")
+}
+
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("panicmsg: negative count %d", n))
+}
+
+func nonLiteral(err error) {
+	panic(err) // out of scope: no static message to check
+}
+
+func suppressed() {
+	//lint:ignore panic-message fixture demonstrates the escape hatch
+	panic("prefix-free on purpose")
+}

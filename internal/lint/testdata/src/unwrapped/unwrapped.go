@@ -1,0 +1,30 @@
+// Package unwrapped is a sklint fixture: fmt.Errorf without %w.
+package unwrapped
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func bad() error {
+	return fmt.Errorf("loading snapshot: %v", errSentinel) // finding
+}
+
+func badTwoArgs(path string) error {
+	return fmt.Errorf("open %s: %s", path, errSentinel) // finding
+}
+
+func good() error {
+	return fmt.Errorf("loading snapshot: %w", errSentinel)
+}
+
+func noErrorOperand(n int) error {
+	return fmt.Errorf("implausible count %d", n)
+}
+
+func suppressed() error {
+	//lint:ignore unwrapped-error fixture demonstrates deliberate flattening
+	return fmt.Errorf("flattened on purpose: %v", errSentinel)
+}

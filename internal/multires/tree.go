@@ -71,6 +71,9 @@ func (t *Tree) Root() NodeID { return NodeID(len(t.Nodes) - 1) }
 // IsLeaf reports whether v is an original-mesh vertex.
 func (t *Tree) IsLeaf(v NodeID) bool { return int(v) < t.NumLeaves }
 
+// validID reports whether v indexes a node of this tree.
+func (t *Tree) validID(v NodeID) bool { return v >= 0 && int(v) < len(t.Nodes) }
+
 // MaxTime returns the largest valid collapse time (NumLeaves-1: everything
 // collapsed into the root).
 func (t *Tree) MaxTime() int32 { return t.maxTime }
@@ -158,6 +161,12 @@ func (t *Tree) Validate() error {
 			if nd.Left == NoNode || nd.Right == NoNode {
 				return fmt.Errorf("multires: internal node %d lacks children", i)
 			}
+			// IDs may come from untrusted storage: bounds-check before
+			// indexing so a corrupt tree fails validation instead of
+			// panicking.
+			if !t.validID(nd.Left) || !t.validID(nd.Right) {
+				return fmt.Errorf("multires: node %d child out of range (%d,%d)", i, nd.Left, nd.Right)
+			}
 			l, r := t.Nodes[nd.Left], t.Nodes[nd.Right]
 			if l.Parent != v || r.Parent != v {
 				return fmt.Errorf("multires: node %d children disown it", i)
@@ -182,6 +191,9 @@ func (t *Tree) Validate() error {
 	for i, e := range t.Edges {
 		if e.Death <= e.Birth {
 			return fmt.Errorf("multires: edge %d lifetime [%d,%d) empty", i, e.Birth, e.Death)
+		}
+		if !t.validID(e.U) || !t.validID(e.W) {
+			return fmt.Errorf("multires: edge %d endpoint out of range (%d,%d)", i, e.U, e.W)
 		}
 		u, w := t.Nodes[e.U], t.Nodes[e.W]
 		if e.Birth < u.Birth || e.Birth < w.Birth || e.Death > u.Death && e.Death > w.Death {

@@ -106,6 +106,7 @@ func extractCrossLine(m *mesh.Mesh, axis Axis, coord float64, subdiv int) *Cross
 }
 
 func crossAt(a, b, v float64) (float64, bool) {
+	//lint:ignore float-eq exact a == b guards the division by (b - a) below; an epsilon would reject valid near-degenerate crossings
 	if (a < v && b < v) || (a > v && b > v) || a == b {
 		return 0, false
 	}

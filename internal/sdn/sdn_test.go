@@ -16,6 +16,7 @@ func rugged(size int, seed int64) *mesh.Mesh {
 }
 
 func TestExtractCrossLineFlat(t *testing.T) {
+	t.Parallel()
 	m := mesh.FromGrid(dem.NewGrid(5, 5, 10)) // flat 40x40
 	cl := extractCrossLine(m, YAxis, 15, 1)
 	if len(cl.Pts) < 2 {
@@ -46,6 +47,7 @@ func TestExtractCrossLineFlat(t *testing.T) {
 }
 
 func TestDPRanksNested(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 3)
 	cl := extractCrossLine(m, YAxis, 35, 1)
 	n := len(cl.Pts)
@@ -82,6 +84,7 @@ func TestDPRanksNested(t *testing.T) {
 }
 
 func TestSegmentBoxesConservative(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 5)
 	cl := extractCrossLine(m, YAxis, 40, 1)
 	region := m.Extent()
@@ -99,6 +102,7 @@ func TestSegmentBoxesConservative(t *testing.T) {
 }
 
 func TestBuildMSDN(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 7)
 	ms := BuildMSDN(m, 0) // default spacing = average edge length
 	if ms.NumLines() == 0 || ms.NumPoints() == 0 {
@@ -116,6 +120,7 @@ func TestBuildMSDN(t *testing.T) {
 }
 
 func TestLowerBoundFlat(t *testing.T) {
+	t.Parallel()
 	m := mesh.FromGrid(dem.NewGrid(9, 9, 10))
 	ms := BuildMSDN(m, 10)
 	a := geom.Vec3{X: 5, Y: 40, Z: 0}
@@ -133,6 +138,7 @@ func TestLowerBoundFlat(t *testing.T) {
 }
 
 func TestLowerBoundBelowExact(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 11)
 	loc := mesh.NewLocator(m)
 	solver := geodesic.NewSolver(m)
@@ -164,6 +170,7 @@ func TestLowerBoundBelowExact(t *testing.T) {
 }
 
 func TestLowerBoundMonotoneNested(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 17)
 	ms := BuildMSDN(m, 0)
 	ext := m.Extent()
@@ -191,6 +198,7 @@ func TestLowerBoundMonotoneNested(t *testing.T) {
 }
 
 func TestLowerBoundEnvelope(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 23)
 	ms := BuildMSDN(m, 0)
 	ext := m.Extent()
@@ -220,6 +228,7 @@ func TestLowerBoundEnvelope(t *testing.T) {
 }
 
 func TestLowerBoundNoPlanesBetween(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 29)
 	ms := BuildMSDN(m, 0)
 	a := geom.Vec3{X: 10, Y: 10, Z: 5}
@@ -231,6 +240,7 @@ func TestLowerBoundNoPlanesBetween(t *testing.T) {
 }
 
 func TestPlaneStep(t *testing.T) {
+	t.Parallel()
 	cases := map[float64]int{1.0: 1, 0.75: 1, 0.5: 2, 0.375: 3, 0.25: 4}
 	for res, want := range cases {
 		if got := planeStepFor(res); got != want {
@@ -240,6 +250,7 @@ func TestPlaneStep(t *testing.T) {
 }
 
 func TestFamilyChoice(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 31)
 	ms := BuildMSDN(m, 0)
 	// Mostly-horizontal pair → XAxis planes (perpendicular to travel).
@@ -254,6 +265,7 @@ func TestFamilyChoice(t *testing.T) {
 }
 
 func TestLowerBoundBothNeverWorse(t *testing.T) {
+	t.Parallel()
 	m := rugged(8, 41)
 	ms := BuildMSDN(m, 0)
 	ext := m.Extent()

@@ -390,21 +390,21 @@ func (t *BTree) validate(id PageID, lo, hi uint64) error {
 	n := count(p)
 	if nodeType(p) == nodeLeaf {
 		if n > leafCap {
-			return fmt.Errorf("btree: leaf %d overfull (%d)", id, n)
+			return fmt.Errorf("%w: btree leaf %d overfull (%d)", ErrCorrupt, id, n)
 		}
 		for i := 0; i < n; i++ {
 			k := leafKey(p, i)
 			if k < lo || k > hi {
-				return fmt.Errorf("btree: leaf %d key %d outside [%d,%d]", id, k, lo, hi)
+				return fmt.Errorf("%w: btree leaf %d key %d outside [%d,%d]", ErrCorrupt, id, k, lo, hi)
 			}
 			if i > 0 && leafKey(p, i-1) >= k {
-				return fmt.Errorf("btree: leaf %d keys out of order", id)
+				return fmt.Errorf("%w: btree leaf %d keys out of order", ErrCorrupt, id)
 			}
 		}
 		return nil
 	}
 	if n > internCap || n < 1 {
-		return fmt.Errorf("btree: internal %d bad count %d", id, n)
+		return fmt.Errorf("%w: btree internal %d bad count %d", ErrCorrupt, id, n)
 	}
 	prev := lo
 	child := next(p)

@@ -111,7 +111,7 @@ func (bp *BufferPool) makeRoom() error {
 	for len(bp.frames) >= bp.capacity {
 		back := bp.lru.Back()
 		if back == nil {
-			return fmt.Errorf("storage: buffer pool full with all %d pages pinned", len(bp.frames))
+			return fmt.Errorf("%w: all %d pages pinned", ErrPoolExhausted, len(bp.frames))
 		}
 		victim := back.Value.(*Frame)
 		bp.lru.Remove(back)

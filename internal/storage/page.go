@@ -24,6 +24,16 @@ const InvalidPage PageID = ^PageID(0)
 // ErrPageOutOfRange is returned for reads/writes beyond the allocated file.
 var ErrPageOutOfRange = errors.New("storage: page out of range")
 
+// ErrPoolExhausted reports that the buffer pool cannot admit another page
+// because every frame is pinned. It signals a pin leak or an undersized
+// pool rather than an I/O failure.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted")
+
+// ErrCorrupt marks a structural-invariant violation found in a persisted
+// structure (e.g. a B+-tree whose keys are out of order). Callers select it
+// with errors.Is to distinguish corruption from transient I/O errors.
+var ErrCorrupt = errors.New("storage: corrupt structure")
+
 // PageFile is the "disk": a growable array of fixed-size pages.
 type PageFile interface {
 	// Alloc appends a zeroed page and returns its id.

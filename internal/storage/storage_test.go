@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -135,9 +136,10 @@ func TestBufferPoolPinnedNotEvicted(t *testing.T) {
 	bp := NewBufferPool(f, 2)
 	a, _ := bp.Alloc()
 	b, _ := bp.Alloc()
-	// Both pinned; a third allocation must fail.
-	if _, err := bp.Alloc(); err == nil {
-		t.Error("expected failure with all pages pinned")
+	// Both pinned; a third allocation must fail with the sentinel callers
+	// use to tell pin exhaustion from I/O errors.
+	if _, err := bp.Alloc(); !errors.Is(err, ErrPoolExhausted) {
+		t.Errorf("expected ErrPoolExhausted with all pages pinned, got %v", err)
 	}
 	bp.Unpin(a, false)
 	bp.Unpin(b, false)

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate, exactly what CI runs.
+#
+#   build → vet → sklint (self-hosted lint) → race tests → fuzz smoke
+#
+# Fail-fast: the first failing stage aborts the run with its exit code.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== sklint =="
+go run ./cmd/sklint ./...
+
+echo "== sklint self-test (negative fixtures must fail) =="
+# Each fixture package contains known findings; sklint exiting 0 on one
+# would mean a rule silently stopped detecting anything.
+for fixture in internal/lint/testdata/src/*/; do
+    if go run ./cmd/sklint "./$fixture" >/dev/null 2>&1; then
+        echo "sklint reported no findings on negative fixture $fixture" >&2
+        exit 1
+    fi
+done
+
+echo "== tests (race) =="
+go test -race ./...
+
+echo "== fuzz smoke =="
+# A few seconds per target: enough to catch regressions in the seeds and
+# shallow mutations without stalling the gate. -fuzzminimizetime is capped
+# because minimising a large interesting input re-runs the target
+# thousands of times (see internal/core/fuzz_targets_test.go).
+for target in FuzzLoadSnapshot FuzzMR3Invariants FuzzDistanceRangeInvariants; do
+    go test ./internal/core -run '^$' -fuzz "^${target}\$" -fuzztime 5s -fuzzminimizetime=5x
+done
+
+echo "== all checks passed =="

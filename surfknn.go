@@ -108,6 +108,11 @@ func BuildTerrainDB(m *Mesh, cfg Config) (*TerrainDB, error) {
 	return core.BuildTerrainDB(m, cfg)
 }
 
+// ErrBadSnapshot marks a snapshot file rejected as structurally invalid or
+// corrupt (bad magic, implausible counts, checksum mismatch) rather than
+// unreadable. Select it with errors.Is.
+var ErrBadSnapshot = core.ErrBadSnapshot
+
 // LoadTerrainDB reads a snapshot written by (*TerrainDB).SaveFile.
 func LoadTerrainDB(path string, cfg Config) (*TerrainDB, error) {
 	return core.LoadFile(path, cfg)
