@@ -201,6 +201,65 @@ func benchSubdiv(b *testing.B, subdiv int) {
 	}
 }
 
+// --- Concurrency: sequential vs parallel QPS on one shared TerrainDB ---
+
+// benchQueryPoints spreads deterministic query points over the terrain so
+// the sequential and parallel benchmarks perform identical per-op work.
+func benchQueryPoints(b *testing.B, f *fixture, n int) []mesh.SurfacePoint {
+	b.Helper()
+	ext := f.m.Extent()
+	rng := rand.New(rand.NewSource(41))
+	qs := make([]mesh.SurfacePoint, n)
+	for i := range qs {
+		p := geom.Vec2{
+			X: ext.MinX + (0.1+0.8*rng.Float64())*ext.Width(),
+			Y: ext.MinY + (0.1+0.8*rng.Float64())*ext.Height(),
+		}
+		q, err := f.db.SurfacePointAt(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// BenchmarkSequentialKNN is the single-session baseline for
+// BenchmarkParallelKNN: same queries, one goroutine.
+func BenchmarkSequentialKNN(b *testing.B) {
+	f := getFixture(b)
+	qs := benchQueryPoints(b, f, 16)
+	s := f.db.NewSession(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MR3(qs[i%len(qs)], 5, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelKNN runs the same query mix from GOMAXPROCS goroutines,
+// one Session each, against the one shared TerrainDB. Throughput should
+// scale near-linearly relative to BenchmarkSequentialKNN because sessions
+// share no mutable state — the only serialisation point is the buffer-pool
+// mutex.
+func BenchmarkParallelKNN(b *testing.B) {
+	f := getFixture(b)
+	qs := benchQueryPoints(b, f, 16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := f.db.NewSession(nil)
+		i := 0
+		for pb.Next() {
+			if _, err := s.MR3(qs[i%len(qs)], 5, core.S2, core.Options{}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkSimplifyQEM(b *testing.B) {
@@ -234,7 +293,7 @@ func BenchmarkRTreeKNN(b *testing.B) {
 	tr := index.Bulk(items)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.KNN(geom.Vec2{X: 500, Y: 500}, 10)
+		tr.KNN(geom.Vec2{X: 500, Y: 500}, 10, nil)
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +41,7 @@ func main() {
 		sched   = flag.Int("sched", 1, "MR3 step-length schedule: 1, 2 or 3")
 		radius  = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
 		slope   = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
+		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -81,20 +83,29 @@ func main() {
 	case 3:
 		s = core.S3
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sess := db.NewSession(ctx)
+
 	var res core.Result
 	switch strings.ToLower(*algo) {
 	case "mr3":
-		res, err = db.MR3(q, *k, s, core.Options{})
+		res, err = sess.MR3(q, *k, s, core.Options{})
 	case "ea":
-		res, err = db.EA(q, *k)
+		res, err = sess.EA(q, *k)
 	case "brute":
-		res.Neighbors = db.BruteForce(q, *k)
+		res.Neighbors = sess.BruteForce(q, *k)
 	case "range":
-		res, err = db.SurfaceRange(q, *radius, s, core.Options{})
+		res, err = sess.SurfaceRange(q, *radius, s, core.Options{})
 		fmt.Printf("objects within %.0f m of surface travel:\n", *radius)
 	case "masked":
 		var ns []core.Neighbor
-		ns, err = db.MaskedKNN(q, *k, core.SlopeMask(m, *slope))
+		ns, err = sess.MaskedKNN(q, *k, core.SlopeMask(m, *slope))
 		res.Neighbors = ns
 		fmt.Printf("k-NN over faces with slope ≤ %.0f°:\n", *slope)
 	default:

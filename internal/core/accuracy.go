@@ -25,16 +25,21 @@ type DistanceRange struct {
 // which case the best achieved range is returned). accuracy must be in
 // (0, 1]; the structures on typical terrains support up to roughly the
 // Fig. 8 plateau.
-func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+	db := s.db
 	if accuracy <= 0 || accuracy > 1 || math.IsNaN(accuracy) {
 		return DistanceRange{}, fmt.Errorf("core: accuracy %g outside (0,1]", accuracy)
 	}
+	s.beginQuery()
 	out := DistanceRange{
 		LB: a.Pos.Dist(b.Pos),
 		UB: math.Inf(1),
 	}
 	ext := db.Mesh.Extent()
 	for it := 0; it < sched.Steps(); it++ {
+		if err := s.interrupted(); err != nil {
+			return out, err
+		}
 		out.Iterations = it + 1
 		dmRes, sdnRes := sched.At(it)
 		// Upper bound (running minimum).
@@ -46,13 +51,13 @@ func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float
 			}
 		}
 		if dmRes >= PathnetResolution {
-			ub = db.Path.DistanceWithin(a, b, region)
+			ub = s.path.DistanceWithin(a, b, region)
 			if math.IsInf(ub, 1) {
 				// Region clipped every path; retry unclipped. The discarded
 				// second result is the path polyline, not an error — truly
 				// disconnected points keep UB = +Inf, which the final check
 				// below turns into an explicit error.
-				ub, _ = db.Path.Distance(a, b)
+				ub, _ = s.path.Distance(a, b)
 			}
 			// The pathnet level is the reference metric: collapse the range.
 			if ub < out.UB {
@@ -63,7 +68,7 @@ func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float
 			}
 		} else {
 			tm := db.Tree.TimeForResolution(dmRes)
-			ids, err := db.fetchDMTM(region, tm)
+			ids, err := s.fetchDMTM(region, tm)
 			if err != nil {
 				return out, err
 			}
@@ -78,7 +83,7 @@ func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float
 			if m := geom.NewEllipse(a.XY(), b.XY(), out.UB).MBR(); !m.IsEmpty() {
 				region = m
 			}
-			if _, err := db.fetchSDN(region, SDNLevel(sdnRes)); err != nil {
+			if _, err := s.fetchSDN(region, SDNLevel(sdnRes)); err != nil {
 				return out, err
 			}
 			est := db.MSDN.LowerBound(a.Pos, b.Pos, region, sdnRes)
@@ -98,4 +103,10 @@ func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float
 		return out, fmt.Errorf("core: points are not connected on the surface")
 	}
 	return out, nil
+}
+
+// DistanceWithAccuracy is the one-shot convenience form: it runs the query
+// in a fresh throwaway session.
+func (db *TerrainDB) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+	return db.NewSession(nil).DistanceWithAccuracy(a, b, accuracy, sched)
 }

@@ -20,20 +20,24 @@ import (
 // ladder, it fetches fine terrain data over large regions and runs the
 // Kanai–Suzuki computation per candidate, which is what Figs. 10–11 show
 // blowing up against MR3.
-func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
+func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
+	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	db.ResetCounters()
+	if err := s.interrupted(); err != nil {
+		return Result{}, err
+	}
+	s.beginQuery()
 	var met stats.Metrics
 	start := time.Now()
 	fullLevel := SDNLevel(1.0)
 
 	// Step 1: 2-D k-NN filter.
-	c1 := db.itemsToObjects(db.Dxy.KNN(q.XY(), k))
+	c1 := db.itemsToObjects(db.Dxy.KNN(q.XY(), k, &s.dxyVisits))
 	met.Candidates += len(c1)
 
 	// Step 2: exact (full-resolution) surface distances for C1. The first
@@ -56,21 +60,21 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		// Full-resolution terrain fetch for the search region. A failed
 		// fetch must abort the query: pretending it succeeded would let an
 		// unpaid I/O bill produce a distance that looks valid.
-		if _, err := db.fetchDMTM(region, 0); err != nil {
+		if _, err := s.fetchDMTM(region, 0); err != nil {
 			return 0, fmt.Errorf("core: EA terrain fetch: %w", err)
 		}
-		if _, err := db.fetchSDN(region, fullLevel); err != nil {
+		if _, err := s.fetchSDN(region, fullLevel); err != nil {
 			return 0, fmt.Errorf("core: EA SDN fetch: %w", err)
 		}
 		met.UpperBounds++
-		d := db.Path.DistanceWithin(q, o.Point, region)
+		d := s.path.DistanceWithin(q, o.Point, region)
 		if math.IsInf(d, 1) {
 			// The ellipse clipped every path; retry on the unclipped
 			// network. The discarded second result is the path polyline,
 			// not an error — if no path exists at all, the +Inf distance
 			// propagates to the bound check below instead of masquerading
 			// as a finite bound.
-			d, _ = db.Path.Distance(q, o.Point)
+			d, _ = s.path.Distance(q, o.Point)
 		}
 		return d, nil
 	}
@@ -96,7 +100,7 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 	}
 
 	// Step 3: 2-D range query with the k-th distance as radius.
-	c2 := db.itemsToObjects(db.Dxy.WithinDist(q.XY(), kth))
+	c2 := db.itemsToObjects(db.Dxy.WithinDist(q.XY(), kth, &s.dxyVisits))
 	met.Candidates += len(c2)
 
 	// Step 4: verify every candidate, cheapest (by Euclidean distance)
@@ -110,6 +114,9 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		seen[s.obj.ID] = true
 	}
 	for _, o := range c2 {
+		if err := s.interrupted(); err != nil {
+			return Result{}, err
+		}
 		if seen[o.ID] {
 			continue
 		}
@@ -119,7 +126,7 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		}
 		met.LowerBounds++
 		lb := db.MSDN.LowerBound(q.Pos, o.Point.Pos, region, 1.0)
-		if _, err := db.fetchSDN(region, fullLevel); err != nil {
+		if _, err := s.fetchSDN(region, fullLevel); err != nil {
 			return Result{}, fmt.Errorf("core: EA SDN fetch: %w", err)
 		}
 		if lb.LB > kth {
@@ -137,22 +144,29 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		out[i] = Neighbor{Object: s.obj, LB: s.d, UB: s.d}
 	}
 	met.CPU = time.Since(start)
-	met.Pages = db.PagesAccessed()
+	met.Pages = s.pagesAccessed()
 	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
 	return Result{Neighbors: out, Metrics: met}, nil
+}
+
+// EA is the one-shot convenience form: it runs the benchmark query in a
+// fresh throwaway session.
+func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
+	return db.NewSession(nil).EA(q, k)
 }
 
 // BruteForce ranks every object by the reference surface distance — the
 // oracle used by tests and, on small inputs, sanity checks. It bypasses the
 // paged stores (no page accounting).
-func (db *TerrainDB) BruteForce(q mesh.SurfacePoint, k int) []Neighbor {
+func (s *Session) BruteForce(q mesh.SurfacePoint, k int) []Neighbor {
+	db := s.db
 	type scored struct {
 		obj workload.Object
 		d   float64
 	}
 	all := make([]scored, 0, len(db.objects))
 	for _, o := range db.objects {
-		all = append(all, scored{o, db.ReferenceDistance(q, o.Point)})
+		all = append(all, scored{o, s.referenceDistance(q, o.Point)})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
 	if k > len(all) {
@@ -163,4 +177,9 @@ func (db *TerrainDB) BruteForce(q mesh.SurfacePoint, k int) []Neighbor {
 		out[i] = Neighbor{Object: all[i].obj, LB: all[i].d, UB: all[i].d}
 	}
 	return out
+}
+
+// BruteForce is the one-shot convenience form over a throwaway session.
+func (db *TerrainDB) BruteForce(q mesh.SurfacePoint, k int) []Neighbor {
+	return db.NewSession(nil).BruteForce(q, k)
 }

@@ -29,23 +29,27 @@ type Result struct {
 //  4. Surface-distance ranking of the collected candidates until the k-th
 //     neighbour's upper bound is no greater than the (k+1)-th's lower
 //     bound.
-func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
+func (s *Session) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
+	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	db.ResetCounters()
+	if err := s.interrupted(); err != nil {
+		return Result{}, err
+	}
+	s.beginQuery()
 	var met stats.Metrics
 	start := time.Now()
 
 	// Step 1: 2-D k-NN on Dxy.
-	c1 := db.Dxy.KNN(q.XY(), k)
+	c1 := db.Dxy.KNN(q.XY(), k, &s.dxyVisits)
 	objs1 := db.itemsToObjects(c1)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
-	ranked, err := db.rank(q, objs1, k, sched, opt, &met, true)
+	ranked, err := s.rank(q, objs1, k, sched, opt, &met, true)
 	if err != nil {
 		return Result{}, err
 	}
@@ -55,19 +59,26 @@ func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options
 	}
 
 	// Step 3: 2-D range query with the bound as radius.
-	c2 := db.Dxy.WithinDist(q.XY(), radius)
+	c2 := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
 	objs2 := db.itemsToObjects(c2)
 
 	// Step 4: rank C2 until the k-set is determined.
-	final, err := db.rank(q, objs2, k, sched, opt, &met, false)
+	final, err := s.rank(q, objs2, k, sched, opt, &met, false)
 	if err != nil {
 		return Result{}, err
 	}
 
 	met.CPU = time.Since(start)
-	met.Pages = db.PagesAccessed()
+	met.Pages = s.pagesAccessed()
 	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
 	return Result{Neighbors: final, Metrics: met}, nil
+}
+
+// MR3 is the one-shot convenience form: it runs the query in a fresh
+// throwaway session. Callers issuing many queries — or wanting
+// cancellation — create a Session once and query through it.
+func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
+	return db.NewSession(nil).MR3(q, k, sched, opt)
 }
 
 func (db *TerrainDB) itemsToObjects(items []index.Item) []workload.Object {

@@ -22,23 +22,27 @@ import (
 // because dE <= dS), then iterative bound refinement classifies each
 // candidate against the radius, falling back to the reference distance only
 // for ranges straddling it.
-func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
+func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
+	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if radius < 0 || math.IsNaN(radius) {
 		return Result{}, fmt.Errorf("core: invalid radius %g", radius)
 	}
+	if err := s.interrupted(); err != nil {
+		return Result{}, err
+	}
 	opt = opt.withDefaults()
-	db.ResetCounters()
+	s.beginQuery()
 	var met stats.Metrics
 	start := time.Now()
 
-	items := db.Dxy.WithinDist(q.XY(), radius)
+	items := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
 	objs := db.itemsToObjects(items)
 	met.Candidates += len(objs)
 
-	r := &ranker{db: db, q: q, k: len(objs), sched: sched, opt: opt, met: &met}
+	r := &ranker{s: s, q: q, k: len(objs), sched: sched, opt: opt, met: &met}
 	for _, o := range objs {
 		r.cands = append(r.cands, &candidate{
 			obj: o,
@@ -48,6 +52,9 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 	}
 	steps := sched.Steps()
 	for it := 0; it < steps; it++ {
+		if err := s.interrupted(); err != nil {
+			return Result{}, err
+		}
 		targets := rangeUndecided(r.cands, radius)
 		if len(targets) == 0 {
 			break
@@ -67,13 +74,13 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 		case c.lb > radius:
 			// excluded
 		default:
-			d := db.Path.DistanceWithin(q, c.obj.Point, r.regionOf(c))
+			d := s.path.DistanceWithin(q, c.obj.Point, r.regionOf(c))
 			if math.IsInf(d, 1) {
 				// Region clipped every path; retry unclipped. The discarded
 				// second result is the path polyline, not an error — a
 				// genuinely unreachable object keeps d = +Inf and fails the
 				// d <= radius test below.
-				d, _ = db.Path.Distance(q, c.obj.Point)
+				d, _ = s.path.Distance(q, c.obj.Point)
 			}
 			met.UpperBounds++
 			if d <= radius {
@@ -83,9 +90,15 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].UB < out[j].UB })
 	met.CPU = time.Since(start)
-	met.Pages = db.PagesAccessed()
+	met.Pages = s.pagesAccessed()
 	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
 	return Result{Neighbors: out, Metrics: met}, nil
+}
+
+// SurfaceRange is the one-shot convenience form: it runs the query in a
+// fresh throwaway session.
+func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
+	return db.NewSession(nil).SurfaceRange(q, radius, sched, opt)
 }
 
 // iterateRange is the range-query variant of one refinement iteration: the
@@ -98,13 +111,13 @@ func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float6
 	for _, g := range groups {
 		tm := int32(0)
 		if dmRes < PathnetResolution {
-			tm = r.db.Tree.TimeForResolution(dmRes)
+			tm = r.s.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, err := r.db.fetchDMTM(g.region, tm)
+		edgeIDs, err := r.s.fetchDMTM(g.region, tm)
 		if err != nil {
 			return fmt.Errorf("core: fetching DMTM records: %w", err)
 		}
-		if _, err := r.db.fetchSDN(g.region, level); err != nil {
+		if _, err := r.s.fetchSDN(g.region, level); err != nil {
 			return fmt.Errorf("core: fetching SDN records: %w", err)
 		}
 		for _, c := range g.cands {
@@ -133,7 +146,8 @@ func rangeUndecided(cands []*candidate, radius float64) []*candidate {
 // first, with the running best distance pruning later sources. For larger
 // object sets this beats the naive all-pairs reference computation by
 // orders of magnitude while returning the same pair.
-func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err error) {
+func (s *Session) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err error) {
+	db := s.db
 	if db.Dxy == nil || len(db.objects) < 2 {
 		return a, b, fmt.Errorf("core: closest pair needs at least two objects")
 	}
@@ -145,7 +159,7 @@ func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, er
 	}
 	srcs := make([]src, 0, len(db.objects))
 	for i, o := range db.objects {
-		nn := db.Dxy.KNN(o.Point.XY(), 2) // first hit is the object itself
+		nn := db.Dxy.KNN(o.Point.XY(), 2, nil) // first hit is the object itself
 		d := math.Inf(1)
 		if len(nn) == 2 {
 			d = nn[1].P.Dist(o.Point.XY())
@@ -155,22 +169,25 @@ func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, er
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].d2 < srcs[j].d2 })
 
 	best := math.Inf(1)
-	for _, s := range srcs {
+	for _, sc := range srcs {
+		if cerr := s.interrupted(); cerr != nil {
+			return a, b, cerr
+		}
 		// The 2-D NN distance lower-bounds this source's surface NN
 		// distance; once it exceeds the best pair found, no later source
 		// can win.
-		if s.d2 >= best {
+		if sc.d2 >= best {
 			break
 		}
-		o := db.objects[s.idx]
-		res, qerr := db.knnExcluding(o, sched, opt)
+		o := db.objects[sc.idx]
+		res, qerr := s.knnExcluding(o, sched, opt)
 		if qerr != nil {
 			return a, b, qerr
 		}
 		if len(res) == 0 {
 			continue
 		}
-		d := db.ReferenceDistance(o.Point, res[0].Object.Point)
+		d := s.referenceDistance(o.Point, res[0].Object.Point)
 		if d < best {
 			best = d
 			a = Neighbor{Object: o, LB: d, UB: d}
@@ -183,10 +200,16 @@ func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, er
 	return a, b, nil
 }
 
+// ClosestPair is the one-shot convenience form: it runs the query in a
+// fresh throwaway session.
+func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err error) {
+	return db.NewSession(nil).ClosestPair(sched, opt)
+}
+
 // knnExcluding runs a 1-NN query from an object's location, excluding the
 // object itself.
-func (db *TerrainDB) knnExcluding(o workload.Object, sched Schedule, opt Options) ([]Neighbor, error) {
-	res, err := db.MR3(o.Point, 2, sched, opt)
+func (s *Session) knnExcluding(o workload.Object, sched Schedule, opt Options) ([]Neighbor, error) {
+	res, err := s.MR3(o.Point, 2, sched, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -23,10 +23,14 @@ type Options struct {
 	// optimisation (§4.2.2).
 	DisableDummyLB bool
 	// Step2Accuracy is the lb/ub accuracy at which step 2 stops tightening
-	// the k-th neighbour's upper bound (default 0.8).
+	// the k-th neighbour's upper bound. Zero (the zero value) selects the
+	// paper's default 0.8; to request a literal 0 — accept any bound, no
+	// tightening — pass a negative value.
 	Step2Accuracy float64
 	// OverlapThreshold is the minimum overlap fraction for merging I/O
-	// regions (default 0.8, the paper's "e.g., over 80%").
+	// regions. Zero (the zero value) selects the paper's default 0.8 ("e.g.,
+	// over 80%"); to request a literal 0 — merge any intersecting regions —
+	// pass a negative value.
 	OverlapThreshold float64
 	// BothFamilyLB estimates lower bounds with both cutting-plane families
 	// and keeps the larger — a strictly tighter bound at roughly twice the
@@ -35,13 +39,23 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Step2Accuracy == 0 {
-		o.Step2Accuracy = 0.8
-	}
-	if o.OverlapThreshold == 0 {
-		o.OverlapThreshold = 0.8
-	}
+	o.Step2Accuracy = resolveFraction(o.Step2Accuracy, 0.8)
+	o.OverlapThreshold = resolveFraction(o.OverlapThreshold, 0.8)
 	return o
+}
+
+// resolveFraction maps an Options fraction to its effective value: the zero
+// value keeps the paper's default, and a negative input selects a literal 0
+// (which would otherwise be unreachable, since 0 is the unset marker).
+func resolveFraction(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
 }
 
 // Neighbor is one result entry with its final distance range.
@@ -64,11 +78,24 @@ type candidate struct {
 	ubPath []multires.NodeID
 	lbPath []sdn.Segment
 	state  candState
+	// Cached I/O region (the ellipse MBR of regionOf). It depends only on
+	// ub, which each iteration reads several times between changes
+	// (grouping, UB update, LB update), so it is memoised here and
+	// invalidated by setUB.
+	region   geom.MBR
+	regionOK bool
+}
+
+// setUB lowers the candidate's upper bound and invalidates the cached I/O
+// region that was derived from the old bound.
+func (c *candidate) setUB(v float64) {
+	c.ub = v
+	c.regionOK = false
 }
 
 // ranker runs the surface-distance ranking of §4.2 over a candidate set.
 type ranker struct {
-	db    *TerrainDB
+	s     *Session
 	q     mesh.SurfacePoint
 	k     int
 	sched Schedule
@@ -85,12 +112,12 @@ type ranker struct {
 // surface metric, with their final ranges. A non-nil error means a paged
 // fetch failed, in which case the bounds are unreliable and the query must
 // not pretend to have an answer.
-func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) ([]Neighbor, error) {
+func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) ([]Neighbor, error) {
 	opt = opt.withDefaults()
 	if k > len(objs) {
 		k = len(objs)
 	}
-	r := &ranker{db: db, q: q, k: k, sched: sched, opt: opt, met: met, tighten: tighten}
+	r := &ranker{s: s, q: q, k: k, sched: sched, opt: opt, met: met, tighten: tighten}
 	for _, o := range objs {
 		r.cands = append(r.cands, &candidate{
 			obj: o,
@@ -108,6 +135,9 @@ func (db *TerrainDB) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sc
 func (r *ranker) run() error {
 	steps := r.sched.Steps()
 	for it := 0; it < steps; it++ {
+		if err := r.s.interrupted(); err != nil {
+			return err
+		}
 		if r.classify() && !r.needTightening() {
 			return nil
 		}
@@ -134,16 +164,16 @@ func (r *ranker) run() error {
 		if c.ub-c.lb < 1e-9*(1+c.ub) {
 			continue
 		}
-		d := r.db.Path.DistanceWithin(r.q, c.obj.Point, r.regionOf(c))
+		d := r.s.path.DistanceWithin(r.q, c.obj.Point, r.regionOf(c))
 		if math.IsInf(d, 1) {
 			// Region clipped every path; retry unclipped. The discarded
 			// second result is the path polyline, not an error — an
 			// unreachable candidate keeps ub = +Inf and can never displace
 			// a finite neighbour.
-			d, _ = r.db.Path.Distance(r.q, c.obj.Point)
+			d, _ = r.s.path.Distance(r.q, c.obj.Point)
 		}
 		r.met.UpperBounds++
-		c.ub = d
+		c.setUB(d)
 		c.lb = d
 	}
 	r.classify()
@@ -171,7 +201,11 @@ func (r *ranker) refinementTargets() []*candidate {
 		switch {
 		case c.state == candActive:
 			out = append(out, c)
-		case r.tighten && c.state == candIn && c.lb < r.opt.Step2Accuracy*c.ub:
+		// An in-set candidate with no finite upper bound yet always needs
+		// work (without the explicit check, Step2Accuracy 0 would compute
+		// lb < 0·Inf = NaN and never tighten, leaving step 2 unbounded).
+		case r.tighten && c.state == candIn &&
+			(math.IsInf(c.ub, 1) || c.lb < r.opt.Step2Accuracy*c.ub):
 			out = append(out, c)
 		}
 	}
@@ -183,14 +217,16 @@ func (r *ranker) refinementTargets() []*candidate {
 // the current upper bound — or the whole terrain before any bound exists
 // ("the I/O region is initially set to the entire terrain").
 func (r *ranker) regionOf(c *candidate) geom.MBR {
-	if math.IsInf(c.ub, 1) {
-		return r.db.Mesh.Extent()
+	if c.regionOK {
+		return c.region
 	}
-	e := geom.NewEllipse(r.q.XY(), c.obj.Point.XY(), c.ub)
-	m := e.MBR()
-	if m.IsEmpty() {
-		return r.db.Mesh.Extent()
+	m := r.s.db.Mesh.Extent()
+	if !math.IsInf(c.ub, 1) {
+		if e := geom.NewEllipse(r.q.XY(), c.obj.Point.XY(), c.ub).MBR(); !e.IsEmpty() {
+			m = e
+		}
 	}
+	c.region, c.regionOK = m, true
 	return m
 }
 
@@ -238,13 +274,13 @@ func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) error {
 		// LOD plus the SDN segments of this level.
 		tm := int32(0)
 		if dmRes < PathnetResolution {
-			tm = r.db.Tree.TimeForResolution(dmRes)
+			tm = r.s.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, err := r.db.fetchDMTM(g.region, tm)
+		edgeIDs, err := r.s.fetchDMTM(g.region, tm)
 		if err != nil {
 			return fmt.Errorf("core: fetching DMTM records: %w", err)
 		}
-		if _, err := r.db.fetchSDN(g.region, level); err != nil {
+		if _, err := r.s.fetchSDN(g.region, level); err != nil {
 			return fmt.Errorf("core: fetching SDN records: %w", err)
 		}
 
@@ -263,9 +299,9 @@ func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32
 	r.met.UpperBounds++
 	region := r.regionOf(c)
 	if dmRes >= PathnetResolution {
-		d := r.db.Path.DistanceWithin(r.q, c.obj.Point, region)
+		d := r.s.path.DistanceWithin(r.q, c.obj.Point, region)
 		if d < c.ub {
-			c.ub = d
+			c.setUB(d)
 			// At the pathnet level the network distance IS the reference
 			// surface distance (dN = dS at DMTM 200%, §5.3), so the lower
 			// bound may be raised to it as well.
@@ -291,13 +327,13 @@ func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32
 		}
 	}
 	if est.UB < c.ub {
-		c.ub = est.UB
+		c.setUB(est.UB)
 		c.ubPath = est.Path
 	}
 }
 
 func (r *ranker) tryUpperBound(c *candidate, tm int32, edgeIDs []int32, region geom.MBR, refined []geom.MBR) multires.UpperEstimate {
-	tree := r.db.Tree
+	tree := r.s.db.Tree
 	filter := func(e multires.EdgeRec) bool {
 		minX, minY, maxX, maxY := tree.EdgeMBR(e)
 		em := geom.MBR{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
@@ -315,7 +351,7 @@ func (r *ranker) tryUpperBound(c *candidate, tm int32, edgeIDs []int32, region g
 		return false
 	}
 	nw := tree.NetworkFromEdgeIDs(tm, edgeIDs, filter)
-	return nw.UpperBound(r.db.Mesh, r.q, c.obj.Point)
+	return nw.UpperBound(r.s.db.Mesh, r.q, c.obj.Point)
 }
 
 // refinedRegions converts the previous upper-bound path into its
@@ -326,7 +362,7 @@ func (r *ranker) refinedRegions(c *candidate) []geom.MBR {
 	}
 	out := make([]geom.MBR, 0, len(c.ubPath))
 	for _, v := range c.ubPath {
-		out = append(out, r.db.Tree.Nodes[v].MBR)
+		out = append(out, r.s.db.Tree.Nodes[v].MBR)
 	}
 	return out
 }
@@ -344,8 +380,8 @@ func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
 		r.applyLB(c, r.fullLB(q3, o3, region, sdnRes))
 		return
 	}
-	margin := 2 * r.db.MSDN.Spacing
-	dummy := r.db.MSDN.LowerBoundEnvelope(q3, o3, region, sdnRes, c.lbPath, margin)
+	margin := 2 * r.s.db.MSDN.Spacing
+	dummy := r.s.db.MSDN.LowerBoundEnvelope(q3, o3, region, sdnRes, c.lbPath, margin)
 	dummyLB := math.Max(c.lb, dummy.LB)
 	// Would the (over-estimated) dummy bound change this candidate's fate?
 	if dummyLB <= kthUB {
@@ -359,9 +395,9 @@ func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
 // fullLB runs the configured full lower-bound estimation.
 func (r *ranker) fullLB(q3, o3 geom.Vec3, region geom.MBR, sdnRes float64) sdn.LowerEstimate {
 	if r.opt.BothFamilyLB {
-		return r.db.MSDN.LowerBoundBoth(q3, o3, region, sdnRes)
+		return r.s.db.MSDN.LowerBoundBoth(q3, o3, region, sdnRes)
 	}
-	return r.db.MSDN.LowerBound(q3, o3, region, sdnRes)
+	return r.s.db.MSDN.LowerBound(q3, o3, region, sdnRes)
 }
 
 func (r *ranker) applyLB(c *candidate, est sdn.LowerEstimate) {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/pathnet"
+	"surfknn/internal/storage"
+)
+
+// Session is a per-query execution context over a shared TerrainDB. The
+// database's structures (mesh, DDM tree, pathnet, MSDN, paged stores, Dxy)
+// are immutable once objects are installed, so any number of sessions can
+// query one TerrainDB concurrently; everything mutable lives here:
+//
+//   - a context.Context checked between refinement iterations, so callers
+//     can cancel long queries or impose deadlines;
+//   - the page/node access accounting (the paper's "disk pages accessed"
+//     metric), kept per query so concurrent queries cannot race on — or
+//     pollute — each other's cost numbers;
+//   - a pathnet Querier whose Dijkstra scratch is reused across the many
+//     surface-distance evaluations one query performs.
+//
+// A Session is owned by one goroutine at a time (it is not internally
+// synchronised) but may be reused for any number of consecutive queries.
+// Create one per worker with TerrainDB.NewSession.
+type Session struct {
+	db   *TerrainDB
+	ctx  context.Context
+	path *pathnet.Querier
+
+	io        storage.IOAccount // paged terrain reads (DMTM + SDN stores)
+	dxyVisits int64             // R-tree node visits (object index)
+}
+
+// NewSession creates a query context over the database. ctx bounds every
+// query issued through the session (nil means context.Background()).
+func (db *TerrainDB) NewSession(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{db: db, ctx: ctx, path: db.Path.NewQuerier()}
+}
+
+// DB returns the shared database the session queries.
+func (s *Session) DB() *TerrainDB { return s.db }
+
+// beginQuery resets the per-query accounting. Each top-level query method
+// calls it on entry, so a session reused for several queries reports each
+// query's cost in isolation — the same numbers the paper's one-query-at-a-
+// time harness measured with global counters.
+func (s *Session) beginQuery() {
+	s.io = storage.IOAccount{}
+	s.dxyVisits = 0
+}
+
+// pagesAccessed returns this query's combined page-access count:
+// buffer-pool accesses for terrain data plus R-tree node visits for object
+// data.
+func (s *Session) pagesAccessed() int64 {
+	return s.io.Accesses + s.dxyVisits
+}
+
+// interrupted surfaces context cancellation/deadline between units of work.
+func (s *Session) interrupted() error { return s.ctx.Err() }
+
+// fetchDMTM reads the DDM edge records valid at collapse time tm inside
+// region through the buffer pool — charged to this session's account — and
+// returns their edge indices.
+func (s *Session) fetchDMTM(region geom.MBR, tm int32) ([]int32, error) {
+	var ids []int32
+	err := s.db.dmtmStore.Fetch(region, tm, &s.io, func(r storage.ClusterRecord) {
+		ids = append(ids, int32(r.ID))
+	})
+	return ids, err
+}
+
+// fetchSDN reads the SDN segment records of the given ladder level inside
+// region. The record payloads mirror the in-memory MSDN (which the lower-
+// bound computation uses directly); the fetch exists to account the I/O the
+// paper measures.
+func (s *Session) fetchSDN(region geom.MBR, level int32) (int, error) {
+	n := 0
+	err := s.db.sdnStore.Fetch(region, level, &s.io, func(storage.ClusterRecord) { n++ })
+	return n, err
+}
+
+// referenceDistance is ReferenceDistance evaluated through the session's
+// reusable pathnet querier.
+func (s *Session) referenceDistance(a, b mesh.SurfacePoint) float64 {
+	d, _ := s.path.Distance(a, b)
+	return d
+}
+
+// MaskedKNN answers the constrained k-NN query (see TerrainDB.MaskedKNN);
+// the computation builds private per-query structures, so the session only
+// contributes its cancellation context.
+func (s *Session) MaskedKNN(q mesh.SurfacePoint, k int, mask FaceMask) ([]Neighbor, error) {
+	if err := s.interrupted(); err != nil {
+		return nil, err
+	}
+	return s.db.MaskedKNN(q, k, mask)
+}

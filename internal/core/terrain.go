@@ -47,6 +47,10 @@ func (c Config) withDefaults() Config {
 // query processing needs: the DDM tree and pathnet (DMTM), the MSDN, the
 // paged stores that account disk accesses, and the object set with its 2-D
 // R-tree (Dxy).
+//
+// After construction and SetObjects, every structure here is immutable:
+// queries read them through per-query Sessions (see NewSession), so any
+// number of queries may run concurrently on one TerrainDB.
 type TerrainDB struct {
 	Mesh *mesh.Mesh
 	Loc  *mesh.Locator
@@ -136,7 +140,9 @@ func assembleTerrainDB(m *mesh.Mesh, tree *multires.Tree, ms *sdn.MSDN, cfg Conf
 }
 
 // SetObjects installs the object dataset and builds Dxy, the 2-D R-tree
-// over the objects' (x,y) projections.
+// over the objects' (x,y) projections. It is a setup step, not a query:
+// call it before any session starts querying (it replaces structures that
+// concurrent queries read without locks).
 func (db *TerrainDB) SetObjects(objs []workload.Object) {
 	db.objects = objs
 	db.objByID = make(map[int64]workload.Object, len(objs))
@@ -160,44 +166,6 @@ func (db *TerrainDB) Object(id int64) (workload.Object, bool) {
 // SurfacePointAt lifts a 2-D location onto the surface.
 func (db *TerrainDB) SurfacePointAt(p geom.Vec2) (mesh.SurfacePoint, error) {
 	return mesh.MakeSurfacePoint(db.Mesh, db.Loc, p)
-}
-
-// PagesAccessed returns the combined page-access count: buffer-pool
-// accesses for terrain data plus R-tree node visits for object data.
-func (db *TerrainDB) PagesAccessed() int64 {
-	n := db.Pool.Stats().Accesses
-	if db.Dxy != nil {
-		n += db.Dxy.Accesses
-	}
-	return n
-}
-
-// ResetCounters zeroes all access counters (call between measured queries).
-func (db *TerrainDB) ResetCounters() {
-	db.Pool.ResetStats()
-	if db.Dxy != nil {
-		db.Dxy.ResetAccesses()
-	}
-}
-
-// fetchDMTM reads the DDM edge records valid at collapse time tm inside
-// region through the buffer pool and returns their edge indices.
-func (db *TerrainDB) fetchDMTM(region geom.MBR, tm int32) ([]int32, error) {
-	var ids []int32
-	err := db.dmtmStore.Fetch(region, tm, func(r storage.ClusterRecord) {
-		ids = append(ids, int32(r.ID))
-	})
-	return ids, err
-}
-
-// fetchSDN reads the SDN segment records of the given ladder level inside
-// region. The record payloads mirror the in-memory MSDN (which the lower-
-// bound computation uses directly); the fetch exists to account the I/O the
-// paper measures.
-func (db *TerrainDB) fetchSDN(region geom.MBR, level int32) (int, error) {
-	n := 0
-	err := db.sdnStore.Fetch(region, level, func(storage.ClusterRecord) { n++ })
-	return n, err
 }
 
 // ReferenceDistance returns the library's ground-truth surface distance:

@@ -34,10 +34,11 @@ func Ablation(p Params) (Figure, error) {
 	cpu := stats.Series{Label: "cpu ms"}
 	pages := stats.Series{Label: "pages"}
 	lbs := stats.Series{Label: "lb calcs"}
+	sess := db.NewSession(nil)
 	for vi, v := range variants {
 		var agg stats.Metrics
 		for _, q := range qs {
-			r, err := db.MR3(q, k, core.S1, v.opt)
+			r, err := sess.MR3(q, k, core.S1, v.opt)
 			if err != nil {
 				return Figure{}, err
 			}

@@ -25,18 +25,3 @@ func (f *Frontier) Pop() (v int32, prio float64) {
 
 // Reset empties the frontier for reuse.
 func (f *Frontier) Reset() { f.h.reset() }
-
-// TruncateVertices removes all vertices with index >= keep together with
-// their adjacency lists. Callers must have already removed arcs pointing at
-// the truncated vertices from surviving lists (see pathnet's embed/undo
-// cycle, the only intended user).
-func (g *Graph) TruncateVertices(keep int) {
-	if keep < 0 || keep > len(g.adj) {
-		return
-	}
-	g.adj = g.adj[:keep]
-}
-
-// SetArcs replaces the adjacency list of vertex v (used together with
-// TruncateVertices to undo temporary embeddings).
-func (g *Graph) SetArcs(v int, arcs []Arc) { g.adj[v] = arcs }

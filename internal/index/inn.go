@@ -11,8 +11,8 @@ import (
 // ascending distance order (ok=false once exhausted). This is the
 // distance-browsing pattern of Hjaltason & Samet [6], the building block of
 // algorithms that do not know k in advance (closest pairs, expanding
-// searches).
-func (t *RTree) NearestIter(q geom.Vec2) func() (Item, float64, bool) {
+// searches). Node visits are charged to visits (nil to skip counting).
+func (t *RTree) NearestIter(q geom.Vec2, visits *int64) func() (Item, float64, bool) {
 	pq := &knnHeap{}
 	qp := q
 	if t.size > 0 {
@@ -24,7 +24,7 @@ func (t *RTree) NearestIter(q geom.Vec2) func() (Item, float64, bool) {
 			if e.leaf {
 				return e.item, e.dist, true
 			}
-			t.Accesses++
+			visit(visits)
 			if e.n.leaf {
 				for _, it := range e.n.items {
 					heap.Push(pq, knnEntry{dist: it.P.Dist(qp), item: it, leaf: true})

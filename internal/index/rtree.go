@@ -31,13 +31,21 @@ type node struct {
 }
 
 // RTree is a dynamic R-tree over 2-D points (quadratic split).
-// Not safe for concurrent mutation.
+// Not safe for concurrent mutation; once built it is immutable at query
+// time, so concurrent searches are safe. Queries take a visits counter
+// (nil to skip) instead of mutating shared state: each node visited adds
+// one — the R-tree's page-access proxy (one node ≈ one page) — charged to
+// the per-query account of whoever issued the search.
 type RTree struct {
 	root *node
 	size int
-	// Accesses counts node visits across queries — the R-tree's
-	// page-access proxy (one node ≈ one page).
-	Accesses int64
+}
+
+// visit charges one node visit to the per-query counter, if any.
+func visit(visits *int64) {
+	if visits != nil {
+		*visits++
+	}
 }
 
 // New returns an empty tree.
@@ -125,9 +133,6 @@ func strPackNodes(ns []*node) []*node {
 
 // Len returns the number of indexed items.
 func (t *RTree) Len() int { return t.size }
-
-// ResetAccesses zeroes the node-visit counter.
-func (t *RTree) ResetAccesses() { t.Accesses = 0 }
 
 // Insert adds an item.
 func (t *RTree) Insert(it Item) {
@@ -219,15 +224,16 @@ func splitInternal(n *node) *node {
 	return right
 }
 
-// Range returns all items inside region (inclusive of the boundary).
-func (t *RTree) Range(region geom.MBR) []Item {
+// Range returns all items inside region (inclusive of the boundary),
+// charging node visits to visits (nil to skip counting).
+func (t *RTree) Range(region geom.MBR, visits *int64) []Item {
 	var out []Item
-	t.rangeScan(t.root, region, &out)
+	t.rangeScan(t.root, region, visits, &out)
 	return out
 }
 
-func (t *RTree) rangeScan(n *node, region geom.MBR, out *[]Item) {
-	t.Accesses++
+func (t *RTree) rangeScan(n *node, region geom.MBR, visits *int64, out *[]Item) {
+	visit(visits)
 	if n.leaf {
 		for _, it := range n.items {
 			if region.Contains(it.P) {
@@ -238,21 +244,21 @@ func (t *RTree) rangeScan(n *node, region geom.MBR, out *[]Item) {
 	}
 	for _, c := range n.children {
 		if c.mbr.Intersects(region) {
-			t.rangeScan(c, region, out)
+			t.rangeScan(c, region, visits, out)
 		}
 	}
 }
 
 // WithinDist returns the items within Euclidean distance r of center — the
-// circular range query of MR3's step 3.
-func (t *RTree) WithinDist(center geom.Vec2, r float64) []Item {
+// circular range query of MR3's step 3 — charging node visits to visits.
+func (t *RTree) WithinDist(center geom.Vec2, r float64, visits *int64) []Item {
 	var out []Item
-	t.within(t.root, center, r, &out)
+	t.within(t.root, center, r, visits, &out)
 	return out
 }
 
-func (t *RTree) within(n *node, center geom.Vec2, r float64, out *[]Item) {
-	t.Accesses++
+func (t *RTree) within(n *node, center geom.Vec2, r float64, visits *int64, out *[]Item) {
+	visit(visits)
 	if n.leaf {
 		for _, it := range n.items {
 			if it.P.Dist(center) <= r {
@@ -263,7 +269,7 @@ func (t *RTree) within(n *node, center geom.Vec2, r float64, out *[]Item) {
 	}
 	for _, c := range n.children {
 		if c.mbr.DistToPoint(center) <= r {
-			t.within(c, center, r, out)
+			t.within(c, center, r, visits, out)
 		}
 	}
 }
@@ -292,8 +298,9 @@ func (h *knnHeap) Pop() interface{} {
 
 // KNN returns the k items nearest to q in ascending distance order
 // (fewer when the tree holds fewer than k items), using the classic
-// best-first traversal [Hjaltason & Samet].
-func (t *RTree) KNN(q geom.Vec2, k int) []Item {
+// best-first traversal [Hjaltason & Samet]. Node visits are charged to
+// visits (nil to skip counting).
+func (t *RTree) KNN(q geom.Vec2, k int, visits *int64) []Item {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -306,7 +313,7 @@ func (t *RTree) KNN(q geom.Vec2, k int) []Item {
 			out = append(out, e.item)
 			continue
 		}
-		t.Accesses++
+		visit(visits)
 		if e.n.leaf {
 			for _, it := range e.n.items {
 				heap.Push(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})

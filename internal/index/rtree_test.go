@@ -53,7 +53,7 @@ func TestBulkLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	// All items findable by range over the whole area.
-	all := tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000})
+	all := tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, nil)
 	if len(all) != 2000 {
 		t.Errorf("full range = %d items", len(all))
 	}
@@ -80,7 +80,7 @@ func TestKNNAgainstBruteForce(t *testing.T) {
 		for trial := 0; trial < 20; trial++ {
 			q := geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
 			k := 1 + rng.Intn(20)
-			got := tr.KNN(q, k)
+			got := tr.KNN(q, k, nil)
 			want := bruteKNN(items, q, k)
 			if len(got) != len(want) {
 				t.Fatalf("KNN returned %d items, want %d", len(got), len(want))
@@ -103,15 +103,15 @@ func TestKNNAgainstBruteForce(t *testing.T) {
 
 func TestKNNEdgeCases(t *testing.T) {
 	tr := New()
-	if got := tr.KNN(geom.Vec2{}, 5); got != nil {
+	if got := tr.KNN(geom.Vec2{}, 5, nil); got != nil {
 		t.Errorf("empty tree KNN = %v", got)
 	}
 	tr.Insert(Item{P: geom.Vec2{X: 1, Y: 1}, ID: 7})
-	got := tr.KNN(geom.Vec2{}, 5)
+	got := tr.KNN(geom.Vec2{}, 5, nil)
 	if len(got) != 1 || got[0].ID != 7 {
 		t.Errorf("KNN on single-item tree = %v", got)
 	}
-	if got := tr.KNN(geom.Vec2{}, 0); got != nil {
+	if got := tr.KNN(geom.Vec2{}, 0, nil); got != nil {
 		t.Errorf("k=0 should return nil, got %v", got)
 	}
 }
@@ -123,7 +123,7 @@ func TestRangeAgainstBruteForce(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		x, y := rng.Float64()*900, rng.Float64()*900
 		region := geom.MBR{MinX: x, MinY: y, MaxX: x + 100, MaxY: y + 100}
-		got := tr.Range(region)
+		got := tr.Range(region, nil)
 		want := 0
 		for _, it := range items {
 			if region.Contains(it.P) {
@@ -148,7 +148,7 @@ func TestWithinDist(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		c := geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
 		r := rng.Float64() * 200
-		got := tr.WithinDist(c, r)
+		got := tr.WithinDist(c, r, nil)
 		want := 0
 		for _, it := range items {
 			if it.P.Dist(c) <= r {
@@ -164,16 +164,14 @@ func TestWithinDist(t *testing.T) {
 func TestAccessCounting(t *testing.T) {
 	items := randomItems(5000, 9)
 	tr := Bulk(items)
-	tr.ResetAccesses()
-	tr.KNN(geom.Vec2{X: 500, Y: 500}, 10)
-	knnAccesses := tr.Accesses
+	var knnAccesses int64
+	tr.KNN(geom.Vec2{X: 500, Y: 500}, 10, &knnAccesses)
 	if knnAccesses == 0 {
 		t.Fatal("KNN accesses not counted")
 	}
 	// A k-NN for small k should touch far fewer nodes than a full scan.
-	tr.ResetAccesses()
-	tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000})
-	fullScan := tr.Accesses
+	var fullScan int64
+	tr.Range(geom.MBR{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, &fullScan)
 	if knnAccesses*5 > fullScan {
 		t.Errorf("KNN touched %d nodes vs full scan %d; expected strong pruning", knnAccesses, fullScan)
 	}
@@ -187,7 +185,7 @@ func TestDuplicatePositions(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	got := tr.KNN(geom.Vec2{X: 5, Y: 5}, 100)
+	got := tr.KNN(geom.Vec2{X: 5, Y: 5}, 100, nil)
 	if len(got) != 100 {
 		t.Errorf("KNN over duplicates = %d", len(got))
 	}
@@ -197,7 +195,7 @@ func TestNearestIter(t *testing.T) {
 	items := randomItems(500, 11)
 	tr := Bulk(items)
 	q := geom.Vec2{X: 333, Y: 444}
-	next := tr.NearestIter(q)
+	next := tr.NearestIter(q, nil)
 	brute := bruteKNN(items, q, len(items))
 	for i := 0; i < len(items); i++ {
 		it, d, ok := next()
@@ -215,7 +213,7 @@ func TestNearestIter(t *testing.T) {
 		t.Error("iterator should be exhausted")
 	}
 	// Empty tree yields nothing.
-	if _, _, ok := New().NearestIter(q)(); ok {
+	if _, _, ok := New().NearestIter(q, nil)(); ok {
 		t.Error("empty tree iterator should yield nothing")
 	}
 }

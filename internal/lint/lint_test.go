@@ -99,6 +99,7 @@ func TestRuleRegistry(t *testing.T) {
 		"unwrapped-error",
 		"panic-message",
 		"loop-goroutine-capture",
+		"lock-copy",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockCopy flags functions and methods that copy a lock by value: a value
+// receiver or a value parameter whose type (transitively, through struct
+// fields and arrays) contains a sync.Mutex or sync.RWMutex. A copied mutex
+// is an independent lock, so the copy silently stops guarding the original's
+// state — the classic failure is adding a mutex to a struct whose methods
+// use value receivers. `go vet -copylocks` catches copies at call sites and
+// assignments; this rule flags the declarations themselves, so the gate
+// fails where the fix belongs.
+type lockCopy struct{}
+
+func (lockCopy) Name() string { return "lock-copy" }
+func (lockCopy) Doc() string {
+	return "value receiver or parameter copies a type containing sync.Mutex/RWMutex; use a pointer"
+}
+
+func (lockCopy) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn.Recv != nil {
+				for _, field := range fn.Recv.List {
+					checkLockField(p, field, func(name string, lock string) {
+						report(field.Pos(),
+							"method %s has value receiver %s whose type contains %s; use a pointer receiver",
+							fn.Name.Name, name, lock)
+					})
+				}
+			}
+			if fn.Type.Params != nil {
+				for _, field := range fn.Type.Params.List {
+					checkLockField(p, field, func(name string, lock string) {
+						report(field.Pos(),
+							"parameter %s of %s copies a type containing %s; pass a pointer",
+							name, fn.Name.Name, lock)
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkLockField invokes found for every name in a receiver/parameter field
+// whose declared type passes a lock by value.
+func checkLockField(p *Package, field *ast.Field, found func(name, lock string)) {
+	t := p.Info.TypeOf(field.Type)
+	lock, ok := containsLock(t, nil)
+	if !ok {
+		return
+	}
+	if len(field.Names) == 0 {
+		found("_", lock)
+		return
+	}
+	for _, id := range field.Names {
+		found(id.Name, lock)
+	}
+}
+
+// containsLock reports whether copying a value of type t copies a
+// sync.Mutex or sync.RWMutex, descending through named types, struct
+// fields, and arrays (the constructs Go copies element-wise). Pointers,
+// slices, maps, channels, and interfaces stop the descent: copying those
+// copies a reference, not the lock. seen guards against recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return "sync." + obj.Name(), true
+			}
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock, ok := containsLock(u.Field(i).Type(), seen); ok {
+				return lock, true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return "", false
+}

@@ -8,6 +8,7 @@ func AllRules() []Rule {
 		unwrappedError{},
 		panicMessage{},
 		loopGoroutineCapture{},
+		lockCopy{},
 	}
 }
 

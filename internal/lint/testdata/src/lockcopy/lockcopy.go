@@ -1,0 +1,62 @@
+// Package lockcopy is a sklint fixture: locks copied by value through
+// receivers and parameters.
+package lockcopy
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) get() int { // finding: value receiver copies c.mu
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) inc() { // ok: pointer receiver
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// wrapper holds the lock transitively, through a named struct field.
+type wrapper struct {
+	inner counter
+	tag   string
+}
+
+func snapshot(w wrapper) int { // finding: value parameter copies w.inner.mu
+	return w.inner.n
+}
+
+func byPointer(w *wrapper) int { // ok: pointer parameter
+	return w.inner.n
+}
+
+type guarded struct {
+	mu sync.RWMutex
+}
+
+func (g guarded) bad() {} // finding: RWMutex counts too
+
+type byRef struct {
+	mu  *sync.Mutex // pointer field: copying byRef shares the lock
+	chs []counter   // slice: copying the header copies no element
+}
+
+func shared(b byRef) *sync.Mutex { // ok: no lock is copied
+	return b.mu
+}
+
+type cell [2]counter
+
+func drain(c cell) int { // finding: arrays copy element-wise
+	return c[0].n + c[1].n
+}
+
+//lint:ignore lock-copy fixture demonstrates the escape hatch
+func (c counter) suppressed() int {
+	return c.n
+}

@@ -135,7 +135,9 @@ func (p *Pathnet) NumVertices() int { return len(p.Pos) }
 func (p *Pathnet) SteinerPerEdge() int { return p.steiner }
 
 // Embed adds a surface point to the network, linked to every boundary point
-// of its containing facet.
+// of its containing facet. It mutates the pathnet — query paths use the
+// non-mutating Querier instead; Embed remains for callers that own a
+// private (per-query subset) pathnet, such as constrained traversal.
 func (p *Pathnet) Embed(sp mesh.SurfacePoint) int {
 	v := p.G.AddVertex()
 	p.Pos = append(p.Pos, sp.Pos)
@@ -148,23 +150,12 @@ func (p *Pathnet) Embed(sp mesh.SurfacePoint) int {
 // Distance returns the pathnet approximation of the surface distance
 // between two surface points, and the 3-D polyline realising it.
 //
-// Embedding mutates the network (adds two vertices); Distance restores the
-// vertex count afterwards so the pathnet can be reused, but it is not safe
-// for concurrent use.
+// This is a convenience wrapper that builds a throwaway Querier; callers
+// issuing many distance computations (the query engine's sessions) hold a
+// Querier of their own to reuse its scratch across calls. The pathnet
+// itself is not mutated, so concurrent calls on distinct Queriers are safe.
 func (p *Pathnet) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3) {
-	if a.Face == b.Face {
-		return a.Pos.Dist(b.Pos), []geom.Vec3{a.Pos, b.Pos}
-	}
-	src := p.Embed(a)
-	dst := p.Embed(b)
-	d, path := graph.DijkstraTarget(p.G, src, dst)
-	pts := make([]geom.Vec3, len(path))
-	for i, v := range path {
-		pts[i] = p.Pos[v]
-	}
-	p.Pos = p.Pos[:src]
-	p.trimGraph(src)
-	return d, pts
+	return p.NewQuerier().Distance(a, b)
 }
 
 // DistanceWithin behaves like Distance but ignores network vertices whose
@@ -172,80 +163,7 @@ func (p *Pathnet) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3) {
 // by EA and by MR3's pathnet-level refinement. Distances can only grow
 // (or become +Inf) under restriction.
 func (p *Pathnet) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float64 {
-	if a.Face == b.Face {
-		return a.Pos.Dist(b.Pos)
-	}
-	src := p.Embed(a)
-	dst := p.Embed(b)
-	defer func() {
-		p.Pos = p.Pos[:src]
-		p.trimGraph(src)
-	}()
-	d := p.dijkstraFiltered(src, dst, region)
-	return d
-}
-
-// trimGraph drops vertices >= keep (embedded points) from the graph. The
-// embedded vertices are always the most recently added, and their links
-// were added symmetrically, so dropping the adjacency lists of survivors'
-// arcs pointing at removed vertices is required too.
-func (p *Pathnet) trimGraph(keep int) {
-	// Collect the facet points the embedded vertices were linked to, then
-	// filter their adjacency.
-	g := p.G
-	for v := keep; v < g.NumVertices(); v++ {
-		for _, a := range g.Arcs(v) {
-			p.filterArcs(int(a.To), keep)
-		}
-	}
-	g.TruncateVertices(keep)
-}
-
-func (p *Pathnet) filterArcs(v, keep int) {
-	arcs := p.G.Arcs(v)
-	out := arcs[:0]
-	for _, a := range arcs {
-		if int(a.To) < keep {
-			out = append(out, a)
-		}
-	}
-	p.G.SetArcs(v, out)
-}
-
-// dijkstraFiltered is DijkstraTarget over the subgraph induced by vertices
-// inside region (embedded endpoints always included).
-func (p *Pathnet) dijkstraFiltered(src, dst int, region geom.MBR) float64 {
-	n := p.G.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = graph.Inf
-	}
-	inside := func(v int) bool {
-		return v >= n-2 || region.Contains(p.Pos[v].XY())
-	}
-	pq := graph.NewFrontier()
-	dist[src] = 0
-	pq.Push(int32(src), 0)
-	for pq.Len() > 0 {
-		v, d := pq.Pop()
-		if d > dist[v] {
-			continue
-		}
-		if int(v) == dst {
-			return d
-		}
-		for _, a := range p.G.Arcs(int(v)) {
-			if !inside(int(a.To)) {
-				continue
-			}
-			nd := d + a.W
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				pq.Push(a.To, nd)
-			}
-		}
-	}
-	return graph.Inf
+	return p.NewQuerier().DistanceWithin(a, b, region)
 }
 
 // DistanceToFacePoint evaluates the shortest distance to an arbitrary

@@ -1,6 +1,7 @@
 package pathnet
 
 import (
+	"sync"
 	"math"
 	"math/rand"
 	"testing"
@@ -196,4 +197,54 @@ func TestNegativeSteinerPanics(t *testing.T) {
 		}
 	}()
 	Build(flatMesh(2), -1)
+}
+
+func TestQuerierMatchesDistanceAndReuses(t *testing.T) {
+	m := mesh.FromGrid(dem.Synthesize(dem.BH, 8, 10, 9))
+	loc := mesh.NewLocator(m)
+	p := Build(m, 1)
+	qr := p.NewQuerier()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30; i++ {
+		a := sp(t, m, loc, rng.Float64()*79, rng.Float64()*79)
+		b := sp(t, m, loc, rng.Float64()*79, rng.Float64()*79)
+		want, wantPath := p.Distance(a, b)
+		got, gotPath := qr.Distance(a, b)
+		if got != want {
+			t.Fatalf("query %d: Querier %v != Distance %v", i, got, want)
+		}
+		if len(gotPath) != len(wantPath) {
+			t.Fatalf("query %d: path length %d != %d", i, len(gotPath), len(wantPath))
+		}
+		region := geom.MBR{MinX: 0, MinY: 0, MaxX: 40 + rng.Float64()*40, MaxY: 80}
+		if gw, ww := qr.DistanceWithin(a, b, region), p.DistanceWithin(a, b, region); gw != ww {
+			t.Fatalf("query %d: Querier within %v != %v", i, gw, ww)
+		}
+	}
+}
+
+func TestConcurrentQueriers(t *testing.T) {
+	// Many goroutines, one shared pathnet, one Querier each (run under
+	// -race by the gate). Every goroutine must see the sequential answer.
+	m := mesh.FromGrid(dem.Synthesize(dem.EP, 8, 10, 21))
+	loc := mesh.NewLocator(m)
+	p := Build(m, 1)
+	a := sp(t, m, loc, 8, 9)
+	b := sp(t, m, loc, 70, 66)
+	want, _ := p.Distance(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qr := p.NewQuerier()
+			for i := 0; i < 20; i++ {
+				if got, _ := qr.Distance(a, b); got != want {
+					t.Errorf("concurrent distance %v != %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,162 @@
+package pathnet
+
+import (
+	"math"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+)
+
+// Querier evaluates pathnet distances without mutating the shared network,
+// so any number of queriers can run concurrently over one Pathnet. Instead
+// of temporarily embedding the two surface points as graph vertices (the
+// old Embed / trim cycle, which rewrote shared adjacency lists), the search
+// treats them as virtual endpoints: the source is seeded onto the boundary
+// points of its facet with the straight in-face leg as initial distance,
+// and the target is evaluated lazily as each boundary point of its facet is
+// settled. Both formulations compute exactly the same float sums, so the
+// distances are bit-identical to the embedding approach.
+//
+// A Querier owns reusable scratch (distance/predecessor arrays stamped by
+// query epoch, and a frontier heap), so repeated queries allocate nothing.
+// It is NOT safe for concurrent use — one Querier per goroutine.
+type Querier struct {
+	p     *Pathnet
+	dist  []float64
+	prev  []int32
+	stamp []uint32
+	cur   uint32
+	pq    *graph.Frontier
+}
+
+// NewQuerier returns a query context over the pathnet.
+func (p *Pathnet) NewQuerier() *Querier {
+	return &Querier{p: p, pq: graph.NewFrontier()}
+}
+
+// begin opens a new query epoch: entries stamped by earlier queries become
+// logically Inf without clearing the arrays.
+func (q *Querier) begin() {
+	if n := len(q.p.Pos); len(q.dist) < n {
+		q.dist = make([]float64, n)
+		q.prev = make([]int32, n)
+		q.stamp = make([]uint32, n)
+		q.cur = 0
+	}
+	q.cur++
+	if q.cur == 0 { // epoch counter wrapped: old stamps are ambiguous, clear
+		for i := range q.stamp {
+			q.stamp[i] = 0
+		}
+		q.cur = 1
+	}
+	q.pq.Reset()
+}
+
+func (q *Querier) distAt(v int32) float64 {
+	if q.stamp[v] != q.cur {
+		return graph.Inf
+	}
+	return q.dist[v]
+}
+
+func (q *Querier) setDist(v int32, d float64, from int32) {
+	q.stamp[v] = q.cur
+	q.dist[v] = d
+	q.prev[v] = from
+}
+
+// Distance returns the pathnet approximation of the surface distance
+// between two surface points, and the 3-D polyline realising it
+// (nil when unreachable).
+func (q *Querier) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3) {
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos), []geom.Vec3{a.Pos, b.Pos}
+	}
+	best, bestEnd := q.search(a, b, nil)
+	if math.IsInf(best, 1) {
+		return graph.Inf, nil
+	}
+	var rev []int32
+	for v := bestEnd; v != -1; v = q.prev[v] {
+		rev = append(rev, v)
+	}
+	pts := make([]geom.Vec3, 0, len(rev)+2)
+	pts = append(pts, a.Pos)
+	for i := len(rev) - 1; i >= 0; i-- {
+		pts = append(pts, q.p.Pos[rev[i]])
+	}
+	pts = append(pts, b.Pos)
+	return best, pts
+}
+
+// DistanceWithin behaves like Distance but ignores network vertices whose
+// (x,y) position falls outside region — the search-region restriction used
+// by EA and by MR3's pathnet-level refinement. Distances can only grow
+// (or become +Inf) under restriction.
+func (q *Querier) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float64 {
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos)
+	}
+	d, _ := q.search(a, b, &region)
+	return d
+}
+
+// search runs a Dijkstra between the virtual endpoints: distances are seeded
+// onto a's facet boundary points (source legs), and each settled boundary
+// point of b's facet proposes dist + target leg. Once the popped priority
+// reaches the best proposal no shorter path can appear (legs are
+// non-negative), matching the moment the old embedded target vertex would
+// have been settled. The endpoints cannot usefully act as transit vertices:
+// a facet's boundary points are pairwise linked, so by the triangle
+// inequality a detour through an embedded point never beats the direct
+// link. region, when non-nil, restricts the search to vertices inside it.
+// Returns the distance and the settled target-facet vertex realising it
+// (-1 when unreachable).
+func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int32) {
+	q.begin()
+	p := q.p
+	inside := func(v int32) bool {
+		return region == nil || region.Contains(p.Pos[v].XY())
+	}
+	for _, w := range p.facePoints[int(a.Face)] {
+		if !inside(w) {
+			continue
+		}
+		if d := a.Pos.Dist(p.Pos[w]); d < q.distAt(w) {
+			q.setDist(w, d, -1)
+			q.pq.Push(w, d)
+		}
+	}
+	targets := p.facePoints[int(b.Face)]
+	best := graph.Inf
+	bestEnd := int32(-1)
+	for q.pq.Len() > 0 {
+		v, d := q.pq.Pop()
+		if d > q.distAt(v) {
+			continue // stale frontier entry
+		}
+		if d >= best {
+			break
+		}
+		for _, w := range targets {
+			if w == v {
+				if c := d + b.Pos.Dist(p.Pos[w]); c < best {
+					best, bestEnd = c, v
+				}
+				break
+			}
+		}
+		for _, arc := range p.G.Arcs(int(v)) {
+			if !inside(arc.To) {
+				continue
+			}
+			if nd := d + arc.W; nd < q.distAt(arc.To) {
+				q.setDist(arc.To, nd, v)
+				q.pq.Push(arc.To, nd)
+			}
+		}
+	}
+	return best, bestEnd
+}

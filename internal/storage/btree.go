@@ -125,7 +125,7 @@ func leafSlot(p []byte, k uint64) (int, bool) {
 func (t *BTree) Search(k uint64) (uint64, bool, error) {
 	id := t.root
 	for {
-		fr, err := t.pool.Get(id)
+		fr, err := t.pool.Get(id, nil)
 		if err != nil {
 			return 0, false, err
 		}
@@ -174,7 +174,7 @@ func (t *BTree) Insert(k, v uint64) error {
 }
 
 func (t *BTree) insert(id PageID, k, v uint64) (splitResult, error) {
-	fr, err := t.pool.Get(id)
+	fr, err := t.pool.Get(id, nil)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -238,7 +238,7 @@ func (t *BTree) insert(id PageID, k, v uint64) (splitResult, error) {
 		return splitResult{}, err
 	}
 	// Re-pin to add the separator.
-	fr, err = t.pool.Get(id)
+	fr, err = t.pool.Get(id, nil)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -304,7 +304,7 @@ func (t *BTree) insert(id PageID, k, v uint64) (splitResult, error) {
 func (t *BTree) Delete(k uint64) (bool, error) {
 	id := t.root
 	for {
-		fr, err := t.pool.Get(id)
+		fr, err := t.pool.Get(id, nil)
 		if err != nil {
 			return false, err
 		}
@@ -334,7 +334,7 @@ func (t *BTree) RangeScan(lo, hi uint64, fn func(k, v uint64) bool) error {
 	// Descend to the leaf containing lo.
 	id := t.root
 	for {
-		fr, err := t.pool.Get(id)
+		fr, err := t.pool.Get(id, nil)
 		if err != nil {
 			return err
 		}
@@ -349,7 +349,7 @@ func (t *BTree) RangeScan(lo, hi uint64, fn func(k, v uint64) bool) error {
 	}
 	// Walk leaf chain.
 	for id != InvalidPage {
-		fr, err := t.pool.Get(id)
+		fr, err := t.pool.Get(id, nil)
 		if err != nil {
 			return err
 		}
@@ -381,7 +381,7 @@ func (t *BTree) Validate() error {
 }
 
 func (t *BTree) validate(id PageID, lo, hi uint64) error {
-	fr, err := t.pool.Get(id)
+	fr, err := t.pool.Get(id, nil)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Stats counts buffer-pool activity. Accesses is the paper's "number of
@@ -15,7 +16,21 @@ type Stats struct {
 	Writes    int64
 }
 
+// IOAccount accumulates the logical page accesses performed on behalf of
+// one query. It is the per-query counterpart of the pool-wide Stats: each
+// query session owns one, threads it through the paged reads it issues, and
+// reads it back unsynchronised — the account is touched by exactly one
+// goroutine, so concurrent queries never contend on (or corrupt) each
+// other's page-access numbers.
+type IOAccount struct {
+	Accesses int64
+	Misses   int64
+}
+
 // Frame is a pinned page in the buffer pool. Data is valid until Unpin.
+// Pinned frames are never evicted, so concurrent readers may use Data
+// without holding any pool lock; the pin/dirty bookkeeping itself is
+// guarded by the pool's mutex.
 type Frame struct {
 	ID    PageID
 	Data  []byte
@@ -25,9 +40,14 @@ type Frame struct {
 }
 
 // BufferPool caches pages with LRU replacement. Pinned pages are never
-// evicted. Not safe for concurrent use (queries in this library are
-// single-threaded, as in the paper's experiments).
+// evicted. All methods are safe for concurrent use: the frame table, LRU
+// list, pin counts and pool-wide stats are guarded by one mutex (page-file
+// reads on a miss happen under it too — the backing files are memory or
+// local disk, and hit-path readers touch pinned Data without any lock).
+// Per-query access accounting goes through the IOAccount passed to Get,
+// which needs no locking because each query owns its account.
 type BufferPool struct {
+	mu       sync.Mutex
 	file     PageFile
 	capacity int
 	frames   map[PageID]*Frame
@@ -48,14 +68,24 @@ func NewBufferPool(file PageFile, capacity int) *BufferPool {
 	}
 }
 
-// Stats returns a copy of the counters.
-func (bp *BufferPool) Stats() Stats { return bp.stats }
+// Stats returns a copy of the pool-wide counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
-// ResetStats zeroes the counters (used between experiment runs).
-func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+// ResetStats zeroes the pool-wide counters (used between experiment runs).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
 
 // Alloc allocates a fresh page and returns it pinned.
 func (bp *BufferPool) Alloc() (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id, err := bp.file.Alloc()
 	if err != nil {
 		return nil, err
@@ -68,9 +98,17 @@ func (bp *BufferPool) Alloc() (*Frame, error) {
 	return fr, nil
 }
 
-// Get returns the page pinned, fetching it from the file on a miss.
-func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+// Get returns the page pinned, fetching it from the file on a miss. acct,
+// when non-nil, receives the per-query access accounting (the paper's
+// logical page-access metric); reads issued outside any query (index
+// construction, persistence) pass nil.
+func (bp *BufferPool) Get(id PageID, acct *IOAccount) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.stats.Accesses++
+	if acct != nil {
+		acct.Accesses++
+	}
 	if fr, ok := bp.frames[id]; ok {
 		if fr.pins == 0 && fr.elem != nil {
 			bp.lru.Remove(fr.elem)
@@ -80,6 +118,9 @@ func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 		return fr, nil
 	}
 	bp.stats.Misses++
+	if acct != nil {
+		acct.Misses++
+	}
 	if err := bp.makeRoom(); err != nil {
 		return nil, err
 	}
@@ -93,6 +134,8 @@ func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 
 // Unpin releases one pin; dirty marks the page for write-back.
 func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if fr.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", fr.ID))
 	}
@@ -106,7 +149,7 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {
 }
 
 // makeRoom evicts the least recently used unpinned frame if the pool is at
-// capacity.
+// capacity. Callers must hold bp.mu.
 func (bp *BufferPool) makeRoom() error {
 	for len(bp.frames) >= bp.capacity {
 		back := bp.lru.Back()
@@ -130,6 +173,8 @@ func (bp *BufferPool) makeRoom() error {
 
 // Flush writes every dirty cached page back to the file.
 func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, fr := range bp.frames {
 		if fr.dirty {
 			if err := bp.file.WritePage(fr.ID, fr.Data); err != nil {
@@ -144,6 +189,8 @@ func (bp *BufferPool) Flush() error {
 
 // PinnedCount reports how many frames are currently pinned (testing aid).
 func (bp *BufferPool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	n := 0
 	for _, fr := range bp.frames {
 		if fr.pins > 0 {

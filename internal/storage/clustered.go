@@ -94,9 +94,12 @@ func (c *Clustered) NumPages() int { return len(c.dir) }
 
 // Fetch reads every record valid at level (From <= level < To) whose MBR
 // intersects region, going through the buffer pool page by page (each data
-// page touched counts as one access). The page directory itself is assumed
-// cached (as a DBMS keeps index upper levels hot) and is not counted.
-func (c *Clustered) Fetch(region geom.MBR, level int32, fn func(ClusterRecord)) error {
+// page touched counts as one access, charged to acct when non-nil — the
+// per-query account of the session issuing the fetch). The page directory
+// itself is assumed cached (as a DBMS keeps index upper levels hot) and is
+// not counted. The store is immutable after BuildClustered, so concurrent
+// fetches from different sessions are safe.
+func (c *Clustered) Fetch(region geom.MBR, level int32, acct *IOAccount, fn func(ClusterRecord)) error {
 	for _, meta := range c.dir {
 		if meta.minFrom > level || meta.maxTo <= level {
 			continue
@@ -104,7 +107,7 @@ func (c *Clustered) Fetch(region geom.MBR, level int32, fn func(ClusterRecord)) 
 		if !meta.mbr.Intersects(region) {
 			continue
 		}
-		fr, err := c.pool.Get(meta.id)
+		fr, err := c.pool.Get(meta.id, acct)
 		if err != nil {
 			return err
 		}

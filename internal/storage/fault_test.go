@@ -98,7 +98,7 @@ func TestClusteredSurfacesIOErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	ff.failAfter = 1
-	err = c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 30, MaxY: 30}, 0, func(ClusterRecord) {})
+	err = c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 30, MaxY: 30}, 0, nil, func(ClusterRecord) {})
 	if !errors.Is(err, errInjected) {
 		t.Fatalf("Fetch error = %v, want injected fault", err)
 	}
@@ -219,7 +219,7 @@ func TestClusteredFetchAgainstBruteForce(t *testing.T) {
 			}
 		}
 		got := map[uint64]bool{}
-		err := c.Fetch(region, level, func(r ClusterRecord) {
+		err := c.Fetch(region, level, nil, func(r ClusterRecord) {
 			if got[r.ID] {
 				t.Fatalf("duplicate record %d", r.ID)
 			}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"errors"
 	"math/rand"
 	"path/filepath"
@@ -86,7 +87,7 @@ func TestBufferPoolHitsAndMisses(t *testing.T) {
 	bp.Unpin(fr, true)
 
 	// First Get is a hit (still cached from Alloc).
-	fr, err = bp.Get(id)
+	fr, err = bp.Get(id, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestBufferPoolEviction(t *testing.T) {
 		t.Errorf("evictions = %d", bp.Stats().Evictions)
 	}
 	// Re-reading page 0 is a miss but returns the persisted data.
-	fr, err := bp.Get(ids[0])
+	fr, err := bp.Get(ids[0], nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestClusteredFetch(t *testing.T) {
 	}
 	// Fetch everything at level 0.
 	seen := map[uint64]bool{}
-	err = c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 11, MaxY: 11}, 0, func(r ClusterRecord) {
+	err = c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 11, MaxY: 11}, 0, nil, func(r ClusterRecord) {
 		if seen[r.ID] {
 			t.Fatalf("record %d fetched twice", r.ID)
 		}
@@ -359,7 +360,7 @@ func TestClusteredFetch(t *testing.T) {
 	}
 	// Level 4: only records with To == 5 (i%5 == 4).
 	n := 0
-	c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 11, MaxY: 11}, 4, func(r ClusterRecord) {
+	c.Fetch(geom.MBR{MinX: -1, MinY: -1, MaxX: 11, MaxY: 11}, 4, nil, func(r ClusterRecord) {
 		if r.To <= 4 {
 			t.Fatalf("record %d invalid at level 4", r.ID)
 		}
@@ -370,7 +371,7 @@ func TestClusteredFetch(t *testing.T) {
 	}
 	// Spatial restriction.
 	n = 0
-	c.Fetch(geom.MBR{MinX: 0, MinY: 0, MaxX: 2.5, MaxY: 2.5}, 0, func(r ClusterRecord) {
+	c.Fetch(geom.MBR{MinX: 0, MinY: 0, MaxX: 2.5, MaxY: 2.5}, 0, nil, func(r ClusterRecord) {
 		n++
 		if r.MBR.MinX > 2.5 || r.MBR.MinY > 2.5 {
 			t.Fatalf("record %d outside region", r.ID)
@@ -401,17 +402,17 @@ func TestClusteredPageAccounting(t *testing.T) {
 	}
 	bp.ResetStats()
 	full := geom.MBR{MinX: -1, MinY: -1, MaxX: 101, MaxY: 101}
-	c.Fetch(full, 0, func(ClusterRecord) {})
+	c.Fetch(full, 0, nil, func(ClusterRecord) {})
 	finePages := bp.Stats().Accesses
 	bp.ResetStats()
-	c.Fetch(full, 5, func(ClusterRecord) {})
+	c.Fetch(full, 5, nil, func(ClusterRecord) {})
 	coarsePages := bp.Stats().Accesses
 	if coarsePages >= finePages {
 		t.Errorf("coarse fetch (%d pages) should touch fewer pages than fine (%d)", coarsePages, finePages)
 	}
 	// A small region touches fewer pages than the full area.
 	bp.ResetStats()
-	c.Fetch(geom.MBR{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0, func(ClusterRecord) {})
+	c.Fetch(geom.MBR{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0, nil, func(ClusterRecord) {})
 	smallPages := bp.Stats().Accesses
 	if smallPages >= finePages {
 		t.Errorf("small-region fetch (%d) should touch fewer pages than full (%d)", smallPages, finePages)
@@ -419,8 +420,67 @@ func TestClusteredPageAccounting(t *testing.T) {
 	// PagesFor agrees with an actual fetch.
 	bp.ResetStats()
 	pred := c.PagesFor(full, 0)
-	c.Fetch(full, 0, func(ClusterRecord) {})
+	c.Fetch(full, 0, nil, func(ClusterRecord) {})
 	if int64(pred) != bp.Stats().Accesses {
 		t.Errorf("PagesFor = %d, actual = %d", pred, bp.Stats().Accesses)
+	}
+}
+
+// TestBufferPoolConcurrent hammers one pool from many goroutines (run under
+// -race by the gate): concurrent Get/Unpin on overlapping page sets, each
+// goroutine with its own IOAccount. Checks per-query accounts are exact and
+// the pool-wide access counter equals their sum.
+func TestBufferPoolConcurrent(t *testing.T) {
+	file := NewMemFile()
+	bp := NewBufferPool(file, 8)
+	const pages = 16
+	ids := make([]PageID, pages)
+	for i := range ids {
+		fr, err := bp.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		fr.Data[hdrSize] = byte(i)
+		ids[i] = fr.ID
+		bp.Unpin(fr, true)
+	}
+	bp.ResetStats()
+
+	const workers = 8
+	const reads = 200
+	accts := make([]IOAccount, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				id := ids[(w*7+i)%pages]
+				fr, err := bp.Get(id, &accts[w])
+				if err != nil {
+					t.Errorf("worker %d: Get(%d): %v", w, id, err)
+					return
+				}
+				if got := fr.Data[hdrSize]; got != byte((w*7+i)%pages) {
+					t.Errorf("worker %d: page %d holds %d", w, id, got)
+				}
+				bp.Unpin(fr, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var sum int64
+	for w := range accts {
+		if accts[w].Accesses != reads {
+			t.Errorf("worker %d account: %d accesses, want %d", w, accts[w].Accesses, reads)
+		}
+		sum += accts[w].Accesses
+	}
+	if st := bp.Stats(); st.Accesses != sum {
+		t.Errorf("pool stats %d accesses, want sum of accounts %d", st.Accesses, sum)
+	}
+	if got := bp.PinnedCount(); got != 0 {
+		t.Errorf("PinnedCount = %d after all Unpins", got)
 	}
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # check.sh — the full verification gate, exactly what CI runs.
 #
-#   build → vet → sklint (self-hosted lint) → race tests → fuzz smoke
+#   build → vet → sklint (self-hosted lint) → race tests → parallel-bench
+#   smoke → fuzz smoke
 #
 # Fail-fast: the first failing stage aborts the run with its exit code.
 set -euo pipefail
@@ -29,6 +30,11 @@ done
 
 echo "== tests (race) =="
 go test -race ./...
+
+echo "== parallel benchmark smoke =="
+# One iteration of the concurrent-query benchmarks: proves the session API
+# still runs the parallel path (the race tests above prove it is safe).
+go test -run '^$' -bench 'SequentialKNN|ParallelKNN' -benchtime=1x .
 
 echo "== fuzz smoke =="
 # A few seconds per target: enough to catch regressions in the seeds and

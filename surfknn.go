@@ -14,6 +14,16 @@
 //	q, _    := db.SurfacePointAt(surfknn.Vec2{X: 800, Y: 800})
 //	res, _  := db.MR3(q, 5, surfknn.S1, surfknn.Options{})
 //
+// A TerrainDB is immutable once objects are installed, so queries can run
+// concurrently. For repeated, cancellable, or concurrent querying, create
+// one Session per goroutine instead of calling the one-shot forms:
+//
+//	s := db.NewSession(ctx)
+//	for _, q := range queries {
+//		res, err := s.MR3(q, 5, surfknn.S1, surfknn.Options{})
+//		...
+//	}
+//
 // This file is the public facade over the implementation packages in
 // internal/; the aliases below are the supported API surface.
 package surfknn
@@ -90,6 +100,15 @@ type (
 	Neighbor = core.Neighbor
 	// Object is an indexed data point on the surface.
 	Object = workload.Object
+	// Session is a per-query handle on a TerrainDB: it carries a
+	// context.Context for cancellation/deadlines and owns the reusable
+	// per-query scratch (candidate state, Dijkstra buffers, page
+	// accounting). A TerrainDB is immutable after SetObjects, so any number
+	// of sessions may query it concurrently — one goroutine per Session.
+	// Create one with (*TerrainDB).NewSession; the query methods on
+	// TerrainDB itself are one-shot shorthands that allocate a throwaway
+	// session per call.
+	Session = core.Session
 )
 
 // The paper's three step-length schedules.
