@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
@@ -40,8 +41,8 @@ var (
 	fx     fixture
 )
 
-func getFixture(b *testing.B) *fixture {
-	b.Helper()
+func getFixture(tb testing.TB) *fixture {
+	tb.Helper()
 	fxOnce.Do(func() {
 		g := dem.Synthesize(dem.BH, 32, 50, 2006)
 		fx.m = mesh.FromGrid(g)
@@ -236,6 +237,99 @@ func BenchmarkSequentialKNN(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSequentialKNNObs is BenchmarkSequentialKNN with a registry
+// installed. Comparing the two (benchstat, or eyeballing ns/op) is the
+// guard that instrumentation overhead stays within noise: the tracked
+// counters are a handful of atomic adds per query. It uses a private
+// fixture so the registry never leaks into the uninstrumented baseline.
+func BenchmarkSequentialKNNObs(b *testing.B) {
+	f := getObsFixture(b)
+	qs := benchQueryPoints(b, f, 16)
+	s := f.db.NewSession(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MR3(qs[i%len(qs)], 5, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	obsFxOnce sync.Once
+	obsFx     fixture
+)
+
+// TestObsOverheadGuard pins the cost of the observability hooks on the
+// BenchmarkSequentialKNN workload: a fully instrumented database (registry
+// installed) must stay within 5% of the plain one. Since the instrumented
+// side strictly includes the disabled-path work (the nil-registry checks),
+// this bounds the disabled-instrumentation overhead by the same margin.
+// The two sides are interleaved round-robin and best-of-N compared, so
+// machine noise hits both equally; the true per-query delta is a handful
+// of atomic adds.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard")
+	}
+	plain, inst := getFixture(t), getObsFixture(t)
+	measure := func(f *fixture) time.Duration {
+		s := f.db.NewSession(nil)
+		const queries = 16
+		if _, err := s.MR3(f.q, 5, core.S2, core.Options{}); err != nil { // warm the pool
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := s.MR3(f.q, 5, core.S2, core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	var bestPlain, bestInst time.Duration
+	for round := 0; round < 5; round++ {
+		bestPlain = best(bestPlain, measure(plain))
+		bestInst = best(bestInst, measure(inst))
+	}
+	ratio := float64(bestInst) / float64(bestPlain)
+	t.Logf("plain %v, instrumented %v, overhead %+.2f%%", bestPlain, bestInst, 100*(ratio-1))
+	if ratio > 1.05 {
+		t.Errorf("instrumentation overhead %.2f%% exceeds the 5%% budget (plain %v, instrumented %v)",
+			100*(ratio-1), bestPlain, bestInst)
+	}
+}
+
+// getObsFixture builds the same terrain as getFixture but with an obs
+// registry installed, so instrumented and plain benchmarks never share a
+// database.
+func getObsFixture(tb testing.TB) *fixture {
+	tb.Helper()
+	obsFxOnce.Do(func() {
+		g := dem.Synthesize(dem.BH, 32, 50, 2006)
+		obsFx.m = mesh.FromGrid(g)
+		db, err := core.BuildTerrainDB(obsFx.m, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		objs, err := workload.RandomObjects(obsFx.m, db.Loc, 80, 3)
+		if err != nil {
+			panic(err)
+		}
+		db.SetObjects(objs)
+		db.Instrument(NewRegistry())
+		obsFx.db = db
+		ext := obsFx.m.Extent()
+		obsFx.q, _ = db.SurfacePointAt(ext.Center())
+	})
+	return &obsFx
 }
 
 // BenchmarkParallelKNN runs the same query mix from GOMAXPROCS goroutines,

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"surfknn/internal/experiments"
+	"surfknn/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		pageMs  = flag.Float64("pagems", 1, "simulated I/O cost per page (ms)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 		csvDir  = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		debug   = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while the run executes")
+		hold    = flag.Duration("debug-hold", 0, "keep the debug server (and process) alive this long after the run")
 	)
 	flag.Parse()
 
@@ -54,6 +57,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		if perr := reg.Publish("surfknn"); perr != nil {
+			log.Fatal(perr)
+		}
+		_, addr, derr := obs.StartDebugServer(*debug)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		fmt.Printf("# debug server listening on %s\n", addr)
+		p.Obs = reg
+	}
 	start := time.Now()
 	figs, err := experiments.Run(*fig, p)
 	for _, f := range figs {
@@ -68,6 +83,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("# completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if *debug != "" && *hold > 0 {
+		fmt.Printf("# holding debug server for %v\n", *hold)
+		time.Sleep(*hold)
+	}
 }
 
 // writeCSV renders one figure as a comma-separated file with the x column

@@ -15,12 +15,15 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strings"
+	"time"
 
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
 	"surfknn/internal/workload"
 )
 
@@ -42,6 +45,9 @@ func main() {
 		radius  = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
 		slope   = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
 		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+		debug   = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		trace   = flag.Bool("trace", false, "record the query's phase trace and print it as JSON")
+		slowlog = flag.Duration("slowlog", -1, "log queries slower than this to stderr as JSON (0 = every query, negative = off)")
 	)
 	flag.Parse()
 
@@ -55,6 +61,21 @@ func main() {
 	db, err := core.BuildTerrainDB(m, core.Config{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if *slowlog >= 0 {
+		reg.SetSlowLog(obs.NewSlowQueryLog(os.Stderr, *slowlog))
+	}
+	db.Instrument(reg)
+	if *debug != "" {
+		if perr := reg.Publish("surfknn"); perr != nil {
+			log.Fatal(perr)
+		}
+		_, addr, derr := obs.StartDebugServer(*debug)
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		fmt.Printf("# debug server listening on %s\n", addr)
 	}
 	objs, err := workload.RandomObjects(m, db.Loc, *objects, *seed+1)
 	if err != nil {
@@ -91,6 +112,7 @@ func main() {
 		defer cancel()
 	}
 	sess := db.NewSession(ctx)
+	sess.SetTracing(*trace)
 
 	var res core.Result
 	switch strings.ToLower(*algo) {
@@ -120,7 +142,19 @@ func main() {
 			n.LB, n.UB)
 	}
 	if *algo == "mr3" || *algo == "ea" || *algo == "range" {
-		fmt.Printf("cost: %s\n", res.Metrics)
+		fmt.Printf("cost: %s\n", res.Metrics())
+		for _, p := range res.Cost.Phases {
+			fmt.Printf("  %-8s %10v  pages=%d (pool %d+%d, rtree %d)\n",
+				p.Phase, p.Wall.Round(time.Microsecond), p.Pages(),
+				p.PoolHits, p.PoolMisses, p.RTreeVisits)
+		}
+	}
+	if res.Trace != nil {
+		js, jerr := res.Trace.JSON()
+		if jerr != nil {
+			log.Fatal(jerr)
+		}
+		fmt.Printf("trace: %s\n", js)
 	}
 }
 

@@ -56,5 +56,5 @@ func main() {
 		fmt.Printf("  %d. object %-3d surface distance ∈ [%.1f, %.1f] m (straight line %.1f m)\n",
 			i+1, n.Object.ID, n.LB, n.UB, euclid)
 	}
-	fmt.Printf("cost: %s\n", res.Metrics)
+	fmt.Printf("cost: %s\n", res.Metrics())
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
+	"surfknn/internal/stats"
 )
 
 // DistanceRange is a bracketing of a surface distance with its achieved
@@ -26,11 +29,28 @@ type DistanceRange struct {
 // (0, 1]; the structures on typical terrains support up to roughly the
 // Fig. 8 plateau.
 func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
-	db := s.db
+	return s.DistanceWithAccuracyCtx(nil, a, b, accuracy, sched)
+}
+
+// DistanceWithAccuracyCtx is DistanceWithAccuracy bounded by a per-call
+// context: ctx cancels or deadlines this query only (nil selects the
+// session's default context).
+func (s *Session) DistanceWithAccuracyCtx(ctx context.Context, a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
 	if accuracy <= 0 || accuracy > 1 || math.IsNaN(accuracy) {
 		return DistanceRange{}, fmt.Errorf("core: accuracy %g outside (0,1]", accuracy)
 	}
-	s.beginQuery()
+	s.beginQuery(ctx, algoAccuracy)
+	out, err := s.distanceWithAccuracy(a, b, accuracy, sched)
+	_, err2 := s.endQuery(algoAccuracy, 0, nil, err)
+	return out, err2
+}
+
+// distanceWithAccuracy walks the refinement ladder under one "refine" phase,
+// with a trace span per resolution step.
+func (s *Session) distanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+	db := s.db
+	s.beginPhase(stats.PhaseRefine)
+	pc := s.curPhase()
 	out := DistanceRange{
 		LB: a.Pos.Dist(b.Pos),
 		UB: math.Inf(1),
@@ -41,7 +61,14 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 			return out, err
 		}
 		out.Iterations = it + 1
+		pc.Iterations++
 		dmRes, sdnRes := sched.At(it)
+		span := obs.NoSpan
+		if s.cost.trace != nil {
+			span = s.startSpan("iter", map[string]float64{
+				"i": float64(it), "dm_res": dmRes, "sdn_res": sdnRes,
+			})
+		}
 		// Upper bound (running minimum).
 		var ub float64
 		region := ext
@@ -59,6 +86,7 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 				// below turns into an explicit error.
 				ub, _ = s.path.Distance(a, b)
 			}
+			pc.UpperBounds++
 			// The pathnet level is the reference metric: collapse the range.
 			if ub < out.UB {
 				out.UB = ub
@@ -70,10 +98,12 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 			tm := db.Tree.TimeForResolution(dmRes)
 			ids, err := s.fetchDMTM(region, tm)
 			if err != nil {
+				s.endSpan(span)
 				return out, err
 			}
 			nw := db.Tree.NetworkFromEdgeIDs(tm, ids, nil)
 			est := nw.UpperBound(db.Mesh, a, b)
+			pc.UpperBounds++
 			if est.UB < out.UB {
 				out.UB = est.UB
 			}
@@ -84,9 +114,11 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 				region = m
 			}
 			if _, err := s.fetchSDN(region, SDNLevel(sdnRes)); err != nil {
+				s.endSpan(span)
 				return out, err
 			}
 			est := db.MSDN.LowerBound(a.Pos, b.Pos, region, sdnRes)
+			pc.LowerBounds++
 			if est.LB > out.LB {
 				out.LB = est.LB
 			}
@@ -94,6 +126,7 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 				out.LB = out.UB
 			}
 		}
+		s.endSpan(span)
 		out.Accuracy = out.LB / out.UB
 		if out.Accuracy >= accuracy {
 			break

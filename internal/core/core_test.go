@@ -144,7 +144,7 @@ func TestMR3MetricsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := res.Metrics
+	m := res.Metrics()
 	if m.Pages == 0 || m.UpperBounds == 0 || m.LowerBounds == 0 || m.Iterations == 0 {
 		t.Errorf("metrics not populated: %+v", m)
 	}
@@ -165,9 +165,9 @@ func TestIOIntegrationReducesPages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if on.Metrics.Pages > off.Metrics.Pages {
+	if on.Metrics().Pages > off.Metrics().Pages {
 		t.Errorf("integration on: %d pages, off: %d pages (on should not exceed off)",
-			on.Metrics.Pages, off.Metrics.Pages)
+			on.Metrics().Pages, off.Metrics().Pages)
 	}
 	// Same answer either way.
 	sameKSet(t, db, q, on.Neighbors, k)

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
@@ -12,15 +12,21 @@ import (
 	"surfknn/internal/workload"
 )
 
-// EA answers the query with the Enhanced Approximation benchmark of §5.2:
-// the same filter pipeline as MR3 (2-D k-NN → range query → ranking) and
-// the same search-region techniques, but every surface distance is computed
-// at full resolution — original mesh plus pathnet for the distance itself,
-// the 100% SDN for the lower-bound filter. Lacking the multiresolution
-// ladder, it fetches fine terrain data over large regions and runs the
-// Kanai–Suzuki computation per candidate, which is what Figs. 10–11 show
-// blowing up against MR3.
+// EA answers the query with the Enhanced Approximation benchmark of §5.2
+// under the session's default context: the same filter pipeline as MR3
+// (2-D k-NN → range query → ranking) and the same search-region techniques,
+// but every surface distance is computed at full resolution — original mesh
+// plus pathnet for the distance itself, the 100% SDN for the lower-bound
+// filter. Lacking the multiresolution ladder, it fetches fine terrain data
+// over large regions and runs the Kanai–Suzuki computation per candidate,
+// which is what Figs. 10–11 show blowing up against MR3.
 func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
+	return s.EACtx(nil, q, k)
+}
+
+// EACtx is EA bounded by a per-call context: ctx cancels or deadlines this
+// query only (nil selects the session's default context).
+func (s *Session) EACtx(ctx context.Context, q mesh.SurfacePoint, k int) (Result, error) {
 	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
@@ -28,22 +34,30 @@ func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	s.beginQuery(ctx, algoEA)
+	ns, err := s.ea(q, k)
+	return s.endQuery(algoEA, k, ns, err)
+}
+
+// ea runs the benchmark's four steps, phased the same way as MR3 so cost
+// breakdowns of the two algorithms line up phase by phase.
+func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
+	db := s.db
 	if err := s.interrupted(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	s.beginQuery()
-	var met stats.Metrics
-	start := time.Now()
 	fullLevel := SDNLevel(1.0)
 
 	// Step 1: 2-D k-NN filter.
+	s.beginPhase(stats.PhaseKNN2D)
 	c1 := db.itemsToObjects(db.Dxy.KNN(q.XY(), k, &s.dxyVisits))
-	met.Candidates += len(c1)
+	s.curPhase().Candidates += len(c1)
 
 	// Step 2: exact (full-resolution) surface distances for C1. The first
 	// candidate has no bound yet and searches the entire terrain; later
 	// candidates reuse the running k-th distance as their ellipse bound
 	// (the expansion strategy of [2] the paper adopts for fairness).
+	s.beginPhase(stats.PhaseRankC1)
 	type scored struct {
 		obj workload.Object
 		d   float64
@@ -66,7 +80,7 @@ func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		if _, err := s.fetchSDN(region, fullLevel); err != nil {
 			return 0, fmt.Errorf("core: EA SDN fetch: %w", err)
 		}
-		met.UpperBounds++
+		s.curPhase().UpperBounds++
 		d := s.path.DistanceWithin(q, o.Point, region)
 		if math.IsInf(d, 1) {
 			// The ellipse clipped every path; retry on the unclipped
@@ -91,31 +105,33 @@ func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
 	for _, o := range c1 {
 		d, err := distFull(o, kth)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		push(o, d)
 	}
 	if math.IsInf(kth, 1) {
-		return Result{}, fmt.Errorf("core: could not bound the %d-th neighbour", k)
+		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)
 	}
 
 	// Step 3: 2-D range query with the k-th distance as radius.
+	s.beginPhase(stats.PhaseRange2D)
 	c2 := db.itemsToObjects(db.Dxy.WithinDist(q.XY(), kth, &s.dxyVisits))
-	met.Candidates += len(c2)
+	s.curPhase().Candidates += len(c2)
 
 	// Step 4: verify every candidate, cheapest (by Euclidean distance)
 	// first so the k-th bound shrinks early; the 100% SDN lower bound
 	// prunes candidates without the expensive computation.
+	s.beginPhase(stats.PhaseRankC2)
 	sort.Slice(c2, func(i, j int) bool {
 		return q.Pos.Dist2(c2[i].Point.Pos) < q.Pos.Dist2(c2[j].Point.Pos)
 	})
 	seen := make(map[int64]bool, len(top))
-	for _, s := range top {
-		seen[s.obj.ID] = true
+	for _, sc := range top {
+		seen[sc.obj.ID] = true
 	}
 	for _, o := range c2 {
 		if err := s.interrupted(); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if seen[o.ID] {
 			continue
@@ -124,29 +140,26 @@ func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
 		if m := geom.NewEllipse(q.XY(), o.Point.XY(), kth).MBR(); !m.IsEmpty() {
 			region = m
 		}
-		met.LowerBounds++
+		s.curPhase().LowerBounds++
 		lb := db.MSDN.LowerBound(q.Pos, o.Point.Pos, region, 1.0)
 		if _, err := s.fetchSDN(region, fullLevel); err != nil {
-			return Result{}, fmt.Errorf("core: EA SDN fetch: %w", err)
+			return nil, fmt.Errorf("core: EA SDN fetch: %w", err)
 		}
 		if lb.LB > kth {
 			continue // filtered: cannot beat the current k-th neighbour
 		}
 		d, err := distFull(o, kth)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		push(o, d)
 	}
 
 	out := make([]Neighbor, len(top))
-	for i, s := range top {
-		out[i] = Neighbor{Object: s.obj, LB: s.d, UB: s.d}
+	for i, sc := range top {
+		out[i] = Neighbor{Object: sc.obj, LB: sc.d, UB: sc.d}
 	}
-	met.CPU = time.Since(start)
-	met.Pages = s.pagesAccessed()
-	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
-	return Result{Neighbors: out, Metrics: met}, nil
+	return out, nil
 }
 
 // EA is the one-shot convenience form: it runs the benchmark query in a

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"surfknn/internal/index"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
 	"surfknn/internal/stats"
 	"surfknn/internal/workload"
 )
@@ -14,11 +15,22 @@ import (
 // Result is the outcome of one sk-NN query.
 type Result struct {
 	Neighbors []Neighbor
-	Metrics   stats.Metrics
+	// Cost is the structured per-phase cost breakdown: wall time per MR3
+	// step, page accesses split into buffer-pool hits/misses and R-tree
+	// visits, and the work counters. Metrics derives the legacy flat view.
+	Cost stats.Cost
+	// Trace is the query's phase trace; non-nil only when the session has
+	// tracing enabled (or a slow-query log armed the recorder).
+	Trace *obs.Trace
 }
 
+// Metrics is the legacy flat cost view, derived from Cost: the same
+// numbers (total time, CPU time, pages accessed, work counters) the
+// pre-Cost API reported in a Metrics field.
+func (r Result) Metrics() stats.Metrics { return r.Cost.Metrics() }
+
 // MR3 answers the surface k-NN query with Multi-Resolution Range Ranking
-// (§4.1):
+// (§4.1) under the session's default context:
 //
 //  1. 2-D k-NN: find the k objects nearest to q's (x,y) projection.
 //  2. Surface-distance ranking of those k to obtain a tight upper bound
@@ -30,6 +42,12 @@ type Result struct {
 //     neighbour's upper bound is no greater than the (k+1)-th's lower
 //     bound.
 func (s *Session) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
+	return s.MR3Ctx(nil, q, k, sched, opt)
+}
+
+// MR3Ctx is MR3 bounded by a per-call context: ctx cancels or deadlines
+// this query only (nil selects the session's default context).
+func (s *Session) MR3Ctx(ctx context.Context, q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
 	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
@@ -37,41 +55,46 @@ func (s *Session) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 	if k < 1 {
 		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	s.beginQuery(ctx, algoMR3)
+	ns, err := s.mr3(q, k, sched, opt)
+	return s.endQuery(algoMR3, k, ns, err)
+}
+
+// mr3 runs the four MR3 steps, each under its own cost phase.
+func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) ([]Neighbor, error) {
+	db := s.db
 	if err := s.interrupted(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	s.beginQuery()
-	var met stats.Metrics
-	start := time.Now()
 
 	// Step 1: 2-D k-NN on Dxy.
+	s.beginPhase(stats.PhaseKNN2D)
 	c1 := db.Dxy.KNN(q.XY(), k, &s.dxyVisits)
 	objs1 := db.itemsToObjects(c1)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
-	ranked, err := s.rank(q, objs1, k, sched, opt, &met, true)
+	s.beginPhase(stats.PhaseRankC1)
+	ranked, err := s.rank(q, objs1, k, sched, opt, true)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	radius := kthUB(ranked, k)
 	if math.IsInf(radius, 1) {
-		return Result{}, fmt.Errorf("core: could not bound the %d-th neighbour", k)
+		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)
 	}
 
 	// Step 3: 2-D range query with the bound as radius.
+	s.beginPhase(stats.PhaseRange2D)
 	c2 := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
 	objs2 := db.itemsToObjects(c2)
 
 	// Step 4: rank C2 until the k-set is determined.
-	final, err := s.rank(q, objs2, k, sched, opt, &met, false)
+	s.beginPhase(stats.PhaseRankC2)
+	final, err := s.rank(q, objs2, k, sched, opt, false)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-
-	met.CPU = time.Since(start)
-	met.Pages = s.pagesAccessed()
-	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
-	return Result{Neighbors: final, Metrics: met}, nil
+	return final, nil
 }
 
 // MR3 is the one-shot convenience form: it runs the query in a fresh

@@ -61,8 +61,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Errorf("neighbour %d UB: %v vs %v", i, got.Neighbors[i].UB, want.Neighbors[i].UB)
 		}
 	}
-	if got.Metrics.Pages != want.Metrics.Pages {
-		t.Errorf("page count changed after reload: %d vs %d", got.Metrics.Pages, want.Metrics.Pages)
+	if got.Metrics().Pages != want.Metrics().Pages {
+		t.Errorf("page count changed after reload: %d vs %d", got.Metrics().Pages, want.Metrics().Pages)
 	}
 }
 

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"surfknn/internal/mesh"
 	"surfknn/internal/stats"
@@ -17,12 +17,18 @@ import (
 // same multiresolution machinery.
 
 // SurfaceRange returns every object whose surface distance to q is at most
-// radius, with final distance ranges. It uses the same filter-and-refine
-// strategy as MR3: a 2-D circular range query collects candidates (valid
-// because dE <= dS), then iterative bound refinement classifies each
-// candidate against the radius, falling back to the reference distance only
-// for ranges straddling it.
+// radius, with final distance ranges, under the session's default context.
+// It uses the same filter-and-refine strategy as MR3: a 2-D circular range
+// query collects candidates (valid because dE <= dS), then iterative bound
+// refinement classifies each candidate against the radius, falling back to
+// the reference distance only for ranges straddling it.
 func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
+	return s.SurfaceRangeCtx(nil, q, radius, sched, opt)
+}
+
+// SurfaceRangeCtx is SurfaceRange bounded by a per-call context: ctx cancels
+// or deadlines this query only (nil selects the session's default context).
+func (s *Session) SurfaceRangeCtx(ctx context.Context, q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
 	db := s.db
 	if db.Dxy == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
@@ -30,19 +36,28 @@ func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 	if radius < 0 || math.IsNaN(radius) {
 		return Result{}, fmt.Errorf("core: invalid radius %g", radius)
 	}
+	s.beginQuery(ctx, algoRange)
+	ns, err := s.surfaceRange(q, radius, sched, opt)
+	return s.endQuery(algoRange, 0, ns, err)
+}
+
+// surfaceRange runs the query under three phases: the 2-D candidate
+// collection, the LOD refinement loop (one trace span per iteration), and
+// the reference-distance settlement of still-straddling ranges.
+func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) ([]Neighbor, error) {
 	if err := s.interrupted(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	opt = opt.withDefaults()
-	s.beginQuery()
-	var met stats.Metrics
-	start := time.Now()
+	db := s.db
 
+	s.beginPhase(stats.PhaseRange2D)
 	items := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
 	objs := db.itemsToObjects(items)
-	met.Candidates += len(objs)
+	s.curPhase().Candidates += len(objs)
 
-	r := &ranker{s: s, q: q, k: len(objs), sched: sched, opt: opt, met: &met}
+	s.beginPhase(stats.PhaseRefine)
+	r := &ranker{s: s, q: q, k: len(objs), sched: sched, opt: opt, pc: s.curPhase()}
 	for _, o := range objs {
 		r.cands = append(r.cands, &candidate{
 			obj: o,
@@ -53,19 +68,24 @@ func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 	steps := sched.Steps()
 	for it := 0; it < steps; it++ {
 		if err := s.interrupted(); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		targets := rangeUndecided(r.cands, radius)
 		if len(targets) == 0 {
 			break
 		}
-		met.Iterations++
+		r.pc.Iterations++
 		dmRes, sdnRes := sched.At(it)
-		if err := r.iterateRange(targets, dmRes, sdnRes, radius); err != nil {
-			return Result{}, err
+		span := r.iterSpan(it, dmRes, sdnRes, len(targets))
+		err := r.iterateRange(targets, dmRes, sdnRes, radius)
+		s.endSpan(span)
+		if err != nil {
+			return nil, err
 		}
 	}
-	// Refinement for candidates whose range still straddles the radius.
+
+	// Settlement for candidates whose range still straddles the radius.
+	s.beginPhase(stats.PhaseSettle)
 	var out []Neighbor
 	for _, c := range r.cands {
 		switch {
@@ -82,17 +102,14 @@ func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 				// d <= radius test below.
 				d, _ = s.path.Distance(q, c.obj.Point)
 			}
-			met.UpperBounds++
+			s.curPhase().UpperBounds++
 			if d <= radius {
 				out = append(out, Neighbor{Object: c.obj, LB: d, UB: d})
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].UB < out[j].UB })
-	met.CPU = time.Since(start)
-	met.Pages = s.pagesAccessed()
-	met.Elapsed = met.CPU + time.Duration(met.Pages)*db.cfg.PageCost
-	return Result{Neighbors: out, Metrics: met}, nil
+	return out, nil
 }
 
 // SurfaceRange is the one-shot convenience form: it runs the query in a
@@ -147,10 +164,22 @@ func rangeUndecided(cands []*candidate, radius float64) []*candidate {
 // object sets this beats the naive all-pairs reference computation by
 // orders of magnitude while returning the same pair.
 func (s *Session) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err error) {
+	return s.ClosestPairCtx(nil, sched, opt)
+}
+
+// ClosestPairCtx is ClosestPair bounded by a per-call context (nil selects
+// the session default). It drives one nested MR3 query per source object, so
+// it opens no query recording of its own — each nested query reports its own
+// Cost and registry observation; ctx threads through to every one of them.
+func (s *Session) ClosestPairCtx(ctx context.Context, sched Schedule, opt Options) (a, b Neighbor, err error) {
 	db := s.db
 	if db.Dxy == nil || len(db.objects) < 2 {
 		return a, b, fmt.Errorf("core: closest pair needs at least two objects")
 	}
+	if ctx == nil {
+		ctx = s.base
+	}
+	s.ctx = ctx
 	// Order the sources by their 2-D 1-NN distance: pairs that are close
 	// in the plane are the best candidates for the surface closest pair.
 	type src struct {
@@ -170,7 +199,7 @@ func (s *Session) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err e
 
 	best := math.Inf(1)
 	for _, sc := range srcs {
-		if cerr := s.interrupted(); cerr != nil {
+		if cerr := ctx.Err(); cerr != nil {
 			return a, b, cerr
 		}
 		// The 2-D NN distance lower-bounds this source's surface NN
@@ -180,7 +209,7 @@ func (s *Session) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err e
 			break
 		}
 		o := db.objects[sc.idx]
-		res, qerr := s.knnExcluding(o, sched, opt)
+		res, qerr := s.knnExcluding(ctx, o, sched, opt)
 		if qerr != nil {
 			return a, b, qerr
 		}
@@ -208,8 +237,8 @@ func (db *TerrainDB) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, er
 
 // knnExcluding runs a 1-NN query from an object's location, excluding the
 // object itself.
-func (s *Session) knnExcluding(o workload.Object, sched Schedule, opt Options) ([]Neighbor, error) {
-	res, err := s.MR3(o.Point, 2, sched, opt)
+func (s *Session) knnExcluding(ctx context.Context, o workload.Object, sched Schedule, opt Options) ([]Neighbor, error) {
+	res, err := s.MR3Ctx(ctx, o.Point, 2, sched, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
 	"surfknn/internal/multires"
+	"surfknn/internal/obs"
 	"surfknn/internal/sdn"
 	"surfknn/internal/stats"
 	"surfknn/internal/workload"
@@ -100,7 +101,7 @@ type ranker struct {
 	k     int
 	sched Schedule
 	opt   Options
-	met   *stats.Metrics
+	pc    *stats.PhaseCost // open phase the work counters accumulate into
 	cands []*candidate
 	// tighten keeps refining even after the k-set is determined, until the
 	// k-th neighbour's range reaches Step2Accuracy — the extra work step 2
@@ -109,15 +110,16 @@ type ranker struct {
 }
 
 // rank ranks the objects and returns the k nearest by the reference
-// surface metric, with their final ranges. A non-nil error means a paged
-// fetch failed, in which case the bounds are unreliable and the query must
-// not pretend to have an answer.
-func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, met *stats.Metrics, tighten bool) ([]Neighbor, error) {
+// surface metric, with their final ranges. The work counters accumulate
+// into the session's open cost phase. A non-nil error means a paged fetch
+// failed, in which case the bounds are unreliable and the query must not
+// pretend to have an answer.
+func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, tighten bool) ([]Neighbor, error) {
 	opt = opt.withDefaults()
 	if k > len(objs) {
 		k = len(objs)
 	}
-	r := &ranker{s: s, q: q, k: k, sched: sched, opt: opt, met: met, tighten: tighten}
+	r := &ranker{s: s, q: q, k: k, sched: sched, opt: opt, pc: s.curPhase(), tighten: tighten}
 	for _, o := range objs {
 		r.cands = append(r.cands, &candidate{
 			obj: o,
@@ -125,7 +127,7 @@ func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched
 			ub:  math.Inf(1),
 		})
 	}
-	met.Candidates += len(objs)
+	r.pc.Candidates += len(objs)
 	if err := r.run(); err != nil {
 		return nil, err
 	}
@@ -145,9 +147,12 @@ func (r *ranker) run() error {
 		if len(targets) == 0 {
 			return nil
 		}
-		r.met.Iterations++
+		r.pc.Iterations++
 		dmRes, sdnRes := r.sched.At(it)
-		if err := r.iterate(targets, dmRes, sdnRes); err != nil {
+		span := r.iterSpan(it, dmRes, sdnRes, len(targets))
+		err := r.iterate(targets, dmRes, sdnRes)
+		r.s.endSpan(span)
+		if err != nil {
 			return err
 		}
 	}
@@ -172,12 +177,28 @@ func (r *ranker) run() error {
 			// a finite neighbour.
 			d, _ = r.s.path.Distance(r.q, c.obj.Point)
 		}
-		r.met.UpperBounds++
+		r.pc.UpperBounds++
 		c.setUB(d)
 		c.lb = d
 	}
 	r.classify()
 	return nil
+}
+
+// iterSpan opens a trace span for one LOD refinement iteration, labelled
+// with the iteration index, the DMTM/SDN resolutions and the number of
+// refinement targets. Returns obs.NoSpan (and allocates nothing) when the
+// query records no trace.
+func (r *ranker) iterSpan(it int, dmRes, sdnRes float64, targets int) obs.SpanID {
+	if r.s.cost.trace == nil {
+		return obs.NoSpan
+	}
+	return r.s.startSpan("iter", map[string]float64{
+		"i":       float64(it),
+		"dm_res":  dmRes,
+		"sdn_res": sdnRes,
+		"targets": float64(targets),
+	})
 }
 
 // needTightening reports whether step-2 style tightening still wants work:
@@ -296,7 +317,7 @@ func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) error {
 // (§4.2.1). The bound is kept as the running minimum, so a failed or looser
 // estimate never hurts correctness.
 func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32) {
-	r.met.UpperBounds++
+	r.pc.UpperBounds++
 	region := r.regionOf(c)
 	if dmRes >= PathnetResolution {
 		d := r.s.path.DistanceWithin(r.q, c.obj.Point, region)
@@ -373,7 +394,7 @@ func (r *ranker) refinedRegions(c *candidate) []geom.MBR {
 // so if IT cannot re-rank the candidate the true bound cannot either and
 // the expensive full computation is skipped.
 func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
-	r.met.LowerBounds++
+	r.pc.LowerBounds++
 	region := r.regionOf(c)
 	q3, o3 := r.q.Pos, c.obj.Point.Pos
 	if r.opt.DisableDummyLB || len(c.lbPath) == 0 {

@@ -2,10 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
+	"time"
 
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
+	"surfknn/internal/stats"
 	"surfknn/internal/storage"
 )
 
@@ -14,45 +18,127 @@ import (
 // are immutable once objects are installed, so any number of sessions can
 // query one TerrainDB concurrently; everything mutable lives here:
 //
-//   - a context.Context checked between refinement iterations, so callers
-//     can cancel long queries or impose deadlines;
 //   - the page/node access accounting (the paper's "disk pages accessed"
 //     metric), kept per query so concurrent queries cannot race on — or
 //     pollute — each other's cost numbers;
 //   - a pathnet Querier whose Dijkstra scratch is reused across the many
-//     surface-distance evaluations one query performs.
+//     surface-distance evaluations one query performs;
+//   - the per-query cost recorder and (when enabled) phase trace.
+//
+// Cancellation follows the Go context guidance: a context is not stored
+// across queries but passed per call — every query method has a *Ctx
+// variant (MR3Ctx, EACtx, ...) taking the controlling context explicitly.
+// The context given to NewSession is kept only as the session's default,
+// used by the legacy no-context methods; a nil ctx in a *Ctx call selects
+// that default.
 //
 // A Session is owned by one goroutine at a time (it is not internally
 // synchronised) but may be reused for any number of consecutive queries.
 // Create one per worker with TerrainDB.NewSession.
 type Session struct {
 	db   *TerrainDB
-	ctx  context.Context
+	base context.Context // session-default context (NewSession argument)
+	ctx  context.Context // context of the query in flight; set by beginQuery
 	path *pathnet.Querier
 
 	io        storage.IOAccount // paged terrain reads (DMTM + SDN stores)
 	dxyVisits int64             // R-tree node visits (object index)
+
+	tracing bool         // record a phase trace for every query
+	cost    costRecorder // per-query phase accounting
 }
 
-// NewSession creates a query context over the database. ctx bounds every
-// query issued through the session (nil means context.Background()).
+// NewSession creates a query context over the database. ctx is the
+// session's default context, bounding every query issued without a per-call
+// override (nil means context.Background()).
 func (db *TerrainDB) NewSession(ctx context.Context) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{db: db, ctx: ctx, path: db.Path.NewQuerier()}
+	return &Session{db: db, base: ctx, ctx: ctx, path: db.Path.NewQuerier()}
 }
 
 // DB returns the shared database the session queries.
 func (s *Session) DB() *TerrainDB { return s.db }
 
-// beginQuery resets the per-query accounting. Each top-level query method
-// calls it on entry, so a session reused for several queries reports each
-// query's cost in isolation — the same numbers the paper's one-query-at-a-
-// time harness measured with global counters.
-func (s *Session) beginQuery() {
+// SetTracing turns per-query phase tracing on or off. While on, every
+// Result carries a Trace with one span per query phase and per LOD
+// refinement iteration. Traces are also recorded — regardless of this
+// switch — while the database's registry has a slow-query log installed,
+// so slow entries always include their trace.
+func (s *Session) SetTracing(on bool) { s.tracing = on }
+
+// beginQuery resets the per-query accounting and opens the query's cost
+// recorder. ctx is the per-call override; nil selects the session default.
+// Each top-level query method calls it on entry, so a session reused for
+// several queries reports each query's cost in isolation — the same numbers
+// the paper's one-query-at-a-time harness measured with global counters.
+func (s *Session) beginQuery(ctx context.Context, algo string) {
+	if ctx == nil {
+		ctx = s.base
+	}
+	s.ctx = ctx
 	s.io = storage.IOAccount{}
 	s.dxyVisits = 0
+	if reg := s.db.reg; reg != nil {
+		reg.QueriesStarted.Add(1)
+	}
+	var tr *obs.Trace
+	if s.tracing || s.db.reg.SlowLogArmed() {
+		tr = obs.NewTrace(algo)
+	}
+	s.cost.reset(tr, s.path.Relaxations())
+}
+
+// endQuery closes the query: it finalises the phase breakdown into a Cost,
+// feeds the process-wide registry (when the database is instrumented), and
+// applies the slow-query log. It returns the assembled Result, passing err
+// through unchanged.
+func (s *Session) endQuery(algo string, k int, ns []Neighbor, err error) (Result, error) {
+	s.closePhase()
+	cost := s.cost.finish(s)
+	s.observe(algo, k, cost, err)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Neighbors: ns, Cost: cost, Trace: s.cost.trace}, nil
+}
+
+// observe reports one finished query to the instrumented registry and the
+// slow-query log. No-op on an uninstrumented database.
+func (s *Session) observe(algo string, k int, cost stats.Cost, err error) {
+	reg := s.db.reg
+	if reg == nil {
+		return
+	}
+	t := cost.Total()
+	phases := make([]obs.PhaseObservation, len(cost.Phases))
+	for i, p := range cost.Phases {
+		phases[i] = obs.PhaseObservation{Name: p.Phase, Wall: p.Wall}
+	}
+	reg.ObserveQuery(obs.QueryObservation{
+		Cancelled:           err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)),
+		Failed:              err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded),
+		CPU:                 cost.CPU,
+		RTreeVisits:         t.RTreeVisits,
+		DijkstraRelaxations: s.path.Relaxations() - s.cost.relaxBase,
+		UpperBounds:         int64(t.UpperBounds),
+		LowerBounds:         int64(t.LowerBounds),
+		Iterations:          int64(t.Iterations),
+		Phases:              phases,
+	})
+	sq := obs.SlowQuery{
+		Algo:    algo,
+		K:       k,
+		Elapsed: cost.Elapsed,
+		CPU:     cost.CPU,
+		Pages:   cost.Pages(),
+		Trace:   s.cost.trace,
+	}
+	if err != nil {
+		sq.Err = err.Error()
+	}
+	reg.MaybeLogSlow(sq)
 }
 
 // pagesAccessed returns this query's combined page-access count:
@@ -93,12 +179,111 @@ func (s *Session) referenceDistance(a, b mesh.SurfacePoint) float64 {
 	return d
 }
 
-// MaskedKNN answers the constrained k-NN query (see TerrainDB.MaskedKNN);
-// the computation builds private per-query structures, so the session only
-// contributes its cancellation context.
+// MaskedKNN answers the constrained k-NN query (see TerrainDB.MaskedKNN)
+// under the session's default context.
 func (s *Session) MaskedKNN(q mesh.SurfacePoint, k int, mask FaceMask) ([]Neighbor, error) {
-	if err := s.interrupted(); err != nil {
-		return nil, err
+	return s.MaskedKNNCtx(nil, q, k, mask)
+}
+
+// MaskedKNNCtx is MaskedKNN bounded by a per-call context (nil selects the
+// session default). The computation builds private per-query structures, so
+// the session contributes only cancellation and lifecycle accounting.
+func (s *Session) MaskedKNNCtx(ctx context.Context, q mesh.SurfacePoint, k int, mask FaceMask) ([]Neighbor, error) {
+	s.beginQuery(ctx, algoMasked)
+	var ns []Neighbor
+	err := s.interrupted()
+	if err == nil {
+		ns, err = s.db.MaskedKNN(q, k, mask)
 	}
-	return s.db.MaskedKNN(q, k, mask)
+	_, err2 := s.endQuery(algoMasked, k, ns, err)
+	return ns, err2
+}
+
+// Algorithm labels used for traces, the slow-query log and registry
+// accounting.
+const (
+	algoMR3      = "mr3"
+	algoEA       = "ea"
+	algoRange    = "range"
+	algoMasked   = "masked"
+	algoAccuracy = "accuracy"
+)
+
+// costRecorder assembles a query's per-phase cost breakdown. It lives
+// inside a Session (one query at a time), so it is single-goroutine by
+// construction.
+type costRecorder struct {
+	trace     *obs.Trace
+	phases    []stats.PhaseCost
+	cur       *stats.PhaseCost // open phase; nil between phases
+	curSpan   obs.SpanID
+	curStart  time.Time
+	baseIO    storage.IOAccount // session I/O counters at phase open
+	baseVisit int64             // session R-tree visits at phase open
+	qStart    time.Time         // query start
+	relaxBase int64             // pathnet relaxation count at query start
+}
+
+// reset opens a new query's recording.
+func (c *costRecorder) reset(tr *obs.Trace, relaxBase int64) {
+	c.trace = tr
+	c.phases = c.phases[:0]
+	c.cur = nil
+	c.qStart = time.Now()
+	c.relaxBase = relaxBase
+}
+
+// beginPhase closes any open phase and opens a named one. The returned
+// pointer stays valid until the phase is closed; the ranking code
+// accumulates its work counters through it.
+func (s *Session) beginPhase(name string) *stats.PhaseCost {
+	s.closePhase()
+	c := &s.cost
+	c.cur = &stats.PhaseCost{Phase: name}
+	c.baseIO = s.io
+	c.baseVisit = s.dxyVisits
+	c.curStart = time.Now()
+	c.curSpan = c.trace.StartSpan(name, nil)
+	return c.cur
+}
+
+// closePhase seals the open phase, charging it the I/O performed since it
+// opened. No-op when no phase is open.
+func (s *Session) closePhase() {
+	c := &s.cost
+	if c.cur == nil {
+		return
+	}
+	c.cur.Wall = time.Since(c.curStart)
+	c.cur.PoolMisses = s.io.Misses - c.baseIO.Misses
+	c.cur.PoolHits = (s.io.Accesses - c.baseIO.Accesses) - c.cur.PoolMisses
+	c.cur.RTreeVisits = s.dxyVisits - c.baseVisit
+	c.phases = append(c.phases, *c.cur)
+	c.trace.EndSpan(c.curSpan)
+	c.cur = nil
+}
+
+// curPhase returns the open phase's counters (the ranking code's
+// accumulation target). Query methods always open a phase before ranking.
+func (s *Session) curPhase() *stats.PhaseCost { return s.cost.cur }
+
+// startSpan opens an extra trace span inside the current phase (used for
+// per-iteration spans); no-op without a trace.
+func (s *Session) startSpan(name string, attrs map[string]float64) obs.SpanID {
+	return s.cost.trace.StartSpan(name, attrs)
+}
+
+// endSpan closes a span opened by startSpan.
+func (s *Session) endSpan(id obs.SpanID) { s.cost.trace.EndSpan(id) }
+
+// finish computes the query's Cost from the recorded phases: CPU is the
+// wall time since beginQuery, Elapsed adds the simulated I/O cost of every
+// page accessed (the paper's response-time model).
+func (c *costRecorder) finish(s *Session) stats.Cost {
+	cost := stats.Cost{
+		Phases: append([]stats.PhaseCost(nil), c.phases...),
+		CPU:    time.Since(c.qStart),
+	}
+	cost.Elapsed = cost.CPU + time.Duration(s.pagesAccessed())*s.db.cfg.PageCost
+	return cost
 }

@@ -56,9 +56,9 @@ func TestSessionReuseMatchesOneShot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if oneShot.Metrics.Pages != reused.Metrics.Pages {
+		if oneShot.Metrics().Pages != reused.Metrics().Pages {
 			t.Errorf("query %d: one-shot pages %d != session pages %d",
-				i, oneShot.Metrics.Pages, reused.Metrics.Pages)
+				i, oneShot.Metrics().Pages, reused.Metrics().Pages)
 		}
 		if len(oneShot.Neighbors) != len(reused.Neighbors) {
 			t.Fatalf("query %d: result sizes differ", i)
@@ -115,7 +115,7 @@ func TestConcurrentQueries(t *testing.T) {
 		for _, n := range res.Neighbors {
 			knnWant[i].ids = append(knnWant[i].ids, n.Object.ID)
 		}
-		knnWant[i].pages = res.Metrics.Pages
+		knnWant[i].pages = res.Metrics().Pages
 
 		rres, err := db.SurfaceRange(q, radius, S2, Options{})
 		if err != nil {
@@ -124,7 +124,7 @@ func TestConcurrentQueries(t *testing.T) {
 		for _, n := range rres.Neighbors {
 			rangeWant[i].ids = append(rangeWant[i].ids, n.Object.ID)
 		}
-		rangeWant[i].pages = rres.Metrics.Pages
+		rangeWant[i].pages = rres.Metrics().Pages
 
 		dr, err := db.DistanceWithAccuracy(q, db.Objects()[i].Point, 0.7, S2)
 		if err != nil {
@@ -148,9 +148,9 @@ func TestConcurrentQueries(t *testing.T) {
 						t.Errorf("worker %d MR3 %d: %v", w, i, err)
 						return
 					}
-					if res.Metrics.Pages != knnWant[i].pages {
+					if res.Metrics().Pages != knnWant[i].pages {
 						t.Errorf("worker %d MR3 %d: pages %d, want %d",
-							w, i, res.Metrics.Pages, knnWant[i].pages)
+							w, i, res.Metrics().Pages, knnWant[i].pages)
 					}
 					for j, n := range res.Neighbors {
 						if n.Object.ID != knnWant[i].ids[j] {
@@ -164,9 +164,9 @@ func TestConcurrentQueries(t *testing.T) {
 						t.Errorf("worker %d range %d: %v", w, i, err)
 						return
 					}
-					if res.Metrics.Pages != rangeWant[i].pages {
+					if res.Metrics().Pages != rangeWant[i].pages {
 						t.Errorf("worker %d range %d: pages %d, want %d",
-							w, i, res.Metrics.Pages, rangeWant[i].pages)
+							w, i, res.Metrics().Pages, rangeWant[i].pages)
 					}
 					if len(res.Neighbors) != len(rangeWant[i].ids) {
 						t.Errorf("worker %d range %d: %d results, want %d",

@@ -8,6 +8,7 @@ import (
 	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/multires"
+	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
 	"surfknn/internal/sdn"
 	"surfknn/internal/storage"
@@ -61,11 +62,28 @@ type TerrainDB struct {
 	Dxy  *index.RTree
 
 	cfg       Config
+	reg       *obs.Registry // process-wide counters; nil when uninstrumented
 	dmtmStore *storage.Clustered
 	sdnStore  *storage.Clustered
 	objects   []workload.Object
 	objByID   map[int64]workload.Object
 }
+
+// Instrument attaches a process-wide observability registry: every query
+// on this database (from any session) feeds its lifecycle, work and latency
+// counters, and the buffer pool mirrors its hit/miss/eviction activity.
+// Like SetObjects this is a setup step — call it before sessions start
+// querying; sessions read the field without locks. A nil registry detaches.
+// Uninstrumented databases skip all registry work, so experiment figures are
+// unchanged by this machinery existing.
+func (db *TerrainDB) Instrument(reg *obs.Registry) {
+	db.reg = reg
+	db.Pool.Instrument(reg)
+}
+
+// Registry returns the registry installed with Instrument (nil when the
+// database is uninstrumented).
+func (db *TerrainDB) Registry() *obs.Registry { return db.reg }
 
 // BuildTerrainDB derives all structures from the mesh. This is the offline
 // preprocessing step of the paper ("DMTM is pre-created ... Both DMTM and

@@ -42,7 +42,7 @@ func Ablation(p Params) (Figure, error) {
 			if err != nil {
 				return Figure{}, err
 			}
-			agg.Add(r.Metrics)
+			agg.Add(r.Metrics())
 		}
 		agg.Scale(len(qs))
 		x := float64(vi)

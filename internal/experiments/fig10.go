@@ -72,7 +72,7 @@ func mrAndEA(db *core.TerrainDB, queries []mesh.SurfacePoint) []algoRun {
 	mk := func(s core.Schedule) func(int, int) (stats.Metrics, error) {
 		return func(qi, k int) (stats.Metrics, error) {
 			r, err := sess.MR3(queries[qi], k, s, core.Options{})
-			return r.Metrics, err
+			return r.Metrics(), err
 		}
 	}
 	return []algoRun{
@@ -81,7 +81,7 @@ func mrAndEA(db *core.TerrainDB, queries []mesh.SurfacePoint) []algoRun {
 		{"MR3 s=3", mk(core.S3)},
 		{"EA", func(qi, k int) (stats.Metrics, error) {
 			r, err := sess.EA(queries[qi], k)
-			return r.Metrics, err
+			return r.Metrics(), err
 		}},
 	}
 }

@@ -25,12 +25,12 @@ func Fig9(p Params) (Figure, error) {
 			if err != nil {
 				return Figure{}, err
 			}
-			pagesOn += r1.Metrics.Pages
+			pagesOn += r1.Metrics().Pages
 			r2, err := sess.MR3(q, k, core.S2, core.Options{DisableIOIntegration: true})
 			if err != nil {
 				return Figure{}, err
 			}
-			pagesOff += r2.Metrics.Pages
+			pagesOff += r2.Metrics().Pages
 		}
 		n := int64(len(qs))
 		on.Add(float64(k), float64(pagesOn/n))

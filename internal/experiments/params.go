@@ -12,6 +12,7 @@ import (
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
 	"surfknn/internal/stats"
 	"surfknn/internal/workload"
 )
@@ -39,6 +40,11 @@ type Params struct {
 	// Verbose enables progress logging to stderr.
 	Verbose bool
 	Logf    func(format string, args ...any)
+	// Obs, when non-nil, instruments every database the run builds with
+	// this registry, so skbench's -debug-addr endpoint shows live counters.
+	// Leave nil for measurement runs: uninstrumented databases skip all
+	// registry work and reproduce the figures bit-identically.
+	Obs *obs.Registry
 }
 
 // WithDefaults fills zero fields.
@@ -102,6 +108,9 @@ func (p Params) buildDB(preset dem.Preset, density float64) (*core.TerrainDB, []
 		return nil, nil, err
 	}
 	db.SetObjects(objs)
+	if p.Obs != nil {
+		db.Instrument(p.Obs)
+	}
 	qs, err := workload.RandomQueries(m, db.Loc, p.Queries, m.Extent().Width()/8, p.Seed+13)
 	if err != nil {
 		return nil, nil, err

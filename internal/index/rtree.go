@@ -41,7 +41,11 @@ type RTree struct {
 	size int
 }
 
-// visit charges one node visit to the per-query counter, if any.
+// visit charges one node visit to the per-query counter, if any. The
+// counter is single-goroutine by design (each Session owns one and passes a
+// pointer into its searches); sessions later fold the per-query total into
+// the process-wide obs.Registry at query end — the tree itself never writes
+// shared state, which is what keeps concurrent searches lock-free.
 func visit(visits *int64) {
 	if visits != nil {
 		*visits++

@@ -100,6 +100,7 @@ func TestRuleRegistry(t *testing.T) {
 		"panic-message",
 		"loop-goroutine-capture",
 		"lock-copy",
+		"obs-atomic",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

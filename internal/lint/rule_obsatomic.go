@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsAtomic forbids non-atomic writes to the observability counters: the
+// fields of package obs's shared metric structs (Registry, Counter,
+// Histogram) are read concurrently by the /debug/vars handler and by every
+// querying session, so a plain `reg.X++` or `reg.X = Counter{}` is a data
+// race that -race only catches when the debug endpoint happens to be
+// scraped during the write. The rule flags assignments and ++/-- whose
+// target is a counter-like field declared in a package named "obs":
+//
+//   - a field whose type (transitively) contains a sync/atomic value — a
+//     Counter or Histogram copy clobbers live atomics;
+//   - a plain numeric field (or numeric array element) of a struct that
+//     contains atomics — a raw counter smuggled in next to the atomic ones.
+//
+// Method calls (Add, Store, Observe) are the sanctioned write path and are
+// untouched, as are non-numeric fields (labels, maps, writers) and writes
+// through map indices (the registry's lazy phase map is mutex-guarded).
+type obsAtomic struct{}
+
+func (obsAtomic) Name() string { return "obs-atomic" }
+func (obsAtomic) Doc() string {
+	return "direct write to an obs metrics field races with concurrent readers; use its atomic methods (Add/Store/Observe)"
+}
+
+func (obsAtomic) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkObsWrite(p, lhs, report)
+				}
+			case *ast.IncDecStmt:
+				checkObsWrite(p, st.X, report)
+			}
+			return true
+		})
+	}
+}
+
+// checkObsWrite reports e when it is a write target selecting a counter-like
+// obs field.
+func checkObsWrite(p *Package, e ast.Expr, report func(pos token.Pos, format string, args ...any)) {
+	sel := obsWriteTarget(p, e)
+	if sel == nil {
+		return
+	}
+	field := selectedField(p, sel)
+	if field == nil || field.Pkg() == nil || field.Pkg().Name() != "obs" {
+		return
+	}
+	recv := p.Info.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	switch {
+	case containsAtomic(field.Type(), nil):
+		report(e.Pos(),
+			"write to obs field %s overwrites live sync/atomic state; use its atomic methods", field.Name())
+	case isNumericish(field.Type()) && containsAtomic(recv, nil):
+		report(e.Pos(),
+			"non-atomic write to numeric field %s of a shared obs metrics struct; make it a Counter and use Add", field.Name())
+	}
+}
+
+// obsWriteTarget unwraps a write target down to the selector it stores
+// through: parens, pointer dereferences, and array indexing (which writes
+// into the selected field's own storage). Map and slice indexing stop the
+// unwrap — those writes go to separately-allocated storage (the registry's
+// mutex-guarded phase map being the motivating case).
+func obsWriteTarget(p *Package, e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			t := p.Info.TypeOf(x.X)
+			if t == nil {
+				return nil
+			}
+			u := t.Underlying()
+			if ptr, ok := u.(*types.Pointer); ok {
+				u = ptr.Elem().Underlying()
+			}
+			if _, ok := u.(*types.Array); !ok {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// selectedField resolves a selector to the struct field it names, or nil
+// when it names something else (package member, method).
+func selectedField(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// containsAtomic reports whether a value of type t (transitively, through
+// named types, struct fields and arrays) embeds a sync/atomic type. The
+// descent does not enter other sync package types (Mutex, Once, ...): their
+// internals may use atomics, but they guard their own state, which is not
+// what this rule protects.
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync/atomic":
+				return true
+			case "sync":
+				return false
+			}
+		}
+		return containsAtomic(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}
+
+// isNumericish reports whether t is a numeric type or an array of them —
+// the shapes a hand-rolled counter takes.
+func isNumericish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Array:
+		return isNumericish(u.Elem())
+	}
+	return false
+}

@@ -9,6 +9,7 @@ func AllRules() []Rule {
 		panicMessage{},
 		loopGoroutineCapture{},
 		lockCopy{},
+		obsAtomic{},
 	}
 }
 

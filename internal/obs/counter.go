@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready for use. Write only through Add — the sklint obs-atomic rule
+// rejects direct field writes anywhere in the module.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the bucket count of a latency histogram: bucket i counts
+// observations with ceil(log2(µs)) == i, so the range spans 1 µs (bucket 0)
+// to ~2.3 h (bucket 42, open-ended) in powers of two.
+const histBuckets = 43
+
+// Histogram is a fixed-bucket, power-of-two latency histogram. All updates
+// are atomic; concurrent Observe calls never lose counts. The zero value is
+// ready for use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// bucketOf maps a duration to its bucket: the index of the smallest power
+// of two of microseconds that is >= d.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1) // ceil(log2(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// upper edge of the bucket holding the q-th observation. Returns 0 on an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<(histBuckets-1)) * time.Microsecond
+}
+
+// Snapshot renders the histogram for expvar: count, mean, estimated tail
+// quantiles, and the non-empty buckets keyed by their upper edge in µs.
+func (h *Histogram) Snapshot() map[string]any {
+	count := h.count.Load()
+	out := map[string]any{
+		"count": count,
+	}
+	if count > 0 {
+		out["mean_us"] = float64(h.sumNS.Load()) / float64(count) / 1e3
+		out["p50_us"] = h.Quantile(0.50).Microseconds()
+		out["p95_us"] = h.Quantile(0.95).Microseconds()
+		out["p99_us"] = h.Quantile(0.99).Microseconds()
+	}
+	bucketCounts := make(map[string]int64)
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			bucketCounts[bucketLabel(i)] = n
+		}
+	}
+	if len(bucketCounts) > 0 {
+		out["le_us"] = bucketCounts
+	}
+	return out
+}
+
+func bucketLabel(i int) string {
+	us := uint64(1) << uint(i)
+	return time.Duration(us * uint64(time.Microsecond)).String()
+}

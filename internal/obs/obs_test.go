@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; every
+// increment must be visible (run under -race this also proves the write
+// path is atomic).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("Counter lost updates: got %d, want %d", got, workers*each)
+	}
+}
+
+// TestHistogramConcurrent checks that concurrent observations are all
+// counted and land in the right power-of-two buckets.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w+1) * 10 * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("Histogram lost observations: got %d, want %d", got, workers*each)
+	}
+	wantSum := time.Duration(0)
+	for w := 0; w < workers; w++ {
+		wantSum += time.Duration(w+1) * 10 * time.Microsecond * each
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+	if q := h.Quantile(1.0); q < 80*time.Microsecond {
+		t.Errorf("p100 = %v, want >= 80µs (largest observation)", q)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{24 * time.Hour, 37},
+		{time.Duration(math.MaxInt64), histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestTraceRoundTrip: a trace serialised to JSON and parsed back must be
+// identical in all exported fields (timestamps are integer nanoseconds
+// precisely so this holds exactly).
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace("mr3")
+	s1 := tr.StartSpan("knn2d", nil)
+	tr.EndSpan(s1)
+	s2 := tr.StartSpan("rank-c1", map[string]float64{"targets": 5})
+	inner := tr.StartSpan("iter", map[string]float64{"i": 0, "dm_res": 0.25})
+	tr.EndSpan(inner)
+	tr.EndSpan(s2)
+
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algo != tr.Algo || back.BeginUnixNS != tr.BeginUnixNS {
+		t.Fatalf("header changed: %+v vs %+v", back, tr)
+	}
+	if !reflect.DeepEqual(back.Spans, tr.Spans) {
+		t.Fatalf("spans changed:\n got %+v\nwant %+v", back.Spans, tr.Spans)
+	}
+	// Round-trip again: must be byte-identical now that both sides came
+	// through the same marshalling.
+	data2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("second marshal differs:\n%s\n%s", data, data2)
+	}
+}
+
+// TestTraceNil: all trace methods must be safe no-ops on a nil trace — this
+// is what makes disabled instrumentation free.
+func TestTraceNil(t *testing.T) {
+	var tr *Trace
+	id := tr.StartSpan("x", nil)
+	if id != NoSpan {
+		t.Fatalf("StartSpan on nil trace = %d, want NoSpan", id)
+	}
+	tr.EndSpan(id) // must not panic
+	data, err := tr.JSON()
+	if err != nil || string(data) != "null" {
+		t.Fatalf("nil trace JSON = %q, %v", data, err)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowQueryLog(&buf, 10*time.Millisecond)
+	if l.Log(SlowQuery{Algo: "mr3", Elapsed: 5 * time.Millisecond}) {
+		t.Fatal("fast query logged")
+	}
+	if !l.Log(SlowQuery{Algo: "mr3", K: 5, Elapsed: 15 * time.Millisecond, Pages: 42}) {
+		t.Fatal("slow query not logged")
+	}
+	var entry SlowQuery
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if entry.Algo != "mr3" || entry.K != 5 || entry.Pages != 42 || entry.Elapsed != 15*time.Millisecond {
+		t.Fatalf("entry mangled: %+v", entry)
+	}
+}
+
+// TestSlowQueryLogLatchesError: a failing sink must not take the query path
+// down with it — the first error latches and later entries are dropped.
+func TestSlowQueryLogLatchesError(t *testing.T) {
+	l := NewSlowQueryLog(failWriter{}, 0)
+	if l.Log(SlowQuery{Algo: "mr3"}) {
+		t.Fatal("write against failing sink reported success")
+	}
+	if l.Err() == nil {
+		t.Fatal("error did not latch")
+	}
+	if l.Log(SlowQuery{Algo: "mr3"}) {
+		t.Fatal("log kept writing after error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestRegistryObserveQuery(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveQuery(QueryObservation{
+		CPU: 3 * time.Millisecond, RTreeVisits: 7, DijkstraRelaxations: 100,
+		UpperBounds: 5, LowerBounds: 6, Iterations: 2,
+		Phases: []PhaseObservation{{Name: "knn2d", Wall: time.Millisecond}},
+	})
+	r.ObserveQuery(QueryObservation{Cancelled: true})
+	r.ObserveQuery(QueryObservation{Failed: true})
+	if got := r.QueriesFinished.Value(); got != 1 {
+		t.Errorf("finished = %d, want 1", got)
+	}
+	if got := r.QueriesCancelled.Value(); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+	if got := r.QueriesFailed.Value(); got != 1 {
+		t.Errorf("failed = %d, want 1", got)
+	}
+	if got := r.RTreeVisits.Value(); got != 7 {
+		t.Errorf("rtree visits = %d, want 7", got)
+	}
+	if got := r.Phase("knn2d").Count(); got != 1 {
+		t.Errorf("phase histogram count = %d, want 1", got)
+	}
+}
+
+// TestSnapshotShape pins the snapshot's group layout — the structure
+// scripts/check.sh greps for through /debug/vars.
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.QueriesStarted.Add(2)
+	r.PoolHits.Add(3)
+	snap := r.Snapshot()
+	for _, group := range []string{"queries", "pool", "work", "phases"} {
+		if _, ok := snap[group]; !ok {
+			t.Errorf("snapshot missing group %q", group)
+		}
+	}
+	q := snap["queries"].(map[string]any)
+	if q["started"].(int64) != 2 {
+		t.Errorf("queries.started = %v, want 2", q["started"])
+	}
+	if snap["pool"].(map[string]any)["hits"].(int64) != 3 {
+		t.Errorf("pool.hits wrong: %v", snap["pool"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-marshallable: %v", err)
+	}
+}
+
+// TestPublishAndDebugServer covers the expvar + debug-server plumbing:
+// publishing is idempotent per registry, a second registry cannot steal the
+// name, and /debug/vars actually serves the snapshot.
+func TestPublishAndDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.QueriesStarted.Add(1)
+	const name = "surfknn_test_registry"
+	if err := r.Publish(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(name); err != nil {
+		t.Fatalf("second Publish of same registry must be a no-op, got %v", err)
+	}
+	if err := NewRegistry().Publish(name); err == nil {
+		t.Fatal("publishing a second registry under a taken name must error")
+	}
+	if expvar.Get(name) == nil {
+		t.Fatal("expvar.Get did not find the published registry")
+	}
+
+	srv, addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), name) {
+		t.Fatalf("/debug/vars does not mention %q", name)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(vars[name], &snap); err != nil {
+		t.Fatalf("registry snapshot not JSON: %v", err)
+	}
+	if _, ok := snap["queries"]; !ok {
+		t.Fatalf("served snapshot missing queries group: %v", snap)
+	}
+}

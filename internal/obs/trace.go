@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Trace is the phase-level timeline of one query: a span per MR3 step and
+// per LOD refinement iteration. A Trace is owned by the single goroutine
+// running the query, so it needs no locking; all methods are nil-safe, so
+// disabled tracing costs one nil check per hook.
+//
+// Timestamps are stored as integer nanoseconds so a trace round-trips
+// through JSON exactly.
+type Trace struct {
+	// Algo names the query algorithm ("mr3", "ea", "range", ...).
+	Algo string `json:"algo"`
+	// BeginUnixNS is the query start, nanoseconds since the Unix epoch.
+	BeginUnixNS int64 `json:"begin_unix_ns"`
+	// Spans holds completed and open spans in start order.
+	Spans []Span `json:"spans"`
+
+	begin time.Time
+}
+
+// Span is one timed section of a query.
+type Span struct {
+	// Name is the phase or iteration label (e.g. "rank-c1", "iter").
+	Name string `json:"name"`
+	// Start is the offset from the trace's begin time.
+	Start time.Duration `json:"start_ns"`
+	// Dur is the span length; zero while the span is open.
+	Dur time.Duration `json:"dur_ns"`
+	// Attrs carries numeric span attributes, e.g. the DMTM and SDN
+	// resolutions of a refinement iteration.
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// SpanID identifies an open span within its trace; NoSpan is returned by
+// StartSpan on a nil trace and ignored by EndSpan.
+type SpanID int
+
+// NoSpan is the SpanID of a span that was never started (nil trace).
+const NoSpan SpanID = -1
+
+// NewTrace starts a trace for the named algorithm.
+func NewTrace(algo string) *Trace {
+	now := time.Now()
+	return &Trace{Algo: algo, BeginUnixNS: now.UnixNano(), begin: now}
+}
+
+// StartSpan opens a span. attrs may be nil; the map is retained, so callers
+// must not reuse it.
+func (t *Trace) StartSpan(name string, attrs map[string]float64) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	t.Spans = append(t.Spans, Span{
+		Name:  name,
+		Start: time.Since(t.begin),
+		Attrs: attrs,
+	})
+	return SpanID(len(t.Spans) - 1)
+}
+
+// EndSpan closes the span, stamping its duration. No-op for NoSpan or a nil
+// trace.
+func (t *Trace) EndSpan(id SpanID) {
+	if t == nil || id == NoSpan || int(id) >= len(t.Spans) {
+		return
+	}
+	sp := &t.Spans[int(id)]
+	sp.Dur = time.Since(t.begin) - sp.Start
+}
+
+// JSON renders the trace as a single JSON object; a nil trace renders as
+// JSON null.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.Marshal(t)
+}
+
+// ParseTrace decodes a trace produced by JSON.
+func ParseTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	t.begin = time.Unix(0, t.BeginUnixNS)
+	return &t, nil
+}

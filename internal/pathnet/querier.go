@@ -28,7 +28,16 @@ type Querier struct {
 	stamp []uint32
 	cur   uint32
 	pq    *graph.Frontier
+	// relaxed counts successful arc relaxations across the querier's
+	// lifetime; sessions difference it around a query to report the
+	// Dijkstra work that query performed.
+	relaxed int64
 }
+
+// Relaxations returns the lifetime count of successful arc relaxations.
+// Callers wanting per-query numbers record the value before the query and
+// subtract.
+func (q *Querier) Relaxations() int64 { return q.relaxed }
 
 // NewQuerier returns a query context over the pathnet.
 func (p *Pathnet) NewQuerier() *Querier {
@@ -153,6 +162,7 @@ func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int
 				continue
 			}
 			if nd := d + arc.W; nd < q.distAt(arc.To) {
+				q.relaxed++
 				q.setDist(arc.To, nd, v)
 				q.pq.Push(arc.To, nd)
 			}

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"surfknn/internal/obs"
 )
 
 // Stats counts buffer-pool activity. Accesses is the paper's "number of
@@ -53,6 +55,16 @@ type BufferPool struct {
 	frames   map[PageID]*Frame
 	lru      *list.List // front = most recently used; holds unpinned frames
 	stats    Stats
+	reg      *obs.Registry // process-wide counters; nil when uninstrumented
+}
+
+// Instrument mirrors the pool's hit/miss/eviction activity into the
+// process-wide registry (atomic counters, so readers need no pool lock).
+// Call it once, before queries start; a nil registry detaches the pool.
+func (bp *BufferPool) Instrument(reg *obs.Registry) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.reg = reg
 }
 
 // NewBufferPool wraps file with a pool of the given capacity (pages).
@@ -110,6 +122,9 @@ func (bp *BufferPool) Get(id PageID, acct *IOAccount) (*Frame, error) {
 		acct.Accesses++
 	}
 	if fr, ok := bp.frames[id]; ok {
+		if bp.reg != nil {
+			bp.reg.PoolHits.Add(1)
+		}
 		if fr.pins == 0 && fr.elem != nil {
 			bp.lru.Remove(fr.elem)
 			fr.elem = nil
@@ -120,6 +135,9 @@ func (bp *BufferPool) Get(id PageID, acct *IOAccount) (*Frame, error) {
 	bp.stats.Misses++
 	if acct != nil {
 		acct.Misses++
+	}
+	if bp.reg != nil {
+		bp.reg.PoolMisses.Add(1)
 	}
 	if err := bp.makeRoom(); err != nil {
 		return nil, err
@@ -167,6 +185,9 @@ func (bp *BufferPool) makeRoom() error {
 		}
 		delete(bp.frames, victim.ID)
 		bp.stats.Evictions++
+		if bp.reg != nil {
+			bp.reg.PoolEvictions.Add(1)
+		}
 	}
 	return nil
 }

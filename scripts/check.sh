@@ -36,6 +36,39 @@ echo "== parallel benchmark smoke =="
 # still runs the parallel path (the race tests above prove it is safe).
 go test -run '^$' -bench 'SequentialKNN|ParallelKNN' -benchtime=1x .
 
+echo "== debug endpoint smoke =="
+# skbench -debug-addr must serve the published surfknn counter group on
+# /debug/vars while a run executes. The run itself is tiny (fig 7, 16×16
+# grid); -debug-hold keeps the server up long enough to probe it.
+go build -o /tmp/skbench.check ./cmd/skbench
+rm -f /tmp/skbench.check.out
+/tmp/skbench.check -fig 7 -size 16 -queries 1 \
+    -debug-addr 127.0.0.1:0 -debug-hold 30s > /tmp/skbench.check.out &
+skbench_pid=$!
+trap 'kill "$skbench_pid" 2>/dev/null; wait "$skbench_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^# debug server listening on //p' /tmp/skbench.check.out | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "skbench never announced its debug server" >&2
+    cat /tmp/skbench.check.out >&2
+    exit 1
+fi
+vars=$(curl -fsS "http://$addr/debug/vars")
+for needle in '"surfknn"' '"queries"' '"pool"' '"work"'; do
+    if ! printf '%s' "$vars" | grep -q "$needle"; then
+        echo "/debug/vars is missing $needle" >&2
+        printf '%s\n' "$vars" >&2
+        exit 1
+    fi
+done
+kill "$skbench_pid" 2>/dev/null
+wait "$skbench_pid" 2>/dev/null || true
+trap - EXIT
+
 echo "== fuzz smoke =="
 # A few seconds per target: enough to catch regressions in the seeds and
 # shallow mutations without stalling the gate. -fuzzminimizetime is capped

@@ -30,13 +30,17 @@ package surfknn
 
 import (
 	"io"
+	"net/http"
+	"time"
 
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/geodesic"
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
+	"surfknn/internal/stats"
 	"surfknn/internal/workload"
 )
 
@@ -90,12 +94,33 @@ type (
 	// simulated page cost). The zero value uses the paper's settings.
 	Config = core.Config
 	// Options tunes query execution; the zero value enables every paper
-	// optimisation.
+	// optimisation. Build one as a struct literal or with NewOptions.
 	Options = core.Options
+	// Option is a functional Options setting (see NewOptions).
+	Option = core.Option
 	// Schedule is a resolution step-length schedule (§5.3).
 	Schedule = core.Schedule
-	// Result is a query result with cost metrics.
+	// Result is a query result: the neighbours plus the structured Cost
+	// breakdown (and, when tracing, the phase Trace).
 	Result = core.Result
+	// Cost is a query's structured cost: per-phase wall time, page accesses
+	// split into buffer-pool hits/misses and R-tree visits, and the work
+	// counters. Result.Metrics() derives the legacy flat view.
+	Cost = stats.Cost
+	// PhaseCost is one phase's slice of a Cost.
+	PhaseCost = stats.PhaseCost
+	// Metrics is the legacy flat cost view.
+	Metrics = stats.Metrics
+	// Trace is a query's phase trace: one timed span per query phase and
+	// per LOD refinement iteration. Enable with (*Session).SetTracing.
+	Trace = obs.Trace
+	// Registry is the process-wide observability registry: atomic counters
+	// and latency histograms fed by every query on an instrumented
+	// TerrainDB. Publish exposes it on /debug/vars.
+	Registry = obs.Registry
+	// SlowQueryLog writes one JSON line per query slower than a threshold.
+	// Install on a Registry with SetSlowLog.
+	SlowQueryLog = obs.SlowQueryLog
 	// Neighbor is one result entry with its distance range.
 	Neighbor = core.Neighbor
 	// Object is an indexed data point on the surface.
@@ -125,6 +150,46 @@ var (
 // the paper's offline preprocessing step.
 func BuildTerrainDB(m *Mesh, cfg Config) (*TerrainDB, error) {
 	return core.BuildTerrainDB(m, cfg)
+}
+
+// NewOptions builds an Options value from functional settings; unlike the
+// struct fields, fraction arguments are taken literally (WithStep2Accuracy(0)
+// really means 0). With no arguments it equals Options{}.
+func NewOptions(opts ...Option) Options { return core.NewOptions(opts...) }
+
+// Functional Options settings (see internal/core/options.go for semantics).
+var (
+	WithStep2Accuracy    = core.WithStep2Accuracy
+	WithOverlapThreshold = core.WithOverlapThreshold
+	WithIOIntegration    = core.WithIOIntegration
+	WithDummyLB          = core.WithDummyLB
+	WithBothFamilyLB     = core.WithBothFamilyLB
+)
+
+// Observability. Instrument a TerrainDB with a Registry to feed the
+// process-wide counters, publish the registry on /debug/vars, and serve the
+// debug endpoints:
+//
+//	reg := surfknn.NewRegistry()
+//	db.Instrument(reg)
+//	_ = reg.Publish("surfknn")
+//	srv, addr, _ := surfknn.StartDebugServer("127.0.0.1:8080")
+//	defer srv.Close()
+
+// NewRegistry creates an observability registry (all counters zero).
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// StartDebugServer serves /debug/vars and /debug/pprof/* on addr in a
+// background goroutine, returning the resolved listen address (useful with
+// port 0).
+func StartDebugServer(addr string) (*http.Server, string, error) {
+	return obs.StartDebugServer(addr)
+}
+
+// NewSlowQueryLog writes queries slower than threshold to w as JSON lines
+// (threshold 0 logs every query). Install with Registry.SetSlowLog.
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	return obs.NewSlowQueryLog(w, threshold)
 }
 
 // ErrBadSnapshot marks a snapshot file rejected as structurally invalid or
