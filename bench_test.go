@@ -8,7 +8,10 @@
 package surfknn
 
 import (
+	"bytes"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +26,7 @@ import (
 	"surfknn/internal/multires"
 	"surfknn/internal/pathnet"
 	"surfknn/internal/sdn"
+	"surfknn/internal/server"
 	"surfknn/internal/simplify"
 	"surfknn/internal/storage"
 	"surfknn/internal/workload"
@@ -448,4 +452,42 @@ func BenchmarkAblationBothFamiliesOn(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Serving layer: HTTP overhead over the same engine ---
+
+// benchServer drives one already-marshalled k-NN request through the full
+// handler chain (routing, admission, session checkout, caching, metrics) —
+// the cold/cached pair brackets what the HTTP layer adds to a raw MR3 call
+// and what the result cache saves.
+func benchServer(b *testing.B, cfg server.Config) {
+	f := getFixture(b)
+	s := server.New(f.db, cfg)
+	body := []byte(`{"x":800,"y":800,"k":10}`)
+	run := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/knn", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := run(); code != http.StatusOK { // warm (and, when enabled, cache)
+		b.Fatalf("status %d", code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := run(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServerKNNCold executes the query on every request (cache
+// disabled): engine cost plus the serving layer's per-request overhead.
+func BenchmarkServerKNNCold(b *testing.B) {
+	benchServer(b, server.Config{CacheEntries: -1})
+}
+
+// BenchmarkServerKNNCached answers every request from the LRU result cache.
+func BenchmarkServerKNNCached(b *testing.B) {
+	benchServer(b, server.Config{CacheEntries: 16})
 }

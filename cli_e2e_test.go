@@ -1,11 +1,24 @@
 package surfknn_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"surfknn/internal/core"
+	"surfknn/internal/geom"
 )
 
 // TestCLITools builds the four command-line tools and drives them end to
@@ -76,5 +89,281 @@ func TestCLITools(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "fig1.csv")); err != nil {
 		t.Errorf("csv missing: %v", err)
+	}
+}
+
+// TestCLIFlagErrors pins the operator contract: a typo'd flag exits
+// non-zero with one diagnosable line, never a screenful of usage; -h still
+// prints the full flag dump and exits zero.
+func TestCLIFlagErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"skquery", "skserve"} {
+		bin := filepath.Join(dir, tool)
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		out, err := exec.Command(bin, "-no-such-flag").CombinedOutput()
+		if err == nil {
+			t.Errorf("%s -no-such-flag exited zero", tool)
+		}
+		lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+		if len(lines) != 1 || !strings.Contains(lines[0], "-no-such-flag") {
+			t.Errorf("%s unknown-flag output is not one line:\n%s", tool, out)
+		}
+		out, err = exec.Command(bin, "-h").CombinedOutput()
+		if err != nil {
+			t.Errorf("%s -h exited non-zero: %v", tool, err)
+		}
+		if !strings.Contains(string(out), "flags:") {
+			t.Errorf("%s -h did not print usage:\n%s", tool, out)
+		}
+	}
+
+	// skserve with no terrain at all must also fail with one clear line.
+	out, err := exec.Command(filepath.Join(dir, "skserve")).CombinedOutput()
+	if err == nil {
+		t.Error("skserve with no terrain exited zero")
+	}
+	if !strings.Contains(string(out), "-snapshot") {
+		t.Errorf("skserve no-terrain error unhelpful:\n%s", out)
+	}
+}
+
+// e2eNeighbor decodes the wire form of one /v1/knn result row; lb/ub use
+// the jsonFloat encoding (±Inf as strings, finite as exact numbers).
+type e2eNeighbor struct {
+	ID int64           `json:"id"`
+	X  float64         `json:"x"`
+	Y  float64         `json:"y"`
+	Z  float64         `json:"z"`
+	LB json.RawMessage `json:"lb"`
+	UB json.RawMessage `json:"ub"`
+}
+
+func wireFloat(t *testing.T, raw json.RawMessage) float64 {
+	t.Helper()
+	var s string
+	if json.Unmarshal(raw, &s) == nil {
+		switch s {
+		case "+Inf":
+			return math.Inf(1)
+		case "-Inf":
+			return math.Inf(-1)
+		}
+		t.Fatalf("bad wire float %q", s)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("bad wire float %s: %v", raw, err)
+	}
+	return f
+}
+
+// startSkserve launches the binary and scrapes the announce line for the
+// bound address. The returned cleanup kills the process if it is still up.
+func startSkserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	var output bytes.Buffer
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			output.WriteString(line + "\n")
+			if a, ok := strings.CutPrefix(line, "# skserve listening on "); ok {
+				addrCh <- a
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, &output
+	case <-time.After(30 * time.Second):
+		t.Fatalf("skserve never announced its address\nstderr: %s", stderr.String())
+		return nil, "", nil
+	}
+}
+
+// TestSkserveEndToEnd is the serving-layer acceptance test: build the real
+// binaries, snapshot a terrain with skgen -db, serve it with skserve, and
+// verify over live HTTP that (a) concurrent responses are bit-identical to
+// calling TerrainDB.MR3 directly on the same snapshot, (b) a saturated
+// server sheds with 429 rather than hanging, and (c) SIGTERM drains and
+// exits cleanly.
+func TestSkserveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, tool := range []string{"skgen", "skserve"} {
+		bin := filepath.Join(dir, tool)
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+		bins[tool] = bin
+	}
+
+	// skgen -db: one artifact carries mesh, indexes and objects.
+	snap := filepath.Join(dir, "ep.skdb")
+	out, err := exec.Command(bins["skgen"], "-preset", "EP", "-size", "16", "-cell", "100",
+		"-o", filepath.Join(dir, "ep.sdem"), "-db", snap, "-db-objects", "30").CombinedOutput()
+	if err != nil {
+		t.Fatalf("skgen -db: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "TerrainDB snapshot with 30 objects") {
+		t.Fatalf("skgen -db output:\n%s", out)
+	}
+
+	// The reference answer, computed directly on the same snapshot.
+	db, err := core.LoadFile(snap, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.SurfacePointAt(geom.Vec2{X: 800, Y: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := db.MR3(q, 5, core.S1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, addr, output := startSkserve(t, bins["skserve"], "-snapshot", snap, "-addr", "127.0.0.1:0")
+	base := "http://" + addr
+
+	// Concurrent queries: every 200 must match the direct answer exactly.
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				resp, err := http.Post(base+"/v1/knn", "application/json",
+					strings.NewReader(`{"x":800,"y":800,"k":5}`))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("knn: status %d, read err %v: %s", resp.StatusCode, err, body)
+					continue
+				}
+				var got struct {
+					Neighbors []e2eNeighbor `json:"neighbors"`
+				}
+				if err := json.Unmarshal(body, &got); err != nil {
+					errs <- fmt.Errorf("knn body: %v", err)
+					continue
+				}
+				if len(got.Neighbors) != len(direct.Neighbors) {
+					errs <- fmt.Errorf("knn returned %d neighbors, direct MR3 %d",
+						len(got.Neighbors), len(direct.Neighbors))
+					continue
+				}
+				for i, n := range direct.Neighbors {
+					h := got.Neighbors[i]
+					if h.ID != n.Object.ID ||
+						math.Float64bits(wireFloat(t, h.LB)) != math.Float64bits(n.LB) ||
+						math.Float64bits(wireFloat(t, h.UB)) != math.Float64bits(n.UB) {
+						errs <- fmt.Errorf("neighbor %d diverged from direct MR3", i)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The serving-layer metric group must be live on /debug/vars.
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(vars, []byte(`"surfknn_server"`)) {
+		t.Error("/debug/vars missing the surfknn_server group")
+	}
+
+	// SIGTERM must drain and exit zero with the shutdown banner.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("skserve exited non-zero after SIGTERM: %v", err)
+	}
+	if !strings.Contains(output.String(), "# bye") {
+		t.Errorf("shutdown banner missing from output:\n%s", output.String())
+	}
+
+	// Saturation: a one-slot, no-queue server under concurrent fire must
+	// answer every request promptly with 200 or 429 — never hang. (The
+	// deterministic 429 path is pinned by the internal/server unit tests.)
+	satCmd, satAddr, _ := startSkserve(t, bins["skserve"], "-snapshot", snap,
+		"-addr", "127.0.0.1:0", "-max-inflight", "1", "-queue", "-1",
+		"-queue-wait", "1ms", "-cache", "-1")
+	satErrs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"x":%d,"y":%d,"k":3}`, 400+20*g, 700+10*g)
+			resp, err := http.Post("http://"+satAddr+"/v1/knn", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				satErrs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				satErrs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				satErrs <- fmt.Errorf("saturated server returned %d", resp.StatusCode)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				satErrs <- fmt.Errorf("429 without Retry-After")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(satErrs)
+	for err := range satErrs {
+		t.Error(err)
+	}
+	if err := satCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := satCmd.Wait(); err != nil {
+		t.Fatalf("saturated skserve exited non-zero after SIGTERM: %v", err)
 	}
 }

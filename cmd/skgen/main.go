@@ -15,8 +15,10 @@ import (
 	"os"
 	"strings"
 
+	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/mesh"
+	"surfknn/internal/workload"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func main() {
 		seed   = flag.Int64("seed", 2006, "random seed")
 		out    = flag.String("o", "", "output file (default <preset>.sdem)")
 		info   = flag.Bool("info", false, "print terrain statistics after generating")
+		dbOut  = flag.String("db", "", "also build and snapshot a query-ready TerrainDB (objects included) to this file, for skserve")
+		dbObjs = flag.Int("db-objects", 150, "objects placed in the -db snapshot")
 	)
 	flag.Parse()
 
@@ -60,6 +64,26 @@ func main() {
 		fmt.Printf("mesh: %d vertices, %d faces, %d edges, avg edge %.1f m\n",
 			m.NumVerts(), m.NumFaces(), len(m.Edges()), m.AverageEdgeLength())
 		fmt.Printf("surface area / planar area: %.3f\n", m.SurfaceArea()/m.Extent().Area())
+	}
+	if *dbOut != "" {
+		// The snapshot carries the mesh, DDM tree, MSDN and objects —
+		// everything skserve needs to start answering queries without
+		// redoing the offline preprocessing. Object placement uses seed+1,
+		// the same convention as skquery's generated workloads.
+		m := mesh.FromGrid(g)
+		db, err := core.BuildTerrainDB(m, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		objs, err := workload.RandomObjects(m, db.Loc, *dbObjs, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.SetObjects(objs)
+		if err := db.SaveFile(*dbOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: TerrainDB snapshot with %d objects\n", *dbOut, len(objs))
 	}
 	os.Exit(0)
 }

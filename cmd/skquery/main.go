@@ -11,8 +11,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -49,7 +51,21 @@ func main() {
 		trace   = flag.Bool("trace", false, "record the query's phase trace and print it as JSON")
 		slowlog = flag.Duration("slowlog", -1, "log queries slower than this to stderr as JSON (0 = every query, negative = off)")
 	)
-	flag.Parse()
+	// An unknown flag exits non-zero with a one-line error; the full flag
+	// dump is reserved for an explicit -h/-help. A script typo should yield
+	// one diagnosable line, not a screenful of usage.
+	flag.CommandLine.Init("skquery", flag.ContinueOnError)
+	flag.CommandLine.SetOutput(io.Discard)
+	flag.Usage = func() {} // a parse error must not dump usage; see below
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "usage: skquery [flags]\n\nflags:\n")
+			flag.CommandLine.SetOutput(os.Stderr)
+			flag.PrintDefaults()
+			os.Exit(0)
+		}
+		log.Fatalf("%v (run skquery -h for usage)", err)
+	}
 
 	g, err := loadOrSynthesize(*demPath, *preset, *size, *cell, *seed)
 	if err != nil {

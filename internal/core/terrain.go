@@ -63,6 +63,7 @@ type TerrainDB struct {
 
 	cfg       Config
 	reg       *obs.Registry // process-wide counters; nil when uninstrumented
+	sessions  sessionPool   // idle sessions for AcquireSession/Release
 	dmtmStore *storage.Clustered
 	sdnStore  *storage.Clustered
 	objects   []workload.Object

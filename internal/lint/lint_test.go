@@ -101,6 +101,7 @@ func TestRuleRegistry(t *testing.T) {
 		"loop-goroutine-capture",
 		"lock-copy",
 		"obs-atomic",
+		"ctx-background",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

@@ -10,6 +10,7 @@ func AllRules() []Rule {
 		loopGoroutineCapture{},
 		lockCopy{},
 		obsAtomic{},
+		ctxBackground{},
 	}
 }
 

@@ -19,6 +19,23 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value — unlike Counter it may go down
+// (in-flight requests, queue depth). Write only through Add/Set; the
+// sklint obs-atomic rule rejects direct field writes anywhere in the
+// module. The zero value is ready for use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (negative n decrements).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // histBuckets is the bucket count of a latency histogram: bucket i counts
 // observations with ceil(log2(µs)) == i, so the range spans 1 µs (bucket 0)
 // to ~2.3 h (bucket 42, open-ended) in powers of two.

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"surfknn/internal/obs"
+)
+
+// errSaturated is returned by acquire when the server is at capacity and
+// the wait queue is full (or the queued wait timed out). The handler maps
+// it to HTTP 429 with a Retry-After hint.
+var errSaturated = errors.New("server: saturated")
+
+// admission is the semaphore-based admission controller: at most maxInFlight
+// requests execute queries concurrently, at most queueDepth more wait for a
+// slot, and no request waits longer than maxWait. Everything beyond that is
+// rejected immediately — under overload the server sheds load with a fast
+// 429 instead of stacking goroutines until memory or every client's
+// patience runs out.
+//
+// The execution semaphore is a buffered channel: a slot is held while a
+// token is in the channel. The queue is a second token channel bounding how
+// many acquirers may block on the semaphore at once.
+type admission struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	maxWait time.Duration
+	stats   *obs.ServerStats
+}
+
+func newAdmission(maxInFlight, queueDepth int, maxWait time.Duration, stats *obs.ServerStats) *admission {
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, queueDepth),
+		maxWait: maxWait,
+		stats:   stats,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when the
+// server is busy. It returns nil (slot held — the caller must release),
+// errSaturated (queue full or wait timed out), or the context's error when
+// the request was cancelled while queued. It never blocks longer than
+// maxWait, so a saturated server answers every request promptly.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		a.stats.InFlight.Add(1)
+		return nil
+	default:
+	}
+	// Busy: join the wait queue if it has room.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	a.stats.Queued.Add(1)
+	defer func() {
+		<-a.queue
+		a.stats.Queued.Add(-1)
+	}()
+	wait := time.NewTimer(a.maxWait)
+	defer wait.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.stats.InFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-wait.C:
+		return errSaturated
+	}
+}
+
+// release frees the slot claimed by a successful acquire, waking one queued
+// request if any.
+func (a *admission) release() {
+	<-a.slots
+	a.stats.InFlight.Add(-1)
+}
+
+// retryAfterSeconds is the Retry-After hint sent with 429 responses: the
+// queue wait rounded up to whole seconds, at least 1.
+func (a *admission) retryAfterSeconds() int {
+	s := int((a.maxWait + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"surfknn/internal/obs"
+)
+
+// errorEnvelope is the typed JSON error body every non-2xx response
+// carries:
+//
+//	{"error": {"code": "saturated", "message": "..."}}
+//
+// code is a stable machine-readable identifier (clients switch on it);
+// message is human-readable and free to change.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes, one per distinct client-visible failure mode.
+const (
+	codeBadRequest = "bad_request" // malformed JSON or invalid parameters
+	codeNotFound   = "not_found"   // unknown route or point off the terrain
+	codeTimeout    = "timeout"     // deadline exceeded or client gone (408)
+	codeSaturated  = "saturated"   // admission control refused the request (429)
+	codeInternal   = "internal"    // engine failure or recovered panic (500)
+)
+
+// writeError emits the error envelope with the given status. Encoding into
+// a fixed struct cannot fail, so the reply is always well-formed JSON.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The client may already be gone; nothing useful to do with the error.
+	//lint:ignore dropped-error the reply path has no caller to surface a write error to
+	_ = enc.Encode(errorEnvelope{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeQueryError maps an engine error onto the right status code:
+// cancellation and deadline become 408 (the request's own timeout fired or
+// the client went away), anything else is a 500 — by the time a query runs,
+// validation has already vetted the parameters.
+func writeQueryError(w http.ResponseWriter, stats *obs.ServerStats, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		stats.TimedOut.Add(1)
+		writeError(w, http.StatusRequestTimeout, codeTimeout, "query aborted: %v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, codeInternal, "query failed: %v", err)
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"surfknn/internal/core"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// maxK bounds the k a client may request; anything larger is a typo or an
+// attack, not a query.
+const maxK = 1 << 20
+
+// maxBodyBytes bounds request bodies; every valid request is a few hundred
+// bytes.
+const maxBodyBytes = 1 << 20
+
+// reqDuration is a JSON-decodable timeout: a Go duration string ("500ms").
+type reqDuration time.Duration
+
+func (d *reqDuration) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return errors.New(`timeout must be a duration string like "500ms"`)
+	}
+	v, err := time.ParseDuration(str)
+	if err != nil {
+		return fmt.Errorf("timeout: %w", err)
+	}
+	if v <= 0 {
+		return errors.New("timeout must be positive")
+	}
+	*d = reqDuration(v)
+	return nil
+}
+
+// optionsRequest is the client view of core.Options. Pointer fields
+// distinguish "absent" (paper default) from an explicit value, so a literal
+// 0 is expressible — the same problem core's functional options solve, with
+// JSON's natural encoding of optionality.
+type optionsRequest struct {
+	Step2Accuracy    *float64 `json:"step2_accuracy,omitempty"`
+	OverlapThreshold *float64 `json:"overlap_threshold,omitempty"`
+	IOIntegration    *bool    `json:"io_integration,omitempty"`
+	DummyLB          *bool    `json:"dummy_lb,omitempty"`
+	BothFamilyLB     *bool    `json:"both_family_lb,omitempty"`
+}
+
+// toCore maps the request options onto core.Options, validating fractions.
+func (o *optionsRequest) toCore() (core.Options, error) {
+	if o == nil {
+		return core.Options{}, nil
+	}
+	var fns []core.Option
+	if o.Step2Accuracy != nil {
+		if !inUnit(*o.Step2Accuracy) {
+			return core.Options{}, fmt.Errorf("step2_accuracy %g outside [0,1]", *o.Step2Accuracy)
+		}
+		fns = append(fns, core.WithStep2Accuracy(*o.Step2Accuracy))
+	}
+	if o.OverlapThreshold != nil {
+		if !inUnit(*o.OverlapThreshold) {
+			return core.Options{}, fmt.Errorf("overlap_threshold %g outside [0,1]", *o.OverlapThreshold)
+		}
+		fns = append(fns, core.WithOverlapThreshold(*o.OverlapThreshold))
+	}
+	if o.IOIntegration != nil {
+		fns = append(fns, core.WithIOIntegration(*o.IOIntegration))
+	}
+	if o.DummyLB != nil {
+		fns = append(fns, core.WithDummyLB(*o.DummyLB))
+	}
+	if o.BothFamilyLB != nil {
+		fns = append(fns, core.WithBothFamilyLB(*o.BothFamilyLB))
+	}
+	return core.NewOptions(fns...), nil
+}
+
+func inUnit(v float64) bool { return v >= 0 && v <= 1 }
+
+// schedFor resolves the request's schedule number (default 1, matching
+// skquery).
+func schedFor(n int) (core.Schedule, bool) {
+	switch n {
+	case 0, 1:
+		return core.S1, true
+	case 2:
+		return core.S2, true
+	case 3:
+		return core.S3, true
+	}
+	return core.Schedule{}, false
+}
+
+// jsonFloat is a float64 whose JSON form admits infinities. MR3 can decide
+// a candidate purely by lower-bound domination, leaving its UB at +Inf;
+// encoding/json rejects that, so ±Inf encode as the strings "+Inf"/"-Inf".
+// Finite values encode as shortest round-trip numbers, so the client
+// decodes bit-identical float64s either way.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return nil, errors.New("NaN distance bound in response")
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		switch str {
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+			return nil
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+			return nil
+		}
+		return fmt.Errorf("invalid distance bound %q", str)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// neighborJSON is one result object. lb/ub are the exact float64 surface
+// distance bounds the engine computed (see jsonFloat).
+type neighborJSON struct {
+	ID int64     `json:"id"`
+	X  float64   `json:"x"`
+	Y  float64   `json:"y"`
+	Z  float64   `json:"z"`
+	LB jsonFloat `json:"lb"`
+	UB jsonFloat `json:"ub"`
+}
+
+// costJSON is the response's cost summary (the paper's metrics).
+type costJSON struct {
+	Pages     int64 `json:"pages"`
+	CPUUs     int64 `json:"cpu_us"`
+	ElapsedUs int64 `json:"elapsed_us"`
+}
+
+// resultResponse is the body of /v1/knn and /v1/range.
+type resultResponse struct {
+	Neighbors []neighborJSON `json:"neighbors"`
+	Cost      costJSON       `json:"cost"`
+}
+
+func toResponse(res core.Result) resultResponse {
+	out := resultResponse{
+		Neighbors: make([]neighborJSON, len(res.Neighbors)),
+		Cost: costJSON{
+			Pages:     res.Cost.Pages(),
+			CPUUs:     res.Cost.CPU.Microseconds(),
+			ElapsedUs: res.Cost.Elapsed.Microseconds(),
+		},
+	}
+	for i, n := range res.Neighbors {
+		out.Neighbors[i] = neighborJSON{
+			ID: n.Object.ID,
+			X:  n.Object.Point.Pos.X,
+			Y:  n.Object.Point.Pos.Y,
+			Z:  n.Object.Point.Pos.Z,
+			LB: jsonFloat(n.LB),
+			UB: jsonFloat(n.UB),
+		}
+	}
+	return out
+}
+
+// decode reads and validates the JSON request body into dst. Unknown
+// fields are errors — a misspelled option silently falling back to a
+// default is worse than a 400. Returns false with the 400 already written.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.stats.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		s.stats.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "trailing data after request body")
+		return false
+	}
+	return true
+}
+
+// badRequest writes a 400 envelope and counts it.
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.stats.BadRequests.Add(1)
+	writeError(w, http.StatusBadRequest, codeBadRequest, format, args...)
+}
+
+// surfacePoint lifts (x,y) onto the terrain; a point outside the surface
+// extent is a 404 — the addressed surface location does not exist.
+func (s *Server) surfacePoint(w http.ResponseWriter, x, y float64) (mesh.SurfacePoint, bool) {
+	q, err := s.db.SurfacePointAt(geom.Vec2{X: x, Y: y})
+	if err != nil {
+		s.stats.BadRequests.Add(1)
+		writeError(w, http.StatusNotFound, codeNotFound, "point (%g, %g) is not on the terrain: %v", x, y, err)
+		return mesh.SurfacePoint{}, false
+	}
+	return q, true
+}
+
+// admit claims an execution slot, writing the 429/408 refusal itself.
+// Callers must release on true.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	err := s.adm.acquire(ctx)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errSaturated):
+		s.stats.Rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, codeSaturated,
+			"server saturated (%d executing, %d queued); retry later",
+			s.cfg.MaxInFlight, s.cfg.QueueDepth)
+	default: // request context ended while queued
+		s.stats.TimedOut.Add(1)
+		writeError(w, http.StatusRequestTimeout, codeTimeout, "request ended while queued: %v", err)
+	}
+	return false
+}
+
+// optKey canonicalizes options into the cache key. Float fractions are
+// keyed by their exact bits; the unset/sentinel encoding is keyed as-is,
+// which is canonical because toCore maps each client value to exactly one
+// encoding.
+func optKey(o core.Options) string {
+	return fmt.Sprintf("s2a=%x,ovl=%x,io=%t,dlb=%t,bfl=%t",
+		math.Float64bits(o.Step2Accuracy), math.Float64bits(o.OverlapThreshold),
+		o.DisableIOIntegration, o.DisableDummyLB, o.BothFamilyLB)
+}
+
+// --- POST /v1/knn ---
+
+type knnRequest struct {
+	X       float64         `json:"x"`
+	Y       float64         `json:"y"`
+	K       int             `json:"k"`
+	Sched   int             `json:"sched,omitempty"`
+	Timeout reqDuration     `json:"timeout,omitempty"`
+	Options *optionsRequest `json:"options,omitempty"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > maxK {
+		s.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	opt, err := req.Options.toCore()
+	if err != nil {
+		s.badRequest(w, "invalid options: %v", err)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+
+	key := fmt.Sprintf("knn|x=%x|y=%x|k=%d|sched=%s|%s",
+		math.Float64bits(req.X), math.Float64bits(req.Y), req.K, sched.Name, optKey(opt))
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, body, "hit")
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	res, err := sess.MR3Ctx(ctx, q, req.K, sched, opt)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	s.respond(w, key, toResponse(res))
+}
+
+// --- POST /v1/range ---
+
+type rangeRequest struct {
+	X       float64         `json:"x"`
+	Y       float64         `json:"y"`
+	Radius  float64         `json:"radius"`
+	Sched   int             `json:"sched,omitempty"`
+	Timeout reqDuration     `json:"timeout,omitempty"`
+	Options *optionsRequest `json:"options,omitempty"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !(req.Radius > 0) || math.IsInf(req.Radius, 1) {
+		s.badRequest(w, "radius must be a positive finite distance, got %g", req.Radius)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	opt, err := req.Options.toCore()
+	if err != nil {
+		s.badRequest(w, "invalid options: %v", err)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+
+	key := fmt.Sprintf("range|x=%x|y=%x|r=%x|sched=%s|%s",
+		math.Float64bits(req.X), math.Float64bits(req.Y), math.Float64bits(req.Radius),
+		sched.Name, optKey(opt))
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, body, "hit")
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	res, err := sess.SurfaceRangeCtx(ctx, q, req.Radius, sched, opt)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	s.respond(w, key, toResponse(res))
+}
+
+// --- POST /v1/distance ---
+
+type distanceRequest struct {
+	X        float64     `json:"x"`
+	Y        float64     `json:"y"`
+	X2       float64     `json:"x2"`
+	Y2       float64     `json:"y2"`
+	Accuracy float64     `json:"accuracy,omitempty"`
+	Sched    int         `json:"sched,omitempty"`
+	Timeout  reqDuration `json:"timeout,omitempty"`
+}
+
+// distanceResponse mirrors core.DistanceRange.
+type distanceResponse struct {
+	LB         jsonFloat `json:"lb"`
+	UB         jsonFloat `json:"ub"`
+	Accuracy   float64   `json:"accuracy"`
+	Iterations int       `json:"iterations"`
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	var req distanceRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	acc := req.Accuracy
+	if acc == 0 {
+		acc = 0.9
+	}
+	if !(acc > 0 && acc <= 1) {
+		s.badRequest(w, "accuracy must be in (0, 1], got %g", req.Accuracy)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	a, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+	b, ok := s.surfacePoint(w, req.X2, req.Y2)
+	if !ok {
+		return
+	}
+
+	key := fmt.Sprintf("distance|a=%x,%x|b=%x,%x|acc=%x|sched=%s",
+		math.Float64bits(req.X), math.Float64bits(req.Y),
+		math.Float64bits(req.X2), math.Float64bits(req.Y2),
+		math.Float64bits(acc), sched.Name)
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, body, "hit")
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	dr, err := sess.DistanceWithAccuracyCtx(ctx, a, b, acc, sched)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	s.respond(w, key, distanceResponse{
+		LB:       jsonFloat(dr.LB),
+		UB:       jsonFloat(dr.UB),
+		Accuracy: dr.Accuracy, Iterations: dr.Iterations,
+	})
+}
+
+// respond marshals, caches and writes a fresh (non-cached) result.
+func (s *Server) respond(w http.ResponseWriter, key string, v any) {
+	body, err := marshalBody(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		return
+	}
+	s.cache.put(key, body)
+	writeJSON(w, body, "miss")
+}
+
+// --- GET /v1/healthz ---
+
+// healthzResponse reports liveness and the loaded terrain's shape. The
+// endpoint bypasses admission control and the cache: a saturated server is
+// alive, and a health check must say so.
+type healthzResponse struct {
+	Status       string `json:"status"`
+	Vertices     int    `json:"vertices"`
+	Faces        int    `json:"faces"`
+	Objects      int    `json:"objects"`
+	InFlight     int64  `json:"in_flight"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalBody(healthzResponse{
+		Status:       "ok",
+		Vertices:     s.db.Mesh.NumVerts(),
+		Faces:        s.db.Mesh.NumFaces(),
+		Objects:      len(s.db.Objects()),
+		InFlight:     s.stats.InFlight.Value(),
+		CacheEntries: s.cache.len(),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Not a query result: no X-Cache header.
+	//lint:ignore dropped-error a client gone mid-reply is not a server failure
+	_, _ = w.Write(body)
+}

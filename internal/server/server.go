@@ -1,0 +1,215 @@
+// Package server is the HTTP serving layer over one immutable
+// core.TerrainDB: a long-lived, multi-tenant query service built only on
+// the standard library (net/http, encoding/json).
+//
+// The engine below was shaped for exactly this sitting-on-top: the
+// database is immutable after setup, so the server owns one TerrainDB and
+// any number of concurrent requests; per-request execution state lives in
+// pooled core.Sessions (checked out per request, returned on completion);
+// the request context — client disconnect plus a per-request or
+// server-default deadline — is threaded through the *Ctx query variants.
+//
+// Around the handlers sit the robustness pieces a real service needs:
+//
+//   - admission control: a semaphore bounds concurrent query execution, a
+//     bounded wait queue absorbs short bursts, and everything beyond that
+//     is shed immediately with 429 + Retry-After (see admission.go);
+//   - an LRU result cache: the terrain is immutable, so a canonicalized
+//     query maps to one answer forever (see cache.go);
+//   - typed JSON error envelopes with correct status codes (errors.go);
+//   - panic recovery, request metrics and JSON access logging
+//     (middleware.go);
+//   - graceful lifecycle: Shutdown stops accepting and drains in-flight
+//     requests under a caller-bounded deadline.
+//
+// Metrics flow into obs.ServerStats (published by skserve as the
+// "surfknn_server" expvar group) beside the engine's obs.Registry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"surfknn/internal/core"
+	"surfknn/internal/obs"
+)
+
+// Config tunes the server. The zero value is production-ready for a small
+// deployment; every field has a sensible default.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries. Default
+	// 2×GOMAXPROCS — queries are CPU-bound with simulated I/O, so a small
+	// multiple of the core count keeps the machine busy without thrashing.
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an execution slot; beyond it
+	// requests are rejected with 429. Default 4×MaxInFlight.
+	QueueDepth int
+	// QueueWait bounds how long one request may wait in the queue before
+	// it is rejected with 429. Default 250ms.
+	QueueWait time.Duration
+	// DefaultTimeout bounds queries whose request carries no "timeout"
+	// field. Default 5s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default 30s.
+	MaxTimeout time.Duration
+	// CacheEntries sizes the LRU result cache; negative disables caching.
+	// Default 1024.
+	CacheEntries int
+	// AccessLog receives one JSON line per request when non-nil.
+	AccessLog io.Writer
+	// Stats receives the server metrics; nil creates a private group.
+	// Publishing it (as "surfknn_server") is the caller's choice.
+	Stats *obs.ServerStats
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxInFlight
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 250 * time.Millisecond
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Stats == nil {
+		c.Stats = obs.NewServerStats()
+	}
+	return c
+}
+
+// Server serves surface k-NN queries over HTTP from one immutable
+// TerrainDB. Create with New, expose with Handler or Serve, stop with
+// Shutdown.
+type Server struct {
+	db    *core.TerrainDB
+	cfg   Config
+	stats *obs.ServerStats
+	adm   *admission
+	cache *resultCache
+
+	handler http.Handler
+
+	logMu sync.Mutex // serialises access-log lines
+
+	mu   sync.Mutex
+	http *http.Server // live listener-facing server; nil before Serve
+}
+
+// New builds a server over db, which must already have objects installed
+// (SetObjects or a snapshot that carried them) — the server never mutates
+// the database.
+func New(db *core.TerrainDB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		stats: cfg.Stats,
+	}
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait, s.stats)
+	s.cache = newResultCache(cfg.CacheEntries, s.stats)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	mux.HandleFunc("POST /v1/range", s.handleRange)
+	mux.HandleFunc("POST /v1/distance", s.handleDistance)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
+	})
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the server's full handler chain (routing, admission,
+// caching, recovery, logging) for mounting on any http.Server — the
+// in-process tests drive it through httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Stats returns the server's metric group.
+func (s *Server) Stats() *obs.ServerStats { return s.stats }
+
+// Serve accepts connections on ln until Shutdown (which makes it return
+// http.ErrServerClosed) or a listener error. ReadHeaderTimeout bounds
+// slow-loris header dribbling; request bodies are bounded by the JSON
+// decoder's field validation plus MaxBytesReader in the handlers.
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.http = hs
+	s.mu.Unlock()
+	return hs.Serve(ln)
+}
+
+// Shutdown gracefully stops a Serve-ing server: the listener closes
+// immediately (new connections are refused), in-flight requests — and the
+// query sessions they hold — drain to completion, bounded by ctx's
+// deadline. Safe to call before Serve (a no-op) and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// requestContext derives the query's controlling context from the request:
+// the client-supplied timeout (clamped to MaxTimeout) or the server
+// default, layered over the request context so a disconnected client also
+// cancels the query.
+func (s *Server) requestContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeout > 0 {
+		d = timeout
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeJSON emits body (already-marshalled JSON) with the given X-Cache
+// disposition.
+func writeJSON(w http.ResponseWriter, body []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.WriteHeader(http.StatusOK)
+	// A failed write means the client is gone; the query already ran.
+	//lint:ignore dropped-error a client gone mid-reply is not a server failure
+	_, _ = w.Write(body)
+}
+
+// marshalBody renders a response value to the exact bytes that are both
+// sent and cached, newline-terminated like json.Encoder output.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -2,7 +2,7 @@
 # check.sh — the full verification gate, exactly what CI runs.
 #
 #   build → vet → sklint (self-hosted lint) → race tests → parallel-bench
-#   smoke → fuzz smoke
+#   smoke → debug endpoint smoke → server smoke → fuzz smoke
 #
 # Fail-fast: the first failing stage aborts the run with its exit code.
 set -euo pipefail
@@ -33,8 +33,9 @@ go test -race ./...
 
 echo "== parallel benchmark smoke =="
 # One iteration of the concurrent-query benchmarks: proves the session API
-# still runs the parallel path (the race tests above prove it is safe).
-go test -run '^$' -bench 'SequentialKNN|ParallelKNN' -benchtime=1x .
+# still runs the parallel path (the race tests above prove it is safe), and
+# of the serving-layer benchmarks (handler chain cold and cache-hit).
+go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN' -benchtime=1x .
 
 echo "== debug endpoint smoke =="
 # skbench -debug-addr must serve the published surfknn counter group on
@@ -67,6 +68,53 @@ for needle in '"surfknn"' '"queries"' '"pool"' '"work"'; do
 done
 kill "$skbench_pid" 2>/dev/null
 wait "$skbench_pid" 2>/dev/null || true
+trap - EXIT
+
+echo "== server smoke =="
+# The full serving path end to end: skgen -db snapshots a query-ready
+# terrain, skserve loads it and answers over HTTP, and /debug/vars exposes
+# the surfknn_server metric group. SIGTERM must drain and exit zero.
+go build -o /tmp/skgen.check ./cmd/skgen
+go build -o /tmp/skserve.check ./cmd/skserve
+/tmp/skgen.check -preset EP -size 16 -o /tmp/skserve.check.sdem \
+    -db /tmp/skserve.check.skdb -db-objects 30 > /dev/null
+rm -f /tmp/skserve.check.out
+/tmp/skserve.check -snapshot /tmp/skserve.check.skdb \
+    -addr 127.0.0.1:0 > /tmp/skserve.check.out &
+skserve_pid=$!
+trap 'kill "$skserve_pid" 2>/dev/null; wait "$skserve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^# skserve listening on //p' /tmp/skserve.check.out | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "skserve never announced its address" >&2
+    cat /tmp/skserve.check.out >&2
+    exit 1
+fi
+curl -fsS "http://$addr/v1/healthz" | grep -q '"status":"ok"'
+knn=$(curl -fsS -X POST "http://$addr/v1/knn" -d '{"x":800,"y":800,"k":3}')
+if ! printf '%s' "$knn" | grep -q '"neighbors"'; then
+    echo "/v1/knn returned no neighbors: $knn" >&2
+    exit 1
+fi
+vars=$(curl -fsS "http://$addr/debug/vars")
+for needle in '"surfknn_server"' '"requests"' '"cache"'; do
+    if ! printf '%s' "$vars" | grep -q "$needle"; then
+        echo "/debug/vars is missing $needle" >&2
+        printf '%s\n' "$vars" >&2
+        exit 1
+    fi
+done
+kill -TERM "$skserve_pid"
+if ! wait "$skserve_pid"; then
+    echo "skserve exited non-zero after SIGTERM" >&2
+    cat /tmp/skserve.check.out >&2
+    exit 1
+fi
+grep -q '# bye' /tmp/skserve.check.out
 trap - EXIT
 
 echo "== fuzz smoke =="
