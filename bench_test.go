@@ -491,3 +491,55 @@ func BenchmarkServerKNNCold(b *testing.B) {
 func BenchmarkServerKNNCached(b *testing.B) {
 	benchServer(b, server.Config{CacheEntries: 16})
 }
+
+// --- Dynamic objects: k-NN under a live update stream ---
+
+// BenchmarkKNNUnderUpdates measures k-NN latency while the object store
+// takes interleaved inserts and deletes from the deterministic update-mix
+// generator (8:1:1 query/insert/delete). Each iteration times one query;
+// the updates drawn between queries are applied outside the timer, so the
+// number compares directly against BenchmarkSequentialKNN: the delta is
+// what epoch pinning plus a (possibly) non-quiesced store costs a reader.
+// A private fixture keeps the epoch churn out of the shared database.
+func BenchmarkKNNUnderUpdates(b *testing.B) {
+	g := dem.Synthesize(dem.BH, 32, 50, 2006)
+	m := mesh.FromGrid(g)
+	db, err := core.BuildTerrainDB(m, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs, err := workload.RandomObjects(m, db.Loc, 80, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.SetObjects(objs)
+	mix, err := workload.NewUpdateMix(m, db.Loc, objs, workload.MixConfig{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := db.ObjectStore()
+	s := db.NewSession(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Drain update ops until the mix yields a query, then time it.
+		var q mesh.SurfacePoint
+		b.StopTimer()
+		for {
+			op := mix.Next()
+			if op.Kind == workload.OpQuery {
+				q = op.Query
+				break
+			}
+			switch op.Kind {
+			case workload.OpInsert:
+				store.Upsert(op.Objects)
+			case workload.OpDelete:
+				store.Delete(op.IDs)
+			}
+		}
+		b.StartTimer()
+		if _, err := s.MR3(q, 5, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

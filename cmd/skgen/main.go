@@ -83,7 +83,8 @@ func main() {
 		if err := db.SaveFile(*dbOut); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s: TerrainDB snapshot with %d objects\n", *dbOut, len(objs))
+		fmt.Printf("wrote %s: TerrainDB snapshot with %d objects at epoch %d\n",
+			*dbOut, len(objs), db.CurrentEpoch())
 	}
 	os.Exit(0)
 }

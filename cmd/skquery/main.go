@@ -5,8 +5,11 @@
 //
 //	skquery -dem bh.sdem -objects 200 -x 3200 -y 3200 -k 5 -algo mr3 -sched 1
 //	skquery -preset EP -size 64 -k 10 -algo ea
+//	skquery -snapshot bh.skdb -k 5
 //
-// When -x/-y are omitted the query point is the terrain centre.
+// When -x/-y are omitted the query point is the terrain centre. A
+// -snapshot (from skgen -db) carries its own objects and resumes the
+// saved object-store epoch, reported in the terrain line.
 package main
 
 import (
@@ -33,7 +36,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("skquery: ")
 	var (
-		demPath = flag.String("dem", "", "terrain file produced by skgen (overrides -preset/-size)")
+		snapPath = flag.String("snapshot", "", "TerrainDB snapshot from skgen -db (objects and epoch included; overrides -dem)")
+		demPath  = flag.String("dem", "", "terrain file produced by skgen (overrides -preset/-size)")
 		preset  = flag.String("preset", "BH", "synthesize preset when no -dem given: BH or EP")
 		size    = flag.Int("size", 64, "synthesized grid size")
 		cell    = flag.Float64("cell", 100, "synthesized sample spacing (m)")
@@ -67,16 +71,43 @@ func main() {
 		log.Fatalf("%v (run skquery -h for usage)", err)
 	}
 
-	g, err := loadOrSynthesize(*demPath, *preset, *size, *cell, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		db  *core.TerrainDB
+		m   *mesh.Mesh
+		err error
+	)
+	if *snapPath != "" {
+		if *demPath != "" {
+			log.Fatal("-snapshot and -dem are mutually exclusive")
+		}
+		db, err = core.LoadFile(*snapPath, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = db.Mesh
+		fmt.Printf("terrain: %d vertices, %d faces, %d objects at epoch %d\n",
+			m.NumVerts(), m.NumFaces(), len(db.Objects()), db.CurrentEpoch())
+	} else {
+		var g *dem.Grid
+		g, err = loadOrSynthesize(*demPath, *preset, *size, *cell, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = mesh.FromGrid(g)
+		fmt.Printf("terrain: %d vertices, %d faces (%.1f km²)\n", m.NumVerts(), m.NumFaces(), g.AreaKm2())
+		db, err = core.BuildTerrainDB(m, core.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var objs []workload.Object
+		objs, err = workload.RandomObjects(m, db.Loc, *objects, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.SetObjects(objs)
 	}
-	m := mesh.FromGrid(g)
-	fmt.Printf("terrain: %d vertices, %d faces (%.1f km²)\n", m.NumVerts(), m.NumFaces(), g.AreaKm2())
-
-	db, err := core.BuildTerrainDB(m, core.Config{})
-	if err != nil {
-		log.Fatal(err)
+	if len(db.Objects()) == 0 {
+		log.Fatal("terrain carries no objects; regenerate the snapshot with skgen -db -db-objects N")
 	}
 	reg := obs.NewRegistry()
 	if *slowlog >= 0 {
@@ -93,11 +124,6 @@ func main() {
 		}
 		fmt.Printf("# debug server listening on %s\n", addr)
 	}
-	objs, err := workload.RandomObjects(m, db.Loc, *objects, *seed+1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	db.SetObjects(objs)
 
 	ext := m.Extent()
 	p := ext.Center()

@@ -10,8 +10,13 @@
 //	curl -s localhost:8080/v1/knn -d '{"x":3200,"y":3200,"k":5}'
 //
 // Endpoints: POST /v1/knn, POST /v1/range, POST /v1/distance,
+// POST/DELETE /v1/objects (epoch-versioned object updates),
 // GET /v1/healthz, GET /debug/vars (the "surfknn" engine and
 // "surfknn_server" serving-layer metric groups).
+//
+// A snapshot taken after object updates carries its epoch: a restarted
+// skserve resumes the epoch sequence where the saved process left it (the
+// startup line and /v1/healthz both report it).
 package main
 
 import (
@@ -110,8 +115,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("terrain: %d vertices, %d faces, %d objects\n",
-		db.Mesh.NumVerts(), db.Mesh.NumFaces(), len(db.Objects()))
+	fmt.Printf("terrain: %d vertices, %d faces, %d objects at epoch %d\n",
+		db.Mesh.NumVerts(), db.Mesh.NumFaces(), len(db.Objects()), db.CurrentEpoch())
 	// The announce line is the machine-readable contract scripts/check.sh
 	// and the e2e test scrape (same pattern as skbench's debug server).
 	fmt.Printf("# skserve listening on %s\n", ln.Addr())
@@ -140,8 +145,9 @@ func main() {
 	fmt.Println("# bye")
 }
 
-// loadDatabase builds the immutable TerrainDB the server owns: from a
-// snapshot (objects included) or from a raw DEM plus generated objects.
+// loadDatabase builds the TerrainDB the server owns: from a snapshot
+// (objects and their epoch included) or from a raw DEM plus generated
+// objects (starting at epoch 0).
 func loadDatabase(snapshot, demPath string, objects int, seed int64, cfg core.Config) (*core.TerrainDB, error) {
 	switch {
 	case snapshot != "" && demPath != "":

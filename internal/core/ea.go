@@ -27,8 +27,7 @@ func (s *Session) EA(q mesh.SurfacePoint, k int) (Result, error) {
 // EACtx is EA bounded by a per-call context: ctx cancels or deadlines this
 // query only (nil selects the session's default context).
 func (s *Session) EACtx(ctx context.Context, q mesh.SurfacePoint, k int) (Result, error) {
-	db := s.db
-	if db.Dxy == nil {
+	if s.db.store == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if k < 1 {
@@ -50,7 +49,7 @@ func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
 
 	// Step 1: 2-D k-NN filter.
 	s.beginPhase(stats.PhaseKNN2D)
-	c1 := db.itemsToObjects(db.Dxy.KNN(q.XY(), k, &s.dxyVisits))
+	c1 := s.viewObjects(s.view.KNN(q.XY(), k, &s.dxyVisits))
 	s.curPhase().Candidates += len(c1)
 
 	// Step 2: exact (full-resolution) surface distances for C1. The first
@@ -115,7 +114,7 @@ func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
 
 	// Step 3: 2-D range query with the k-th distance as radius.
 	s.beginPhase(stats.PhaseRange2D)
-	c2 := db.itemsToObjects(db.Dxy.WithinDist(q.XY(), kth, &s.dxyVisits))
+	c2 := s.viewObjects(s.view.WithinDist(q.XY(), kth, &s.dxyVisits))
 	s.curPhase().Candidates += len(c2)
 
 	// Step 4: verify every candidate, cheapest (by Euclidean distance)
@@ -170,15 +169,22 @@ func (db *TerrainDB) EA(q mesh.SurfacePoint, k int) (Result, error) {
 
 // BruteForce ranks every object by the reference surface distance — the
 // oracle used by tests and, on small inputs, sanity checks. It bypasses the
-// paged stores (no page accounting).
+// paged stores (no page accounting) but still pins one epoch so the scan
+// sees a consistent object version under concurrent updates.
 func (s *Session) BruteForce(q mesh.SurfacePoint, k int) []Neighbor {
 	db := s.db
 	type scored struct {
 		obj workload.Object
 		d   float64
 	}
-	all := make([]scored, 0, len(db.objects))
-	for _, o := range db.objects {
+	var table []workload.Object
+	if db.store != nil {
+		e := db.store.Pin()
+		table = e.Table()
+		e.Release() // Table() is an immutable snapshot; safe after release
+	}
+	all := make([]scored, 0, len(table))
+	for _, o := range table {
 		all = append(all, scored{o, s.referenceDistance(q, o.Point)})
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })

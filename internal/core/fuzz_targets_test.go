@@ -77,7 +77,7 @@ func FuzzLoadSnapshot(f *testing.F) {
 	f.Add(full)
 	f.Add(full[:len(full)/2])
 	f.Add(full[:16])
-	f.Add([]byte("SKNNDB02"))
+	f.Add([]byte("SKNNDB03"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -5,11 +5,9 @@ import (
 	"fmt"
 	"math"
 
-	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/obs"
 	"surfknn/internal/stats"
-	"surfknn/internal/workload"
 )
 
 // Result is the outcome of one sk-NN query.
@@ -22,6 +20,9 @@ type Result struct {
 	// Trace is the query's phase trace; non-nil only when the session has
 	// tracing enabled (or a slow-query log armed the recorder).
 	Trace *obs.Trace
+	// Epoch is the object-store epoch the query read: every neighbour comes
+	// from this one consistent object version (0 on a store-less database).
+	Epoch uint64
 }
 
 // Metrics is the legacy flat cost view, derived from Cost: the same
@@ -48,8 +49,7 @@ func (s *Session) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 // MR3Ctx is MR3 bounded by a per-call context: ctx cancels or deadlines
 // this query only (nil selects the session's default context).
 func (s *Session) MR3Ctx(ctx context.Context, q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
-	db := s.db
-	if db.Dxy == nil {
+	if s.db.store == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if k < 1 {
@@ -60,17 +60,17 @@ func (s *Session) MR3Ctx(ctx context.Context, q mesh.SurfacePoint, k int, sched 
 	return s.endQuery(algoMR3, k, ns, err)
 }
 
-// mr3 runs the four MR3 steps, each under its own cost phase.
+// mr3 runs the four MR3 steps, each under its own cost phase, reading
+// objects through the epoch pinned at beginQuery.
 func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) ([]Neighbor, error) {
-	db := s.db
 	if err := s.interrupted(); err != nil {
 		return nil, err
 	}
 
 	// Step 1: 2-D k-NN on Dxy.
 	s.beginPhase(stats.PhaseKNN2D)
-	c1 := db.Dxy.KNN(q.XY(), k, &s.dxyVisits)
-	objs1 := db.itemsToObjects(c1)
+	c1 := s.view.KNN(q.XY(), k, &s.dxyVisits)
+	objs1 := s.viewObjects(c1)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
 	s.beginPhase(stats.PhaseRankC1)
@@ -85,8 +85,8 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 
 	// Step 3: 2-D range query with the bound as radius.
 	s.beginPhase(stats.PhaseRange2D)
-	c2 := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
-	objs2 := db.itemsToObjects(c2)
+	c2 := s.view.WithinDist(q.XY(), radius, &s.dxyVisits)
+	objs2 := s.viewObjects(c2)
 
 	// Step 4: rank C2 until the k-set is determined.
 	s.beginPhase(stats.PhaseRankC2)
@@ -102,16 +102,6 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 // cancellation — create a Session once and query through it.
 func (db *TerrainDB) MR3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (Result, error) {
 	return db.NewSession(nil).MR3(q, k, sched, opt)
-}
-
-func (db *TerrainDB) itemsToObjects(items []index.Item) []workload.Object {
-	out := make([]workload.Object, 0, len(items))
-	for _, it := range items {
-		if o, ok := db.objByID[it.ID]; ok {
-			out = append(out, o)
-		}
-	}
-	return out
 }
 
 // kthUB returns the k-th neighbour's upper bound from a ranked result.

@@ -32,7 +32,10 @@ var ErrBadSnapshot = errors.New("bad snapshot")
 // structural check can see) fails loudly instead of skewing every distance
 // bound computed from the loaded structures.
 
-var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '2'}
+// Format v3 added the object-store epoch number to the objects section, so
+// a restarted server resumes the version sequence where the snapshot left
+// it. v2 snapshots are not readable (regenerate with skgen -db).
+var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '3'}
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -190,9 +193,22 @@ func (db *TerrainDB) Save(w io.Writer) error {
 		}
 	}
 
-	// Objects.
-	pw.u32(uint32(len(db.objects)))
-	for _, o := range db.objects {
+	// Objects: the current epoch's number and table, captured under one pin
+	// so a save racing concurrent updates still writes one consistent
+	// version.
+	var (
+		epoch uint64
+		objs  []workload.Object
+	)
+	if db.store != nil {
+		e := db.store.Pin()
+		epoch = e.Seq()
+		objs = e.Table()
+		e.Release() // Table() is an immutable snapshot; safe after release
+	}
+	pw.u64(epoch)
+	pw.u32(uint32(len(objs)))
+	for _, o := range objs {
 		pw.u64(uint64(o.ID))
 		pw.vec3(o.Point.Pos)
 		pw.i32(int32(o.Point.Face))
@@ -365,6 +381,7 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	}
 
 	// Objects.
+	epoch := pr.u64()
 	nObj := int(pr.u32())
 	if pr.err != nil {
 		return nil, fmt.Errorf("core: load: object count: %w", pr.err)
@@ -405,8 +422,11 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(objs) > 0 {
-		db.SetObjects(objs)
+	// Restore the object store at the saved epoch. A non-zero epoch with an
+	// empty table is legitimate (everything was deleted); only a snapshot
+	// that never had objects leaves the store uninstalled.
+	if nObj > 0 || epoch > 0 {
+		db.SetObjectsAt(objs, epoch)
 	}
 	return db, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"surfknn/internal/dem"
+	"surfknn/internal/workload"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -143,7 +144,51 @@ func TestLoadWithoutObjects(t *testing.T) {
 	if len(db2.Objects()) != 0 {
 		t.Errorf("expected no objects, got %d", len(db2.Objects()))
 	}
-	if db2.Dxy != nil {
-		t.Error("Dxy should be nil without objects")
+	if db2.ObjectStore() != nil {
+		t.Error("object store should be nil without objects")
+	}
+}
+
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	// A snapshot taken after updates resumes at the same epoch with the
+	// surviving object set.
+	g := dem.Synthesize(dem.EP, 8, 10, 6)
+	m := meshFromGrid(g)
+	db, err := BuildTerrainDB(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := workload.RandomObjects(m, db.Loc, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetObjects(objs)
+	store := db.ObjectStore()
+	store.Upsert([]workload.Object{objs[0]}) // epoch 1 (moves nothing, same point)
+	store.Delete([]int64{objs[1].ID})        // epoch 2
+	if got := db.CurrentEpoch(); got != 2 {
+		t.Fatalf("pre-save epoch = %d, want 2", got)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.CurrentEpoch(); got != 2 {
+		t.Errorf("restored epoch = %d, want 2", got)
+	}
+	if got, want := len(db2.Objects()), len(db.Objects()); got != want {
+		t.Fatalf("restored %d objects, want %d", got, want)
+	}
+	if _, ok := db2.Object(objs[1].ID); ok {
+		t.Error("deleted object resurrected by snapshot round-trip")
+	}
+	// The restored store continues the sequence, not restarts it.
+	if e := db2.ObjectStore().Upsert([]workload.Object{objs[2]}); e != 3 {
+		t.Errorf("post-restore update produced epoch %d, want 3", e)
 	}
 }

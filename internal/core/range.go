@@ -29,8 +29,7 @@ func (s *Session) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 // SurfaceRangeCtx is SurfaceRange bounded by a per-call context: ctx cancels
 // or deadlines this query only (nil selects the session's default context).
 func (s *Session) SurfaceRangeCtx(ctx context.Context, q mesh.SurfacePoint, radius float64, sched Schedule, opt Options) (Result, error) {
-	db := s.db
-	if db.Dxy == nil {
+	if s.db.store == nil {
 		return Result{}, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if radius < 0 || math.IsNaN(radius) {
@@ -49,11 +48,10 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 		return nil, err
 	}
 	opt = opt.withDefaults()
-	db := s.db
 
 	s.beginPhase(stats.PhaseRange2D)
-	items := db.Dxy.WithinDist(q.XY(), radius, &s.dxyVisits)
-	objs := db.itemsToObjects(items)
+	items := s.view.WithinDist(q.XY(), radius, &s.dxyVisits)
+	objs := s.viewObjects(items)
 	s.curPhase().Candidates += len(objs)
 
 	s.beginPhase(stats.PhaseRefine)
@@ -173,7 +171,16 @@ func (s *Session) ClosestPair(sched Schedule, opt Options) (a, b Neighbor, err e
 // Cost and registry observation; ctx threads through to every one of them.
 func (s *Session) ClosestPairCtx(ctx context.Context, sched Schedule, opt Options) (a, b Neighbor, err error) {
 	db := s.db
-	if db.Dxy == nil || len(db.objects) < 2 {
+	if db.store == nil {
+		return a, b, fmt.Errorf("core: closest pair needs at least two objects")
+	}
+	// Pin one epoch for the source enumeration and its ordering. The nested
+	// MR3 queries each pin their own (possibly newer) epoch — under
+	// concurrent updates the pair is advisory, like any multi-query scan.
+	view := db.store.Pin()
+	defer view.Release()
+	table := view.Table()
+	if len(table) < 2 {
 		return a, b, fmt.Errorf("core: closest pair needs at least two objects")
 	}
 	if ctx == nil {
@@ -186,9 +193,9 @@ func (s *Session) ClosestPairCtx(ctx context.Context, sched Schedule, opt Option
 		idx int
 		d2  float64
 	}
-	srcs := make([]src, 0, len(db.objects))
-	for i, o := range db.objects {
-		nn := db.Dxy.KNN(o.Point.XY(), 2, nil) // first hit is the object itself
+	srcs := make([]src, 0, len(table))
+	for i, o := range table {
+		nn := view.KNN(o.Point.XY(), 2, nil) // first hit is the object itself
 		d := math.Inf(1)
 		if len(nn) == 2 {
 			d = nn[1].P.Dist(o.Point.XY())
@@ -208,7 +215,7 @@ func (s *Session) ClosestPairCtx(ctx context.Context, sched Schedule, opt Option
 		if sc.d2 >= best {
 			break
 		}
-		o := db.objects[sc.idx]
+		o := table[sc.idx]
 		res, qerr := s.knnExcluding(ctx, o, sched, opt)
 		if qerr != nil {
 			return a, b, qerr

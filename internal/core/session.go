@@ -6,17 +6,22 @@ import (
 	"time"
 
 	"surfknn/internal/geom"
+	"surfknn/internal/index"
 	"surfknn/internal/mesh"
+	"surfknn/internal/objstore"
 	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
 	"surfknn/internal/stats"
 	"surfknn/internal/storage"
+	"surfknn/internal/workload"
 )
 
 // Session is a per-query execution context over a shared TerrainDB. The
-// database's structures (mesh, DDM tree, pathnet, MSDN, paged stores, Dxy)
-// are immutable once objects are installed, so any number of sessions can
-// query one TerrainDB concurrently; everything mutable lives here:
+// database's terrain structures (mesh, DDM tree, pathnet, MSDN, paged
+// stores) are immutable, and the object set is read through an immutable
+// objstore.Epoch pinned per query, so any number of sessions can query one
+// TerrainDB concurrently — even while a writer publishes object updates;
+// everything mutable lives here:
 //
 //   - the page/node access accounting (the paper's "disk pages accessed"
 //     metric), kept per query so concurrent queries cannot race on — or
@@ -43,6 +48,7 @@ type Session struct {
 
 	io        storage.IOAccount // paged terrain reads (DMTM + SDN stores)
 	dxyVisits int64             // R-tree node visits (object index)
+	view      *objstore.Epoch   // pinned object epoch of the query in flight
 
 	tracing bool         // record a phase trace for every query
 	cost    costRecorder // per-query phase accounting
@@ -80,6 +86,10 @@ func (s *Session) beginQuery(ctx context.Context, algo string) {
 	s.ctx = ctx
 	s.io = storage.IOAccount{}
 	s.dxyVisits = 0
+	s.releaseView() // defensive: a panicked query may have left a pin
+	if s.db.store != nil {
+		s.view = s.db.store.Pin()
+	}
 	if reg := s.db.reg; reg != nil {
 		reg.QueriesStarted.Add(1)
 	}
@@ -98,10 +108,35 @@ func (s *Session) endQuery(algo string, k int, ns []Neighbor, err error) (Result
 	s.closePhase()
 	cost := s.cost.finish(s)
 	s.observe(algo, k, cost, err)
+	var epoch uint64
+	if s.view != nil {
+		epoch = s.view.Seq()
+	}
+	s.releaseView()
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Neighbors: ns, Cost: cost, Trace: s.cost.trace}, nil
+	return Result{Neighbors: ns, Cost: cost, Trace: s.cost.trace, Epoch: epoch}, nil
+}
+
+// releaseView unpins the query's object epoch, if any.
+func (s *Session) releaseView() {
+	if s.view != nil {
+		s.view.Release()
+		s.view = nil
+	}
+}
+
+// viewObjects resolves R-tree items to objects through the pinned epoch —
+// every candidate a query ranks comes from the one version it pinned.
+func (s *Session) viewObjects(items []index.Item) []workload.Object {
+	out := make([]workload.Object, 0, len(items))
+	for _, it := range items {
+		if o, ok := s.view.Object(it.ID); ok {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // observe reports one finished query to the instrumented registry and the
@@ -193,7 +228,7 @@ func (s *Session) MaskedKNNCtx(ctx context.Context, q mesh.SurfacePoint, k int, 
 	var ns []Neighbor
 	err := s.interrupted()
 	if err == nil {
-		ns, err = s.db.MaskedKNN(q, k, mask)
+		ns, err = s.db.maskedKNN(s.view, q, k, mask)
 	}
 	_, err2 := s.endQuery(algoMasked, k, ns, err)
 	return ns, err2

@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"surfknn/internal/geom"
-	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/multires"
+	"surfknn/internal/objstore"
 	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
 	"surfknn/internal/sdn"
@@ -47,11 +47,14 @@ func (c Config) withDefaults() Config {
 // TerrainDB bundles a terrain surface with every derived structure sk-NN
 // query processing needs: the DDM tree and pathnet (DMTM), the MSDN, the
 // paged stores that account disk accesses, and the object set with its 2-D
-// R-tree (Dxy).
+// R-tree (the paper's Dxy), held in a versioned objstore.Store.
 //
-// After construction and SetObjects, every structure here is immutable:
-// queries read them through per-query Sessions (see NewSession), so any
-// number of queries may run concurrently on one TerrainDB.
+// After construction the terrain structures are immutable. The object set
+// is dynamic: Insert/Delete/Upsert on ObjectStore() publish new epochs
+// while queries run — each query pins one epoch at beginQuery and sees that
+// single consistent version throughout (see internal/objstore). Queries
+// read everything through per-query Sessions (see NewSession), so any
+// number of queries may run concurrently with updates on one TerrainDB.
 type TerrainDB struct {
 	Mesh *mesh.Mesh
 	Loc  *mesh.Locator
@@ -59,15 +62,13 @@ type TerrainDB struct {
 	Path *pathnet.Pathnet
 	MSDN *sdn.MSDN
 	Pool *storage.BufferPool
-	Dxy  *index.RTree
 
 	cfg       Config
 	reg       *obs.Registry // process-wide counters; nil when uninstrumented
 	sessions  sessionPool   // idle sessions for AcquireSession/Release
 	dmtmStore *storage.Clustered
 	sdnStore  *storage.Clustered
-	objects   []workload.Object
-	objByID   map[int64]workload.Object
+	store     *objstore.Store // versioned object table + Dxy; nil before SetObjects
 }
 
 // Instrument attaches a process-wide observability registry: every query
@@ -80,6 +81,9 @@ type TerrainDB struct {
 func (db *TerrainDB) Instrument(reg *obs.Registry) {
 	db.reg = reg
 	db.Pool.Instrument(reg)
+	if db.store != nil {
+		db.store.Instrument(reg)
+	}
 }
 
 // Registry returns the registry installed with Instrument (nil when the
@@ -158,28 +162,54 @@ func assembleTerrainDB(m *mesh.Mesh, tree *multires.Tree, ms *sdn.MSDN, cfg Conf
 	return db, nil
 }
 
-// SetObjects installs the object dataset and builds Dxy, the 2-D R-tree
-// over the objects' (x,y) projections. It is a setup step, not a query:
-// call it before any session starts querying (it replaces structures that
-// concurrent queries read without locks).
+// SetObjects installs the object dataset at epoch 0: it replaces the whole
+// object store with a fresh one whose bulk-packed base holds objs and whose
+// Dxy R-tree is built over their (x,y) projections. It is a setup step, not
+// a query: call it before any session starts querying (it swaps the store
+// that concurrent queries pin without locks). Incremental changes under
+// live traffic go through ObjectStore().Insert/Delete/Upsert instead.
 func (db *TerrainDB) SetObjects(objs []workload.Object) {
-	db.objects = objs
-	db.objByID = make(map[int64]workload.Object, len(objs))
-	items := make([]index.Item, len(objs))
-	for i, o := range objs {
-		items[i] = index.Item{P: o.Point.XY(), ID: o.ID}
-		db.objByID[o.ID] = o
-	}
-	db.Dxy = index.Bulk(items)
+	db.SetObjectsAt(objs, 0)
 }
 
-// Objects returns the installed object dataset.
-func (db *TerrainDB) Objects() []workload.Object { return db.objects }
+// SetObjectsAt is SetObjects resuming at a given epoch number — how a
+// snapshot restore continues the version sequence it was saved at.
+func (db *TerrainDB) SetObjectsAt(objs []workload.Object, epoch uint64) {
+	db.store = objstore.NewAt(objs, epoch)
+	if db.reg != nil {
+		db.store.Instrument(db.reg)
+	}
+}
 
-// Object resolves an object by ID.
+// ObjectStore returns the versioned object store (nil before SetObjects).
+// All object mutation goes through it; the sklint objstore-write rule
+// forbids writing the object table directly anywhere else.
+func (db *TerrainDB) ObjectStore() *objstore.Store { return db.store }
+
+// CurrentEpoch returns the latest published object epoch (0 before
+// SetObjects).
+func (db *TerrainDB) CurrentEpoch() uint64 {
+	if db.store == nil {
+		return 0
+	}
+	return db.store.Epoch()
+}
+
+// Objects returns the current epoch's object table. The slice is shared
+// with the store and must not be modified.
+func (db *TerrainDB) Objects() []workload.Object {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Current().Table()
+}
+
+// Object resolves an object by ID in the current epoch.
 func (db *TerrainDB) Object(id int64) (workload.Object, bool) {
-	o, ok := db.objByID[id]
-	return o, ok
+	if db.store == nil {
+		return workload.Object{}, false
+	}
+	return db.store.Current().Object(id)
 }
 
 // SurfacePointAt lifts a 2-D location onto the surface.

@@ -8,6 +8,7 @@ import (
 	"surfknn/internal/geom"
 	"surfknn/internal/graph"
 	"surfknn/internal/mesh"
+	"surfknn/internal/objstore"
 	"surfknn/internal/pathnet"
 )
 
@@ -84,7 +85,18 @@ func clampUnit(v float64) float64 {
 // multiresolution structures are built for the unconstrained surface; a
 // masked DMTM is future work here exactly as it was for the paper.
 func (db *TerrainDB) MaskedKNN(q mesh.SurfacePoint, k int, mask FaceMask) ([]Neighbor, error) {
-	if db.Dxy == nil {
+	var view *objstore.Epoch
+	if db.store != nil {
+		view = db.store.Pin()
+		defer view.Release()
+	}
+	return db.maskedKNN(view, q, k, mask)
+}
+
+// maskedKNN is MaskedKNN over an already-pinned epoch (nil when no objects
+// are installed); Session.MaskedKNNCtx passes its per-query view.
+func (db *TerrainDB) maskedKNN(view *objstore.Epoch, q mesh.SurfacePoint, k int, mask FaceMask) ([]Neighbor, error) {
+	if view == nil {
 		return nil, fmt.Errorf("core: no objects installed (call SetObjects)")
 	}
 	if k < 1 {
@@ -115,7 +127,7 @@ func (db *TerrainDB) MaskedKNN(q mesh.SurfacePoint, k int, mask FaceMask) ([]Nei
 		d   float64
 	}
 	var reach []scored
-	for _, o := range db.objects {
+	for _, o := range view.Table() {
 		if !mask(o.Point.Face) {
 			continue
 		}

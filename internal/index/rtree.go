@@ -305,6 +305,16 @@ func (h *knnHeap) Pop() interface{} {
 // best-first traversal [Hjaltason & Samet]. Node visits are charged to
 // visits (nil to skip counting).
 func (t *RTree) KNN(q geom.Vec2, k int, visits *int64) []Item {
+	return t.KNNFunc(q, k, visits, nil)
+}
+
+// KNNFunc is KNN with a keep predicate applied as leaf items are
+// discovered: rejected items never enter the candidate queue, so the
+// traversal yields the k nearest *kept* items rather than a post-filtered
+// (and possibly short) prefix. Node visits are charged exactly as in KNN —
+// with a nil or all-true keep the control flow is identical, which is what
+// lets a quiesced objstore epoch reproduce the static path's page counts.
+func (t *RTree) KNNFunc(q geom.Vec2, k int, visits *int64, keep func(Item) bool) []Item {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -320,7 +330,9 @@ func (t *RTree) KNN(q geom.Vec2, k int, visits *int64) []Item {
 		visit(visits)
 		if e.n.leaf {
 			for _, it := range e.n.items {
-				heap.Push(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})
+				if keep == nil || keep(it) {
+					heap.Push(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})
+				}
 			}
 			continue
 		}

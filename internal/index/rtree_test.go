@@ -217,3 +217,53 @@ func TestNearestIter(t *testing.T) {
 		t.Error("empty tree iterator should yield nothing")
 	}
 }
+
+func TestKNNFunc(t *testing.T) {
+	items := randomItems(800, 11)
+	tr := Bulk(items)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		q := geom.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		k := 1 + rng.Intn(15)
+
+		// keep == nil must be byte-for-byte KNN, including visit counts.
+		var vPlain, vNil int64
+		plain := tr.KNN(q, k, &vPlain)
+		asFunc := tr.KNNFunc(q, k, &vNil, nil)
+		if vPlain != vNil || len(plain) != len(asFunc) {
+			t.Fatalf("nil keep diverged: visits %d vs %d, len %d vs %d",
+				vPlain, vNil, len(plain), len(asFunc))
+		}
+		for i := range plain {
+			if plain[i] != asFunc[i] {
+				t.Fatalf("nil keep item %d: %+v vs %+v", i, plain[i], asFunc[i])
+			}
+		}
+
+		// An all-true keep must not change visit counts either.
+		var vTrue int64
+		tr.KNNFunc(q, k, &vTrue, func(Item) bool { return true })
+		if vTrue != vPlain {
+			t.Fatalf("all-true keep changed visits: %d vs %d", vTrue, vPlain)
+		}
+
+		// Filtering odd IDs yields the k nearest even-ID items, full k.
+		even := func(it Item) bool { return it.ID%2 == 0 }
+		got := tr.KNNFunc(q, k, nil, even)
+		var evenItems []Item
+		for _, it := range items {
+			if even(it) {
+				evenItems = append(evenItems, it)
+			}
+		}
+		want := bruteKNN(evenItems, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("filtered KNN returned %d items, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if gd, wd := got[i].P.Dist(q), want[i].P.Dist(q); gd != wd {
+				t.Fatalf("filtered item %d: dist %v, want %v", i, gd, wd)
+			}
+		}
+	}
+}

@@ -102,6 +102,7 @@ func TestRuleRegistry(t *testing.T) {
 		"lock-copy",
 		"obs-atomic",
 		"ctx-background",
+		"objstore-write",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

@@ -11,6 +11,7 @@ func AllRules() []Rule {
 		lockCopy{},
 		obsAtomic{},
 		ctxBackground{},
+		objstoreWrite{},
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package objstorewrite is the objstore-write fixture: the object tables
+// handed out by objstore.Epoch.Table and core.TerrainDB.Objects are shared
+// epoch snapshots and must never be written through. Unlike the other
+// fixtures this one imports the real module packages — the rule keys on the
+// method's declaring package, which a single-package fixture cannot fake.
+package objstorewrite
+
+import (
+	"surfknn/internal/core"
+	"surfknn/internal/objstore"
+	"surfknn/internal/workload"
+)
+
+func bad(db *core.TerrainDB, e *objstore.Epoch, o workload.Object) {
+	db.Objects()[0] = o            // replace an entry of the shared table
+	db.Objects()[1].ID = 9         // field write through the table
+	e.Table()[0] = o               // same through a pinned epoch
+	e.Table()[2].Point.Pos.X = 1.0 // deep field chain still hits shared storage
+	e.Table()[0].ID++              // increments are writes too
+	(e.Table())[3] = o             // parens do not launder the write
+}
+
+func good(db *core.TerrainDB, e *objstore.Epoch, o workload.Object) {
+	// Reading is what the accessors are for.
+	_ = db.Objects()[0]
+	_ = e.Table()[0].ID
+
+	// Mutating a private copy is fine — copy first, then write.
+	cp := append([]workload.Object(nil), e.Table()...)
+	cp[0] = o
+	cp[1].ID = 9
+
+	// The sanctioned write path publishes a new epoch.
+	db.ObjectStore().Upsert([]workload.Object{o})
+
+	// Building object slices from scratch is ordinary code.
+	fresh := make([]workload.Object, 4)
+	fresh[0] = o
+	fresh[2].ID++
+}
+
+func suppressed(e *objstore.Epoch, o workload.Object) {
+	//lint:ignore objstore-write fixture exercises the escape hatch
+	e.Table()[0] = o
+}

@@ -1,0 +1,452 @@
+// Package objstore is the versioned dynamic object store: the object table
+// and its 2-D R-tree (the paper's Dxy), made updatable under live query
+// traffic without a rebuild or a stop-the-world.
+//
+// Visibility is epoch-based MVCC. Every Insert/Delete/Upsert publishes a new
+// immutable Epoch (a monotonically increasing uint64 version): a copy-on-
+// write delta layer — upserted objects plus a tombstone set over a bulk-
+// packed immutable base — with its own small R-tree overlay. Readers Pin the
+// current epoch once per query and see exactly that version for the whole
+// query, no matter how many updates commit meanwhile. When the delta grows
+// past the compaction threshold, the next update folds everything into a
+// fresh bulk-packed base, so read amplification stays bounded.
+//
+// Retired epochs (those superseded by a newer one) are reclaimed as soon as
+// their last pin is released — plain reference counting under the store
+// mutex, held only for pointer-sized critical sections. Writers never wait
+// for readers; readers never block each other.
+//
+// A quiesced epoch (empty delta, no tombstones) answers KNN/WithinDist by
+// delegating directly to the base R-tree, which makes a store with zero
+// pending updates bit-identical — results, node-visit counts and therefore
+// Cost.Pages() — to the static SetObjects path this package replaced
+// (pinned by the golden test in internal/core).
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/index"
+	"surfknn/internal/obs"
+	"surfknn/internal/workload"
+)
+
+// DefaultCompactThreshold is the delta size (upserted objects + tombstones)
+// at which the next update folds the delta into a new bulk-packed base.
+const DefaultCompactThreshold = 256
+
+// baseTable is the immutable bulk-packed layer of an epoch: the object
+// slice, its ID lookup and the STR-packed R-tree, built exactly the way the
+// legacy static path built them (items in slice order) so a quiesced store
+// reproduces its tree shape bit for bit.
+type baseTable struct {
+	objects []workload.Object
+	byID    map[int64]workload.Object
+	tree    *index.RTree
+}
+
+func newBaseTable(objs []workload.Object) *baseTable {
+	b := &baseTable{objects: objs, byID: make(map[int64]workload.Object, len(objs))}
+	items := make([]index.Item, len(objs))
+	for i, o := range objs {
+		items[i] = index.Item{P: o.Point.XY(), ID: o.ID}
+		b.byID[o.ID] = o
+	}
+	b.tree = index.Bulk(items)
+	return b
+}
+
+// Epoch is one immutable version of the object set. Obtain one with
+// Store.Pin (guaranteeing it stays live until Release) or Store.Current
+// (an unpinned peek). All read methods are safe for concurrent use; the
+// structures are never mutated after publication.
+//
+// Invariants: dead holds the base IDs this epoch suppresses (deleted or
+// shadowed by an upsert); delta holds the objects added or replaced since
+// the base was packed, disjoint from the surviving base IDs. The live set
+// is (base − dead) ∪ delta.
+type Epoch struct {
+	store *Store
+	seq   uint64
+	base  *baseTable
+
+	delta     []workload.Object
+	deltaByID map[int64]int // object ID → index into delta
+	dead      map[int64]struct{}
+	overlay   *index.RTree // bulk-packed over delta; nil when delta is empty
+
+	// Pin bookkeeping, guarded by store.mu.
+	refs    int64
+	retired bool
+
+	tableOnce sync.Once
+	table     []workload.Object
+}
+
+// Seq returns the epoch number.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// quiesced reports whether this epoch has no pending delta, i.e. the base
+// layer alone is the whole truth and queries may delegate to it directly.
+func (e *Epoch) quiesced() bool { return len(e.delta) == 0 && len(e.dead) == 0 }
+
+// Len returns the number of live objects in this epoch.
+func (e *Epoch) Len() int { return len(e.base.objects) - len(e.dead) + len(e.delta) }
+
+// Object resolves a live object by ID.
+func (e *Epoch) Object(id int64) (workload.Object, bool) {
+	if i, ok := e.deltaByID[id]; ok {
+		return e.delta[i], true
+	}
+	if _, gone := e.dead[id]; gone {
+		return workload.Object{}, false
+	}
+	o, ok := e.base.byID[id]
+	return o, ok
+}
+
+// Table returns this epoch's object table: surviving base objects in base
+// order followed by the delta in application order. The slice is shared and
+// must not be modified (the sklint objstore-write rule enforces this across
+// the module); it is materialised lazily and cached.
+func (e *Epoch) Table() []workload.Object {
+	if e.quiesced() {
+		return e.base.objects
+	}
+	e.tableOnce.Do(func() {
+		out := make([]workload.Object, 0, e.Len())
+		for _, o := range e.base.objects {
+			if _, gone := e.dead[o.ID]; !gone {
+				out = append(out, o)
+			}
+		}
+		out = append(out, e.delta...)
+		e.table = out
+	})
+	return e.table
+}
+
+// KNN returns the k live objects nearest to q in ascending 2-D distance
+// order, charging R-tree node visits to visits. A quiesced epoch delegates
+// to the base tree unchanged; otherwise the base search skips tombstoned
+// items at discovery time (so it still yields k live base candidates) and
+// merges with the delta overlay by distance.
+func (e *Epoch) KNN(q geom.Vec2, k int, visits *int64) []index.Item {
+	if e.quiesced() {
+		return e.base.tree.KNN(q, k, visits)
+	}
+	fromBase := e.base.tree.KNNFunc(q, k, visits, func(it index.Item) bool {
+		_, gone := e.dead[it.ID]
+		return !gone
+	})
+	if e.overlay == nil {
+		return fromBase
+	}
+	fromDelta := e.overlay.KNN(q, k, visits)
+	return mergeByDist(q, fromBase, fromDelta, k)
+}
+
+// WithinDist returns the live objects within Euclidean distance r of
+// center, charging node visits to visits.
+func (e *Epoch) WithinDist(center geom.Vec2, r float64, visits *int64) []index.Item {
+	if e.quiesced() {
+		return e.base.tree.WithinDist(center, r, visits)
+	}
+	raw := e.base.tree.WithinDist(center, r, visits)
+	out := raw[:0:0]
+	for _, it := range raw {
+		if _, gone := e.dead[it.ID]; !gone {
+			out = append(out, it)
+		}
+	}
+	if e.overlay != nil {
+		out = append(out, e.overlay.WithinDist(center, r, visits)...)
+	}
+	return out
+}
+
+// mergeByDist merges two distance-sorted item lists into the first k by
+// distance to q, preferring the base list on exact ties (deterministic).
+func mergeByDist(q geom.Vec2, a, b []index.Item, k int) []index.Item {
+	out := make([]index.Item, 0, k)
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		switch {
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case a[i].P.Dist(q) <= b[j].P.Dist(q):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Release drops one pin. Once a retired epoch's last pin is released it is
+// reclaimed (counted, removed from the live set); releasing more pins than
+// were taken is a caller bug and panics.
+func (e *Epoch) Release() {
+	if e == nil {
+		return
+	}
+	s := e.store
+	s.mu.Lock()
+	e.refs--
+	if e.refs < 0 {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("objstore: epoch %d released more times than pinned", e.seq))
+	}
+	if e.refs == 0 && e.retired {
+		s.reclaimLocked(e)
+	}
+	s.mu.Unlock()
+}
+
+// Store is the versioned object store. Create with New or NewAt; one Store
+// serves any number of concurrent readers (Pin/Current) and writers
+// (Insert/Delete/Upsert). Writers serialise on an internal mutex; readers
+// only touch it for the pointer-sized pin/release critical sections.
+type Store struct {
+	mu      sync.Mutex
+	cur     atomic.Pointer[Epoch]
+	compact int
+	live    int           // epochs published and not yet reclaimed
+	reg     *obs.Registry // setup-step field, like TerrainDB.reg; nil = uninstrumented
+}
+
+// New returns an empty store at epoch 0.
+func New() *Store { return NewAt(nil, 0) }
+
+// NewAt returns a store whose initial version holds objs at the given epoch
+// number — how a snapshot restore resumes at the epoch it was saved at.
+func NewAt(objs []workload.Object, epoch uint64) *Store {
+	s := &Store{compact: DefaultCompactThreshold, live: 1}
+	e := &Epoch{store: s, seq: epoch, base: newBaseTable(objs)}
+	s.cur.Store(e)
+	return s
+}
+
+// SetCompactThreshold tunes the delta size that triggers folding into a new
+// base (default DefaultCompactThreshold). A setup/test knob: call it before
+// updates start flowing.
+func (s *Store) SetCompactThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.compact = n
+	s.mu.Unlock()
+}
+
+// Instrument attaches an observability registry: update/epoch counters, the
+// epoch gauge and the batch-size histogram. A setup step, same contract as
+// TerrainDB.Instrument; nil detaches.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	cur := s.cur.Load()
+	s.mu.Unlock()
+	if reg != nil {
+		reg.Epoch.Set(int64(cur.seq))
+	}
+}
+
+// Current returns the latest published epoch without pinning it — a
+// read-only peek for metadata (healthz, logs). The epoch is immutable, so
+// reading through it is always safe; only code that must see one consistent
+// version across several reads needs Pin.
+func (s *Store) Current() *Epoch { return s.cur.Load() }
+
+// Epoch returns the latest published epoch number.
+func (s *Store) Epoch() uint64 { return s.cur.Load().seq }
+
+// Pin returns the current epoch with a reference held: the epoch stays in
+// the live set until the matching Release, no matter how many updates
+// supersede it meanwhile.
+func (s *Store) Pin() *Epoch {
+	s.mu.Lock()
+	e := s.cur.Load()
+	e.refs++
+	s.mu.Unlock()
+	return e
+}
+
+// LiveEpochs returns how many epochs are published but not yet reclaimed
+// (always at least 1 — the current epoch). A quiesced store with all pins
+// released reports exactly 1.
+func (s *Store) LiveEpochs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Upsert installs objs — inserting new IDs, replacing existing ones — and
+// publishes the new epoch, returning its number. An empty batch is a no-op
+// returning the current epoch.
+func (s *Store) Upsert(objs []workload.Object) uint64 {
+	if len(objs) == 0 {
+		return s.Epoch()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	delta, deltaByID, dead := copyLayers(cur)
+	for _, o := range objs {
+		if i, ok := deltaByID[o.ID]; ok {
+			delta[i] = o
+			continue
+		}
+		if _, inBase := cur.base.byID[o.ID]; inBase {
+			dead[o.ID] = struct{}{} // shadow the base entry
+		}
+		deltaByID[o.ID] = len(delta)
+		delta = append(delta, o)
+	}
+	return s.publishLocked(cur, delta, deltaByID, dead, len(objs))
+}
+
+// Insert is Upsert that refuses to replace: any ID already live fails the
+// whole batch without publishing an epoch.
+func (s *Store) Insert(objs []workload.Object) (uint64, error) {
+	if len(objs) == 0 {
+		return s.Epoch(), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	seen := make(map[int64]struct{}, len(objs))
+	for _, o := range objs {
+		if _, dup := seen[o.ID]; dup {
+			return cur.seq, fmt.Errorf("objstore: duplicate ID %d in insert batch", o.ID)
+		}
+		seen[o.ID] = struct{}{}
+		if _, ok := cur.Object(o.ID); ok {
+			return cur.seq, fmt.Errorf("objstore: object %d already exists (use Upsert to replace)", o.ID)
+		}
+	}
+	delta, deltaByID, dead := copyLayers(cur)
+	for _, o := range objs {
+		deltaByID[o.ID] = len(delta)
+		delta = append(delta, o)
+	}
+	return s.publishLocked(cur, delta, deltaByID, dead, len(objs)), nil
+}
+
+// Delete removes the given IDs, returning the resulting epoch and how many
+// were actually live. IDs not present are ignored (idempotent); if nothing
+// was removed no epoch is published.
+func (s *Store) Delete(ids []int64) (uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	delta, deltaByID, dead := copyLayers(cur)
+	removed := 0
+	for _, id := range ids {
+		if _, ok := deltaByID[id]; ok {
+			delete(deltaByID, id)
+			removed++
+			continue
+		}
+		if _, inBase := cur.base.byID[id]; inBase {
+			if _, gone := dead[id]; !gone {
+				dead[id] = struct{}{}
+				removed++
+			}
+		}
+	}
+	if removed == 0 {
+		return cur.seq, 0
+	}
+	// Rebuild the delta without the deleted entries (deltaByID now holds
+	// exactly the survivors).
+	packed := make([]workload.Object, 0, len(deltaByID))
+	for _, o := range delta {
+		if i, ok := deltaByID[o.ID]; ok && delta[i].ID == o.ID {
+			packed = append(packed, o)
+		}
+	}
+	for i, o := range packed {
+		deltaByID[o.ID] = i
+	}
+	return s.publishLocked(cur, packed, deltaByID, dead, removed), removed
+}
+
+// copyLayers clones the mutable delta layer of cur for copy-on-write.
+func copyLayers(cur *Epoch) ([]workload.Object, map[int64]int, map[int64]struct{}) {
+	delta := append([]workload.Object(nil), cur.delta...)
+	deltaByID := make(map[int64]int, len(cur.deltaByID)+1)
+	for id, i := range cur.deltaByID {
+		deltaByID[id] = i
+	}
+	dead := make(map[int64]struct{}, len(cur.dead)+1)
+	for id := range cur.dead {
+		dead[id] = struct{}{}
+	}
+	return delta, deltaByID, dead
+}
+
+// publishLocked builds the next epoch from the prepared layers, compacting
+// into a fresh base when the delta has outgrown the threshold, publishes it
+// and retires cur. Caller holds s.mu.
+func (s *Store) publishLocked(cur *Epoch, delta []workload.Object, deltaByID map[int64]int, dead map[int64]struct{}, applied int) uint64 {
+	next := &Epoch{store: s, seq: cur.seq + 1}
+	if len(delta)+len(dead) >= s.compact {
+		// Fold everything into a new bulk-packed base: surviving base
+		// objects in base order, then the delta in application order.
+		merged := make([]workload.Object, 0, len(cur.base.objects)-len(dead)+len(delta))
+		for _, o := range cur.base.objects {
+			if _, gone := dead[o.ID]; !gone {
+				merged = append(merged, o)
+			}
+		}
+		merged = append(merged, delta...)
+		next.base = newBaseTable(merged)
+	} else {
+		next.base = cur.base
+		next.delta = delta
+		next.deltaByID = deltaByID
+		next.dead = dead
+		if len(delta) > 0 {
+			items := make([]index.Item, len(delta))
+			for i, o := range delta {
+				items[i] = index.Item{P: o.Point.XY(), ID: o.ID}
+			}
+			next.overlay = index.Bulk(items)
+		}
+	}
+	s.cur.Store(next)
+	s.live++
+	cur.retired = true
+	if cur.refs == 0 {
+		s.reclaimLocked(cur)
+	}
+	if s.reg != nil {
+		s.reg.UpdatesApplied.Add(int64(applied))
+		s.reg.EpochsCreated.Add(1)
+		s.reg.Epoch.Set(int64(next.seq))
+		s.reg.UpdateBatch().Observe(int64(applied))
+	}
+	return next.seq
+}
+
+// reclaimLocked retires e from the live set. In Go the garbage collector
+// frees the memory; what reclamation buys is the bookkeeping proof that the
+// reference-counting protocol converges (LiveEpochs returns to 1 once the
+// store quiesces) — in a disk-backed deployment this is where pages would
+// be returned. Caller holds s.mu.
+func (s *Store) reclaimLocked(*Epoch) {
+	s.live--
+	if s.reg != nil {
+		s.reg.EpochsReclaimed.Add(1)
+	}
+}

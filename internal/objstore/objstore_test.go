@@ -1,0 +1,315 @@
+package objstore
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
+	"surfknn/internal/workload"
+)
+
+// obj makes a synthetic object at (x, y); objstore never dereferences the
+// face or elevation, so flat points are fine for unit tests.
+func obj(id int64, x, y float64) workload.Object {
+	return workload.Object{ID: id, Point: mesh.SurfacePoint{Pos: geom.Vec3{X: x, Y: y}}}
+}
+
+func grid(n int) []workload.Object {
+	objs := make([]workload.Object, n)
+	for i := range objs {
+		objs[i] = obj(int64(i), float64(i%10)*10, float64(i/10)*10)
+	}
+	return objs
+}
+
+// liveIDs returns the sorted ID set of e's table.
+func liveIDs(e *Epoch) []int64 {
+	out := make([]int64, 0, e.Len())
+	for _, o := range e.Table() {
+		out = append(out, o.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestUpsertDeleteVisibility(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(5), 0)
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("initial epoch = %d, want 0", got)
+	}
+
+	e1 := s.Upsert([]workload.Object{obj(100, 5, 5)})
+	if e1 != 1 {
+		t.Fatalf("epoch after insert = %d, want 1", e1)
+	}
+	if _, ok := s.Current().Object(100); !ok {
+		t.Fatal("inserted object not visible in current epoch")
+	}
+
+	// Replace a base object: ID 2 moves.
+	s.Upsert([]workload.Object{obj(2, 99, 99)})
+	if o, ok := s.Current().Object(2); !ok || o.Point.Pos.X != 99 {
+		t.Fatalf("upserted object = %+v ok=%v, want moved to x=99", o, ok)
+	}
+	if got, want := s.Current().Len(), 6; got != want {
+		t.Fatalf("Len = %d, want %d (upsert must not duplicate)", got, want)
+	}
+
+	// Delete one base and one delta object.
+	epoch, removed := s.Delete([]int64{0, 100, 777})
+	if removed != 2 {
+		t.Fatalf("Delete removed = %d, want 2", removed)
+	}
+	if epoch != 3 {
+		t.Fatalf("epoch after delete = %d, want 3", epoch)
+	}
+	if _, ok := s.Current().Object(0); ok {
+		t.Fatal("deleted base object still visible")
+	}
+	if _, ok := s.Current().Object(100); ok {
+		t.Fatal("deleted delta object still visible")
+	}
+	want := []int64{1, 2, 3, 4}
+	if got := liveIDs(s.Current()); len(got) != len(want) {
+		t.Fatalf("live IDs = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("live IDs = %v, want %v", got, want)
+			}
+		}
+	}
+
+	// Deleting nothing publishes nothing.
+	epoch2, removed2 := s.Delete([]int64{0, 777})
+	if removed2 != 0 || epoch2 != epoch {
+		t.Fatalf("no-op delete = (%d, %d), want (%d, 0)", epoch2, removed2, epoch)
+	}
+}
+
+func TestInsertRejectsDuplicates(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(3), 0)
+	if _, err := s.Insert([]workload.Object{obj(1, 0, 0)}); err == nil {
+		t.Fatal("Insert of a live base ID should fail")
+	}
+	if _, err := s.Insert([]workload.Object{obj(9, 0, 0), obj(9, 1, 1)}); err == nil {
+		t.Fatal("Insert with an in-batch duplicate should fail")
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("failed inserts must not publish: epoch = %d, want 0", got)
+	}
+	if _, err := s.Insert([]workload.Object{obj(9, 0, 0)}); err != nil {
+		t.Fatalf("Insert of fresh ID failed: %v", err)
+	}
+	// After a delete the ID is insertable again.
+	s.Delete([]int64{9})
+	if _, err := s.Insert([]workload.Object{obj(9, 2, 2)}); err != nil {
+		t.Fatalf("re-Insert after delete failed: %v", err)
+	}
+}
+
+func TestPinSeesOneVersion(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(4), 0)
+	pinned := s.Pin()
+	s.Upsert([]workload.Object{obj(50, 1, 1)})
+	s.Delete([]int64{0})
+
+	if pinned.Seq() != 0 {
+		t.Fatalf("pinned epoch seq = %d, want 0", pinned.Seq())
+	}
+	if _, ok := pinned.Object(50); ok {
+		t.Fatal("pinned epoch sees an object inserted after the pin")
+	}
+	if _, ok := pinned.Object(0); !ok {
+		t.Fatal("pinned epoch lost an object deleted after the pin")
+	}
+	if got := s.LiveEpochs(); got != 2 {
+		t.Fatalf("LiveEpochs with one pin held = %d, want 2 (pinned + current)", got)
+	}
+	pinned.Release()
+	if got := s.LiveEpochs(); got != 1 {
+		t.Fatalf("LiveEpochs after release = %d, want 1", got)
+	}
+}
+
+func TestReclamationCounts(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	s := NewAt(grid(4), 0)
+	s.Instrument(reg)
+	for i := 0; i < 10; i++ {
+		e := s.Pin()
+		s.Upsert([]workload.Object{obj(int64(1000+i), float64(i), float64(i))})
+		e.Release()
+	}
+	if got := s.LiveEpochs(); got != 1 {
+		t.Fatalf("LiveEpochs after quiesce = %d, want 1", got)
+	}
+	created, reclaimed := reg.EpochsCreated.Value(), reg.EpochsReclaimed.Value()
+	if created != 10 || reclaimed != created {
+		t.Fatalf("epochs created/reclaimed = %d/%d, want 10/10", created, reclaimed)
+	}
+	if got := reg.UpdatesApplied.Value(); got != 10 {
+		t.Fatalf("UpdatesApplied = %d, want 10", got)
+	}
+	if got := reg.Epoch.Value(); got != 10 {
+		t.Fatalf("Epoch gauge = %d, want 10", got)
+	}
+	if got := reg.UpdateBatch().Count(); got != 10 {
+		t.Fatalf("UpdateBatch count = %d, want 10", got)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(1), 0)
+	e := s.Pin()
+	e.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release should panic")
+		}
+	}()
+	e.Release()
+}
+
+func TestCompactionPreservesContents(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(10), 0)
+	s.SetCompactThreshold(4)
+	for i := 0; i < 20; i++ {
+		if i%3 == 2 {
+			s.Delete([]int64{int64(i % 10)})
+		} else {
+			s.Upsert([]workload.Object{obj(int64(200+i), float64(i), float64(i))})
+		}
+	}
+	cur := s.Current()
+	// Epoch sanity: every Object lookup agrees with Table membership.
+	seen := make(map[int64]bool)
+	for _, o := range cur.Table() {
+		if seen[o.ID] {
+			t.Fatalf("duplicate ID %d in table", o.ID)
+		}
+		seen[o.ID] = true
+		if got, ok := cur.Object(o.ID); !ok || got != o {
+			t.Fatalf("Object(%d) = %+v ok=%v, want %+v", o.ID, got, ok, o)
+		}
+	}
+	if cur.Len() != len(cur.Table()) {
+		t.Fatalf("Len = %d but Table has %d entries", cur.Len(), len(cur.Table()))
+	}
+}
+
+// TestKNNMatchesBruteForce cross-checks the merged (base+delta) KNN and
+// WithinDist against linear scans over the table, across compaction states.
+func TestKNNMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(99))
+	s := NewAt(grid(30), 0)
+	s.SetCompactThreshold(8)
+	for step := 0; step < 50; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			s.Upsert([]workload.Object{obj(rng.Int63n(60), rng.Float64()*100, rng.Float64()*100)})
+		case 1:
+			s.Delete([]int64{rng.Int63n(60)})
+		default:
+			q := geom.Vec2{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			e := s.Pin()
+			table := e.Table()
+
+			k := 1 + rng.Intn(5)
+			got := e.KNN(q, k, nil)
+			wantDists := make([]float64, 0, len(table))
+			for _, o := range table {
+				wantDists = append(wantDists, o.Point.XY().Dist(q))
+			}
+			sort.Float64s(wantDists)
+			if k > len(wantDists) {
+				k = len(wantDists)
+			}
+			if len(got) != k {
+				t.Fatalf("step %d: KNN returned %d items, want %d", step, len(got), k)
+			}
+			for i, it := range got {
+				if d := it.P.Dist(q); d != wantDists[i] {
+					t.Fatalf("step %d: KNN[%d] dist = %v, want %v", step, i, d, wantDists[i])
+				}
+			}
+
+			r := rng.Float64() * 40
+			inRange := make(map[int64]bool)
+			for _, o := range table {
+				if o.Point.XY().Dist(q) <= r {
+					inRange[o.ID] = true
+				}
+			}
+			gotRange := e.WithinDist(q, r, nil)
+			if len(gotRange) != len(inRange) {
+				t.Fatalf("step %d: WithinDist returned %d items, want %d", step, len(gotRange), len(inRange))
+			}
+			for _, it := range gotRange {
+				if !inRange[it.ID] {
+					t.Fatalf("step %d: WithinDist returned %d outside radius", step, it.ID)
+				}
+			}
+			e.Release()
+		}
+	}
+}
+
+// TestConcurrentPinRelease hammers pin/release against a writer; run under
+// -race this proves the refcount protocol and epoch immutability.
+func TestConcurrentPinRelease(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(20), 0)
+	s.SetCompactThreshold(6)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := geom.Vec2{X: float64(10 * g), Y: 30}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := s.Pin()
+				seq := e.Seq()
+				items := e.KNN(q, 3, nil)
+				for _, it := range items {
+					if _, ok := e.Object(it.ID); !ok {
+						t.Errorf("epoch %d: KNN item %d not in same epoch's table", seq, it.ID)
+					}
+				}
+				if e.Seq() != seq {
+					t.Errorf("epoch seq changed under pin: %d -> %d", seq, e.Seq())
+				}
+				e.Release()
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if i%4 == 3 {
+			s.Delete([]int64{int64(i % 20)})
+		} else {
+			s.Upsert([]workload.Object{obj(int64(300+i%30), float64(i%50), float64(i%40))})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.LiveEpochs(); got != 1 {
+		t.Fatalf("LiveEpochs after quiesce = %d, want 1", got)
+	}
+}

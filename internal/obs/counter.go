@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math/bits"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -133,4 +134,96 @@ func (h *Histogram) Snapshot() map[string]any {
 func bucketLabel(i int) string {
 	us := uint64(1) << uint(i)
 	return time.Duration(us * uint64(time.Microsecond)).String()
+}
+
+// sizeBuckets is the bucket count of a SizeHistogram: bucket i counts
+// observations with ceil(log2(n)) == i, spanning 1 (bucket 0) to 2^32
+// (bucket 32, open-ended).
+const sizeBuckets = 33
+
+// SizeHistogram is the dimensionless sibling of Histogram: fixed power-of-
+// two buckets over a non-negative count (objects per update batch) rather
+// than a duration. All updates are atomic; the zero value is ready for use.
+type SizeHistogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [sizeBuckets]atomic.Int64
+}
+
+// NewSizeHistogram returns an empty size histogram.
+func NewSizeHistogram() *SizeHistogram { return &SizeHistogram{} }
+
+// Observe records one count (negative clamps to 0).
+func (h *SizeHistogram) Observe(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(n)
+	h.buckets[sizeBucketOf(n)].Add(1)
+}
+
+// sizeBucketOf maps a count to the index of the smallest power of two >= n.
+func sizeBucketOf(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(n) - 1) // ceil(log2(n))
+	if b >= sizeBuckets {
+		b = sizeBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *SizeHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed counts.
+func (h *SizeHistogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// upper edge of the bucket holding the q-th observation. Returns 0 on an
+// empty histogram.
+func (h *SizeHistogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < sizeBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return int64(1) << uint(i)
+		}
+	}
+	return int64(1) << (sizeBuckets - 1)
+}
+
+// Snapshot renders the histogram for expvar: count, mean, estimated tail
+// quantiles, and the non-empty buckets keyed by their upper edge.
+func (h *SizeHistogram) Snapshot() map[string]any {
+	count := h.count.Load()
+	out := map[string]any{
+		"count": count,
+	}
+	if count > 0 {
+		out["mean"] = float64(h.sum.Load()) / float64(count)
+		out["p50"] = h.Quantile(0.50)
+		out["p95"] = h.Quantile(0.95)
+		out["p99"] = h.Quantile(0.99)
+	}
+	bucketCounts := make(map[string]int64)
+	for i := 0; i < sizeBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			bucketCounts[strconv.FormatInt(int64(1)<<uint(i), 10)] = n
+		}
+	}
+	if len(bucketCounts) > 0 {
+		out["le"] = bucketCounts
+	}
+	return out
 }

@@ -52,7 +52,15 @@ type Registry struct {
 	LowerBounds         Counter // lower-bound estimations
 	Iterations          Counter // LOD refinement iterations
 
-	latency *Histogram // whole-query CPU latency
+	// Dynamic object-store activity (fed by objstore.Store when
+	// instrumented).
+	UpdatesApplied  Counter // objects inserted, upserted or deleted
+	EpochsCreated   Counter // update batches published as a new epoch
+	EpochsReclaimed Counter // retired epochs whose last pin was released
+	Epoch           Gauge   // latest published epoch number
+
+	latency     *Histogram     // whole-query CPU latency
+	updateBatch *SizeHistogram // objects per applied update batch
 
 	mu     sync.Mutex
 	phases map[string]*Histogram // per-phase CPU latency, created lazily
@@ -65,8 +73,9 @@ type Registry struct {
 // NewRegistry returns an empty registry ready for concurrent use.
 func NewRegistry() *Registry {
 	return &Registry{
-		latency: NewHistogram(),
-		phases:  make(map[string]*Histogram),
+		latency:     NewHistogram(),
+		updateBatch: NewSizeHistogram(),
+		phases:      make(map[string]*Histogram),
 	}
 }
 
@@ -76,6 +85,9 @@ var Default = NewRegistry()
 
 // QueryLatency is the whole-query CPU latency histogram.
 func (r *Registry) QueryLatency() *Histogram { return r.latency }
+
+// UpdateBatch is the objects-per-update-batch histogram.
+func (r *Registry) UpdateBatch() *SizeHistogram { return r.updateBatch }
 
 // Phase returns the latency histogram of the named query phase, creating it
 // on first use. Safe for concurrent callers.
@@ -142,6 +154,13 @@ func (r *Registry) Snapshot() map[string]any {
 			"upper_bounds":         r.UpperBounds.Value(),
 			"lower_bounds":         r.LowerBounds.Value(),
 			"iterations":           r.Iterations.Value(),
+		},
+		"objects": map[string]any{
+			"epoch":            r.Epoch.Value(),
+			"updates_applied":  r.UpdatesApplied.Value(),
+			"epochs_created":   r.EpochsCreated.Value(),
+			"epochs_reclaimed": r.EpochsReclaimed.Value(),
+			"update_batch":     r.updateBatch.Snapshot(),
 		},
 		"phases": phases,
 	}

@@ -7,17 +7,22 @@ import (
 	"surfknn/internal/obs"
 )
 
-// resultCache is the LRU result cache. The terrain and object set are
-// immutable for the life of the process (SetObjects is a setup step), so a
-// canonicalized query maps to exactly one answer forever: entries never go
-// stale individually and the cache is only ever invalidated as a whole (by
-// restarting with a new snapshot). That makes caching safe to apply to the
-// entire serialized response body — a hit replays the original bytes,
-// including the original cost numbers, marked by the X-Cache header.
+// resultCache is the LRU result cache. The terrain is immutable and the
+// object set is versioned (internal/objstore), so a canonicalized query
+// maps to exactly one answer *per epoch*: object-dependent keys carry the
+// epoch the answer was computed against (see epochKey), which keeps every
+// stored entry valid forever — an object update never purges the cache,
+// it just makes entries for superseded epochs unreachable (lookups always
+// use the current epoch), and they age out of the LRU like any other cold
+// entry. That makes caching safe to apply to the entire serialized
+// response body — a hit replays the original bytes, including the
+// original cost numbers, marked by the X-Cache header.
 //
 // Keys are built by the handlers from every result-affecting parameter
-// (endpoint, coordinates as exact float bits, k/radius/accuracy, schedule,
-// options) and exclude execution-only parameters (timeout).
+// (epoch for object-dependent endpoints, coordinates as exact float bits,
+// k/radius/accuracy, schedule, options) and exclude execution-only
+// parameters (timeout). Surface-distance keys omit the epoch: distances
+// depend only on the terrain.
 //
 // A single mutex guards the map and the recency list; the critical section
 // is a few pointer moves, so contention is negligible next to a query.

@@ -259,6 +259,20 @@ func optKey(o core.Options) string {
 		o.DisableIOIntegration, o.DisableDummyLB, o.BothFamilyLB)
 }
 
+// epochKey scopes a cache key to one object-store epoch. Object updates
+// therefore never purge the cache: entries computed against a superseded
+// epoch simply become unreachable (lookups use the current epoch) and age
+// out of the LRU naturally.
+func epochKey(epoch uint64, suffix string) string {
+	return fmt.Sprintf("e=%d|%s", epoch, suffix)
+}
+
+// setEpoch overwrites the middleware's blanket X-Epoch stamp with the
+// exact epoch the response was computed against.
+func setEpoch(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set("X-Epoch", strconv.FormatUint(epoch, 10))
+}
+
 // --- POST /v1/knn ---
 
 type knnRequest struct {
@@ -294,9 +308,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("knn|x=%x|y=%x|k=%d|sched=%s|%s",
+	suffix := fmt.Sprintf("knn|x=%x|y=%x|k=%d|sched=%s|%s",
 		math.Float64bits(req.X), math.Float64bits(req.Y), req.K, sched.Name, optKey(opt))
-	if body, ok := s.cache.get(key); ok {
+	epoch := s.db.CurrentEpoch()
+	if body, ok := s.cache.get(epochKey(epoch, suffix)); ok {
+		setEpoch(w, epoch)
 		writeJSON(w, body, "hit")
 		return
 	}
@@ -315,7 +331,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, s.stats, err)
 		return
 	}
-	s.respond(w, key, toResponse(res))
+	// Cache under the epoch the query actually pinned (an update may have
+	// landed between the lookup above and session checkout).
+	setEpoch(w, res.Epoch)
+	s.respond(w, epochKey(res.Epoch, suffix), toResponse(res))
 }
 
 // --- POST /v1/range ---
@@ -353,10 +372,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("range|x=%x|y=%x|r=%x|sched=%s|%s",
+	suffix := fmt.Sprintf("range|x=%x|y=%x|r=%x|sched=%s|%s",
 		math.Float64bits(req.X), math.Float64bits(req.Y), math.Float64bits(req.Radius),
 		sched.Name, optKey(opt))
-	if body, ok := s.cache.get(key); ok {
+	epoch := s.db.CurrentEpoch()
+	if body, ok := s.cache.get(epochKey(epoch, suffix)); ok {
+		setEpoch(w, epoch)
 		writeJSON(w, body, "hit")
 		return
 	}
@@ -375,7 +396,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, s.stats, err)
 		return
 	}
-	s.respond(w, key, toResponse(res))
+	setEpoch(w, res.Epoch)
+	s.respond(w, epochKey(res.Epoch, suffix), toResponse(res))
 }
 
 // --- POST /v1/distance ---
@@ -425,6 +447,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Surface distance depends only on the immutable terrain, never on the
+	// object set, so the key is deliberately NOT epoch-scoped: entries stay
+	// valid (and reachable) across any number of object updates.
 	key := fmt.Sprintf("distance|a=%x,%x|b=%x,%x|acc=%x|sched=%s",
 		math.Float64bits(req.X), math.Float64bits(req.Y),
 		math.Float64bits(req.X2), math.Float64bits(req.Y2),
@@ -476,6 +501,7 @@ type healthzResponse struct {
 	Vertices     int    `json:"vertices"`
 	Faces        int    `json:"faces"`
 	Objects      int    `json:"objects"`
+	Epoch        uint64 `json:"epoch"`
 	InFlight     int64  `json:"in_flight"`
 	CacheEntries int    `json:"cache_entries"`
 }
@@ -486,6 +512,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Vertices:     s.db.Mesh.NumVerts(),
 		Faces:        s.db.Mesh.NumFaces(),
 		Objects:      len(s.db.Objects()),
+		Epoch:        s.db.CurrentEpoch(),
 		InFlight:     s.stats.InFlight.Value(),
 		CacheEntries: s.cache.len(),
 	})

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -57,6 +58,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		s.stats.Requests.Add(1)
+		// Every response carries the object-store epoch it was served
+		// against. This blanket stamp uses the epoch current at request
+		// entry; handlers that know the exact epoch of their answer (a
+		// cached result, a query's pinned view) overwrite it before
+		// writing.
+		rec.Header().Set("X-Epoch", strconv.FormatUint(s.db.CurrentEpoch(), 10))
 		var recovered string
 		func() {
 			defer func() {

@@ -1,0 +1,156 @@
+package server
+
+// Object-update endpoints: POST /v1/objects (batch upsert) and
+// DELETE /v1/objects (batch delete). Updates go through the database's
+// versioned object store (internal/objstore), so each accepted batch
+// publishes one new epoch atomically; queries in flight keep reading the
+// epoch they pinned and are never torn by an update.
+//
+// Updates bypass admission control deliberately: the admission semaphore
+// exists to bound CPU-heavy query execution, while an update is a short
+// critical section in the store. Shedding writers behind a queue of slow
+// queries would invert the service's priorities — updates are what keep
+// query answers fresh.
+
+import (
+	"net/http"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/workload"
+)
+
+// maxUpdateBatch bounds how many objects one update request may carry.
+// Larger batches should be split client-side; one epoch per batch means an
+// unbounded batch would also be an unbounded copy-on-write delta.
+const maxUpdateBatch = 4096
+
+// upsertObject is one object in an upsert batch. ID is a pointer so an
+// omitted id is distinguishable from a literal 0 and rejected.
+type upsertObject struct {
+	ID *int64  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+type upsertRequest struct {
+	Objects []upsertObject `json:"objects"`
+}
+
+// updateResponse is the body of a successful upsert.
+type updateResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Count int    `json:"count"`
+}
+
+func (s *Server) handleUpsertObjects(w http.ResponseWriter, r *http.Request) {
+	var req upsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Objects) == 0 {
+		s.badRequest(w, "objects must contain at least one object")
+		return
+	}
+	if len(req.Objects) > maxUpdateBatch {
+		s.badRequest(w, "batch of %d objects exceeds the limit of %d", len(req.Objects), maxUpdateBatch)
+		return
+	}
+	store := s.db.ObjectStore()
+	if store == nil {
+		writeError(w, http.StatusInternalServerError, codeInternal,
+			"database has no object store installed")
+		return
+	}
+	batch := make([]workload.Object, len(req.Objects))
+	for i, o := range req.Objects {
+		if o.ID == nil {
+			s.badRequest(w, "objects[%d]: missing id", i)
+			return
+		}
+		p, ok := s.objectPoint(w, i, o.X, o.Y)
+		if !ok {
+			return
+		}
+		batch[i] = workload.Object{ID: *o.ID, Point: p}
+	}
+
+	epoch := store.Upsert(batch)
+	setEpoch(w, epoch)
+	body, err := marshalBody(updateResponse{Epoch: epoch, Count: len(batch)})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		return
+	}
+	// Not a query result: never cached, no X-Cache header.
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore dropped-error a client gone mid-reply is not a server failure
+	_, _ = w.Write(body)
+}
+
+type deleteRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+// deleteResponse reports what a delete batch achieved. Missing counts the
+// distinct requested ids that were not live — deleting them is not an
+// error (the end state is what the client asked for), but the client gets
+// to know.
+type deleteResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Deleted int    `json:"deleted"`
+	Missing int    `json:"missing"`
+}
+
+func (s *Server) handleDeleteObjects(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		s.badRequest(w, "ids must contain at least one object id")
+		return
+	}
+	if len(req.IDs) > maxUpdateBatch {
+		s.badRequest(w, "batch of %d ids exceeds the limit of %d", len(req.IDs), maxUpdateBatch)
+		return
+	}
+	store := s.db.ObjectStore()
+	if store == nil {
+		writeError(w, http.StatusInternalServerError, codeInternal,
+			"database has no object store installed")
+		return
+	}
+	distinct := make(map[int64]struct{}, len(req.IDs))
+	for _, id := range req.IDs {
+		distinct[id] = struct{}{}
+	}
+
+	epoch, deleted := store.Delete(req.IDs)
+	setEpoch(w, epoch)
+	body, err := marshalBody(deleteResponse{
+		Epoch:   epoch,
+		Deleted: deleted,
+		Missing: len(distinct) - deleted,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore dropped-error a client gone mid-reply is not a server failure
+	_, _ = w.Write(body)
+}
+
+// objectPoint lifts an update's (x,y) onto the terrain. Unlike a query
+// point, an off-terrain object position is a 400, not a 404: the request
+// is asking to create state that cannot exist, not addressing state that
+// does not.
+func (s *Server) objectPoint(w http.ResponseWriter, i int, x, y float64) (mesh.SurfacePoint, bool) {
+	p, err := s.db.SurfacePointAt(geom.Vec2{X: x, Y: y})
+	if err != nil {
+		s.badRequest(w, "objects[%d]: position (%g, %g) is not on the terrain: %v", i, x, y, err)
+		return mesh.SurfacePoint{}, false
+	}
+	return p, true
+}

@@ -1,21 +1,27 @@
-// Package server is the HTTP serving layer over one immutable
-// core.TerrainDB: a long-lived, multi-tenant query service built only on
-// the standard library (net/http, encoding/json).
+// Package server is the HTTP serving layer over one core.TerrainDB: a
+// long-lived, multi-tenant query service built only on the standard
+// library (net/http, encoding/json).
 //
 // The engine below was shaped for exactly this sitting-on-top: the
-// database is immutable after setup, so the server owns one TerrainDB and
-// any number of concurrent requests; per-request execution state lives in
-// pooled core.Sessions (checked out per request, returned on completion);
-// the request context — client disconnect plus a per-request or
+// terrain structures are immutable and the object set is versioned by an
+// epoch-based store (internal/objstore), so the server owns one TerrainDB
+// and any number of concurrent requests; per-request execution state
+// lives in pooled core.Sessions (checked out per request, returned on
+// completion), each query pinning one object epoch for its whole run; the
+// request context — client disconnect plus a per-request or
 // server-default deadline — is threaded through the *Ctx query variants.
+// Object updates arrive over HTTP too (POST/DELETE /v1/objects, see
+// objects.go), each accepted batch publishing a new epoch; every response
+// carries the epoch it was served against in the X-Epoch header.
 //
 // Around the handlers sit the robustness pieces a real service needs:
 //
 //   - admission control: a semaphore bounds concurrent query execution, a
 //     bounded wait queue absorbs short bursts, and everything beyond that
 //     is shed immediately with 429 + Retry-After (see admission.go);
-//   - an LRU result cache: the terrain is immutable, so a canonicalized
-//     query maps to one answer forever (see cache.go);
+//   - an LRU result cache keyed by (epoch, canonical query): within one
+//     epoch a query maps to one answer forever, and an update makes stale
+//     entries unreachable rather than requiring a purge (see cache.go);
 //   - typed JSON error envelopes with correct status codes (errors.go);
 //   - panic recovery, request metrics and JSON access logging
 //     (middleware.go);
@@ -116,8 +122,9 @@ type Server struct {
 }
 
 // New builds a server over db, which must already have objects installed
-// (SetObjects or a snapshot that carried them) — the server never mutates
-// the database.
+// (SetObjects or a snapshot that carried them). The terrain is never
+// mutated; the object set is, through the update endpoints, with each
+// batch publishing a new epoch in the database's object store.
 func New(db *core.TerrainDB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -132,6 +139,8 @@ func New(db *core.TerrainDB, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/knn", s.handleKNN)
 	mux.HandleFunc("POST /v1/range", s.handleRange)
 	mux.HandleFunc("POST /v1/distance", s.handleDistance)
+	mux.HandleFunc("POST /v1/objects", s.handleUpsertObjects)
+	mux.HandleFunc("DELETE /v1/objects", s.handleDeleteObjects)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

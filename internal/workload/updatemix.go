@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// The update-mix generator: a deterministic stream of interleaved query,
+// insert and delete operations for exercising the versioned object store
+// under realistic read/write traffic (benchmarks, soak tests). The mix is
+// configured by integer weights, so e.g. 8:1:1 yields ~80% queries.
+
+// OpKind discriminates the operations an update mix emits.
+type OpKind int
+
+const (
+	OpQuery  OpKind = iota // run a k-NN query at Op.Query
+	OpInsert               // upsert Op.Objects into the store
+	OpDelete               // delete Op.IDs from the store
+)
+
+// Op is one operation drawn from the mix.
+type Op struct {
+	Kind    OpKind
+	Objects []Object          // OpInsert: the batch to upsert
+	IDs     []int64           // OpDelete: the ids to delete
+	Query   mesh.SurfacePoint // OpQuery: where to query
+}
+
+// MixConfig tunes an update mix. The zero value means: 8:1:1
+// query/insert/delete, batch size 1, ids from 1_000_000, seed 0.
+type MixConfig struct {
+	QueryWeight  int   // relative frequency of queries (default 8)
+	InsertWeight int   // relative frequency of inserts (default 1)
+	DeleteWeight int   // relative frequency of deletes (default 1)
+	Batch        int   // objects per insert / ids per delete (default 1)
+	StartID      int64 // first id assigned to inserted objects (default 1e6)
+	Seed         int64 // rng seed; equal configs yield equal streams
+}
+
+func (c MixConfig) withDefaults() MixConfig {
+	if c.QueryWeight == 0 && c.InsertWeight == 0 && c.DeleteWeight == 0 {
+		c.QueryWeight, c.InsertWeight, c.DeleteWeight = 8, 1, 1
+	}
+	if c.QueryWeight < 0 {
+		c.QueryWeight = 0
+	}
+	if c.InsertWeight < 0 {
+		c.InsertWeight = 0
+	}
+	if c.DeleteWeight < 0 {
+		c.DeleteWeight = 0
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.StartID <= 0 {
+		c.StartID = 1_000_000
+	}
+	return c
+}
+
+// UpdateMix generates a deterministic operation stream. It tracks the live
+// id set itself (inserts add, deletes remove), so deletes always name ids
+// that are live in the stream's own history — a driver that applies every
+// op in order never issues a guaranteed-miss delete. Not safe for
+// concurrent use; drivers running ops in parallel should draw the stream
+// single-threaded and fan out the ops.
+type UpdateMix struct {
+	m      *mesh.Mesh
+	loc    *mesh.Locator
+	cfg    MixConfig
+	rng    *rand.Rand
+	live   []int64 // ids the stream's history leaves live
+	nextID int64
+}
+
+// NewUpdateMix builds a mix over the terrain. initial seeds the live id
+// set (the objects already installed in the store the driver will apply
+// ops to); the mix never re-issues an id that is live.
+func NewUpdateMix(m *mesh.Mesh, loc *mesh.Locator, initial []Object, cfg MixConfig) (*UpdateMix, error) {
+	cfg = cfg.withDefaults()
+	if cfg.QueryWeight+cfg.InsertWeight+cfg.DeleteWeight <= 0 {
+		return nil, fmt.Errorf("workload: update mix has no positive weight")
+	}
+	u := &UpdateMix{
+		m:      m,
+		loc:    loc,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nextID: cfg.StartID,
+	}
+	for _, o := range initial {
+		u.live = append(u.live, o.ID)
+		if o.ID >= u.nextID {
+			u.nextID = o.ID + 1
+		}
+	}
+	return u, nil
+}
+
+// Live returns how many ids the stream's history leaves live.
+func (u *UpdateMix) Live() int { return len(u.live) }
+
+// Next draws the next operation. A delete that would leave the live set
+// empty becomes an insert instead — the stream never empties the store,
+// so queries stay answerable.
+func (u *UpdateMix) Next() Op {
+	total := u.cfg.QueryWeight + u.cfg.InsertWeight + u.cfg.DeleteWeight
+	r := u.rng.Intn(total)
+	switch {
+	case r < u.cfg.QueryWeight:
+		return Op{Kind: OpQuery, Query: u.surfacePoint()}
+	case r < u.cfg.QueryWeight+u.cfg.InsertWeight || len(u.live) <= u.cfg.Batch:
+		return u.insertOp()
+	default:
+		return u.deleteOp()
+	}
+}
+
+func (u *UpdateMix) insertOp() Op {
+	objs := make([]Object, u.cfg.Batch)
+	for i := range objs {
+		objs[i] = Object{ID: u.nextID, Point: u.surfacePoint()}
+		u.live = append(u.live, u.nextID)
+		u.nextID++
+	}
+	return Op{Kind: OpInsert, Objects: objs}
+}
+
+func (u *UpdateMix) deleteOp() Op {
+	ids := make([]int64, u.cfg.Batch)
+	for i := range ids {
+		// Swap-remove a uniformly chosen live id.
+		j := u.rng.Intn(len(u.live))
+		ids[i] = u.live[j]
+		u.live[j] = u.live[len(u.live)-1]
+		u.live = u.live[:len(u.live)-1]
+	}
+	return Op{Kind: OpDelete, IDs: ids}
+}
+
+// surfacePoint draws a uniform surface position, resampling numerical
+// boundary failures like RandomObjects does.
+func (u *UpdateMix) surfacePoint() mesh.SurfacePoint {
+	ext := u.m.Extent()
+	for {
+		p := geom.Vec2{
+			X: ext.MinX + u.rng.Float64()*ext.Width(),
+			Y: ext.MinY + u.rng.Float64()*ext.Height(),
+		}
+		sp, err := mesh.MakeSurfacePoint(u.m, u.loc, p)
+		if err != nil {
+			continue
+		}
+		return sp
+	}
+}

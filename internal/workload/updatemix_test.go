@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUpdateMixDeterministic(t *testing.T) {
+	m, loc := setup(t)
+	initial, err := RandomObjects(m, loc, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MixConfig{Seed: 9, Batch: 2}
+	a, err := NewUpdateMix(m, loc, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUpdateMix(m, loc, initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if opA, opB := a.Next(), b.Next(); !reflect.DeepEqual(opA, opB) {
+			t.Fatalf("op %d diverged between equal-config mixes:\n%+v\n%+v", i, opA, opB)
+		}
+	}
+}
+
+func TestUpdateMixOps(t *testing.T) {
+	m, loc := setup(t)
+	initial, err := RandomObjects(m, loc, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUpdateMix(m, loc, initial, MixConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := m.Extent()
+	live := map[int64]bool{}
+	for _, o := range initial {
+		live[o.ID] = true
+	}
+	counts := map[OpKind]int{}
+	for i := 0; i < 1000; i++ {
+		op := u.Next()
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpQuery:
+			if !ext.Contains(op.Query.XY()) {
+				t.Fatalf("op %d: query point %v outside extent", i, op.Query.Pos)
+			}
+		case OpInsert:
+			for _, o := range op.Objects {
+				if live[o.ID] {
+					t.Fatalf("op %d: insert re-issues live id %d", i, o.ID)
+				}
+				if !ext.Contains(o.Point.XY()) {
+					t.Fatalf("op %d: object %d outside extent", i, o.ID)
+				}
+				live[o.ID] = true
+			}
+		case OpDelete:
+			for _, id := range op.IDs {
+				if !live[id] {
+					t.Fatalf("op %d: delete names dead id %d", i, id)
+				}
+				delete(live, id)
+			}
+		}
+		if u.Live() != len(live) {
+			t.Fatalf("op %d: mix live count %d, independent count %d", i, u.Live(), len(live))
+		}
+	}
+	// 8:1:1 default over 1000 draws: queries clearly dominate, and both
+	// update kinds occur.
+	if counts[OpQuery] < 700 || counts[OpInsert] == 0 || counts[OpDelete] == 0 {
+		t.Errorf("op counts = %v, want ~800/100/100", counts)
+	}
+}
+
+func TestUpdateMixNeverEmpties(t *testing.T) {
+	m, loc := setup(t)
+	// Delete-only mix over a tiny initial set: every delete that cannot be
+	// served becomes an insert, so the live set never reaches zero.
+	u, err := NewUpdateMix(m, loc, nil, MixConfig{QueryWeight: 0, InsertWeight: 0, DeleteWeight: 1, Batch: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		op := u.Next()
+		if op.Kind == OpQuery {
+			t.Fatalf("op %d: query from a zero-query-weight mix", i)
+		}
+	}
+	if u.Live() == 0 {
+		t.Error("live set emptied")
+	}
+}
+
+func TestUpdateMixRejectsNoWeights(t *testing.T) {
+	m, loc := setup(t)
+	// All-negative weights normalize to zero and must be rejected.
+	if _, err := NewUpdateMix(m, loc, nil, MixConfig{QueryWeight: -1, InsertWeight: -1, DeleteWeight: -1}); err == nil {
+		t.Error("weightless mix accepted")
+	}
+}

@@ -33,9 +33,10 @@ go test -race ./...
 
 echo "== parallel benchmark smoke =="
 # One iteration of the concurrent-query benchmarks: proves the session API
-# still runs the parallel path (the race tests above prove it is safe), and
-# of the serving-layer benchmarks (handler chain cold and cache-hit).
-go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN' -benchtime=1x .
+# still runs the parallel path (the race tests above prove it is safe), of
+# the serving-layer benchmarks (handler chain cold and cache-hit), and of
+# the update-mix benchmark (queries interleaved with epoch publications).
+go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN|KNNUnderUpdates' -benchtime=1x .
 
 echo "== debug endpoint smoke =="
 # skbench -debug-addr must serve the published surfknn counter group on
@@ -94,14 +95,33 @@ if [ -z "$addr" ]; then
     cat /tmp/skserve.check.out >&2
     exit 1
 fi
-curl -fsS "http://$addr/v1/healthz" | grep -q '"status":"ok"'
+healthz=$(curl -fsS "http://$addr/v1/healthz")
+printf '%s' "$healthz" | grep -q '"status":"ok"'
+printf '%s' "$healthz" | grep -q '"epoch"'
 knn=$(curl -fsS -X POST "http://$addr/v1/knn" -d '{"x":800,"y":800,"k":3}')
 if ! printf '%s' "$knn" | grep -q '"neighbors"'; then
     echo "/v1/knn returned no neighbors: $knn" >&2
     exit 1
 fi
+# Dynamic objects over HTTP: an upsert must bump the epoch, and the next
+# query — served against the new epoch, not the cached epoch-0 entry —
+# must both see the new object and carry the newer epoch in X-Epoch.
+epoch0=$(curl -fsSi -X POST "http://$addr/v1/knn" -d '{"x":800,"y":800,"k":3}' \
+    | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+curl -fsS -X POST "http://$addr/v1/objects" \
+    -d '{"objects":[{"id":9001,"x":800,"y":800}]}' | grep -q '"epoch":1'
+knn2=$(curl -fsSi -X POST "http://$addr/v1/knn" -d '{"x":800,"y":800,"k":3}')
+epoch1=$(printf '%s' "$knn2" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+if [ "${epoch0:-}" != "0" ] || [ "${epoch1:-}" != "1" ]; then
+    echo "X-Epoch did not advance across an upsert (before=$epoch0 after=$epoch1)" >&2
+    exit 1
+fi
+if ! printf '%s' "$knn2" | grep -q '"id":9001'; then
+    echo "post-upsert /v1/knn does not see object 9001: $knn2" >&2
+    exit 1
+fi
 vars=$(curl -fsS "http://$addr/debug/vars")
-for needle in '"surfknn_server"' '"requests"' '"cache"'; do
+for needle in '"surfknn_server"' '"requests"' '"cache"' '"objects"' '"epochs_created"'; do
     if ! printf '%s' "$vars" | grep -q "$needle"; then
         echo "/debug/vars is missing $needle" >&2
         printf '%s\n' "$vars" >&2
@@ -122,7 +142,7 @@ echo "== fuzz smoke =="
 # shallow mutations without stalling the gate. -fuzzminimizetime is capped
 # because minimising a large interesting input re-runs the target
 # thousands of times (see internal/core/fuzz_targets_test.go).
-for target in FuzzLoadSnapshot FuzzMR3Invariants FuzzDistanceRangeInvariants; do
+for target in FuzzLoadSnapshot FuzzMR3Invariants FuzzDistanceRangeInvariants FuzzObjstoreEquivalence; do
     go test ./internal/core -run '^$' -fuzz "^${target}\$" -fuzztime 5s -fuzzminimizetime=5x
 done
 

@@ -14,9 +14,12 @@
 //	q, _    := db.SurfacePointAt(surfknn.Vec2{X: 800, Y: 800})
 //	res, _  := db.MR3(q, 5, surfknn.S1, surfknn.Options{})
 //
-// A TerrainDB is immutable once objects are installed, so queries can run
-// concurrently. For repeated, cancellable, or concurrent querying, create
-// one Session per goroutine instead of calling the one-shot forms:
+// The terrain itself is immutable once built, so queries always run
+// concurrently. The object set is versioned: Insert, Delete and Upsert on
+// the TerrainDB's ObjectStore publish a new immutable epoch while in-flight
+// queries keep reading the epoch they pinned — no locks on the query path,
+// no stop-the-world. For repeated, cancellable, or concurrent querying,
+// create one Session per goroutine instead of calling the one-shot forms:
 //
 //	s := db.NewSession(ctx)
 //	for _, q := range queries {
@@ -38,6 +41,7 @@ import (
 	"surfknn/internal/geodesic"
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/objstore"
 	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
 	"surfknn/internal/stats"
@@ -128,12 +132,26 @@ type (
 	// Session is a per-query handle on a TerrainDB: it carries a
 	// context.Context for cancellation/deadlines and owns the reusable
 	// per-query scratch (candidate state, Dijkstra buffers, page
-	// accounting). A TerrainDB is immutable after SetObjects, so any number
-	// of sessions may query it concurrently — one goroutine per Session.
+	// accounting). The terrain is immutable and each query pins one object
+	// epoch for its whole run, so any number of sessions may query (and the
+	// object set may be updated) concurrently — one goroutine per Session.
 	// Create one with (*TerrainDB).NewSession; the query methods on
 	// TerrainDB itself are one-shot shorthands that allocate a throwaway
 	// session per call.
 	Session = core.Session
+)
+
+// Dynamic objects. Every TerrainDB owns a versioned object store; updates
+// publish new immutable epochs while queries keep reading the one they
+// pinned (see DESIGN.md, "Dynamic objects & epochs").
+type (
+	// ObjectStore is the epoch-versioned object store behind a TerrainDB.
+	// Obtain it with (*TerrainDB).ObjectStore; Insert/Delete/Upsert each
+	// publish a new epoch visible to subsequent queries only.
+	ObjectStore = objstore.Store
+	// ObjectEpoch is one immutable version of the object set. Pin returns
+	// one; Release it when done so its memory can be reclaimed.
+	ObjectEpoch = objstore.Epoch
 )
 
 // The paper's three step-length schedules.
