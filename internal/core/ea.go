@@ -40,6 +40,8 @@ func (s *Session) EACtx(ctx context.Context, q mesh.SurfacePoint, k int) (Result
 
 // ea runs the benchmark's four steps, phased the same way as MR3 so cost
 // breakdowns of the two algorithms line up phase by phase.
+//
+//sklint:hotpath
 func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
 	db := s.db
 	if err := s.interrupted(); err != nil {

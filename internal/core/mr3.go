@@ -62,6 +62,8 @@ func (s *Session) MR3Ctx(ctx context.Context, q mesh.SurfacePoint, k int, sched 
 
 // mr3 runs the four MR3 steps, each under its own cost phase, reading
 // objects through the epoch pinned at beginQuery.
+//
+//sklint:hotpath
 func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) ([]Neighbor, error) {
 	if err := s.interrupted(); err != nil {
 		return nil, err

@@ -114,6 +114,8 @@ type ranker struct {
 // into the session's open cost phase. A non-nil error means a paged fetch
 // failed, in which case the bounds are unreliable and the query must not
 // pretend to have an answer.
+//
+//sklint:hotpath
 func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, tighten bool) ([]Neighbor, error) {
 	opt = opt.withDefaults()
 	if k > len(objs) {

@@ -7,6 +7,8 @@ var Inf = math.Inf(1)
 
 // Dijkstra computes single-source shortest distances from src to every
 // vertex. Unreachable vertices get Inf.
+//
+//sklint:hotpath
 func Dijkstra(g *Graph, src int) []float64 {
 	dist := make([]float64, g.NumVertices())
 	for i := range dist {
@@ -71,6 +73,8 @@ func DijkstraTarget(g *Graph, src, dst int) (float64, []int) {
 // DijkstraBounded computes shortest distances from src, abandoning any
 // vertex whose distance exceeds bound. Vertices beyond the bound report
 // Inf. This implements the search-region truncation MR3 relies on.
+//
+//sklint:hotpath
 func DijkstraBounded(g *Graph, src int, bound float64) []float64 {
 	dist := make([]float64, g.NumVertices())
 	for i := range dist {

@@ -230,6 +230,8 @@ func splitInternal(n *node) *node {
 
 // Range returns all items inside region (inclusive of the boundary),
 // charging node visits to visits (nil to skip counting).
+//
+//sklint:hotpath
 func (t *RTree) Range(region geom.MBR, visits *int64) []Item {
 	var out []Item
 	t.rangeScan(t.root, region, visits, &out)
@@ -255,6 +257,8 @@ func (t *RTree) rangeScan(n *node, region geom.MBR, visits *int64, out *[]Item) 
 
 // WithinDist returns the items within Euclidean distance r of center — the
 // circular range query of MR3's step 3 — charging node visits to visits.
+//
+//sklint:hotpath
 func (t *RTree) WithinDist(center geom.Vec2, r float64, visits *int64) []Item {
 	var out []Item
 	t.within(t.root, center, r, visits, &out)
@@ -314,6 +318,8 @@ func (t *RTree) KNN(q geom.Vec2, k int, visits *int64) []Item {
 // (and possibly short) prefix. Node visits are charged exactly as in KNN —
 // with a nil or all-true keep the control flow is identical, which is what
 // lets a quiesced objstore epoch reproduce the static path's page counts.
+//
+//sklint:hotpath
 func (t *RTree) KNNFunc(q geom.Vec2, k int, visits *int64, keep func(Item) bool) []Item {
 	if k <= 0 || t.size == 0 {
 		return nil

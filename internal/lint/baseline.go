@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the committed inventory of accepted hotpath-alloc findings:
+// position-independent keys ("<func>\t<alloc-kind>") mapped to how many
+// sites carry that key. It exists so the hot path can be annotated before
+// it is allocation-free: known debt is recorded, new debt fails sklint,
+// and removing an allocation lets -write-baseline shrink the file — the
+// ratchet only turns one way. Keys deliberately omit positions so
+// unrelated edits that shift lines do not churn the file.
+type Baseline map[string]int
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so a repo (or fixture tree) without one demands a clean run.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the baseline with sorted keys, one per line, so
+// diffs of the committed file review cleanly.
+func WriteBaseline(path string, b Baseline) error {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte("{\n")
+	for i, k := range keys {
+		kj, _ := json.Marshal(k) //lint:ignore dropped-error marshaling a plain string cannot fail
+		buf = append(buf, "  "...)
+		buf = append(buf, kj...)
+		buf = append(buf, fmt.Sprintf(": %d", b[k])...)
+		if i < len(keys)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "}\n"...)
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// CollectBaseline turns a diagnostic list into the baseline that would
+// accept exactly those findings.
+func CollectBaseline(diags []Diagnostic) Baseline {
+	b := Baseline{}
+	for _, d := range diags {
+		if d.Key != "" {
+			b[d.Key]++
+		}
+	}
+	return b
+}
+
+// ApplyBaseline splits diags into kept (not covered) and suppressed
+// (covered). Each occurrence of a key consumes one unit of its baseline
+// count: a key whose count grows from 2 to 3 keeps one diagnostic — the
+// growth — while the accepted two stay suppressed. Diagnostics without a
+// key (every rule but hotpath-alloc) pass through untouched: only the
+// allocation ratchet is baselineable.
+func ApplyBaseline(b Baseline, diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	remaining := make(Baseline, len(b))
+	for k, v := range b {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		if d.Key != "" && remaining[d.Key] > 0 {
+			remaining[d.Key]--
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

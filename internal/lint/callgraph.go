@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"sort"
+
+	"go/types"
+)
+
+// CallGraph is the module-wide static call graph over phase-1 facts: an
+// edge A → B exists when A's body contains a statically resolved call to
+// B and B is a module function (has facts). Dynamic calls (function
+// values, interface dispatch) have no edges — the alloc facts already
+// mark them at the call site, so transitive analyses stay sound without
+// chasing targets they cannot resolve.
+type CallGraph struct {
+	edges map[*types.Func][]*types.Func
+}
+
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{edges: make(map[*types.Func][]*types.Func, len(m.Funcs))}
+	for fn, ff := range m.Funcs {
+		seen := make(map[*types.Func]bool)
+		var out []*types.Func
+		for _, c := range ff.Calls {
+			if c.Dynamic || c.Callee == nil || seen[c.Callee] {
+				continue
+			}
+			if _, inModule := m.Funcs[c.Callee]; !inModule {
+				continue
+			}
+			seen[c.Callee] = true
+			out = append(out, c.Callee)
+		}
+		// Deterministic edge order regardless of package load order.
+		sort.Slice(out, func(i, j int) bool { return FuncID(out[i]) < FuncID(out[j]) })
+		g.edges[fn] = out
+	}
+	return g
+}
+
+// Callees returns fn's static module-local callees in deterministic order.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.edges[fn] }
+
+// ReachableFrom returns every module function reachable from root
+// (including root itself) along static call edges, with the predecessor
+// map of the breadth-first traversal — PathTo reconstructs a shortest
+// call chain from it.
+func (g *CallGraph) ReachableFrom(root *types.Func) (map[*types.Func]bool, map[*types.Func]*types.Func) {
+	visited := map[*types.Func]bool{root: true}
+	pred := make(map[*types.Func]*types.Func)
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.edges[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			pred[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	return visited, pred
+}
+
+// PathTo renders the call chain root → ... → fn recorded by a
+// ReachableFrom predecessor map, as " → "-joined FuncIDs.
+func PathTo(pred map[*types.Func]*types.Func, fn *types.Func) string {
+	var rev []string
+	for cur := fn; cur != nil; cur = pred[cur] {
+		rev = append(rev, FuncID(cur))
+	}
+	s := ""
+	for i := len(rev) - 1; i >= 0; i-- {
+		if s != "" {
+			s += " → "
+		}
+		s += rev[i]
+	}
+	return s
+}

@@ -2,17 +2,28 @@
 //
 // MR3's pruning correctness rests on invariants the Go type system cannot
 // express: surface-distance lower bounds must only grow and upper bounds
-// only shrink across LOD refinement, and any silently swallowed error from
-// a distance or fetch computation can turn a bound into garbage without a
-// test noticing. sklint encodes the coding conventions that protect those
-// invariants as machine-checked rules, run over the whole module by
-// scripts/check.sh and CI.
+// only shrink across LOD refinement, every pinned object epoch and pooled
+// session must be released on every path, and any silently swallowed error
+// from a distance or fetch computation can turn a bound into garbage
+// without a test noticing. sklint encodes the coding conventions that
+// protect those invariants as machine-checked rules, run over the whole
+// module by scripts/check.sh and CI.
+//
+// Analysis runs in two phases. Phase 1 loads and type-checks every package
+// and exports per-function facts — may-allocate, accepts-context,
+// acquires/releases which pooled resource — keyed by types.Object, plus a
+// module-wide call graph resolved through the loader's package set (see
+// facts.go and callgraph.go). Phase 2 runs the rules: PackageRules inspect
+// one package at a time with purely local knowledge; ModuleRules consume
+// the phase-1 facts and can reason across package boundaries (transitive
+// allocation on //sklint:hotpath paths, resource pairing, context flow).
 //
 // The framework is stdlib-only (go/parser + go/types with the "source"
-// importer) per the repo charter. Rules implement the Rule interface and
-// are registered in rules.go; diagnostics are position-keyed and can be
-// suppressed with a `//lint:ignore <rule> <reason>` comment on the same
-// line or the line directly above the offending code.
+// importer) per the repo charter. Rules implement PackageRule or
+// ModuleRule and are registered in rules.go; diagnostics are
+// position-keyed and can be suppressed with a
+// `//lint:ignore <rule>[,<rule>...] <reason>` comment on the same line or
+// the line directly above the offending code.
 package lint
 
 import (
@@ -23,11 +34,14 @@ import (
 	"sort"
 )
 
-// Diagnostic is one finding, keyed to a source position.
+// Diagnostic is one finding, keyed to a source position. Key, when
+// non-empty, is a position-independent identity used by the baseline
+// ratchet (currently only hotpath-alloc sets it).
 type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	Key     string
 }
 
 func (d Diagnostic) String() string {
@@ -50,35 +64,61 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Rule is one analysis pass over a type-checked package.
+// Rule is the common identity of every analysis. Concrete rules implement
+// exactly one of PackageRule (phase-2, package-local) or ModuleRule
+// (phase-2, fact- and call-graph-driven).
 type Rule interface {
 	// Name is the short kebab-case identifier used in output and in
 	// //lint:ignore directives.
 	Name() string
 	// Doc is a one-line description shown by `sklint -rules`.
 	Doc() string
+}
+
+// PackageRule is one analysis pass over a single type-checked package.
+type PackageRule interface {
+	Rule
 	// Check inspects the package and reports findings.
 	Check(p *Package, report func(pos token.Pos, format string, args ...any))
 }
 
-// Run applies every rule to every package and returns the surviving
-// diagnostics (ignore directives applied), sorted by position.
+// ModuleRule is one analysis pass over the whole module: it consumes the
+// phase-1 facts and call graph and may relate code across packages. The
+// reporter takes the package owning pos (for position resolution and
+// ignore matching) and an optional position-independent baseline key
+// ("" for rules without baseline support).
+type ModuleRule interface {
+	Rule
+	CheckModule(m *Module, report func(p *Package, pos token.Pos, key, format string, args ...any))
+}
+
+// Run applies every rule to the packages and returns the surviving
+// diagnostics (ignore directives applied), sorted by position. Module
+// rules see all packages at once; the module facts and call graph are
+// built exactly once, and only when some enabled rule needs them.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	var diags []Diagnostic
+	ignores := make(map[*Package]ignoreSet, len(pkgs))
 	for _, p := range pkgs {
-		ignores := collectIgnores(p)
+		set, bad := collectIgnores(p, knownRuleNames())
+		ignores[p] = set
+		diags = append(diags, bad...)
 		for _, err := range p.TypeErrors {
 			diags = append(diags, Diagnostic{
-				Pos:     typeErrorPos(p.Fset, err),
+				Pos:     typeErrorPos(p, err),
 				Rule:    "typecheck",
 				Message: err.Error(),
 			})
 		}
 		for _, r := range rules {
-			rule := r
+			pr, ok := r.(PackageRule)
+			if !ok {
+				continue
+			}
+			rule := pr
 			report := func(pos token.Pos, format string, args ...any) {
 				position := p.Fset.Position(pos)
-				if ignores.match(position, rule.Name()) {
+				if ignores[p].match(position, rule.Name()) {
 					return
 				}
 				diags = append(diags, Diagnostic{
@@ -90,6 +130,39 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 			rule.Check(p, report)
 		}
 	}
+
+	var mod *Module
+	for _, r := range rules {
+		mr, ok := r.(ModuleRule)
+		if !ok {
+			continue
+		}
+		if mod == nil {
+			mod = BuildModule(pkgs)
+		}
+		rule := mr
+		report := func(p *Package, pos token.Pos, key, format string, args ...any) {
+			position := p.Fset.Position(pos)
+			if ignores[p].match(position, rule.Name()) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     position,
+				Rule:    rule.Name(),
+				Message: fmt.Sprintf(format, args...),
+				Key:     key,
+			})
+		}
+		rule.CheckModule(mod, report)
+	}
+
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, rule) — the
+// stable output order of the analyzer.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -103,14 +176,22 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags
 }
 
-func typeErrorPos(fset *token.FileSet, err error) token.Position {
+// typeErrorPos locates a type-checker error. Non-types.Error values carry
+// no position of their own, so they fall back to the package's first file
+// — a diagnostic must always name a file, or the CI annotation pointing at
+// it is unroutable.
+func typeErrorPos(p *Package, err error) token.Position {
 	if te, ok := err.(types.Error); ok {
 		return te.Fset.Position(te.Pos)
 	}
-	return token.Position{}
+	for _, f := range p.Files {
+		if f.Pos().IsValid() {
+			return p.Fset.Position(f.Pos())
+		}
+	}
+	return token.Position{Filename: p.Dir}
 }
 
 // errorIface is the method set of the universe error type, used by rules
@@ -131,4 +212,14 @@ func isFloatType(t types.Type) bool {
 	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
 }

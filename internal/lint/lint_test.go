@@ -2,6 +2,8 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -85,7 +87,14 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
 	}
 	diags := Run(pkgs, AllRules())
-	for _, d := range diags {
+	// The committed baseline accepts the current hotpath-alloc debt — the
+	// same application cmd/sklint performs. Everything else must be clean.
+	baseline, err := LoadBaseline(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := ApplyBaseline(baseline, diags)
+	for _, d := range kept {
 		t.Errorf("%s", d)
 	}
 }
@@ -103,6 +112,9 @@ func TestRuleRegistry(t *testing.T) {
 		"obs-atomic",
 		"ctx-background",
 		"objstore-write",
+		"hotpath-alloc",
+		"pin-release",
+		"ctx-flow",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {
@@ -138,4 +150,128 @@ func position(file string, line int) (p token.Position) {
 	p.Filename = file
 	p.Line = line
 	return p
+}
+
+func parseTestPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Dir: "fixture", Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestIgnoreDirectives covers the directive grammar: comma-separated rule
+// lists suppress each named rule, unknown rule names are themselves
+// findings (an inert suppression is a trap for its author), and a typo in
+// one name must not disarm the valid names beside it.
+func TestIgnoreDirectives(t *testing.T) {
+	p := parseTestPackage(t, `package x
+
+//lint:ignore dropped-error,float-eq shared scratch value
+var A = 1
+
+//lint:ignore bogus-rule,pin-release half typo half real
+var B = 2
+
+//lint:ignore dropped-error
+var C = 3
+`)
+	set, bad := collectIgnores(p, knownRuleNames())
+
+	if !set.match(position("fixture.go", 4), "dropped-error") {
+		t.Error("comma list: dropped-error not suppressed on the line below")
+	}
+	if !set.match(position("fixture.go", 4), "float-eq") {
+		t.Error("comma list: float-eq not suppressed")
+	}
+	if set.match(position("fixture.go", 4), "pin-release") {
+		t.Error("comma list must only suppress the named rules")
+	}
+	if !set.match(position("fixture.go", 7), "pin-release") {
+		t.Error("a typo next to a valid name must not disarm the valid name")
+	}
+
+	var unknown, malformed int
+	for _, d := range bad {
+		if d.Rule != directiveRule {
+			t.Errorf("bad-directive diagnostic under rule %q, want %q", d.Rule, directiveRule)
+		}
+		switch {
+		case strings.Contains(d.Message, "unknown rule"):
+			unknown++
+			if !strings.Contains(d.Message, "bogus-rule") {
+				t.Errorf("unknown-rule diagnostic does not name the rule: %s", d.Message)
+			}
+		case strings.Contains(d.Message, "malformed"):
+			malformed++
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("got %d unknown-rule diagnostics, want 1", unknown)
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed diagnostics, want 1 (reason is mandatory)", malformed)
+	}
+}
+
+// TestTypeErrorPos pins the satellite fix: a non-types.Error must fall
+// back to the package's first file, never a zero Position — CI routes
+// annotations by filename, and "" routes nowhere.
+func TestTypeErrorPos(t *testing.T) {
+	p := parseTestPackage(t, "package x\n")
+	pos := typeErrorPos(p, fmt.Errorf("importer exploded"))
+	if pos.Filename != "fixture.go" {
+		t.Errorf("fallback position = %q, want the package's first file", pos.Filename)
+	}
+	empty := &Package{Dir: "somewhere", Fset: token.NewFileSet()}
+	pos = typeErrorPos(empty, fmt.Errorf("no files at all"))
+	if pos.Filename != "somewhere" {
+		t.Errorf("fileless fallback = %q, want the package dir", pos.Filename)
+	}
+}
+
+// TestBaselineRatchet covers the one-way ratchet semantics: covered
+// findings are suppressed count-by-count, growth surfaces exactly the
+// excess, and un-keyed diagnostics are never baselineable.
+func TestBaselineRatchet(t *testing.T) {
+	d := func(key string) Diagnostic {
+		return Diagnostic{Pos: position("f.go", 1), Rule: "hotpath-alloc", Key: key}
+	}
+	b := Baseline{"f\tmake": 2}
+	kept, suppressed := ApplyBaseline(b, []Diagnostic{d("f\tmake"), d("f\tmake"), d("f\tmake")})
+	if len(kept) != 1 || len(suppressed) != 2 {
+		t.Errorf("growth: kept %d suppressed %d, want 1/2", len(kept), len(suppressed))
+	}
+	kept, _ = ApplyBaseline(b, []Diagnostic{d("f\tmake")})
+	if len(kept) != 0 {
+		t.Errorf("shrink: kept %d, want 0", len(kept))
+	}
+	unkeyed := Diagnostic{Pos: position("f.go", 2), Rule: "pin-release"}
+	kept, _ = ApplyBaseline(Baseline{"\t": 5}, []Diagnostic{unkeyed})
+	if len(kept) != 1 {
+		t.Error("un-keyed diagnostics must pass through the baseline")
+	}
+}
+
+// TestBaselineRoundTrip checks the file format survives write → load and
+// that a missing file reads as an empty (strict) baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	want := Baseline{"a\tmake": 2, "b\tappend": 1}
+	if err := WriteBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got["a\tmake"] != 2 || got["b\tappend"] != 1 {
+		t.Errorf("round trip: got %v, want %v", got, want)
+	}
+	missing, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(missing) != 0 {
+		t.Errorf("missing file: got %v, %v; want empty baseline, nil error", missing, err)
+	}
 }

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -85,9 +87,15 @@ func (l *Loader) loadDir(root, modPath, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if !fileNameIncluded(name) {
+			continue
+		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !buildConstraintsSatisfied(f) {
+			continue
 		}
 		files = append(files, f)
 	}
@@ -115,6 +123,84 @@ func (l *Loader) loadDir(root, modPath, dir string) (*Package, error) {
 	//lint:ignore dropped-error type errors are captured via conf.Error and reported as typecheck diagnostics
 	p.Pkg, _ = conf.Check(importPath, l.fset, files, info)
 	return p, nil
+}
+
+// knownOS and knownArch drive the go tool's implicit filename constraints
+// (x_linux.go builds only on linux); the loader honours the same rule so a
+// build-tag-partitioned package type-checks as one coherent file set
+// instead of tripping over duplicate platform-specific declarations.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileNameIncluded applies the _GOOS / _GOARCH / _GOOS_GOARCH filename
+// convention against the host platform.
+func fileNameIncluded(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	// Trailing _GOARCH, possibly preceded by _GOOS. The first segment is
+	// never a constraint (the go tool ignores a leading "linux_foo.go").
+	if len(parts) > 1 && knownArch[parts[len(parts)-1]] {
+		if parts[len(parts)-1] != runtime.GOARCH {
+			return false
+		}
+		parts = parts[:len(parts)-1]
+	}
+	if len(parts) > 1 && knownOS[parts[len(parts)-1]] {
+		return parts[len(parts)-1] == runtime.GOOS
+	}
+	return true
+}
+
+// buildConstraintsSatisfied evaluates the file's //go:build (or legacy
+// // +build) constraint against the host platform tag set. A file whose
+// constraint is false is excluded exactly as `go build` would exclude it
+// — type-checking it alongside the selected variant would report phantom
+// duplicate declarations.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let the type checker complain
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "illumos",
+			"ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+		return false
+	}
+	// Release tags: the analyzer always runs on a current toolchain, so
+	// every go1.N gate the module could legally use is satisfied.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func modulePath(root string) (string, error) {

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxFlow enforces context threading: a function that already receives a
+// context.Context must pass it on, not mint a fresh root or drop it.
+// Three findings inside ctx-holding functions:
+//
+//   - a call to context.Background() or context.TODO(): the new root
+//     detaches the callee from the caller's deadline and cancellation.
+//     The one sanctioned shape is the nil-guard default
+//     `if ctx == nil { ctx = context.Background() }`, which only runs
+//     when there is no caller context to lose;
+//   - a literal nil passed where a callee declares a context.Context
+//     parameter — same detachment, one level down;
+//   - a call to a module function F when a sibling FCtx (same package,
+//     same receiver, name + "Ctx", taking a context) exists: the
+//     convenience wrapper exists precisely for callers without a ctx,
+//     and a caller holding one must use the Ctx variant.
+//
+// The rule is module-wide because the sibling check needs the full
+// function inventory from phase 1.
+type ctxFlow struct{}
+
+func (ctxFlow) Name() string { return "ctx-flow" }
+func (ctxFlow) Doc() string {
+	return "functions holding a ctx must thread it: no fresh Background/TODO, no nil ctx args, no non-Ctx siblings"
+}
+
+func (ctxFlow) CheckModule(m *Module, report func(p *Package, pos token.Pos, key, format string, args ...any)) {
+	siblings := buildCtxSiblings(m)
+	for _, ff := range m.SortedFuncs() {
+		if ff.CtxParam < 0 {
+			continue
+		}
+		checkCtxFlow(m, ff, siblings, report)
+	}
+}
+
+// ctxSiblingKey identifies a function by package, receiver type name
+// (empty for plain functions) and name, so MR3 can be paired with MR3Ctx
+// on the same receiver in the same package.
+type ctxSiblingKey struct {
+	pkg  string
+	recv string
+	name string
+}
+
+func siblingKeyFor(fn *types.Func) ctxSiblingKey {
+	k := ctxSiblingKey{name: fn.Name()}
+	if fn.Pkg() != nil {
+		k.pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		k.recv = namedTypeName(sig.Recv().Type())
+	}
+	return k
+}
+
+func funcTakesCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCtxSiblings maps every module function F without a ctx parameter
+// to its FCtx sibling that has one.
+func buildCtxSiblings(m *Module) map[*types.Func]*types.Func {
+	byKey := make(map[ctxSiblingKey]*types.Func, len(m.Funcs))
+	for fn := range m.Funcs {
+		byKey[siblingKeyFor(fn)] = fn
+	}
+	out := make(map[*types.Func]*types.Func)
+	for fn := range m.Funcs {
+		if funcTakesCtx(fn) {
+			continue
+		}
+		k := siblingKeyFor(fn)
+		k.name += "Ctx"
+		if sib, ok := byKey[k]; ok && funcTakesCtx(sib) {
+			out[fn] = sib
+		}
+	}
+	return out
+}
+
+// ctxParamVar returns the *types.Var of fd's context parameter, nil when
+// the parameter is unnamed or blank.
+func ctxParamVar(p *Package, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// nilGuardRanges collects the body spans of `if ctx == nil { ... }`
+// statements — the sanctioned place to default a missing context.
+func nilGuardRanges(p *Package, body *ast.BlockStmt, ctxVar *types.Var) [][2]token.Pos {
+	if ctxVar == nil {
+		return nil
+	}
+	var spans [][2]token.Pos
+	isCtx := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == ctxVar
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := p.Info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		if (isCtx(cond.X) && isNil(cond.Y)) || (isNil(cond.X) && isCtx(cond.Y)) {
+			spans = append(spans, [2]token.Pos{ifStmt.Body.Pos(), ifStmt.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if s[0] <= pos && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxFlow(m *Module, ff *FuncFacts, siblings map[*types.Func]*types.Func, report func(p *Package, pos token.Pos, key, format string, args ...any)) {
+	p := ff.Pkg
+	guards := nilGuardRanges(p, ff.Decl.Body, ctxParamVar(p, ff.Decl))
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		var callee *types.Func
+		if isSel {
+			callee, _ = p.Info.Uses[sel.Sel].(*types.Func)
+		} else if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+			callee, _ = p.Info.Uses[id].(*types.Func)
+		}
+		if callee == nil {
+			return true
+		}
+		if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "context" &&
+			(callee.Name() == "Background" || callee.Name() == "TODO") {
+			if !inSpans(guards, call.Pos()) {
+				report(p, call.Pos(),
+					"", "context.%s() called in %s, which already has a ctx parameter; thread the caller's ctx instead",
+					callee.Name(), FuncID(ff.Fn))
+			}
+			return true
+		}
+		// Literal nil where the callee wants a context.
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			n := sig.Params().Len()
+			for i, arg := range call.Args {
+				pi := i
+				if sig.Variadic() && pi >= n-1 {
+					pi = n - 1
+				}
+				if pi >= n || !isContextType(sig.Params().At(pi).Type()) {
+					continue
+				}
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if _, isNilObj := p.Info.Uses[id].(*types.Nil); isNilObj {
+						report(p, arg.Pos(),
+							"", "nil passed as the context argument of %s from ctx-holding %s; pass ctx",
+							callee.Name(), FuncID(ff.Fn))
+					}
+				}
+			}
+		}
+		// Non-Ctx convenience variant called while a ctx is in hand.
+		if sib, ok := siblings[callee]; ok {
+			report(p, call.Pos(),
+				"", "%s calls %s but holds a ctx; call %s and pass it",
+				FuncID(ff.Fn), callee.Name(), sib.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,62 @@
+package lint
+
+import "go/token"
+
+// hotpathAlloc enforces the //sklint:hotpath annotation contract: an
+// annotated function must not allocate — directly or transitively through
+// the static call graph. The warm KNN serving path (MR3/EA ranking,
+// pathnet Dijkstra, R-tree traversal) is annotated; every allocation that
+// survives on it is either removed or carried in the committed baseline
+// (lint.baseline.json), which only ratchets down — sklint fails when a key's
+// count grows, keeping the ROADMAP's zero-alloc SoA refactor honest about
+// where the remaining allocations live.
+//
+// Direct allocation facts come from phase 1: make/new/append, slice and
+// map literals, &composite literals, closures, map writes, string
+// concatenation, string<->[]byte conversions, interface boxing at call
+// boundaries, calls into known-allocating external packages, and dynamic
+// calls (whose targets the analyzer cannot clear). Each finding carries a
+// position-independent baseline key "<func>\t<kind>" so the ratchet
+// survives unrelated line shifts.
+type hotpathAlloc struct{}
+
+func (hotpathAlloc) Name() string { return "hotpath-alloc" }
+func (hotpathAlloc) Doc() string {
+	return "//sklint:hotpath functions must not allocate, directly or transitively (baseline-ratcheted)"
+}
+
+func (hotpathAlloc) CheckModule(m *Module, report func(p *Package, pos token.Pos, key, format string, args ...any)) {
+	type siteID struct {
+		ff  *FuncFacts
+		idx int
+	}
+	reported := make(map[siteID]bool)
+	for _, root := range m.SortedFuncs() {
+		if !root.Hotpath {
+			continue
+		}
+		reachable, pred := m.Graph.ReachableFrom(root.Fn)
+		for _, ff := range m.SortedFuncs() {
+			if !reachable[ff.Fn] {
+				continue
+			}
+			for i, site := range ff.Allocs {
+				id := siteID{ff, i}
+				if reported[id] {
+					continue
+				}
+				reported[id] = true
+				key := FuncID(ff.Fn) + "\t" + string(site.Kind)
+				if ff.Fn == root.Fn {
+					report(ff.Pkg, site.Pos, key,
+						"allocation (%s: %s) in //sklint:hotpath function %s",
+						site.Kind, site.Desc, FuncID(ff.Fn))
+					continue
+				}
+				report(ff.Pkg, site.Pos, key,
+					"allocation (%s: %s) reachable from //sklint:hotpath %s via %s",
+					site.Kind, site.Desc, FuncID(root.Fn), PathTo(pred, ff.Fn))
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package lint
 
-// AllRules returns the full rule set in a stable order.
+// AllRules returns the full rule set in a stable order. Package rules
+// first (each sees one package), then the module rules that consume
+// phase-1 facts and the call graph.
 func AllRules() []Rule {
 	return []Rule{
 		droppedError{},
@@ -12,6 +14,9 @@ func AllRules() []Rule {
 		obsAtomic{},
 		ctxBackground{},
 		objstoreWrite{},
+		hotpathAlloc{},
+		pinRelease{},
+		ctxFlow{},
 	}
 }
 
@@ -23,4 +28,16 @@ func RuleByName(name string) (Rule, bool) {
 		}
 	}
 	return nil, false
+}
+
+// knownRuleNames is the set of names an ignore directive may legally
+// reference: every registered rule plus the directive rule itself (so a
+// deliberately unused `//lint:ignore lint-directive ...` does not recurse
+// into nonsense) and "*".
+func knownRuleNames() map[string]bool {
+	known := map[string]bool{"*": true, directiveRule: true}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
+	return known
 }

@@ -1,0 +1,7 @@
+package adjacent
+
+// Exported is the library half of a package that also carries a _test.go
+// file referencing symbols the loader cannot resolve.
+func Exported() int { return helper() }
+
+func helper() int { return 1 }

@@ -1,0 +1,9 @@
+package adjacent
+
+import "testing"
+
+// If the loader ever parsed _test.go files, this reference to an
+// undefined symbol would surface as a typecheck diagnostic.
+func TestExported(t *testing.T) {
+	testOnlyHelperThatDoesNotExist()
+}

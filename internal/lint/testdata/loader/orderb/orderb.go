@@ -1,0 +1,11 @@
+package orderb
+
+// Grow exists to give this package distinctive phase-1 facts for the
+// load-order determinism test.
+func Grow(xs []int) []int { return append(xs, len(xs)) }
+
+func Pairs() map[string]int {
+	m := make(map[string]int)
+	m["a"] = 1
+	return m
+}

@@ -1,0 +1,6 @@
+package tagged
+
+// Always is present on every platform and uses the platform-partitioned
+// osDep, so the package only type-checks if the loader selected exactly
+// one variant.
+func Always() string { return "always-" + osDep() }

@@ -1,0 +1,5 @@
+package tagged
+
+// Excluded by the _wasip1 filename suffix everywhere the analyzer runs;
+// including it would duplicate Always.
+func Always() string { return "wasi" }

@@ -1,0 +1,9 @@
+//go:build never_enabled_tag
+
+package tagged
+
+// Always duplicates the declaration in base.go and does not even
+// type-check; the loader must never include this file.
+func Always() string { return 0 }
+
+func NeverBuilt() {}

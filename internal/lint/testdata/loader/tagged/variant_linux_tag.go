@@ -1,0 +1,5 @@
+//go:build linux
+
+package tagged
+
+func osDep() string { return "linux" }

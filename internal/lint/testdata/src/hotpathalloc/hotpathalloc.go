@@ -1,0 +1,50 @@
+// Package hotpathalloc is the hotpath-alloc fixture: a function annotated
+// //sklint:hotpath must not allocate, directly or transitively through the
+// static call graph. Unannotated functions may allocate freely.
+package hotpathalloc
+
+// sum is allocation-free: pure arithmetic over an existing slice.
+//
+//sklint:hotpath
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// gather allocates directly (make) and transitively (grow's append).
+//
+//sklint:hotpath
+func gather(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = grow(out, i)
+	}
+	return out
+}
+
+func grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// label allocates through string concatenation.
+//
+//sklint:hotpath
+func label(a, b string) string {
+	return a + b
+}
+
+// notHot is off the hot path; its allocations are nobody's business.
+func notHot() []int {
+	m := map[string]int{"a": 1}
+	return append([]int{}, m["a"])
+}
+
+// suppressed records accepted debt inline rather than in the baseline.
+//
+//sklint:hotpath
+func suppressed() *int {
+	return new(int) //lint:ignore hotpath-alloc scratch cell accepted until the SoA refactor
+}

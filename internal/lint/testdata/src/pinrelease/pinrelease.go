@@ -1,0 +1,141 @@
+// Package pinrelease is the pin-release fixture: every acquired epoch
+// pin, pooled session and buffer-pool frame must reach its matching
+// release on all paths out of the acquiring function. The local types
+// model the real objstore.Store / core.TerrainDB / storage.BufferPool
+// protocols — the rule matches by receiver type and method name, which is
+// what lets this fixture stay self-contained.
+package pinrelease
+
+type Epoch struct{ refs int }
+
+func (e *Epoch) Release()     {}
+func (e *Epoch) Table() []int { return nil }
+
+type Store struct{}
+
+func (s *Store) Pin() *Epoch { return &Epoch{} }
+
+type Session struct{}
+
+type TerrainDB struct{}
+
+func (db *TerrainDB) AcquireSession() *Session { return &Session{} }
+func (db *TerrainDB) Release(s *Session)       {}
+
+type Frame struct{ Data []byte }
+
+type BufferPool struct{}
+
+func (bp *BufferPool) Get(id int) (*Frame, error)  { return &Frame{}, nil }
+func (bp *BufferPool) Alloc() (*Frame, error)      { return &Frame{}, nil }
+func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {}
+
+// ---- findings ----
+
+func leakOnEarlyReturn(s *Store, cond bool) int {
+	e := s.Pin()
+	if cond {
+		return 0 // e is still pinned here
+	}
+	e.Release()
+	return 1
+}
+
+func leakSession(db *TerrainDB, n int) int {
+	sess := db.AcquireSession()
+	if n > 0 {
+		return n // sess never goes back to the pool
+	}
+	db.Release(sess)
+	return 0
+}
+
+func heldAcrossCallback(bp *BufferPool, fn func([]byte)) error {
+	fr, err := bp.Get(1)
+	if err != nil {
+		return err
+	}
+	fn(fr.Data) // a panicking fn leaks the pin: the Unpin below never runs
+	bp.Unpin(fr, false)
+	return nil
+}
+
+func discarded(s *Store) {
+	s.Pin()     // result not captured
+	_ = s.Pin() // blank assignment is the same leak
+}
+
+func leakInLoop(bp *BufferPool, ids []int) error {
+	for _, id := range ids {
+		fr, err := bp.Get(id)
+		if err != nil {
+			return err
+		}
+		_ = fr.Data
+		// missing Unpin: the next iteration acquires a fresh frame
+	}
+	return nil
+}
+
+func leakAtPanic(s *Store, bad bool) {
+	e := s.Pin()
+	if bad {
+		panic("pinrelease: invariant broken") // unwinds with e pinned
+	}
+	e.Release()
+}
+
+// ---- clean idioms ----
+
+func deferRelease(s *Store) []int {
+	e := s.Pin()
+	defer e.Release()
+	return e.Table()
+}
+
+func releaseAllPaths(bp *BufferPool, cond bool) error {
+	fr, err := bp.Get(1)
+	if err != nil {
+		return err // failed acquire holds nothing
+	}
+	if cond {
+		bp.Unpin(fr, false)
+		return nil
+	}
+	bp.Unpin(fr, true)
+	return nil
+}
+
+func ownershipReturn(s *Store) *Epoch {
+	e := s.Pin()
+	return e // the caller owns the pin now
+}
+
+type holder struct{ view *Epoch }
+
+func (h *holder) begin(s *Store) {
+	h.view = s.Pin() // stored in a field: released by the owner's teardown
+}
+
+func deferClosure(db *TerrainDB) *Session {
+	sess := db.AcquireSession()
+	defer func() { db.Release(sess) }()
+	return nil
+}
+
+func staticCallsWhileHeld(s *Store) int {
+	e := s.Pin()
+	n := len(e.Table()) // method calls on the held value keep ownership
+	e.Release()
+	return n
+}
+
+// ---- suppression ----
+
+func suppressed(s *Store, cond bool) {
+	e := s.Pin() //lint:ignore pin-release fixture demonstrates the escape hatch
+	if cond {
+		return
+	}
+	e.Release()
+}

@@ -123,6 +123,8 @@ func (q *Querier) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float6
 // link. region, when non-nil, restricts the search to vertices inside it.
 // Returns the distance and the settled target-facet vertex realising it
 // (-1 when unreachable).
+//
+//sklint:hotpath
 func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int32) {
 	q.begin()
 	p := q.p

@@ -349,29 +349,39 @@ func (t *BTree) RangeScan(lo, hi uint64, fn func(k, v uint64) bool) error {
 	}
 	// Walk leaf chain.
 	for id != InvalidPage {
-		fr, err := t.pool.Get(id, nil)
-		if err != nil {
+		nextID, done, err := t.scanLeafPage(id, lo, hi, fn)
+		if err != nil || done {
 			return err
 		}
-		p := fr.Data
-		n := count(p)
-		start, _ := leafSlot(p, lo)
-		for i := start; i < n; i++ {
-			k := leafKey(p, i)
-			if k > hi {
-				t.pool.Unpin(fr, false)
-				return nil
-			}
-			if !fn(k, leafVal(p, i)) {
-				t.pool.Unpin(fr, false)
-				return nil
-			}
-		}
-		nextID := next(p)
-		t.pool.Unpin(fr, false)
 		id = nextID
 	}
 	return nil
+}
+
+// scanLeafPage pins one leaf page, visits its entries in [lo, hi], and
+// returns the right sibling to continue at. The unpin is deferred: fn is
+// caller code, and if it panics mid-scan the pin must still come back or
+// the frame is stuck in the pool forever. done reports that the scan
+// moved past hi or fn stopped it.
+func (t *BTree) scanLeafPage(id PageID, lo, hi uint64, fn func(k, v uint64) bool) (nextID PageID, done bool, err error) {
+	fr, err := t.pool.Get(id, nil)
+	if err != nil {
+		return InvalidPage, false, err
+	}
+	defer t.pool.Unpin(fr, false)
+	p := fr.Data
+	n := count(p)
+	start, _ := leafSlot(p, lo)
+	for i := start; i < n; i++ {
+		k := leafKey(p, i)
+		if k > hi {
+			return InvalidPage, true, nil
+		}
+		if !fn(k, leafVal(p, i)) {
+			return InvalidPage, true, nil
+		}
+	}
+	return next(p), false, nil
 }
 
 // Validate walks the whole tree checking structural invariants (key order,

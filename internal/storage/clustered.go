@@ -107,18 +107,29 @@ func (c *Clustered) Fetch(region geom.MBR, level int32, acct *IOAccount, fn func
 		if !meta.mbr.Intersects(region) {
 			continue
 		}
-		fr, err := c.pool.Get(meta.id, acct)
-		if err != nil {
+		if err := c.fetchPage(meta.id, region, level, acct, fn); err != nil {
 			return err
 		}
-		n := count(fr.Data)
-		for i := 0; i < n; i++ {
-			rec := readClusterRec(fr.Data[hdrSize+i*clusterRecSize:])
-			if rec.From <= level && level < rec.To && rec.MBR.Intersects(region) {
-				fn(rec)
-			}
+	}
+	return nil
+}
+
+// fetchPage pins one data page for the duration of the record scan. The
+// unpin is deferred: fn is caller code, and a panic there must not leak
+// the pin — a permanently pinned frame is never evictable and walks the
+// pool toward ErrPoolExhausted.
+func (c *Clustered) fetchPage(id PageID, region geom.MBR, level int32, acct *IOAccount, fn func(ClusterRecord)) error {
+	fr, err := c.pool.Get(id, acct)
+	if err != nil {
+		return err
+	}
+	defer c.pool.Unpin(fr, false)
+	n := count(fr.Data)
+	for i := 0; i < n; i++ {
+		rec := readClusterRec(fr.Data[hdrSize+i*clusterRecSize:])
+		if rec.From <= level && level < rec.To && rec.MBR.Intersects(region) {
+			fn(rec)
 		}
-		c.pool.Unpin(fr, false)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"testing"
+
+	"surfknn/internal/geom"
+)
+
+// The scan entry points hand pinned-page data to caller callbacks. If a
+// callback panics, the pin must still come back — a permanently pinned
+// frame is never evictable, so each leak walks the pool one frame closer
+// to ErrPoolExhausted even after the panic is recovered upstream.
+
+func TestClusteredFetchPanickingCallbackReleasesPins(t *testing.T) {
+	bp := NewBufferPool(NewMemFile(), 64)
+	var recs []ClusterRecord
+	for i := uint64(0); i < 200; i++ {
+		recs = append(recs, ClusterRecord{
+			ID:   i,
+			MBR:  geom.MBR{MinX: float64(i), MinY: 0, MaxX: float64(i + 1), MaxY: 1},
+			From: 0,
+			To:   1,
+		})
+	}
+	c, err := BuildClustered(bp, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := geom.MBR{MinX: -1, MinY: -1, MaxX: 1000, MaxY: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("callback panic did not propagate")
+			}
+		}()
+		c.Fetch(all, 0, nil, func(r ClusterRecord) {
+			if r.ID >= 100 {
+				panic("reader gave up")
+			}
+		})
+	}()
+	if n := bp.PinnedCount(); n != 0 {
+		t.Fatalf("%d frames still pinned after panicking Fetch callback", n)
+	}
+	// The pool must still be fully usable.
+	n := 0
+	if err := c.Fetch(all, 0, nil, func(ClusterRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("post-panic fetch saw %d records, want 200", n)
+	}
+}
+
+func TestBTreeRangeScanPanickingCallbackReleasesPins(t *testing.T) {
+	bp := NewBufferPool(NewMemFile(), 64)
+	tree, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if err := tree.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("callback panic did not propagate")
+			}
+		}()
+		tree.RangeScan(0, 1999, func(k, v uint64) bool {
+			if k >= 1000 {
+				panic("reader gave up")
+			}
+			return true
+		})
+	}()
+	if n := bp.PinnedCount(); n != 0 {
+		t.Fatalf("%d frames still pinned after panicking RangeScan callback", n)
+	}
+	seen := 0
+	if err := tree.RangeScan(0, 1999, func(k, v uint64) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2000 {
+		t.Fatalf("post-panic scan saw %d keys, want 2000", seen)
+	}
+}

@@ -16,7 +16,17 @@ echo "== vet =="
 go vet ./...
 
 echo "== sklint =="
-go run ./cmd/sklint ./...
+# Machine-readable diagnostics; on GitHub CI each finding is also emitted
+# as a ::error annotation routed to the offending file and line. The
+# committed hotpath-alloc baseline (lint.baseline.json) is applied inside
+# sklint: recorded allocation debt passes, NEW debt fails — the ratchet
+# only turns toward zero. Pay debt down with
+#   go run ./cmd/sklint -write-baseline ./...
+sklint_flags=(-json)
+if [ -n "${GITHUB_ACTIONS:-}" ]; then
+    sklint_flags+=(-github)
+fi
+go run ./cmd/sklint "${sklint_flags[@]}" ./...
 
 echo "== sklint self-test (negative fixtures must fail) =="
 # Each fixture package contains known findings; sklint exiting 0 on one
