@@ -235,6 +235,15 @@ func BenchmarkSequentialKNN(b *testing.B) {
 	f := getFixture(b)
 	qs := benchQueryPoints(b, f, 16)
 	s := f.db.NewSession(nil)
+	// Warm the session scratch to its high-water mark so the reported
+	// allocs/op reflect the steady state (0) rather than cold growth
+	// amortised over b.N.
+	for _, q := range qs {
+		if _, err := s.MR3(q, 5, core.S2, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.MR3(qs[i%len(qs)], 5, core.S2, core.Options{}); err != nil {
@@ -379,6 +388,28 @@ func BenchmarkDijkstraMesh(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.Dijkstra(g, i%f.m.NumVerts())
+	}
+}
+
+// BenchmarkDijkstraCSR is BenchmarkDijkstraMesh on the flat layout: the
+// graph finalized to CSR and the traversal run through a reusable
+// Workspace (epoch-stamped dist/prev arrays, pooled heap). The delta
+// against BenchmarkDijkstraMesh is what the SoA refactor buys one
+// shortest-path pass: no per-call dist allocation, no pointer-chasing
+// across adjacency slices.
+func BenchmarkDijkstraCSR(b *testing.B) {
+	f := getFixture(b)
+	g := graph.New(f.m.NumVerts())
+	for _, e := range f.m.Edges() {
+		g.AddEdge(int(e.A), int(e.B), f.m.EdgeLength(e))
+	}
+	g.Finalize()
+	w := graph.NewWorkspace(g.NumVertices())
+	w.Dijkstra(g, 0) // warm the workspace buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Dijkstra(g, i%f.m.NumVerts())
 	}
 }
 

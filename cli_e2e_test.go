@@ -162,9 +162,31 @@ func wireFloat(t *testing.T, raw json.RawMessage) float64 {
 	return f
 }
 
+// scanBuffer collects the server's stdout lines behind a mutex: the
+// scanner goroutine keeps writing until the process exits, while the test
+// reads the accumulated output after shutdown — without the lock those two
+// touch the same buffer with no happens-before edge.
+type scanBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *scanBuffer) appendLine(line string) {
+	s.mu.Lock()
+	s.b.WriteString(line)
+	s.b.WriteByte('\n')
+	s.mu.Unlock()
+}
+
+func (s *scanBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // startSkserve launches the binary and scrapes the announce line for the
 // bound address. The returned cleanup kills the process if it is still up.
-func startSkserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+func startSkserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *scanBuffer) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
@@ -183,13 +205,13 @@ func startSkserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string, 
 		}
 	})
 
-	var output bytes.Buffer
+	output := &scanBuffer{}
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
-			output.WriteString(line + "\n")
+			output.appendLine(line)
 			if a, ok := strings.CutPrefix(line, "# skserve listening on "); ok {
 				addrCh <- a
 			}
@@ -197,7 +219,7 @@ func startSkserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string, 
 	}()
 	select {
 	case addr := <-addrCh:
-		return cmd, addr, &output
+		return cmd, addr, output
 	case <-time.After(30 * time.Second):
 		t.Fatalf("skserve never announced its address\nstderr: %s", stderr.String())
 		return nil, "", nil

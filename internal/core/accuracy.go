@@ -101,8 +101,12 @@ func (s *Session) distanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 				s.endSpan(span)
 				return out, err
 			}
-			nw := db.Tree.NetworkFromEdgeIDs(tm, ids, nil)
-			est := nw.UpperBound(db.Mesh, a, b)
+			e := s.est
+			e.Begin(tm)
+			for _, id := range ids {
+				e.AddEdge(int32(id))
+			}
+			est := e.UpperBound(db.Mesh, a, b)
 			pc.UpperBounds++
 			if est.UB < out.UB {
 				out.UB = est.UB
@@ -117,7 +121,7 @@ func (s *Session) distanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 				s.endSpan(span)
 				return out, err
 			}
-			est := db.MSDN.LowerBound(a.Pos, b.Pos, region, sdnRes)
+			est := db.MSDN.LowerBoundScratch(&s.sdnSc, a.Pos, b.Pos, region, sdnRes)
 			pc.LowerBounds++
 			if est.LB > out.LB {
 				out.LB = est.LB

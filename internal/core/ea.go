@@ -34,8 +34,114 @@ func (s *Session) EACtx(ctx context.Context, q mesh.SurfacePoint, k int) (Result
 		return Result{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	s.beginQuery(ctx, algoEA)
+	s.eaSc.ensure(k)
 	ns, err := s.ea(q, k)
 	return s.endQuery(algoEA, k, ns, err)
+}
+
+// eaState is the EA benchmark's retained per-session scratch: the running
+// top-k slab and the id snapshot of step 2's winners (step 4's dedup set —
+// snapshotted, not live, so a candidate later pushed out of the top is
+// still skipped, exactly as the old map-based dedup behaved).
+type eaState struct {
+	top  []eaScored
+	seen []int64
+}
+
+type eaScored struct {
+	obj workload.Object
+	d   float64
+}
+
+// ensure grows the slabs for a k-neighbour query; runs at query entry, off
+// the annotated hot path.
+func (e *eaState) ensure(k int) {
+	if cap(e.top) < k+1 {
+		e.top = make([]eaScored, 0, k+1)
+	}
+	if cap(e.seen) < k {
+		e.seen = make([]int64, 0, k)
+	}
+}
+
+// push inserts (o, d) into the ascending top list — a stable insertion in
+// place of the old append+sort.Slice — truncates it to k, and returns the
+// running k-th distance (+Inf while fewer than k are held).
+func (e *eaState) push(o workload.Object, d float64, k int) float64 {
+	n := len(e.top)
+	e.top = e.top[:n+1]
+	i := n
+	for i > 0 && e.top[i-1].d > d {
+		e.top[i] = e.top[i-1]
+		i--
+	}
+	e.top[i] = eaScored{obj: o, d: d}
+	if len(e.top) > k {
+		e.top = e.top[:k]
+	}
+	if len(e.top) == k {
+		return e.top[k-1].d
+	}
+	return math.Inf(1)
+}
+
+// eaDistFull computes one exact (full-resolution) surface distance for the
+// EA benchmark, fetching the full-LOD terrain pages of the search region
+// first. A failed fetch must abort the query: pretending it succeeded would
+// let an unpaid I/O bill produce a distance that looks valid.
+func (s *Session) eaDistFull(q mesh.SurfacePoint, o workload.Object, bound float64, fullLevel int32) (float64, error) {
+	db := s.db
+	region := db.Mesh.Extent()
+	if !math.IsInf(bound, 1) {
+		if m := geom.NewEllipse(q.XY(), o.Point.XY(), bound).MBR(); !m.IsEmpty() {
+			region = m
+		}
+	}
+	if _, err := s.fetchDMTM(region, 0); err != nil {
+		//lint:ignore hotpath-alloc error path: allocates only when a terrain fetch fails, never on a successful query
+		return 0, fmt.Errorf("core: EA terrain fetch: %w", err)
+	}
+	if _, err := s.fetchSDN(region, fullLevel); err != nil {
+		//lint:ignore hotpath-alloc error path: allocates only when a terrain fetch fails, never on a successful query
+		return 0, fmt.Errorf("core: EA SDN fetch: %w", err)
+	}
+	s.curPhase().UpperBounds++
+	d := s.path.DistanceWithin(q, o.Point, region)
+	if math.IsInf(d, 1) {
+		// The ellipse clipped every path; retry on the unclipped network
+		// (value-only: the polyline is not needed). If no path exists at
+		// all, the +Inf distance propagates to the bound check at the call
+		// site instead of masquerading as a finite bound.
+		d = s.path.DistanceValue(q, o.Point)
+	}
+	return d, nil
+}
+
+// sortObjsByDist2 orders the candidates by squared 3-D distance to q with a
+// stable insertion sort (the allocation-free replacement for sort.Slice;
+// candidate sets are small).
+func sortObjsByDist2(q mesh.SurfacePoint, objs []workload.Object) {
+	for i := 1; i < len(objs); i++ {
+		o := objs[i]
+		d := q.Pos.Dist2(o.Point.Pos)
+		j := i - 1
+		for j >= 0 && q.Pos.Dist2(objs[j].Point.Pos) > d {
+			objs[j+1] = objs[j]
+			j--
+		}
+		objs[j+1] = o
+	}
+}
+
+// idIn reports whether id occurs in ids (linear scan; the set holds at most
+// k entries).
+func idIn(ids []int64, id int64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // ea runs the benchmark's four steps, phased the same way as MR3 so cost
@@ -48,93 +154,55 @@ func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
 		return nil, err
 	}
 	fullLevel := SDNLevel(1.0)
+	e := &s.eaSc
+	e.top = e.top[:0]
 
 	// Step 1: 2-D k-NN filter.
 	s.beginPhase(stats.PhaseKNN2D)
-	c1 := s.viewObjects(s.view.KNN(q.XY(), k, &s.dxyVisits))
-	s.curPhase().Candidates += len(c1)
+	s.items = s.view.KNNInto(q.XY(), k, &s.dxyVisits, &s.knnSc, s.items[:0])
+	s.objs = s.viewObjectsInto(s.items, s.objs)
+	s.curPhase().Candidates += len(s.objs)
 
 	// Step 2: exact (full-resolution) surface distances for C1. The first
 	// candidate has no bound yet and searches the entire terrain; later
 	// candidates reuse the running k-th distance as their ellipse bound
 	// (the expansion strategy of [2] the paper adopts for fairness).
 	s.beginPhase(stats.PhaseRankC1)
-	type scored struct {
-		obj workload.Object
-		d   float64
-	}
-	var top []scored
 	kth := math.Inf(1)
-	distFull := func(o workload.Object, bound float64) (float64, error) {
-		region := db.Mesh.Extent()
-		if !math.IsInf(bound, 1) {
-			if m := geom.NewEllipse(q.XY(), o.Point.XY(), bound).MBR(); !m.IsEmpty() {
-				region = m
-			}
-		}
-		// Full-resolution terrain fetch for the search region. A failed
-		// fetch must abort the query: pretending it succeeded would let an
-		// unpaid I/O bill produce a distance that looks valid.
-		if _, err := s.fetchDMTM(region, 0); err != nil {
-			return 0, fmt.Errorf("core: EA terrain fetch: %w", err)
-		}
-		if _, err := s.fetchSDN(region, fullLevel); err != nil {
-			return 0, fmt.Errorf("core: EA SDN fetch: %w", err)
-		}
-		s.curPhase().UpperBounds++
-		d := s.path.DistanceWithin(q, o.Point, region)
-		if math.IsInf(d, 1) {
-			// The ellipse clipped every path; retry on the unclipped
-			// network. The discarded second result is the path polyline,
-			// not an error — if no path exists at all, the +Inf distance
-			// propagates to the bound check below instead of masquerading
-			// as a finite bound.
-			d, _ = s.path.Distance(q, o.Point)
-		}
-		return d, nil
-	}
-	push := func(o workload.Object, d float64) {
-		top = append(top, scored{o, d})
-		sort.Slice(top, func(i, j int) bool { return top[i].d < top[j].d })
-		if len(top) > k {
-			top = top[:k]
-		}
-		if len(top) == k {
-			kth = top[k-1].d
-		}
-	}
-	for _, o := range c1 {
-		d, err := distFull(o, kth)
+	for _, o := range s.objs {
+		d, err := s.eaDistFull(q, o, kth, fullLevel)
 		if err != nil {
 			return nil, err
 		}
-		push(o, d)
+		kth = e.push(o, d, k)
 	}
 	if math.IsInf(kth, 1) {
+		//lint:ignore hotpath-alloc error path: allocates only when no k-th bound exists, never on a successful query
 		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)
 	}
 
 	// Step 3: 2-D range query with the k-th distance as radius.
 	s.beginPhase(stats.PhaseRange2D)
-	c2 := s.viewObjects(s.view.WithinDist(q.XY(), kth, &s.dxyVisits))
-	s.curPhase().Candidates += len(c2)
+	s.items = s.view.WithinDistInto(q.XY(), kth, &s.dxyVisits, s.items[:0])
+	s.objs = s.viewObjectsInto(s.items, s.objs)
+	s.curPhase().Candidates += len(s.objs)
 
 	// Step 4: verify every candidate, cheapest (by Euclidean distance)
 	// first so the k-th bound shrinks early; the 100% SDN lower bound
 	// prunes candidates without the expensive computation.
 	s.beginPhase(stats.PhaseRankC2)
-	sort.Slice(c2, func(i, j int) bool {
-		return q.Pos.Dist2(c2[i].Point.Pos) < q.Pos.Dist2(c2[j].Point.Pos)
-	})
-	seen := make(map[int64]bool, len(top))
-	for _, sc := range top {
-		seen[sc.obj.ID] = true
+	sortObjsByDist2(q, s.objs)
+	e.seen = e.seen[:0]
+	for _, sc := range e.top {
+		n := len(e.seen)
+		e.seen = e.seen[:n+1]
+		e.seen[n] = sc.obj.ID
 	}
-	for _, o := range c2 {
+	for _, o := range s.objs {
 		if err := s.interrupted(); err != nil {
 			return nil, err
 		}
-		if seen[o.ID] {
+		if idIn(e.seen, o.ID) {
 			continue
 		}
 		region := db.Mesh.Extent()
@@ -142,22 +210,23 @@ func (s *Session) ea(q mesh.SurfacePoint, k int) ([]Neighbor, error) {
 			region = m
 		}
 		s.curPhase().LowerBounds++
-		lb := db.MSDN.LowerBound(q.Pos, o.Point.Pos, region, 1.0)
+		lb := db.MSDN.LowerBoundScratch(&s.sdnSc, q.Pos, o.Point.Pos, region, 1.0)
 		if _, err := s.fetchSDN(region, fullLevel); err != nil {
+			//lint:ignore hotpath-alloc error path: allocates only when a terrain fetch fails, never on a successful query
 			return nil, fmt.Errorf("core: EA SDN fetch: %w", err)
 		}
 		if lb.LB > kth {
 			continue // filtered: cannot beat the current k-th neighbour
 		}
-		d, err := distFull(o, kth)
+		d, err := s.eaDistFull(q, o, kth, fullLevel)
 		if err != nil {
 			return nil, err
 		}
-		push(o, d)
+		kth = e.push(o, d, k)
 	}
 
-	out := make([]Neighbor, len(top))
-	for i, sc := range top {
+	out := s.rk.resultsBuf[:len(e.top)]
+	for i, sc := range e.top {
 		out[i] = Neighbor{Object: sc.obj, LB: sc.d, UB: sc.d}
 	}
 	return out, nil

@@ -11,6 +11,12 @@ import (
 )
 
 // Result is the outcome of one sk-NN query.
+//
+// Neighbors and Cost.Phases alias buffers owned by the answering Session:
+// they are valid until the next query on that session (or its release to a
+// pool). Callers that keep a Result across queries must copy those slices
+// first — every in-tree consumer either uses a one-shot session or consumes
+// the Result before reusing the session.
 type Result struct {
 	Neighbors []Neighbor
 	// Cost is the structured per-phase cost breakdown: wall time per MR3
@@ -69,30 +75,32 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 		return nil, err
 	}
 
-	// Step 1: 2-D k-NN on Dxy.
+	// Step 1: 2-D k-NN on Dxy. The item and object buffers are session
+	// scratch; each step consumes its objects before the next refills them.
 	s.beginPhase(stats.PhaseKNN2D)
-	c1 := s.view.KNN(q.XY(), k, &s.dxyVisits)
-	objs1 := s.viewObjects(c1)
+	s.items = s.view.KNNInto(q.XY(), k, &s.dxyVisits, &s.knnSc, s.items[:0])
+	s.objs = s.viewObjectsInto(s.items, s.objs)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
 	s.beginPhase(stats.PhaseRankC1)
-	ranked, err := s.rank(q, objs1, k, sched, opt, true)
+	ranked, err := s.rank(q, s.objs, k, sched, opt, true)
 	if err != nil {
 		return nil, err
 	}
 	radius := kthUB(ranked, k)
 	if math.IsInf(radius, 1) {
+		//lint:ignore hotpath-alloc error path: allocates only when no k-th bound exists, never on a successful query
 		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)
 	}
 
 	// Step 3: 2-D range query with the bound as radius.
 	s.beginPhase(stats.PhaseRange2D)
-	c2 := s.view.WithinDist(q.XY(), radius, &s.dxyVisits)
-	objs2 := s.viewObjects(c2)
+	s.items = s.view.WithinDistInto(q.XY(), radius, &s.dxyVisits, s.items[:0])
+	s.objs = s.viewObjectsInto(s.items, s.objs)
 
 	// Step 4: rank C2 until the k-set is determined.
 	s.beginPhase(stats.PhaseRankC2)
-	final, err := s.rank(q, objs2, k, sched, opt, false)
+	final, err := s.rank(q, s.objs, k, sched, opt, false)
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,12 @@ import (
 	"os"
 
 	"surfknn/internal/geom"
+	"surfknn/internal/graph"
+	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/multires"
+	"surfknn/internal/objstore"
+	"surfknn/internal/pathnet"
 	"surfknn/internal/sdn"
 	"surfknn/internal/workload"
 )
@@ -24,18 +28,26 @@ import (
 var ErrBadSnapshot = errors.New("bad snapshot")
 
 // Persistence: a TerrainDB snapshot holds the mesh, the DDM tree, the MSDN
-// and (optionally) the object set. The pathnet and the paged stores are
-// deterministic derivations and are rebuilt on load, which keeps snapshots
-// compact while reproducing identical query behaviour. All integers and
-// floats are little-endian; the format is versioned, and the body is
-// followed by a CRC-32C footer so a flipped bit in float payload (which no
-// structural check can see) fails loudly instead of skewing every distance
-// bound computed from the loaded structures.
+// and (optionally) the object set. All integers and floats are
+// little-endian; the format is versioned, and the body is followed by a
+// CRC-32C footer so a flipped bit in float payload (which no structural
+// check can see) fails loudly instead of skewing every distance bound
+// computed from the loaded structures.
+//
+// Format v4 appends the query-time flat buffers — the pathnet (CSR graph,
+// vertex positions, face-point lists) and the object Dxy R-tree (node and
+// item slabs) — so loading is a straight read into the SoA layout instead of
+// re-running the Steiner subdivision and the STR bulk pack. v3 (which
+// rebuilt both) is still readable; the paged stores remain deterministic
+// derivations rebuilt on every load.
 
 // Format v3 added the object-store epoch number to the objects section, so
 // a restarted server resumes the version sequence where the snapshot left
 // it. v2 snapshots are not readable (regenerate with skgen -db).
-var dbMagic = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '3'}
+var (
+	dbMagic   = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '4'}
+	dbMagicV3 = [8]byte{'S', 'K', 'N', 'N', 'D', 'B', '0', '3'}
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -58,6 +70,10 @@ func (p *persistWriter) write(b []byte) {
 	p.crc = crc32.Update(p.crc, crcTable, b)
 }
 
+func (p *persistWriter) u8(v uint8) {
+	p.buf[0] = v
+	p.write(p.buf[:1])
+}
 func (p *persistWriter) u32(v uint32) {
 	binary.LittleEndian.PutUint32(p.buf[:4], v)
 	p.write(p.buf[:4])
@@ -101,6 +117,12 @@ func (p *persistReader) read(b []byte) bool {
 	return true
 }
 
+func (p *persistReader) u8() uint8 {
+	if !p.read(p.buf[:1]) {
+		return 0
+	}
+	return p.buf[0]
+}
 func (p *persistReader) u32() uint32 {
 	if !p.read(p.buf[:4]) {
 		return 0
@@ -134,10 +156,25 @@ func clampCap(n int) int {
 }
 
 // Save writes a snapshot of the terrain database (including the installed
-// objects, if any) to w.
+// objects, if any) to w in the current (v4) format.
 func (db *TerrainDB) Save(w io.Writer) error {
+	return db.save(w, true)
+}
+
+// saveV3 writes the previous snapshot format, which omits the flat query
+// buffers. Kept (unexported) so the backward-compatibility test exercises
+// the v3 reader against a genuine v3 byte stream.
+func (db *TerrainDB) saveV3(w io.Writer) error {
+	return db.save(w, false)
+}
+
+func (db *TerrainDB) save(w io.Writer, v4 bool) error {
 	pw := &persistWriter{w: bufio.NewWriter(w)}
-	pw.write(dbMagic[:])
+	if v4 {
+		pw.write(dbMagic[:])
+	} else {
+		pw.write(dbMagicV3[:])
+	}
 
 	// Mesh.
 	m := db.Mesh
@@ -193,18 +230,20 @@ func (db *TerrainDB) Save(w io.Writer) error {
 		}
 	}
 
-	// Objects: the current epoch's number and table, captured under one pin
-	// so a save racing concurrent updates still writes one consistent
-	// version.
+	// Objects: the current epoch's number, table and (v4) Dxy index buffers,
+	// captured under one pin so a save racing concurrent updates still
+	// writes one consistent version.
 	var (
 		epoch uint64
 		objs  []workload.Object
+		dxy   index.Flat
 	)
 	if db.store != nil {
 		e := db.store.Pin()
 		epoch = e.Seq()
 		objs = e.Table()
-		e.Release() // Table() is an immutable snapshot; safe after release
+		dxy = e.IndexFlat()
+		e.Release() // Table()/IndexFlat() snapshot immutable state; safe after release
 	}
 	pw.u64(epoch)
 	pw.u32(uint32(len(objs)))
@@ -212,6 +251,54 @@ func (db *TerrainDB) Save(w io.Writer) error {
 		pw.u64(uint64(o.ID))
 		pw.vec3(o.Point.Pos)
 		pw.i32(int32(o.Point.Face))
+	}
+
+	if v4 {
+		// Pathnet flat buffers: CSR offsets and arcs, vertex positions, the
+		// Steiner level and the face→point CSR pair.
+		pf := db.Path.Flatten()
+		pw.u32(uint32(len(pf.Off)))
+		for _, v := range pf.Off {
+			pw.i32(v)
+		}
+		pw.u32(uint32(len(pf.Arcs)))
+		for _, a := range pf.Arcs {
+			pw.i32(a.To)
+			pw.f64(a.W)
+		}
+		pw.u32(uint32(len(pf.Pos)))
+		for _, v := range pf.Pos {
+			pw.vec3(v)
+		}
+		pw.u32(uint32(pf.Steiner))
+		pw.u32(uint32(len(pf.FaceOff)))
+		for _, v := range pf.FaceOff {
+			pw.i32(v)
+		}
+		pw.u32(uint32(len(pf.FacePts)))
+		for _, v := range pf.FacePts {
+			pw.i32(v)
+		}
+
+		// Dxy R-tree flat buffers: the four node-parallel arrays interleaved
+		// per node, then the item slab. Empty when no objects are installed.
+		pw.u32(uint32(len(dxy.Leaf)))
+		for i := range dxy.Leaf {
+			var leaf uint8
+			if dxy.Leaf[i] {
+				leaf = 1
+			}
+			pw.u8(leaf)
+			pw.mbr(dxy.MBR[i])
+			pw.i32(dxy.Start[i])
+			pw.i32(dxy.Count[i])
+		}
+		pw.u32(uint32(len(dxy.Items)))
+		for _, it := range dxy.Items {
+			pw.f64(it.P.X)
+			pw.f64(it.P.Y)
+			pw.u64(uint64(it.ID))
+		}
 	}
 
 	if pw.err != nil {
@@ -237,7 +324,8 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	if !pr.read(magic[:]) {
 		return nil, fmt.Errorf("core: load: %w", pr.err)
 	}
-	if magic != dbMagic {
+	v4 := magic == dbMagic
+	if !v4 && magic != dbMagicV3 {
 		return nil, fmt.Errorf("core: load: %w: magic %q", ErrBadSnapshot, magic)
 	}
 
@@ -406,6 +494,23 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 		}
 	}
 
+	// v4 tail: the pathnet and Dxy flat buffers.
+	var (
+		path *pathnet.Pathnet
+		dxy  index.Flat
+	)
+	if v4 {
+		var pf pathnet.Flat
+		var err error
+		if pf, err = loadPathnetFlat(pr, nf); err != nil {
+			return nil, err
+		}
+		if dxy, err = loadIndexFlat(pr, nObj); err != nil {
+			return nil, err
+		}
+		path = pathnet.FromFlat(m, pf)
+	}
+
 	// Integrity footer: the stored CRC-32C must match everything read
 	// above. Structural checks cannot see a flipped bit inside a float
 	// payload; this can.
@@ -418,17 +523,198 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 		return nil, fmt.Errorf("core: load: %w: checksum mismatch (stored %08x, computed %08x)", ErrBadSnapshot, got, want)
 	}
 
-	db, err := assembleTerrainDB(m, tree, ms, cfg)
+	db, err := assembleTerrainDB(m, tree, ms, path, cfg)
 	if err != nil {
 		return nil, err
 	}
 	// Restore the object store at the saved epoch. A non-zero epoch with an
 	// empty table is legitimate (everything was deleted); only a snapshot
-	// that never had objects leaves the store uninstalled.
+	// that never had objects leaves the store uninstalled. A v4 snapshot
+	// carries the packed Dxy buffers, so the restore skips the STR bulk pack.
 	if nObj > 0 || epoch > 0 {
-		db.SetObjectsAt(objs, epoch)
+		if v4 {
+			db.store = objstore.NewAtWithIndex(objs, epoch, dxy)
+		} else {
+			db.SetObjectsAt(objs, epoch)
+		}
 	}
 	return db, nil
+}
+
+// loadPathnetFlat reads the v4 pathnet section, validating every index
+// against the buffers it points into. nf is the mesh face count (bounds the
+// face-point CSR).
+func loadPathnetFlat(pr *persistReader, nf int) (pathnet.Flat, error) {
+	var pf pathnet.Flat
+	bad := func(format string, args ...any) (pathnet.Flat, error) {
+		return pf, fmt.Errorf("core: load: %w: "+format, append([]any{ErrBadSnapshot}, args...)...)
+	}
+
+	nOff := int(pr.u32())
+	if pr.err != nil {
+		return pf, fmt.Errorf("core: load: pathnet header: %w", pr.err)
+	}
+	if nOff < 1 || nOff > 1<<28 {
+		return bad("implausible pathnet offset count %d", nOff)
+	}
+	pf.Off = make([]int32, 0, clampCap(nOff))
+	for i := 0; i < nOff; i++ {
+		pf.Off = append(pf.Off, pr.i32())
+		if pr.err != nil {
+			return pf, fmt.Errorf("core: load: pathnet offsets: %w", pr.err)
+		}
+	}
+	nArcs := int(pr.u32())
+	if pr.err != nil {
+		return pf, fmt.Errorf("core: load: pathnet arc count: %w", pr.err)
+	}
+	if nArcs < 0 || nArcs > 1<<30 {
+		return bad("implausible pathnet arc count %d", nArcs)
+	}
+	pf.Arcs = make([]graph.Arc, 0, clampCap(nArcs))
+	for i := 0; i < nArcs; i++ {
+		pf.Arcs = append(pf.Arcs, graph.Arc{To: pr.i32(), W: pr.f64()})
+		if pr.err != nil {
+			return pf, fmt.Errorf("core: load: pathnet arcs: %w", pr.err)
+		}
+	}
+	nPos := int(pr.u32())
+	if pr.err != nil {
+		return pf, fmt.Errorf("core: load: pathnet position count: %w", pr.err)
+	}
+	if nPos != nOff-1 {
+		return bad("pathnet has %d positions for %d offsets", nPos, nOff)
+	}
+	pf.Pos = make([]geom.Vec3, 0, clampCap(nPos))
+	for i := 0; i < nPos; i++ {
+		pf.Pos = append(pf.Pos, pr.vec3())
+		if pr.err != nil {
+			return pf, fmt.Errorf("core: load: pathnet positions: %w", pr.err)
+		}
+	}
+	pf.Steiner = int(pr.u32())
+
+	// CSR shape: offsets must be a monotone cover of the arc slab, and every
+	// arc endpoint must be a vertex.
+	if int(pf.Off[0]) != 0 || int(pf.Off[nOff-1]) != nArcs {
+		return bad("pathnet offsets do not cover %d arcs", nArcs)
+	}
+	for i := 1; i < nOff; i++ {
+		if pf.Off[i] < pf.Off[i-1] {
+			return bad("pathnet offsets not monotone at %d", i)
+		}
+	}
+	for _, a := range pf.Arcs {
+		if int(a.To) < 0 || int(a.To) >= nPos {
+			return bad("pathnet arc to vertex %d outside [0,%d)", a.To, nPos)
+		}
+	}
+
+	nFaceOff := int(pr.u32())
+	if pr.err != nil {
+		return pf, fmt.Errorf("core: load: face-point header: %w", pr.err)
+	}
+	if nFaceOff != nf+1 {
+		return bad("face-point offset count %d for %d faces", nFaceOff, nf)
+	}
+	pf.FaceOff = make([]int32, 0, clampCap(nFaceOff))
+	for i := 0; i < nFaceOff; i++ {
+		pf.FaceOff = append(pf.FaceOff, pr.i32())
+		if pr.err != nil {
+			return pf, fmt.Errorf("core: load: face-point offsets: %w", pr.err)
+		}
+	}
+	nFacePts := int(pr.u32())
+	if pr.err != nil {
+		return pf, fmt.Errorf("core: load: face-point count: %w", pr.err)
+	}
+	if nFacePts < 0 || nFacePts > 1<<30 {
+		return bad("implausible face-point count %d", nFacePts)
+	}
+	pf.FacePts = make([]int32, 0, clampCap(nFacePts))
+	for i := 0; i < nFacePts; i++ {
+		pf.FacePts = append(pf.FacePts, pr.i32())
+		if pr.err != nil {
+			return pf, fmt.Errorf("core: load: face points: %w", pr.err)
+		}
+	}
+	if int(pf.FaceOff[0]) != 0 || int(pf.FaceOff[nFaceOff-1]) != nFacePts {
+		return bad("face-point offsets do not cover %d points", nFacePts)
+	}
+	for i := 1; i < nFaceOff; i++ {
+		if pf.FaceOff[i] < pf.FaceOff[i-1] {
+			return bad("face-point offsets not monotone at %d", i)
+		}
+	}
+	for _, v := range pf.FacePts {
+		if int(v) < 0 || int(v) >= nPos {
+			return bad("face point %d outside [0,%d)", v, nPos)
+		}
+	}
+	return pf, nil
+}
+
+// loadIndexFlat reads the v4 Dxy R-tree section. nObj is the object count
+// read earlier; the item slab must index exactly that set.
+func loadIndexFlat(pr *persistReader, nObj int) (index.Flat, error) {
+	var f index.Flat
+	bad := func(format string, args ...any) (index.Flat, error) {
+		return f, fmt.Errorf("core: load: %w: "+format, append([]any{ErrBadSnapshot}, args...)...)
+	}
+
+	nNodes := int(pr.u32())
+	if pr.err != nil {
+		return f, fmt.Errorf("core: load: index header: %w", pr.err)
+	}
+	if nNodes < 0 || nNodes > 1<<28 {
+		return bad("implausible index node count %d", nNodes)
+	}
+	f.Leaf = make([]bool, 0, clampCap(nNodes))
+	f.MBR = make([]geom.MBR, 0, clampCap(nNodes))
+	f.Start = make([]int32, 0, clampCap(nNodes))
+	f.Count = make([]int32, 0, clampCap(nNodes))
+	for i := 0; i < nNodes; i++ {
+		f.Leaf = append(f.Leaf, pr.u8() != 0)
+		f.MBR = append(f.MBR, pr.mbr())
+		f.Start = append(f.Start, pr.i32())
+		f.Count = append(f.Count, pr.i32())
+		if pr.err != nil {
+			return f, fmt.Errorf("core: load: index nodes: %w", pr.err)
+		}
+	}
+	nItems := int(pr.u32())
+	if pr.err != nil {
+		return f, fmt.Errorf("core: load: index item count: %w", pr.err)
+	}
+	if nItems != nObj {
+		return bad("index holds %d items for %d objects", nItems, nObj)
+	}
+	f.Items = make([]index.Item, 0, clampCap(nItems))
+	for i := 0; i < nItems; i++ {
+		f.Items = append(f.Items, index.Item{
+			P:  geom.Vec2{X: pr.f64(), Y: pr.f64()},
+			ID: int64(pr.u64()),
+		})
+		if pr.err != nil {
+			return f, fmt.Errorf("core: load: index items: %w", pr.err)
+		}
+	}
+	if nItems > 0 && nNodes == 0 {
+		return bad("index has items but no nodes")
+	}
+	// Every node's child/item range must stay inside the slab it points into
+	// (children for internal nodes, items for leaves).
+	for i := 0; i < nNodes; i++ {
+		start, count := int(f.Start[i]), int(f.Count[i])
+		limit := nNodes
+		if f.Leaf[i] {
+			limit = nItems
+		}
+		if start < 0 || count < 0 || start+count > limit {
+			return bad("index node %d range [%d,%d) outside slab of %d", i, start, start+count, limit)
+		}
+	}
+	return f, nil
 }
 
 // SaveFile writes the snapshot to the named file.

@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -82,6 +84,130 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.skdb"), Config{}); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestSnapshotV3BackwardCompat pins the v3 reader: a genuine v3 byte stream
+// (no flat-buffer tail) still loads, rebuilding the pathnet and the Dxy
+// pack, and answers queries exactly as the database that saved it.
+func TestSnapshotV3BackwardCompat(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 40, 1212)
+	q := queryPoints(t, db, 1, 64)[0]
+	want, err := db.MR3(q, 5, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.saveV3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:8]); got != "SKNNDB03" {
+		t.Fatalf("v3 magic = %q", got)
+	}
+	db2, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := db2.SurfacePointAt(q.XY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.MR3(q2, 5, S2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, "v3", got, want)
+}
+
+// TestSnapshotV4Equivalence is the round-trip equivalence guarantee behind
+// the flat-buffer tail: restoring from the v4 flat buffers (a straight read)
+// and restoring from v3 (Steiner rebuild + STR re-pack) yield databases
+// that answer MR3, EA and range queries bit-identically, page counts
+// included.
+func TestSnapshotV4Equivalence(t *testing.T) {
+	db := buildDB(t, dem.BH, 16, 60, 2006)
+	qs := queryPoints(t, db, 3, 77)
+
+	var b3, b4 bytes.Buffer
+	if err := db.saveV3(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b4.Bytes()[:8]); got != "SKNNDB04" {
+		t.Fatalf("v4 magic = %q", got)
+	}
+	db3, err := Load(&b3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db4, err := Load(&b4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for qi, q := range qs {
+		q3, err := db3.SurfacePointAt(q.XY())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q4, err := db4.SurfacePointAt(q.XY())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db3.MR3(q3, 5, S2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db4.MR3(q4, 5, S2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("q%d MR3", qi), got, want)
+
+		want, err = db3.EA(q3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = db4.EA(q4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("q%d EA", qi), got, want)
+
+		want, err = db3.SurfaceRange(q3, 250.0, S2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = db4.SurfaceRange(q4, 250.0, S2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("q%d range", qi), got, want)
+	}
+}
+
+// compareResults asserts bit-identical neighbour sets (IDs, LB/UB bit
+// patterns) and identical page counts between two query results.
+func compareResults(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("%s: neighbour count %d vs %d", label, len(got.Neighbors), len(want.Neighbors))
+	}
+	for i := range want.Neighbors {
+		g, w := got.Neighbors[i], want.Neighbors[i]
+		if g.Object.ID != w.Object.ID {
+			t.Errorf("%s: neighbour %d: %d vs %d", label, i, g.Object.ID, w.Object.ID)
+		}
+		if math.Float64bits(g.LB) != math.Float64bits(w.LB) ||
+			math.Float64bits(g.UB) != math.Float64bits(w.UB) {
+			t.Errorf("%s: neighbour %d bounds (%v,%v) vs (%v,%v)", label, i, g.LB, g.UB, w.LB, w.UB)
+		}
+	}
+	if got.Metrics().Pages != want.Metrics().Pages {
+		t.Errorf("%s: page count %d vs %d", label, got.Metrics().Pages, want.Metrics().Pages)
 	}
 }
 

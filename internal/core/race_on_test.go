@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// counts are unreliable under instrumentation, so alloc tests skip.
+const raceEnabled = true

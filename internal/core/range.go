@@ -50,25 +50,22 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 	opt = opt.withDefaults()
 
 	s.beginPhase(stats.PhaseRange2D)
-	items := s.view.WithinDist(q.XY(), radius, &s.dxyVisits)
-	objs := s.viewObjects(items)
-	s.curPhase().Candidates += len(objs)
+	s.items = s.view.WithinDistInto(q.XY(), radius, &s.dxyVisits, s.items[:0])
+	s.objs = s.viewObjectsInto(s.items, s.objs)
+	s.curPhase().Candidates += len(s.objs)
 
 	s.beginPhase(stats.PhaseRefine)
-	r := &ranker{s: s, q: q, k: len(objs), sched: sched, opt: opt, pc: s.curPhase()}
-	for _, o := range objs {
-		r.cands = append(r.cands, &candidate{
-			obj: o,
-			lb:  q.Pos.Dist(o.Point.Pos),
-			ub:  math.Inf(1),
-		})
+	r := &s.rk
+	r.begin(s, q, len(s.objs), sched, opt, false)
+	for _, o := range s.objs {
+		r.addCand(o)
 	}
 	steps := sched.Steps()
 	for it := 0; it < steps; it++ {
 		if err := s.interrupted(); err != nil {
 			return nil, err
 		}
-		targets := rangeUndecided(r.cands, radius)
+		targets := r.rangeUndecided(radius)
 		if len(targets) == 0 {
 			break
 		}
@@ -84,8 +81,9 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 
 	// Settlement for candidates whose range still straddles the radius.
 	s.beginPhase(stats.PhaseSettle)
-	var out []Neighbor
-	for _, c := range r.cands {
+	out := r.resultsBuf[:0]
+	for i := range r.cands {
+		c := &r.cands[i]
 		switch {
 		case c.ub <= radius:
 			out = append(out, Neighbor{Object: c.obj, LB: c.lb, UB: c.ub})
@@ -94,11 +92,10 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 		default:
 			d := s.path.DistanceWithin(q, c.obj.Point, r.regionOf(c))
 			if math.IsInf(d, 1) {
-				// Region clipped every path; retry unclipped. The discarded
-				// second result is the path polyline, not an error — a
-				// genuinely unreachable object keeps d = +Inf and fails the
-				// d <= radius test below.
-				d, _ = s.path.Distance(q, c.obj.Point)
+				// Region clipped every path; retry unclipped (value-only:
+				// the polyline is not needed) — a genuinely unreachable
+				// object keeps d = +Inf and fails the d <= radius test.
+				d = s.path.DistanceValue(q, c.obj.Point)
 			}
 			s.curPhase().UpperBounds++
 			if d <= radius {
@@ -106,8 +103,23 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UB < out[j].UB })
+	sortNeighborsByUB(out)
 	return out, nil
+}
+
+// sortNeighborsByUB orders the settled results by ascending upper bound
+// with a stable insertion sort (sort.Slice allocates its closure; result
+// sets are small).
+func sortNeighborsByUB(a []Neighbor) {
+	for i := 1; i < len(a); i++ {
+		n := a[i]
+		j := i - 1
+		for j >= 0 && a[j].UB > n.UB {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = n
+	}
 }
 
 // SurfaceRange is the one-shot convenience form: it runs the query in a
@@ -121,21 +133,24 @@ func (db *TerrainDB) SurfaceRange(q mesh.SurfacePoint, radius float64, sched Sch
 // fetch failure aborts the query — partial terrain data would corrupt the
 // bound ladder.
 func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float64) error {
-	groups := r.groupRegions(targets)
+	numGroups := r.groupRegions(targets)
 	level := SDNLevel(sdnRes)
-	for _, g := range groups {
+	for gi := 0; gi < numGroups; gi++ {
 		tm := int32(0)
 		if dmRes < PathnetResolution {
 			tm = r.s.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, err := r.s.fetchDMTM(g.region, tm)
+		edgeIDs, err := r.s.fetchDMTM(r.groupRegion[gi], tm)
 		if err != nil {
 			return fmt.Errorf("core: fetching DMTM records: %w", err)
 		}
-		if _, err := r.s.fetchSDN(g.region, level); err != nil {
+		if _, err := r.s.fetchSDN(r.groupRegion[gi], level); err != nil {
 			return fmt.Errorf("core: fetching SDN records: %w", err)
 		}
-		for _, c := range g.cands {
+		for ti, c := range targets {
+			if r.groupOf[ti] != int32(gi) {
+				continue
+			}
 			r.updateUB(c, dmRes, tm, edgeIDs)
 			// For range queries the dummy-lower-bound test is against the
 			// radius: pass it as the exclusion threshold.
@@ -145,13 +160,19 @@ func (r *ranker) iterateRange(targets []*candidate, dmRes, sdnRes, radius float6
 	return nil
 }
 
-func rangeUndecided(cands []*candidate, radius float64) []*candidate {
-	var out []*candidate
-	for _, c := range cands {
+// rangeUndecided fills the target scratch with the candidates whose bound
+// range still straddles the radius.
+func (r *ranker) rangeUndecided(radius float64) []*candidate {
+	out := r.targets[:0]
+	for i := range r.cands {
+		c := &r.cands[i]
 		if c.lb <= radius && c.ub > radius {
-			out = append(out, c)
+			n := len(out)
+			out = out[:n+1]
+			out[n] = c
 		}
 	}
+	r.targets = out
 	return out
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
@@ -76,6 +75,9 @@ const (
 type candidate struct {
 	obj    workload.Object
 	lb, ub float64
+	// ubPath/lbPath are per-slot copies of the last refinement paths. The
+	// estimators return paths aliasing their own scratch, so they are copied
+	// here; the buffers are retained across queries by the candidate slab.
 	ubPath []multires.NodeID
 	lbPath []sdn.Segment
 	state  candState
@@ -95,6 +97,11 @@ func (c *candidate) setUB(v float64) {
 }
 
 // ranker runs the surface-distance ranking of §4.2 over a candidate set.
+// One ranker lives inside each Session and is reused query after query: the
+// candidate slab and every ordering/grouping buffer below are retained, so
+// a warm ranking pass performs no allocation. All pointer scratch
+// (targets, alive) points into the cands slab, which therefore must never
+// reallocate while a query runs — ensure() sizes it before ranking starts.
 type ranker struct {
 	s     *Session
 	q     mesh.SurfacePoint
@@ -102,18 +109,75 @@ type ranker struct {
 	sched Schedule
 	opt   Options
 	pc    *stats.PhaseCost // open phase the work counters accumulate into
-	cands []*candidate
+
+	cands       []candidate  // candidate slab (path buffers retained per slot)
+	targets     []*candidate // refinement-target scratch
+	alive       []*candidate // aliveCands output; sorted in place
+	groupRegion []geom.MBR   // running merged region per I/O group
+	groupOf     []int32      // group index per target (parallel to targets)
+	refined     []geom.MBR   // refined-region scratch, sized to the DDM tree
+	resultsBuf  []Neighbor   // results() output; aliased by Result.Neighbors
+
 	// tighten keeps refining even after the k-set is determined, until the
 	// k-th neighbour's range reaches Step2Accuracy — the extra work step 2
 	// performs to obtain a tight search radius for step 3.
 	tighten bool
 }
 
+// ensure grows the per-candidate buffers to hold n candidates. Runs at
+// query open (not on the annotated hot path); the ranking loops below then
+// only ever grow slices within capacity.
+func (r *ranker) ensure(n int) {
+	if cap(r.cands) < n {
+		r.cands = make([]candidate, 0, n)
+	}
+	if cap(r.targets) < n {
+		r.targets = make([]*candidate, 0, n)
+	}
+	if cap(r.alive) < n {
+		r.alive = make([]*candidate, 0, n)
+	}
+	if cap(r.groupRegion) < n {
+		r.groupRegion = make([]geom.MBR, 0, n)
+	}
+	if cap(r.groupOf) < n {
+		r.groupOf = make([]int32, 0, n)
+	}
+	if cap(r.resultsBuf) < n {
+		r.resultsBuf = make([]Neighbor, 0, n)
+	}
+}
+
+// begin opens a ranking pass over the session's open cost phase and
+// truncates the candidate slab.
+func (r *ranker) begin(s *Session, q mesh.SurfacePoint, k int, sched Schedule, opt Options, tighten bool) {
+	r.s, r.q, r.k, r.sched, r.opt, r.tighten = s, q, k, sched, opt, tighten
+	r.pc = s.curPhase()
+	r.cands = r.cands[:0]
+}
+
+// addCand appends one candidate to the slab, reusing the slot's retained
+// path buffers. Capacity is ensured at query open, so the slab never
+// reallocates here and candidate pointers stay valid.
+func (r *ranker) addCand(o workload.Object) {
+	n := len(r.cands)
+	r.cands = r.cands[:n+1]
+	c := &r.cands[n]
+	c.obj = o
+	c.lb = r.q.Pos.Dist(o.Point.Pos) // Euclidean floor (§4.2)
+	c.ub = math.Inf(1)
+	c.ubPath = c.ubPath[:0]
+	c.lbPath = c.lbPath[:0]
+	c.state = candActive
+	c.regionOK = false
+}
+
 // rank ranks the objects and returns the k nearest by the reference
 // surface metric, with their final ranges. The work counters accumulate
 // into the session's open cost phase. A non-nil error means a paged fetch
 // failed, in which case the bounds are unreliable and the query must not
-// pretend to have an answer.
+// pretend to have an answer. The returned slice is session scratch, valid
+// until the session's next ranking pass.
 //
 //sklint:hotpath
 func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched Schedule, opt Options, tighten bool) ([]Neighbor, error) {
@@ -121,13 +185,10 @@ func (s *Session) rank(q mesh.SurfacePoint, objs []workload.Object, k int, sched
 	if k > len(objs) {
 		k = len(objs)
 	}
-	r := &ranker{s: s, q: q, k: k, sched: sched, opt: opt, pc: s.curPhase(), tighten: tighten}
+	r := &s.rk
+	r.begin(s, q, k, sched, opt, tighten)
 	for _, o := range objs {
-		r.cands = append(r.cands, &candidate{
-			obj: o,
-			lb:  q.Pos.Dist(o.Point.Pos), // Euclidean floor (§4.2)
-			ub:  math.Inf(1),
-		})
+		r.addCand(o)
 	}
 	r.pc.Candidates += len(objs)
 	if err := r.run(); err != nil {
@@ -164,7 +225,8 @@ func (r *ranker) run() error {
 	// Ladders exhausted with overlapping ranges left: settle the remaining
 	// candidates with the reference (pathnet) distance, as the refinement
 	// step of filter-and-refine.
-	for _, c := range r.cands {
+	for i := range r.cands {
+		c := &r.cands[i]
 		if c.state == candOut {
 			continue
 		}
@@ -173,11 +235,10 @@ func (r *ranker) run() error {
 		}
 		d := r.s.path.DistanceWithin(r.q, c.obj.Point, r.regionOf(c))
 		if math.IsInf(d, 1) {
-			// Region clipped every path; retry unclipped. The discarded
-			// second result is the path polyline, not an error — an
-			// unreachable candidate keeps ub = +Inf and can never displace
-			// a finite neighbour.
-			d, _ = r.s.path.Distance(r.q, c.obj.Point)
+			// Region clipped every path; retry unclipped (value-only: the
+			// polyline is not needed here) — an unreachable candidate keeps
+			// ub = +Inf and can never displace a finite neighbour.
+			d = r.s.path.DistanceValue(r.q, c.obj.Point)
 		}
 		r.pc.UpperBounds++
 		c.setUB(d)
@@ -195,6 +256,7 @@ func (r *ranker) iterSpan(it int, dmRes, sdnRes float64, targets int) obs.SpanID
 	if r.s.cost.trace == nil {
 		return obs.NoSpan
 	}
+	//lint:ignore hotpath-alloc tracing only: the trace==nil guard above keeps untraced queries off this literal
 	return r.s.startSpan("iter", map[string]float64{
 		"i":       float64(it),
 		"dm_res":  dmRes,
@@ -217,21 +279,26 @@ func (r *ranker) needTightening() bool {
 }
 
 // refinementTargets returns the candidates to refine this iteration: the
-// active ones, plus (when tightening) the already-resolved in-set.
+// active ones, plus (when tightening) the already-resolved in-set. The
+// returned slice is the ranker's target scratch.
 func (r *ranker) refinementTargets() []*candidate {
-	var out []*candidate
-	for _, c := range r.cands {
-		switch {
-		case c.state == candActive:
-			out = append(out, c)
+	out := r.targets[:0]
+	for i := range r.cands {
+		c := &r.cands[i]
 		// An in-set candidate with no finite upper bound yet always needs
 		// work (without the explicit check, Step2Accuracy 0 would compute
 		// lb < 0·Inf = NaN and never tighten, leaving step 2 unbounded).
-		case r.tighten && c.state == candIn &&
-			(math.IsInf(c.ub, 1) || c.lb < r.opt.Step2Accuracy*c.ub):
-			out = append(out, c)
+		keep := c.state == candActive ||
+			(r.tighten && c.state == candIn &&
+				(math.IsInf(c.ub, 1) || c.lb < r.opt.Step2Accuracy*c.ub))
+		if !keep {
+			continue
 		}
+		n := len(out)
+		out = out[:n+1]
+		out[n] = c
 	}
+	r.targets = out
 	return out
 }
 
@@ -253,61 +320,68 @@ func (r *ranker) regionOf(c *candidate) geom.MBR {
 	return m
 }
 
-// ioGroup is a set of candidates whose I/O regions were merged.
-type ioGroup struct {
-	region geom.MBR
-	cands  []*candidate
-}
-
 // groupRegions merges candidate I/O regions that overlap by at least the
 // configured threshold (§4.1: "their I/O regions can be combined if they
-// are significantly overlapped (e.g., over 80%)").
-func (r *ranker) groupRegions(targets []*candidate) []*ioGroup {
-	var groups []*ioGroup
+// are significantly overlapped (e.g., over 80%)"). Groups are stored flat:
+// groupRegion[g] is the running merged region, and groupOf[i] assigns
+// targets[i] to its group, preserving the per-group candidate order the
+// pointer-based grouping produced. Returns the group count.
+func (r *ranker) groupRegions(targets []*candidate) int {
+	r.groupRegion = r.groupRegion[:0]
+	r.groupOf = r.groupOf[:0]
 	for _, c := range targets {
 		reg := r.regionOf(c)
+		gi := int32(-1)
 		if !r.opt.DisableIOIntegration {
-			merged := false
-			for _, g := range groups {
-				if g.region.OverlapFraction(reg) >= r.opt.OverlapThreshold {
-					g.region = g.region.Union(reg)
-					g.cands = append(g.cands, c)
-					merged = true
+			for g := range r.groupRegion {
+				if r.groupRegion[g].OverlapFraction(reg) >= r.opt.OverlapThreshold {
+					r.groupRegion[g] = r.groupRegion[g].Union(reg)
+					gi = int32(g)
 					break
 				}
 			}
-			if merged {
-				continue
-			}
 		}
-		groups = append(groups, &ioGroup{region: reg, cands: []*candidate{c}})
+		if gi < 0 {
+			n := len(r.groupRegion)
+			r.groupRegion = r.groupRegion[:n+1]
+			r.groupRegion[n] = reg
+			gi = int32(n)
+		}
+		n := len(r.groupOf)
+		r.groupOf = r.groupOf[:n+1]
+		r.groupOf[n] = gi
 	}
-	return groups
+	return len(r.groupRegion)
 }
 
 // iterate performs one resolution iteration over the targets. A fetch
 // failure aborts the iteration: continuing with partial terrain data would
 // produce bounds that violate the ladder's monotonicity guarantee.
 func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) error {
-	groups := r.groupRegions(targets)
+	numGroups := r.groupRegions(targets)
 	level := SDNLevel(sdnRes)
 	kthUB := r.kthSmallestUB()
-	for _, g := range groups {
+	for gi := 0; gi < numGroups; gi++ {
 		// One fetch per integrated I/O region: DMTM connectivity at this
 		// LOD plus the SDN segments of this level.
 		tm := int32(0)
 		if dmRes < PathnetResolution {
 			tm = r.s.db.Tree.TimeForResolution(dmRes)
 		}
-		edgeIDs, err := r.s.fetchDMTM(g.region, tm)
+		edgeIDs, err := r.s.fetchDMTM(r.groupRegion[gi], tm)
 		if err != nil {
+			//lint:ignore hotpath-alloc error path: allocates only when a terrain fetch fails, never on a successful query
 			return fmt.Errorf("core: fetching DMTM records: %w", err)
 		}
-		if _, err := r.s.fetchSDN(g.region, level); err != nil {
+		if _, err := r.s.fetchSDN(r.groupRegion[gi], level); err != nil {
+			//lint:ignore hotpath-alloc error path: allocates only when a terrain fetch fails, never on a successful query
 			return fmt.Errorf("core: fetching SDN records: %w", err)
 		}
 
-		for _, c := range g.cands {
+		for ti, c := range targets {
+			if r.groupOf[ti] != int32(gi) {
+				continue
+			}
 			r.updateUB(c, dmRes, tm, edgeIDs)
 			r.updateLB(c, sdnRes, kthUB)
 		}
@@ -318,7 +392,7 @@ func (r *ranker) iterate(targets []*candidate, dmRes, sdnRes float64) error {
 // updateUB refines the candidate's upper bound at the given DMTM level
 // (§4.2.1). The bound is kept as the running minimum, so a failed or looser
 // estimate never hurts correctness.
-func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32) {
+func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []uint64) {
 	r.pc.UpperBounds++
 	region := r.regionOf(c)
 	if dmRes >= PathnetResolution {
@@ -351,41 +425,53 @@ func (r *ranker) updateUB(c *candidate, dmRes float64, tm int32, edgeIDs []int32
 	}
 	if est.UB < c.ub {
 		c.setUB(est.UB)
-		c.ubPath = est.Path
+		// est.Path aliases the estimator's scratch: copy it into the slot's
+		// retained buffer before the next estimation overwrites it.
+		c.ubPath = append(c.ubPath[:0], est.Path...)
 	}
 }
 
-func (r *ranker) tryUpperBound(c *candidate, tm int32, edgeIDs []int32, region geom.MBR, refined []geom.MBR) multires.UpperEstimate {
+// tryUpperBound runs one upper-bound estimation over the fetched edges,
+// applying the search-region and refined-region filters inline while
+// staging edges into the session's reusable network estimator (the
+// allocation-free replacement for materialising a Network per estimate).
+func (r *ranker) tryUpperBound(c *candidate, tm int32, edgeIDs []uint64, region geom.MBR, refined []geom.MBR) multires.UpperEstimate {
 	tree := r.s.db.Tree
-	filter := func(e multires.EdgeRec) bool {
-		minX, minY, maxX, maxY := tree.EdgeMBR(e)
+	e := r.s.est
+	e.Begin(tm)
+	for _, id := range edgeIDs {
+		minX, minY, maxX, maxY := tree.EdgeMBR(tree.Edges[id])
 		em := geom.MBR{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
 		if !em.Intersects(region) {
-			return false
+			continue
 		}
-		if len(refined) == 0 {
-			return true
-		}
-		for _, m := range refined {
-			if m.Intersects(em) {
-				return true
+		if len(refined) > 0 {
+			hit := false
+			for _, m := range refined {
+				if m.Intersects(em) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
 			}
 		}
-		return false
+		e.AddEdge(int32(id))
 	}
-	nw := tree.NetworkFromEdgeIDs(tm, edgeIDs, filter)
-	return nw.UpperBound(r.s.db.Mesh, r.q, c.obj.Point)
+	return e.UpperBound(r.s.db.Mesh, r.q, c.obj.Point)
 }
 
 // refinedRegions converts the previous upper-bound path into its
-// search-region MBRs.
+// search-region MBRs, filling the ranker's refined scratch (sized to the
+// DDM tree's node count, which bounds any path length).
 func (r *ranker) refinedRegions(c *candidate) []geom.MBR {
 	if len(c.ubPath) == 0 {
 		return nil
 	}
-	out := make([]geom.MBR, 0, len(c.ubPath))
-	for _, v := range c.ubPath {
-		out = append(out, r.s.db.Tree.Nodes[v].MBR)
+	out := r.refined[:len(c.ubPath)]
+	for i, v := range c.ubPath {
+		out[i] = r.s.db.Tree.Nodes[v].MBR
 	}
 	return out
 }
@@ -404,7 +490,7 @@ func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
 		return
 	}
 	margin := 2 * r.s.db.MSDN.Spacing
-	dummy := r.s.db.MSDN.LowerBoundEnvelope(q3, o3, region, sdnRes, c.lbPath, margin)
+	dummy := r.s.db.MSDN.LowerBoundEnvelopeScratch(&r.s.sdnSc, q3, o3, region, sdnRes, c.lbPath, margin)
 	dummyLB := math.Max(c.lb, dummy.LB)
 	// Would the (over-estimated) dummy bound change this candidate's fate?
 	if dummyLB <= kthUB {
@@ -418,9 +504,9 @@ func (r *ranker) updateLB(c *candidate, sdnRes float64, kthUB float64) {
 // fullLB runs the configured full lower-bound estimation.
 func (r *ranker) fullLB(q3, o3 geom.Vec3, region geom.MBR, sdnRes float64) sdn.LowerEstimate {
 	if r.opt.BothFamilyLB {
-		return r.s.db.MSDN.LowerBoundBoth(q3, o3, region, sdnRes)
+		return r.s.db.MSDN.LowerBoundBothScratch(&r.s.sdnSc, q3, o3, region, sdnRes)
 	}
-	return r.s.db.MSDN.LowerBound(q3, o3, region, sdnRes)
+	return r.s.db.MSDN.LowerBoundScratch(&r.s.sdnSc, q3, o3, region, sdnRes)
 }
 
 func (r *ranker) applyLB(c *candidate, est sdn.LowerEstimate) {
@@ -431,7 +517,24 @@ func (r *ranker) applyLB(c *candidate, est sdn.LowerEstimate) {
 		c.lb = c.ub // the reference metric sits inside [lb, ub]
 	}
 	if len(est.Path) > 0 {
-		c.lbPath = est.Path
+		// est.Path aliases the SDN scratch: copy it into the slot's retained
+		// buffer before the next lower-bound call overwrites it.
+		c.lbPath = append(c.lbPath[:0], est.Path...)
+	}
+}
+
+// sortCandsByUB orders the pointer scratch by ascending upper bound with a
+// stable insertion sort: candidate sets are small (tens), and unlike
+// sort.Slice it performs no allocation on the hot path.
+func sortCandsByUB(a []*candidate) {
+	for i := 1; i < len(a); i++ {
+		c := a[i]
+		j := i - 1
+		for j >= 0 && a[j].ub > c.ub {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = c
 	}
 }
 
@@ -442,7 +545,7 @@ func (r *ranker) kthCand() *candidate {
 	if len(alive) < r.k {
 		return nil
 	}
-	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	sortCandsByUB(alive)
 	return alive[r.k-1]
 }
 
@@ -467,7 +570,7 @@ func (r *ranker) classify() bool {
 		}
 		return true
 	}
-	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	sortCandsByUB(alive)
 	kthUB := alive[r.k-1].ub
 	const eps = 1e-9
 	// Exclusion: a candidate whose lower bound exceeds the k-th upper
@@ -484,7 +587,7 @@ func (r *ranker) classify() bool {
 		}
 		return true
 	}
-	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	sortCandsByUB(alive)
 	// Inclusion: fewer than k candidates could possibly be closer.
 	for i, c := range alive[:r.k] {
 		if c.state != candActive {
@@ -512,24 +615,31 @@ func (r *ranker) classify() bool {
 	return maxTopUB <= minRestLB+eps
 }
 
+// aliveCands fills the alive scratch with pointers to every non-out slab
+// candidate, in slab order. Each call retruncates the same buffer, so the
+// previous call's view dies with it.
 func (r *ranker) aliveCands() []*candidate {
-	var out []*candidate
-	for _, c := range r.cands {
-		if c.state != candOut {
-			out = append(out, c)
+	out := r.alive[:0]
+	for i := range r.cands {
+		if r.cands[i].state != candOut {
+			n := len(out)
+			out = out[:n+1]
+			out[n] = &r.cands[i]
 		}
 	}
+	r.alive = out
 	return out
 }
 
-// results returns the k nearest candidates, ranked by upper bound.
+// results returns the k nearest candidates, ranked by upper bound, in the
+// ranker's results buffer (aliased by Result.Neighbors).
 func (r *ranker) results() []Neighbor {
 	alive := r.aliveCands()
-	sort.Slice(alive, func(i, j int) bool { return alive[i].ub < alive[j].ub })
+	sortCandsByUB(alive)
 	if len(alive) > r.k {
 		alive = alive[:r.k]
 	}
-	out := make([]Neighbor, len(alive))
+	out := r.resultsBuf[:len(alive)]
 	for i, c := range alive {
 		out[i] = Neighbor{Object: c.obj, LB: c.lb, UB: c.ub}
 	}

@@ -8,9 +8,11 @@ import (
 	"surfknn/internal/geom"
 	"surfknn/internal/index"
 	"surfknn/internal/mesh"
+	"surfknn/internal/multires"
 	"surfknn/internal/objstore"
 	"surfknn/internal/obs"
 	"surfknn/internal/pathnet"
+	"surfknn/internal/sdn"
 	"surfknn/internal/stats"
 	"surfknn/internal/storage"
 	"surfknn/internal/workload"
@@ -52,6 +54,20 @@ type Session struct {
 
 	tracing bool         // record a phase trace for every query
 	cost    costRecorder // per-query phase accounting
+
+	// Query-path scratch, retained across queries so a warm session answers
+	// without allocating. Capacities are ensured in beginQuery (off the
+	// annotated hot path); the per-candidate loops then grow only within
+	// capacity. Result buffers handed out by endQuery alias this scratch —
+	// see the Result doc for the validity contract.
+	rk    ranker              // ranking state: candidate slab + ordering scratch
+	items []index.Item        // 2-D index results
+	objs  []workload.Object   // resolved candidate objects
+	knnSc index.Scratch       // R-tree best-first traversal heaps
+	ids   []uint64            // fetched DMTM edge ids
+	est   *multires.Estimator // reusable upper-bound network builder
+	sdnSc sdn.Scratch         // lower-bound chain DP scratch
+	eaSc  eaState             // EA benchmark top-k scratch
 }
 
 // NewSession creates a query context over the database. ctx is the
@@ -61,7 +77,14 @@ func (db *TerrainDB) NewSession(ctx context.Context) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{db: db, base: ctx, ctx: ctx, path: db.Path.NewQuerier()}
+	s := &Session{db: db, base: ctx, ctx: ctx, path: db.Path.NewQuerier()}
+	if db.Tree != nil {
+		s.est = multires.NewEstimator(db.Tree)
+		// The refined-region buffer is bounded by the node count of the
+		// (immutable) DDM tree, so it is sized once here.
+		s.rk.refined = make([]geom.MBR, len(db.Tree.Nodes))
+	}
+	return s
 }
 
 // DB returns the shared database the session queries.
@@ -89,6 +112,7 @@ func (s *Session) beginQuery(ctx context.Context, algo string) {
 	s.releaseView() // defensive: a panicked query may have left a pin
 	if s.db.store != nil {
 		s.view = s.db.store.Pin()
+		s.ensureScratch(s.view.Len())
 	}
 	if reg := s.db.reg; reg != nil {
 		reg.QueriesStarted.Add(1)
@@ -127,13 +151,35 @@ func (s *Session) releaseView() {
 	}
 }
 
+// ensureScratch grows the session's query-path buffers to hold n candidates
+// (every 2-D filter yields at most the epoch's live object count). It runs
+// at query open, keeping all capacity growth off the annotated hot path.
+func (s *Session) ensureScratch(n int) {
+	if cap(s.items) < n {
+		s.items = make([]index.Item, 0, n)
+	}
+	if cap(s.objs) < n {
+		s.objs = make([]workload.Object, 0, n)
+	}
+	s.rk.ensure(n)
+}
+
 // viewObjects resolves R-tree items to objects through the pinned epoch —
 // every candidate a query ranks comes from the one version it pinned.
 func (s *Session) viewObjects(items []index.Item) []workload.Object {
-	out := make([]workload.Object, 0, len(items))
+	return s.viewObjectsInto(items, make([]workload.Object, 0, len(items)))
+}
+
+// viewObjectsInto is viewObjects filling dst (truncated first). dst must
+// have capacity for every resolved item; the query path passes s.objs,
+// sized by ensureScratch.
+func (s *Session) viewObjectsInto(items []index.Item, dst []workload.Object) []workload.Object {
+	out := dst[:0]
 	for _, it := range items {
 		if o, ok := s.view.Object(it.ID); ok {
-			out = append(out, o)
+			n := len(out)
+			out = out[:n+1]
+			out[n] = o
 		}
 	}
 	return out
@@ -184,17 +230,18 @@ func (s *Session) pagesAccessed() int64 {
 }
 
 // interrupted surfaces context cancellation/deadline between units of work.
+//
+//lint:ignore hotpath-alloc interface call only: stdlib Context.Err implementations allocate nothing
 func (s *Session) interrupted() error { return s.ctx.Err() }
 
 // fetchDMTM reads the DDM edge records valid at collapse time tm inside
 // region through the buffer pool — charged to this session's account — and
-// returns their edge indices.
-func (s *Session) fetchDMTM(region geom.MBR, tm int32) ([]int32, error) {
-	var ids []int32
-	err := s.db.dmtmStore.Fetch(region, tm, &s.io, func(r storage.ClusterRecord) {
-		ids = append(ids, int32(r.ID))
-	})
-	return ids, err
+// returns their edge indices. The returned slice is session scratch, valid
+// until the next fetch.
+func (s *Session) fetchDMTM(region geom.MBR, tm int32) ([]uint64, error) {
+	var err error
+	s.ids, err = s.db.dmtmStore.FetchIDs(region, tm, &s.io, s.ids[:0])
+	return s.ids, err
 }
 
 // fetchSDN reads the SDN segment records of the given ladder level inside
@@ -202,16 +249,13 @@ func (s *Session) fetchDMTM(region geom.MBR, tm int32) ([]int32, error) {
 // bound computation uses directly); the fetch exists to account the I/O the
 // paper measures.
 func (s *Session) fetchSDN(region geom.MBR, level int32) (int, error) {
-	n := 0
-	err := s.db.sdnStore.Fetch(region, level, &s.io, func(storage.ClusterRecord) { n++ })
-	return n, err
+	return s.db.sdnStore.FetchCount(region, level, &s.io)
 }
 
 // referenceDistance is ReferenceDistance evaluated through the session's
 // reusable pathnet querier.
 func (s *Session) referenceDistance(a, b mesh.SurfacePoint) float64 {
-	d, _ := s.path.Distance(a, b)
-	return d
+	return s.path.DistanceValue(a, b)
 }
 
 // MaskedKNN answers the constrained k-NN query (see TerrainDB.MaskedKNN)
@@ -250,7 +294,8 @@ const (
 type costRecorder struct {
 	trace     *obs.Trace
 	phases    []stats.PhaseCost
-	cur       *stats.PhaseCost // open phase; nil between phases
+	cur       stats.PhaseCost // open phase, valid while open; reused in place
+	open      bool
 	curSpan   obs.SpanID
 	curStart  time.Time
 	baseIO    storage.IOAccount // session I/O counters at phase open
@@ -259,11 +304,13 @@ type costRecorder struct {
 	relaxBase int64             // pathnet relaxation count at query start
 }
 
-// reset opens a new query's recording.
+// reset opens a new query's recording. The phases buffer is truncated, not
+// reallocated — the previous query's Cost.Phases (which aliases it) becomes
+// invalid here, per the Result validity contract.
 func (c *costRecorder) reset(tr *obs.Trace, relaxBase int64) {
 	c.trace = tr
 	c.phases = c.phases[:0]
-	c.cur = nil
+	c.open = false
 	c.qStart = time.Now()
 	c.relaxBase = relaxBase
 }
@@ -274,33 +321,40 @@ func (c *costRecorder) reset(tr *obs.Trace, relaxBase int64) {
 func (s *Session) beginPhase(name string) *stats.PhaseCost {
 	s.closePhase()
 	c := &s.cost
-	c.cur = &stats.PhaseCost{Phase: name}
+	c.cur = stats.PhaseCost{Phase: name}
+	c.open = true
 	c.baseIO = s.io
 	c.baseVisit = s.dxyVisits
 	c.curStart = time.Now()
 	c.curSpan = c.trace.StartSpan(name, nil)
-	return c.cur
+	return &c.cur
 }
 
 // closePhase seals the open phase, charging it the I/O performed since it
 // opened. No-op when no phase is open.
 func (s *Session) closePhase() {
 	c := &s.cost
-	if c.cur == nil {
+	if !c.open {
 		return
 	}
 	c.cur.Wall = time.Since(c.curStart)
 	c.cur.PoolMisses = s.io.Misses - c.baseIO.Misses
 	c.cur.PoolHits = (s.io.Accesses - c.baseIO.Accesses) - c.cur.PoolMisses
 	c.cur.RTreeVisits = s.dxyVisits - c.baseVisit
-	c.phases = append(c.phases, *c.cur)
+	c.phases = append(c.phases, c.cur)
 	c.trace.EndSpan(c.curSpan)
-	c.cur = nil
+	c.open = false
 }
 
 // curPhase returns the open phase's counters (the ranking code's
-// accumulation target). Query methods always open a phase before ranking.
-func (s *Session) curPhase() *stats.PhaseCost { return s.cost.cur }
+// accumulation target). Query methods always open a phase before ranking;
+// nil between phases, as before the phase slot became reusable.
+func (s *Session) curPhase() *stats.PhaseCost {
+	if !s.cost.open {
+		return nil
+	}
+	return &s.cost.cur
+}
 
 // startSpan opens an extra trace span inside the current phase (used for
 // per-iteration spans); no-op without a trace.
@@ -316,7 +370,9 @@ func (s *Session) endSpan(id obs.SpanID) { s.cost.trace.EndSpan(id) }
 // page accessed (the paper's response-time model).
 func (c *costRecorder) finish(s *Session) stats.Cost {
 	cost := stats.Cost{
-		Phases: append([]stats.PhaseCost(nil), c.phases...),
+		// Phases aliases the recorder's buffer; the next query on this
+		// session truncates it (see Result for the validity contract).
+		Phases: c.phases,
 		CPU:    time.Since(c.qStart),
 	}
 	cost.Elapsed = cost.CPU + time.Duration(s.pagesAccessed())*s.db.cfg.PageCost

@@ -99,19 +99,24 @@ func BuildTerrainDB(m *mesh.Mesh, cfg Config) (*TerrainDB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building DDM: %w", err)
 	}
-	return assembleTerrainDB(m, tree, sdn.BuildMSDN(m, cfg.SDNSpacing), cfg)
+	return assembleTerrainDB(m, tree, sdn.BuildMSDN(m, cfg.SDNSpacing), nil, cfg)
 }
 
 // assembleTerrainDB wires the precomputed structures (freshly built or
 // loaded from a snapshot) into a queryable database, rebuilding the
-// derivable parts (locator, pathnet, paged stores).
-func assembleTerrainDB(m *mesh.Mesh, tree *multires.Tree, ms *sdn.MSDN, cfg Config) (*TerrainDB, error) {
+// derivable parts (locator, paged stores). path supplies a restored
+// pathnet (from a v4 snapshot's flat buffers); nil builds it from the mesh,
+// the Steiner subdivision being a deterministic derivation.
+func assembleTerrainDB(m *mesh.Mesh, tree *multires.Tree, ms *sdn.MSDN, path *pathnet.Pathnet, cfg Config) (*TerrainDB, error) {
 	cfg = cfg.withDefaults()
+	if path == nil {
+		path = pathnet.Build(m, cfg.SteinerPerEdge)
+	}
 	db := &TerrainDB{
 		Mesh: m,
 		Loc:  mesh.NewLocator(m),
 		Tree: tree,
-		Path: pathnet.Build(m, cfg.SteinerPerEdge),
+		Path: path,
 		MSDN: ms,
 		Pool: storage.NewBufferPool(storage.NewMemFile(), cfg.PoolPages),
 		cfg:  cfg,

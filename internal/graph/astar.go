@@ -31,7 +31,7 @@ func AStar(g *Graph, src, dst int, h Heuristic) (float64, []int) {
 		if int(v) == dst {
 			break
 		}
-		for _, a := range g.adj[v] {
+		for _, a := range g.arcsOf(v) {
 			if closed[a.To] {
 				continue
 			}
@@ -47,4 +47,22 @@ func AStar(g *Graph, src, dst int, h Heuristic) (float64, []int) {
 		return Inf, nil
 	}
 	return dist[dst], reconstruct(prev, src, dst)
+}
+
+// reconstruct rebuilds the src→dst path from a prev chain. It walks the
+// chain once to size the result exactly and once to fill it back to front —
+// no append growth.
+func reconstruct(prev []int32, src, dst int) []int {
+	n := 0
+	for v := int32(dst); v != -1; v = prev[v] {
+		n++
+		if int(v) == src {
+			break
+		}
+	}
+	out := make([]int, n)
+	for v, i := int32(dst), n-1; i >= 0; v, i = prev[v], i-1 {
+		out[i] = int(v)
+	}
+	return out
 }

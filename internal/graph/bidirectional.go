@@ -40,7 +40,7 @@ func BidirectionalDijkstra(g *Graph, src, dst int) float64 {
 					best = cand
 				}
 			}
-			for _, a := range g.adj[it.v] {
+			for _, a := range g.arcsOf(it.v) {
 				nd := it.prio + a.W
 				if nd < dist[a.To] {
 					dist[a.To] = nd

@@ -5,161 +5,45 @@ import "math"
 // Inf is the distance reported for unreachable vertices.
 var Inf = math.Inf(1)
 
+// The package-level Dijkstra variants are the allocate-per-call
+// convenience API: each creates a throwaway Workspace sized to the graph
+// and delegates. Query loops that run warm should hold a Workspace (see
+// core.Session) and call its methods directly — those are the zero-alloc
+// hot paths.
+
 // Dijkstra computes single-source shortest distances from src to every
 // vertex. Unreachable vertices get Inf.
-//
-//sklint:hotpath
 func Dijkstra(g *Graph, src int) []float64 {
-	dist := make([]float64, g.NumVertices())
-	for i := range dist {
-		dist[i] = Inf
-	}
-	var h minHeap
-	dist[src] = 0
-	h.push(int32(src), 0)
-	for h.len() > 0 {
-		it := h.pop()
-		if it.prio > dist[it.v] {
-			continue // stale entry
-		}
-		for _, a := range g.adj[it.v] {
-			nd := it.prio + a.W
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				h.push(a.To, nd)
-			}
-		}
-	}
-	return dist
+	w := NewWorkspace(g.NumVertices())
+	return w.Dijkstra(g, src)
 }
 
 // DijkstraTarget computes the shortest distance from src to dst, stopping as
 // soon as dst is settled, and returns the path (vertex sequence from src to
 // dst). dist is Inf and path nil when dst is unreachable.
 func DijkstraTarget(g *Graph, src, dst int) (float64, []int) {
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	prev := make([]int32, n)
-	for i := range dist {
-		dist[i] = Inf
-		prev[i] = -1
+	w := NewWorkspace(g.NumVertices())
+	d, path := w.DijkstraTarget(g, src, dst)
+	if path == nil {
+		return d, nil
 	}
-	var h minHeap
-	dist[src] = 0
-	h.push(int32(src), 0)
-	for h.len() > 0 {
-		it := h.pop()
-		if it.prio > dist[it.v] {
-			continue
-		}
-		if int(it.v) == dst {
-			break
-		}
-		for _, a := range g.adj[it.v] {
-			nd := it.prio + a.W
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				prev[a.To] = it.v
-				h.push(a.To, nd)
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return Inf, nil
-	}
-	return dist[dst], reconstruct(prev, src, dst)
+	out := make([]int, len(path))
+	copy(out, path)
+	return d, out
 }
 
 // DijkstraBounded computes shortest distances from src, abandoning any
 // vertex whose distance exceeds bound. Vertices beyond the bound report
 // Inf. This implements the search-region truncation MR3 relies on.
-//
-//sklint:hotpath
 func DijkstraBounded(g *Graph, src int, bound float64) []float64 {
-	dist := make([]float64, g.NumVertices())
-	for i := range dist {
-		dist[i] = Inf
-	}
-	var h minHeap
-	dist[src] = 0
-	h.push(int32(src), 0)
-	for h.len() > 0 {
-		it := h.pop()
-		if it.prio > dist[it.v] {
-			continue
-		}
-		if it.prio > bound {
-			dist[it.v] = Inf
-			continue
-		}
-		for _, a := range g.adj[it.v] {
-			nd := it.prio + a.W
-			if nd < dist[a.To] && nd <= bound {
-				dist[a.To] = nd
-				h.push(a.To, nd)
-			}
-		}
-	}
-	return dist
+	w := NewWorkspace(g.NumVertices())
+	return w.DijkstraBounded(g, src, bound)
 }
 
 // DijkstraMultiTarget computes shortest distances from src to each target,
 // stopping once every target has been settled. The result is parallel to
 // targets; unreachable targets get Inf.
 func DijkstraMultiTarget(g *Graph, src int, targets []int) []float64 {
-	n := g.NumVertices()
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = Inf
-	}
-	want := make(map[int32]int, len(targets))
-	for i, t := range targets {
-		if _, dup := want[int32(t)]; !dup {
-			want[int32(t)] = i
-		}
-	}
-	out := make([]float64, len(targets))
-	for i := range out {
-		out[i] = Inf
-	}
-	remaining := len(want)
-	var h minHeap
-	dist[src] = 0
-	h.push(int32(src), 0)
-	for h.len() > 0 && remaining > 0 {
-		it := h.pop()
-		if it.prio > dist[it.v] {
-			continue
-		}
-		if _, ok := want[it.v]; ok {
-			delete(want, it.v)
-			remaining--
-		}
-		for _, a := range g.adj[it.v] {
-			nd := it.prio + a.W
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				h.push(a.To, nd)
-			}
-		}
-	}
-	for i, t := range targets {
-		out[i] = dist[t]
-	}
-	return out
-}
-
-func reconstruct(prev []int32, src, dst int) []int {
-	var rev []int
-	for v := int32(dst); v != -1; v = prev[v] {
-		rev = append(rev, int(v))
-		if int(v) == src {
-			break
-		}
-	}
-	// Reverse in place.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	w := NewWorkspace(g.NumVertices())
+	return w.DijkstraMultiTarget(g, src, targets, make([]float64, len(targets)))
 }

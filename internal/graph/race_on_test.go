@@ -1,0 +1,7 @@
+//go:build race
+
+package graph
+
+// raceEnabled reports whether the race detector is active; allocation
+// accounting is unreliable under it, so alloc-count tests skip.
+const raceEnabled = true

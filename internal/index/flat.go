@@ -1,0 +1,40 @@
+package index
+
+import "surfknn/internal/geom"
+
+// Flat is the tree's query-time SoA form, exposed for persistence: five
+// flat buffers that a snapshot can write (and mmap back) verbatim. Node i's
+// children (internal) or items (leaf) are Start[i]..Start[i]+Count[i]; node
+// 0 is the root.
+type Flat struct {
+	Leaf  []bool
+	MBR   []geom.MBR
+	Start []int32
+	Count []int32
+	Items []Item
+}
+
+// Flatten returns the tree's flat buffers. They are the tree's own query
+// structures, not copies: callers must treat them as read-only and must not
+// use them across a mutation.
+func (t *RTree) Flatten() Flat {
+	return Flat{Leaf: t.leaf, MBR: t.mbr, Start: t.start, Count: t.count, Items: t.items}
+}
+
+// FromFlat rebuilds a tree directly from its flat buffers without any
+// repacking; the buffers are retained. The result serves queries
+// immediately; the first Insert transparently rebuilds a pointer tree from
+// the item slab.
+func FromFlat(f Flat) *RTree {
+	if len(f.Leaf) == 0 {
+		return New()
+	}
+	return &RTree{
+		size:  len(f.Items),
+		leaf:  f.Leaf,
+		mbr:   f.MBR,
+		start: f.Start,
+		count: f.Count,
+		items: f.Items,
+	}
+}

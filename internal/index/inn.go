@@ -1,10 +1,6 @@
 package index
 
-import (
-	"container/heap"
-
-	"surfknn/internal/geom"
-)
+import "surfknn/internal/geom"
 
 // NearestIter returns an incremental nearest-neighbour iterator from q:
 // each call to the returned function yields the next-closest item in
@@ -13,26 +9,27 @@ import (
 // algorithms that do not know k in advance (closest pairs, expanding
 // searches). Node visits are charged to visits (nil to skip counting).
 func (t *RTree) NearestIter(q geom.Vec2, visits *int64) func() (Item, float64, bool) {
-	pq := &knnHeap{}
-	qp := q
+	var pq []knnEntry
 	if t.size > 0 {
-		heap.Push(pq, knnEntry{dist: t.root.mbr.DistToPoint(qp), n: t.root})
+		pq = khPush(pq, knnEntry{dist: t.mbr[0].DistToPoint(q), ni: 0})
 	}
 	return func() (Item, float64, bool) {
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(knnEntry)
+		for len(pq) > 0 {
+			var e knnEntry
+			pq, e = khPop(pq)
 			if e.leaf {
 				return e.item, e.dist, true
 			}
 			visit(visits)
-			if e.n.leaf {
-				for _, it := range e.n.items {
-					heap.Push(pq, knnEntry{dist: it.P.Dist(qp), item: it, leaf: true})
+			lo, n := t.start[e.ni], t.count[e.ni]
+			if t.leaf[e.ni] {
+				for _, it := range t.items[lo : lo+n] {
+					pq = khPush(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})
 				}
 				continue
 			}
-			for _, c := range e.n.children {
-				heap.Push(pq, knnEntry{dist: c.mbr.DistToPoint(qp), n: c})
+			for c := lo; c < lo+n; c++ {
+				pq = khPush(pq, knnEntry{dist: t.mbr[c].DistToPoint(q), ni: c})
 			}
 		}
 		return Item{}, 0, false

@@ -5,7 +5,6 @@
 package index
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -23,6 +22,10 @@ const (
 	minEntries = maxEntries * 2 / 5
 )
 
+// node is the build-time representation: a conventional pointer tree that
+// Bulk and Insert manipulate. Queries never touch it — every mutation
+// re-packs the tree into the flat SoA arrays below, which are the only
+// structures searches read.
 type node struct {
 	leaf     bool
 	mbr      geom.MBR
@@ -30,15 +33,30 @@ type node struct {
 	items    []Item
 }
 
-// RTree is a dynamic R-tree over 2-D points (quadratic split).
+// RTree is a dynamic R-tree over 2-D points.
 // Not safe for concurrent mutation; once built it is immutable at query
 // time, so concurrent searches are safe. Queries take a visits counter
 // (nil to skip) instead of mutating shared state: each node visited adds
 // one — the R-tree's page-access proxy (one node ≈ one page) — charged to
 // the per-query account of whoever issued the search.
+//
+// At query time the tree is four flat arrays indexed by node number plus
+// one packed item slab (an index-linked structure-of-arrays layout): node
+// i's MBR is mbr[i], and start[i]/count[i] delimit either its child-node
+// index range (internal) or its item range in the items slab (leaf). Node 0
+// is the root; a node's children occupy consecutive indices. The layout is
+// pointer-free, so it serialises verbatim into snapshots (see Flat) and is
+// mmap-ready.
 type RTree struct {
-	root *node
+	root *node // build-time form; nil for snapshot-loaded trees until mutated
 	size int
+
+	// Flat query-time form (always valid).
+	leaf  []bool
+	mbr   []geom.MBR
+	start []int32
+	count []int32
+	items []Item
 }
 
 // visit charges one node visit to the per-query counter, if any. The
@@ -54,7 +72,9 @@ func visit(visits *int64) {
 
 // New returns an empty tree.
 func New() *RTree {
-	return &RTree{root: &node{leaf: true, mbr: geom.EmptyMBR()}}
+	t := &RTree{root: &node{leaf: true, mbr: geom.EmptyMBR()}}
+	t.flatten()
+	return t
 }
 
 // Bulk builds a tree from items using STR (sort-tile-recursive) packing,
@@ -64,12 +84,17 @@ func Bulk(items []Item) *RTree {
 	if len(items) == 0 {
 		return t
 	}
-	leaves := strPack(items)
+	t.root = bulkRoot(items)
 	t.size = len(items)
+	t.flatten()
+	return t
+}
+
+func bulkRoot(items []Item) *node {
+	leaves := strPack(items)
 	for {
 		if len(leaves) == 1 {
-			t.root = leaves[0]
-			return t
+			return leaves[0]
 		}
 		leaves = strPackNodes(leaves)
 	}
@@ -138,8 +163,15 @@ func strPackNodes(ns []*node) []*node {
 // Len returns the number of indexed items.
 func (t *RTree) Len() int { return t.size }
 
-// Insert adds an item.
+// Insert adds an item. Insert is a build-time operation: it updates the
+// pointer tree and re-packs the flat arrays, so inserting n items one by
+// one costs O(n) packing work per insert — batch loads should use Bulk.
 func (t *RTree) Insert(it Item) {
+	if t.root == nil {
+		// Snapshot-loaded trees carry only the flat form; rebuild a pointer
+		// tree from the item slab before the first mutation.
+		t.root = bulkRoot(t.items)
+	}
 	t.size++
 	split := t.insert(t.root, it)
 	if split != nil {
@@ -147,6 +179,7 @@ func (t *RTree) Insert(it Item) {
 		newRoot.children = []*node{t.root, split}
 		t.root = newRoot
 	}
+	t.flatten()
 }
 
 func (t *RTree) insert(n *node, it Item) *node {
@@ -228,159 +261,151 @@ func splitInternal(n *node) *node {
 	return right
 }
 
+// flatten re-packs the pointer tree into the flat SoA arrays, assigning
+// node numbers in breadth-first order so every node's children occupy a
+// consecutive index range. Per-node child and item order is preserved
+// verbatim, so traversals behave identically on either form.
+func (t *RTree) flatten() {
+	t.leaf, t.mbr = t.leaf[:0], t.mbr[:0]
+	t.start, t.count = t.start[:0], t.count[:0]
+	t.items = t.items[:0]
+	queue := []*node{t.root}
+	t.leaf = append(t.leaf, t.root.leaf)
+	t.mbr = append(t.mbr, t.root.mbr)
+	t.start = append(t.start, 0)
+	t.count = append(t.count, 0)
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		if n.leaf {
+			t.start[head] = int32(len(t.items))
+			t.count[head] = int32(len(n.items))
+			t.items = append(t.items, n.items...)
+			continue
+		}
+		t.start[head] = int32(len(queue))
+		t.count[head] = int32(len(n.children))
+		for _, c := range n.children {
+			queue = append(queue, c)
+			t.leaf = append(t.leaf, c.leaf)
+			t.mbr = append(t.mbr, c.mbr)
+			t.start = append(t.start, 0)
+			t.count = append(t.count, 0)
+		}
+	}
+}
+
+// pushItem is the single append site the query paths grow their result
+// slices through; warm callers pass buffers at their high-water capacity,
+// so the append is a plain length bump.
+func pushItem(dst []Item, it Item) []Item { return append(dst, it) }
+
 // Range returns all items inside region (inclusive of the boundary),
 // charging node visits to visits (nil to skip counting).
-//
-//sklint:hotpath
 func (t *RTree) Range(region geom.MBR, visits *int64) []Item {
-	var out []Item
-	t.rangeScan(t.root, region, visits, &out)
+	out := t.RangeInto(region, visits, nil)
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
-func (t *RTree) rangeScan(n *node, region geom.MBR, visits *int64, out *[]Item) {
+// RangeInto is Range appending into dst (pass a reused buffer to avoid
+// allocation; the result may share dst's backing array).
+//
+//sklint:hotpath
+func (t *RTree) RangeInto(region geom.MBR, visits *int64, dst []Item) []Item {
+	return t.rangeScan(0, region, visits, dst)
+}
+
+func (t *RTree) rangeScan(ni int32, region geom.MBR, visits *int64, dst []Item) []Item {
 	visit(visits)
-	if n.leaf {
-		for _, it := range n.items {
+	lo, n := t.start[ni], t.count[ni]
+	if t.leaf[ni] {
+		for _, it := range t.items[lo : lo+n] {
 			if region.Contains(it.P) {
-				*out = append(*out, it)
+				dst = pushItem(dst, it)
 			}
 		}
-		return
+		return dst
 	}
-	for _, c := range n.children {
-		if c.mbr.Intersects(region) {
-			t.rangeScan(c, region, visits, out)
+	for c := lo; c < lo+n; c++ {
+		if t.mbr[c].Intersects(region) {
+			dst = t.rangeScan(c, region, visits, dst)
 		}
 	}
+	return dst
 }
 
 // WithinDist returns the items within Euclidean distance r of center — the
 // circular range query of MR3's step 3 — charging node visits to visits.
-//
-//sklint:hotpath
 func (t *RTree) WithinDist(center geom.Vec2, r float64, visits *int64) []Item {
-	var out []Item
-	t.within(t.root, center, r, visits, &out)
-	return out
-}
-
-func (t *RTree) within(n *node, center geom.Vec2, r float64, visits *int64, out *[]Item) {
-	visit(visits)
-	if n.leaf {
-		for _, it := range n.items {
-			if it.P.Dist(center) <= r {
-				*out = append(*out, it)
-			}
-		}
-		return
-	}
-	for _, c := range n.children {
-		if c.mbr.DistToPoint(center) <= r {
-			t.within(c, center, r, visits, out)
-		}
-	}
-}
-
-// knnEntry is a best-first queue entry: either a node or an item.
-type knnEntry struct {
-	dist float64
-	n    *node
-	item Item
-	leaf bool
-}
-
-type knnHeap []knnEntry
-
-func (h knnHeap) Len() int            { return len(h) }
-func (h knnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnEntry)) }
-func (h *knnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// KNN returns the k items nearest to q in ascending distance order
-// (fewer when the tree holds fewer than k items), using the classic
-// best-first traversal [Hjaltason & Samet]. Node visits are charged to
-// visits (nil to skip counting).
-func (t *RTree) KNN(q geom.Vec2, k int, visits *int64) []Item {
-	return t.KNNFunc(q, k, visits, nil)
-}
-
-// KNNFunc is KNN with a keep predicate applied as leaf items are
-// discovered: rejected items never enter the candidate queue, so the
-// traversal yields the k nearest *kept* items rather than a post-filtered
-// (and possibly short) prefix. Node visits are charged exactly as in KNN —
-// with a nil or all-true keep the control flow is identical, which is what
-// lets a quiesced objstore epoch reproduce the static path's page counts.
-//
-//sklint:hotpath
-func (t *RTree) KNNFunc(q geom.Vec2, k int, visits *int64, keep func(Item) bool) []Item {
-	if k <= 0 || t.size == 0 {
+	out := t.WithinDistInto(center, r, visits, nil)
+	if len(out) == 0 {
 		return nil
 	}
-	pq := &knnHeap{}
-	heap.Push(pq, knnEntry{dist: t.root.mbr.DistToPoint(q), n: t.root})
-	var out []Item
-	for pq.Len() > 0 && len(out) < k {
-		e := heap.Pop(pq).(knnEntry)
-		if e.leaf {
-			out = append(out, e.item)
-			continue
-		}
-		visit(visits)
-		if e.n.leaf {
-			for _, it := range e.n.items {
-				if keep == nil || keep(it) {
-					heap.Push(pq, knnEntry{dist: it.P.Dist(q), item: it, leaf: true})
-				}
-			}
-			continue
-		}
-		for _, c := range e.n.children {
-			heap.Push(pq, knnEntry{dist: c.mbr.DistToPoint(q), n: c})
-		}
-	}
 	return out
 }
 
-// Validate checks R-tree invariants (MBR containment, entry counts).
-func (t *RTree) Validate() error {
-	return validateNode(t.root, true)
+// WithinDistInto is WithinDist appending into dst.
+//
+//sklint:hotpath
+func (t *RTree) WithinDistInto(center geom.Vec2, r float64, visits *int64, dst []Item) []Item {
+	return t.within(0, center, r, visits, dst)
 }
 
-func validateNode(n *node, isRoot bool) error {
-	if n.leaf {
-		if !isRoot && (len(n.items) < 1 || len(n.items) > maxEntries) {
-			return errCount(len(n.items))
+func (t *RTree) within(ni int32, center geom.Vec2, r float64, visits *int64, dst []Item) []Item {
+	visit(visits)
+	lo, n := t.start[ni], t.count[ni]
+	if t.leaf[ni] {
+		for _, it := range t.items[lo : lo+n] {
+			if it.P.Dist(center) <= r {
+				dst = pushItem(dst, it)
+			}
 		}
-		for _, it := range n.items {
-			if !n.mbr.Contains(it.P) {
+		return dst
+	}
+	for c := lo; c < lo+n; c++ {
+		if t.mbr[c].DistToPoint(center) <= r {
+			dst = t.within(c, center, r, visits, dst)
+		}
+	}
+	return dst
+}
+
+// Validate checks R-tree invariants (MBR containment, entry counts) on the
+// query-time flat form (and therefore on whatever built it).
+func (t *RTree) Validate() error {
+	return t.validateFlat(0, true)
+}
+
+func (t *RTree) validateFlat(ni int32, isRoot bool) error {
+	lo, n := t.start[ni], t.count[ni]
+	if t.leaf[ni] {
+		if !isRoot && (n < 1 || n > maxEntries) {
+			return errCount(n)
+		}
+		for _, it := range t.items[lo : lo+n] {
+			if !t.mbr[ni].Contains(it.P) {
 				return errMBR{}
 			}
 		}
 		return nil
 	}
-	if !isRoot && (len(n.children) < 1 || len(n.children) > maxEntries) {
-		return errCount(len(n.children))
+	if !isRoot && (n < 1 || n > maxEntries) {
+		return errCount(n)
 	}
-	for _, c := range n.children {
-		if !n.mbr.ContainsMBR(c.mbr) {
+	for c := lo; c < lo+n; c++ {
+		if !t.mbr[ni].ContainsMBR(t.mbr[c]) {
 			return errMBR{}
 		}
-		if err := validateNode(c, false); err != nil {
+		if err := t.validateFlat(c, false); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-type errCount int
+type errCount int32
 
 func (e errCount) Error() string { return "index: node entry count out of bounds" }
 

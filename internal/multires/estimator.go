@@ -1,0 +1,224 @@
+package multires
+
+import (
+	"surfknn/internal/graph"
+	"surfknn/internal/mesh"
+)
+
+// Estimator is the reusable, allocation-free counterpart of the
+// NetworkFromEdgeIDs → Embed → UpperBound pipeline. MR3 builds one
+// per-candidate network per upper-bound estimation; materialising each as a
+// fresh Network (map-backed vertex numbering, adjacency-list graph) made
+// that the dominant allocation source of the query path. The Estimator
+// keeps every intermediate in scratch owned by the session:
+//
+//   - vertex numbering via an epoch-stamped array instead of the IdxOf map
+//     (same first-seen order, so the numbering is identical);
+//   - accepted arcs staged into flat parallel slices, then packed into a
+//     reusable CSR graph by counting sort — which preserves the per-vertex
+//     arc order the adjacency-list appends produced, so Dijkstra visits
+//     arcs in exactly the historical order;
+//   - the Dijkstra itself on an owned graph.Workspace.
+//
+// Distances, paths and visit orders are therefore bit-identical to the
+// allocating pipeline (TestEstimatorMatchesNetwork pins this).
+//
+// An Estimator is owned by a single goroutine; it is not safe for
+// concurrent use. Returned paths alias the estimator and are valid until
+// its next UpperBound call.
+type Estimator struct {
+	t  *Tree
+	ws *graph.Workspace
+	tm int32
+
+	// Epoch-stamped vertex numbering: node v is numbered this query iff
+	// idxStamp[v] == idxCur, and its graph vertex is then idxVal[v].
+	idxVal   []int32
+	idxStamp []uint32
+	idxCur   uint32
+	nodeOf   []NodeID // graph vertex -> tree node (network vertices only)
+
+	// Staged arcs (parallel slices): network arcs first, then embed arcs.
+	su, sw []int32
+	sd     []float64
+
+	// CSR build scratch and the packed graph.
+	deg, off, fill []int32
+	arcs           []graph.Arc
+	g              graph.Graph
+
+	path []NodeID
+}
+
+// NewEstimator returns an estimator over the tree. The numbering arrays are
+// sized up front (the tree is immutable); everything else grows on first
+// use and is retained.
+func NewEstimator(t *Tree) *Estimator {
+	return &Estimator{
+		t:        t,
+		ws:       graph.NewWorkspace(0),
+		idxVal:   make([]int32, len(t.Nodes)),
+		idxStamp: make([]uint32, len(t.Nodes)),
+	}
+}
+
+// Begin opens a new network build at resolution time tm, discarding the
+// previous one. Call it once per candidate, then AddEdge for each fetched
+// edge id, then UpperBound.
+func (e *Estimator) Begin(tm int32) {
+	e.tm = tm
+	e.idxCur++
+	if e.idxCur == 0 { // epoch counter wrapped: old stamps are ambiguous
+		for i := range e.idxStamp {
+			e.idxStamp[i] = 0
+		}
+		e.idxCur = 1
+	}
+	e.nodeOf = e.nodeOf[:0]
+	e.su, e.sw, e.sd = e.su[:0], e.sw[:0], e.sd[:0]
+}
+
+// AddEdge stages the DDM edge with the given index, skipping it when not
+// alive at the build's tm (so passing a superset is safe, as with
+// NetworkFromEdgeIDs). Callers apply any further per-edge filter before
+// calling.
+func (e *Estimator) AddEdge(id int32) {
+	ed := &e.t.Edges[id]
+	if ed.Birth > e.tm || e.tm >= ed.Death {
+		return
+	}
+	// U before W: the historical idx() evaluation order, which fixes the
+	// first-seen vertex numbering.
+	u := e.vertexOf(ed.U)
+	w := e.vertexOf(ed.W)
+	e.su = append(e.su, u)
+	e.sw = append(e.sw, w)
+	e.sd = append(e.sd, ed.D)
+}
+
+// vertexOf numbers tree node v on first sight this query.
+func (e *Estimator) vertexOf(v NodeID) int32 {
+	if e.idxStamp[v] == e.idxCur {
+		return e.idxVal[v]
+	}
+	i := int32(len(e.nodeOf))
+	e.idxVal[v] = i
+	e.idxStamp[v] = e.idxCur
+	e.nodeOf = append(e.nodeOf, v)
+	return i
+}
+
+// embed stages the virtual-endpoint arcs of sp as graph vertex v, exactly
+// mirroring Network.Embed: one arc per distinct active corner ancestor
+// present in the network, weighted by the on-facet leg plus the ancestor's
+// Gather bound.
+func (e *Estimator) embed(m *mesh.Mesh, sp mesh.SurfacePoint, v int32) bool {
+	connected := false
+	var seen [3]int32
+	nseen := 0
+	for _, corner := range sp.Corners(m) {
+		anc := e.t.AncestorAt(NodeID(corner), e.tm)
+		if anc == NoNode || e.idxStamp[anc] != e.idxCur {
+			continue
+		}
+		gi := e.idxVal[anc]
+		dup := false
+		for i := 0; i < nseen; i++ {
+			if seen[i] == gi {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[nseen] = gi
+		nseen++
+		w := sp.Pos.Dist(m.Verts[corner]) + e.t.Nodes[anc].Gather
+		e.su = append(e.su, v)
+		e.sw = append(e.sw, gi)
+		e.sd = append(e.sd, w)
+		connected = true
+	}
+	return connected
+}
+
+// UpperBound runs the estimation on the staged network. It may be called
+// several times after one Begin (each call embeds into the same network).
+// The returned Path aliases the estimator.
+func (e *Estimator) UpperBound(m *mesh.Mesh, a, b mesh.SurfacePoint) UpperEstimate {
+	// Same-face shortcut: the straight on-facet segment is a valid path.
+	if a.Face == b.Face {
+		return UpperEstimate{UB: a.Pos.Dist(b.Pos)}
+	}
+	n := int32(len(e.nodeOf))
+	base := len(e.su)
+	okA := e.embed(m, a, n)
+	okB := e.embed(m, b, n+1)
+	if !okA || !okB {
+		e.su, e.sw, e.sd = e.su[:base], e.sw[:base], e.sd[:base]
+		return UpperEstimate{UB: graph.Inf}
+	}
+
+	// Pack the staged arcs into CSR by counting sort. Walking the staged
+	// list in order and emitting both directions reproduces the per-vertex
+	// order of the historical adjacency-list appends (network arcs in edge
+	// order, then embed arcs), so traversal order is unchanged.
+	nv := int(n) + 2
+	e.deg = growInt32(e.deg, nv)
+	for i := range e.deg[:nv] {
+		e.deg[i] = 0
+	}
+	for i := range e.su {
+		e.deg[e.su[i]]++
+		e.deg[e.sw[i]]++
+	}
+	e.off = growInt32(e.off, nv+1)
+	e.off[0] = 0
+	for v := 0; v < nv; v++ {
+		e.off[v+1] = e.off[v] + e.deg[v]
+	}
+	e.fill = growInt32(e.fill, nv)
+	copy(e.fill, e.off[:nv])
+	e.arcs = growArcs(e.arcs, 2*len(e.su))
+	for i := range e.su {
+		u, w, d := e.su[i], e.sw[i], e.sd[i]
+		e.arcs[e.fill[u]] = graph.Arc{To: w, W: d}
+		e.fill[u]++
+		e.arcs[e.fill[w]] = graph.Arc{To: u, W: d}
+		e.fill[w]++
+	}
+	e.g.SetCSR(e.off[:nv+1], e.arcs, len(e.su))
+	e.su, e.sw, e.sd = e.su[:base], e.sw[:base], e.sd[:base]
+
+	e.ws.Ensure(nv)
+	d, vpath := e.ws.DijkstraTarget(&e.g, int(n), int(n)+1)
+	e.path = e.path[:0]
+	for _, v := range vpath {
+		if int32(v) < n {
+			e.path = append(e.path, e.nodeOf[v])
+		}
+	}
+	return UpperEstimate{UB: d, Path: e.path}
+}
+
+// growInt32 resizes s to n entries, allocating only when capacity is short.
+// Contents beyond the old length are stale; callers overwrite them.
+func growInt32(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]int32, n, n+n/2)
+	copy(ns, s)
+	return ns
+}
+
+// growArcs is growInt32 for []graph.Arc.
+func growArcs(s []graph.Arc, n int) []graph.Arc {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]graph.Arc, n, n+n/2)
+	copy(ns, s)
+	return ns
+}

@@ -1,0 +1,128 @@
+package multires
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"surfknn/internal/dem"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// TestEstimatorMatchesNetwork pins the Estimator's core guarantee: over
+// random edge subsets, resolutions and point pairs, its upper bounds and
+// node paths are bit-identical to the allocating
+// NetworkFromEdgeIDs → Embed → UpperBound pipeline it replaces.
+func TestEstimatorMatchesNetwork(t *testing.T) {
+	m, tr := buildTree(t, 16, dem.BH, 77)
+	loc := mesh.NewLocator(m)
+	ext := m.Extent()
+	rng := rand.New(rand.NewSource(78))
+	est := NewEstimator(tr)
+
+	allIDs := make([]int32, len(tr.Edges))
+	for i := range allIDs {
+		allIDs[i] = int32(i)
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		res := []float64{0.1, 0.25, 0.5, 1.0}[trial%4]
+		tm := tr.TimeForResolution(res)
+
+		// Random edge subset (sometimes everything), preserving id order as
+		// the clustered store's fetch does.
+		ids := allIDs
+		if trial%3 == 1 {
+			ids = ids[:0:0]
+			for _, id := range allIDs {
+				if rng.Float64() < 0.7 {
+					ids = append(ids, id)
+				}
+			}
+		}
+		// Sometimes a region filter, as MR3's refined regions apply.
+		var filter func(EdgeRec) bool
+		var region geom.MBR
+		if trial%4 == 2 {
+			cx := ext.MinX + rng.Float64()*ext.Width()
+			cy := ext.MinY + rng.Float64()*ext.Height()
+			region = geom.MBR{MinX: cx - ext.Width()/3, MinY: cy - ext.Height()/3,
+				MaxX: cx + ext.Width()/3, MaxY: cy + ext.Height()/3}
+			filter = func(e EdgeRec) bool {
+				minX, minY, maxX, maxY := tr.EdgeMBR(e)
+				return geom.MBR{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}.Intersects(region)
+			}
+		}
+
+		pa := geom.Vec2{X: ext.MinX + rng.Float64()*ext.Width(), Y: ext.MinY + rng.Float64()*ext.Height()}
+		pb := geom.Vec2{X: ext.MinX + rng.Float64()*ext.Width(), Y: ext.MinY + rng.Float64()*ext.Height()}
+		a, errA := mesh.MakeSurfacePoint(m, loc, pa)
+		b, errB := mesh.MakeSurfacePoint(m, loc, pb)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+
+		nw := tr.NetworkFromEdgeIDs(tm, ids, filter)
+		want := nw.UpperBound(m, a, b)
+
+		est.Begin(tm)
+		for _, id := range ids {
+			if filter != nil && !filter(tr.Edges[id]) {
+				continue
+			}
+			est.AddEdge(id)
+		}
+		got := est.UpperBound(m, a, b)
+
+		if math.Float64bits(got.UB) != math.Float64bits(want.UB) {
+			t.Fatalf("trial %d (res %v): UB %v != %v", trial, res, got.UB, want.UB)
+		}
+		if len(got.Path) != len(want.Path) {
+			t.Fatalf("trial %d: path length %d != %d", trial, len(got.Path), len(want.Path))
+		}
+		for i := range got.Path {
+			if got.Path[i] != want.Path[i] {
+				t.Fatalf("trial %d: path[%d] = %d != %d", trial, i, got.Path[i], want.Path[i])
+			}
+		}
+	}
+}
+
+// TestEstimatorReusableAfterBegin: a second Begin fully resets the build —
+// results do not depend on what the estimator computed before.
+func TestEstimatorReusableAfterBegin(t *testing.T) {
+	m, tr := buildTree(t, 8, dem.EP, 9)
+	loc := mesh.NewLocator(m)
+	ext := m.Extent()
+	a, err := mesh.MakeSurfacePoint(m, loc, geom.Vec2{X: ext.MinX + ext.Width()*0.2, Y: ext.MinY + ext.Height()*0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mesh.MakeSurfacePoint(m, loc, geom.Vec2{X: ext.MinX + ext.Width()*0.8, Y: ext.MinY + ext.Height()*0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(e *Estimator, tm int32) UpperEstimate {
+		e.Begin(tm)
+		for i := range tr.Edges {
+			e.AddEdge(int32(i))
+		}
+		return e.UpperBound(m, a, b)
+	}
+
+	fresh := NewEstimator(tr)
+	warm := NewEstimator(tr)
+	// Dirty the warm estimator with builds at other resolutions first.
+	run(warm, tr.TimeForResolution(0.1))
+	run(warm, tr.TimeForResolution(1.0))
+	for _, res := range []float64{0.2, 0.6, 1.0} {
+		tm := tr.TimeForResolution(res)
+		w := run(fresh, tm)
+		g := run(warm, tm)
+		if math.Float64bits(g.UB) != math.Float64bits(w.UB) {
+			t.Fatalf("res %v: warm UB %v != fresh %v", res, g.UB, w.UB)
+		}
+	}
+}

@@ -149,6 +149,19 @@ func (e *Epoch) KNN(q geom.Vec2, k int, visits *int64) []index.Item {
 	return mergeByDist(q, fromBase, fromDelta, k)
 }
 
+// KNNInto is KNN running on caller-owned scratch and appending into dst —
+// the warm-query form. A quiesced epoch runs entirely on the reusable
+// buffers, so a store with no pending updates answers without allocating;
+// an epoch carrying a delta falls back to the merging path (updates are
+// rare relative to queries, and the next compaction restores the
+// allocation-free route).
+func (e *Epoch) KNNInto(q geom.Vec2, k int, visits *int64, sc *index.Scratch, dst []index.Item) []index.Item {
+	if e.quiesced() {
+		return e.base.tree.KNNInto(q, k, visits, nil, sc, dst)
+	}
+	return append(dst, e.KNN(q, k, visits)...)
+}
+
 // WithinDist returns the live objects within Euclidean distance r of
 // center, charging node visits to visits.
 func (e *Epoch) WithinDist(center geom.Vec2, r float64, visits *int64) []index.Item {
@@ -166,6 +179,31 @@ func (e *Epoch) WithinDist(center geom.Vec2, r float64, visits *int64) []index.I
 		out = append(out, e.overlay.WithinDist(center, r, visits)...)
 	}
 	return out
+}
+
+// WithinDistInto is WithinDist appending into dst — the warm-query
+// counterpart of KNNInto, with the same quiesced fast path.
+func (e *Epoch) WithinDistInto(center geom.Vec2, r float64, visits *int64, dst []index.Item) []index.Item {
+	if e.quiesced() {
+		return e.base.tree.WithinDistInto(center, r, visits, dst)
+	}
+	return append(dst, e.WithinDist(center, r, visits)...)
+}
+
+// IndexFlat returns the flat R-tree buffers over exactly this epoch's live
+// object set, packing a fresh tree when a delta is pending. Restoring with
+// NewAtWithIndex(Table(), Seq(), IndexFlat()) reproduces NewAt(Table(),
+// Seq()) bit for bit, because both pack the same items in table order.
+func (e *Epoch) IndexFlat() index.Flat {
+	if e.quiesced() {
+		return e.base.tree.Flatten()
+	}
+	objs := e.Table()
+	items := make([]index.Item, len(objs))
+	for i, o := range objs {
+		items[i] = index.Item{P: o.Point.XY(), ID: o.ID}
+	}
+	return index.Bulk(items).Flatten()
 }
 
 // mergeByDist merges two distance-sorted item lists into the first k by
@@ -232,6 +270,22 @@ func New() *Store { return NewAt(nil, 0) }
 func NewAt(objs []workload.Object, epoch uint64) *Store {
 	s := &Store{compact: DefaultCompactThreshold, live: 1}
 	e := &Epoch{store: s, seq: epoch, base: newBaseTable(objs)}
+	s.cur.Store(e)
+	return s
+}
+
+// NewAtWithIndex is NewAt with the base R-tree supplied as pre-packed flat
+// buffers — the snapshot-restore path: a v4 snapshot stores the packed tree
+// verbatim, so loading skips the STR bulk pack entirely. The buffers must
+// index exactly objs (see Epoch.IndexFlat).
+func NewAtWithIndex(objs []workload.Object, epoch uint64, f index.Flat) *Store {
+	s := &Store{compact: DefaultCompactThreshold, live: 1}
+	b := &baseTable{objects: objs, byID: make(map[int64]workload.Object, len(objs))}
+	for _, o := range objs {
+		b.byID[o.ID] = o
+	}
+	b.tree = index.FromFlat(f)
+	e := &Epoch{store: s, seq: epoch, base: b}
 	s.cur.Store(e)
 	return s
 }

@@ -16,13 +16,22 @@ import (
 )
 
 // Pathnet is the refined network over a mesh (or a subset of its faces).
+// After Build the graph is finalized (CSR form) and the per-face boundary
+// point lists are packed into one offset/slab pair — three flat buffers
+// that queries chase no pointers through and snapshots serialise verbatim
+// (see Flat).
 type Pathnet struct {
 	G   *graph.Graph
 	Pos []geom.Vec3 // position of each network vertex
 
-	m          *mesh.Mesh
-	steiner    int             // Steiner points per edge
-	facePoints map[int][]int32 // per included face: network vertices on its boundary
+	m       *mesh.Mesh
+	steiner int // Steiner points per edge
+
+	// Per-face boundary points in CSR form: face f's network vertices are
+	// facePts[faceOff[f]:faceOff[f+1]]. Faces excluded from a subset build
+	// have empty ranges.
+	faceOff []int32
+	facePts []int32
 }
 
 // Build constructs a pathnet with steinerPerEdge Steiner points inserted
@@ -43,7 +52,7 @@ func BuildSubset(m *mesh.Mesh, steinerPerEdge int, faces []mesh.FaceID) *Pathnet
 		panic(fmt.Sprintf("pathnet: negative steiner count %d", steinerPerEdge))
 	}
 	n := m.NumVerts()
-	p := &Pathnet{m: m, steiner: steinerPerEdge, facePoints: make(map[int][]int32)}
+	p := &Pathnet{m: m, steiner: steinerPerEdge}
 	var faceList []mesh.FaceID
 	if faces == nil {
 		faceList = make([]mesh.FaceID, m.NumFaces())
@@ -100,6 +109,7 @@ func BuildSubset(m *mesh.Mesh, steinerPerEdge int, faces []mesh.FaceID) *Pathnet
 		p.G.AddEdge(int(a), int(b), p.Pos[a].Dist(p.Pos[b]))
 	}
 
+	perFace := make([][]int32, m.NumFaces())
 	for _, f := range faceList {
 		face := m.Faces[f]
 		pts := make([]int32, 0, 3+3*steinerPerEdge)
@@ -107,7 +117,7 @@ func BuildSubset(m *mesh.Mesh, steinerPerEdge int, faces []mesh.FaceID) *Pathnet
 			pts = append(pts, int32(face[i]))
 			pts = append(pts, edgePoints[normEdge(face[i], face[(i+1)%3])]...)
 		}
-		p.facePoints[int(f)] = pts
+		perFace[f] = pts
 		// Connect every pair of boundary points of the facet; the segment
 		// between any two of them lies on the (planar) facet, so the link
 		// length is a valid surface path length.
@@ -117,7 +127,31 @@ func BuildSubset(m *mesh.Mesh, steinerPerEdge int, faces []mesh.FaceID) *Pathnet
 			}
 		}
 	}
+	p.packFacePoints(perFace)
+	p.G.Finalize()
 	return p
+}
+
+// packFacePoints flattens the per-face point lists into the CSR pair.
+func (p *Pathnet) packFacePoints(perFace [][]int32) {
+	p.faceOff = make([]int32, len(perFace)+1)
+	total := 0
+	for f, pts := range perFace {
+		p.faceOff[f] = int32(total)
+		total += len(pts)
+	}
+	p.faceOff[len(perFace)] = int32(total)
+	p.facePts = make([]int32, total)
+	for f, pts := range perFace {
+		copy(p.facePts[p.faceOff[f]:], pts)
+	}
+}
+
+// FacePoints returns the network vertices on face f's boundary (empty for
+// faces excluded from a subset build). The slice is shared; callers must
+// not modify it.
+func (p *Pathnet) FacePoints(f mesh.FaceID) []int32 {
+	return p.facePts[p.faceOff[f]:p.faceOff[f+1]]
 }
 
 func normEdge(a, b mesh.VertexID) mesh.Edge {
@@ -141,7 +175,7 @@ func (p *Pathnet) SteinerPerEdge() int { return p.steiner }
 func (p *Pathnet) Embed(sp mesh.SurfacePoint) int {
 	v := p.G.AddVertex()
 	p.Pos = append(p.Pos, sp.Pos)
-	for _, w := range p.facePoints[int(sp.Face)] {
+	for _, w := range p.FacePoints(sp.Face) {
 		p.G.AddEdge(v, int(w), sp.Pos.Dist(p.Pos[w]))
 	}
 	return v
@@ -173,7 +207,7 @@ func (p *Pathnet) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float6
 // +Inf when the face has no points in this (possibly subset) pathnet.
 func (p *Pathnet) DistanceToFacePoint(dist []float64, sp mesh.SurfacePoint) float64 {
 	best := graph.Inf
-	for _, w := range p.facePoints[int(sp.Face)] {
+	for _, w := range p.FacePoints(sp.Face) {
 		if int(w) >= len(dist) {
 			continue
 		}
@@ -182,4 +216,37 @@ func (p *Pathnet) DistanceToFacePoint(dist []float64, sp mesh.SurfacePoint) floa
 		}
 	}
 	return best
+}
+
+// Flat is the pathnet's persistence form: the graph's CSR buffers, the
+// vertex positions and the face-point CSR pair — every query structure as
+// flat arrays, written to snapshots verbatim so loading skips the whole
+// Build (Steiner subdivision, facet linking) and is a straight read.
+type Flat struct {
+	Off     []int32
+	Arcs    []graph.Arc
+	Pos     []geom.Vec3
+	Steiner int
+	FaceOff []int32
+	FacePts []int32
+}
+
+// Flatten returns the pathnet's flat buffers (shared, read-only).
+func (p *Pathnet) Flatten() Flat {
+	off, arcs := p.G.CSR()
+	return Flat{
+		Off: off, Arcs: arcs, Pos: p.Pos, Steiner: p.steiner,
+		FaceOff: p.faceOff, FacePts: p.facePts,
+	}
+}
+
+// FromFlat rebuilds a pathnet over m directly from its flat buffers (which
+// are retained, not copied). Every pathnet edge is undirected, so the
+// NumEdges counter is half the arc count.
+func FromFlat(m *mesh.Mesh, f Flat) *Pathnet {
+	return &Pathnet{
+		G:   graph.FromCSR(f.Off, f.Arcs, len(f.Arcs)/2),
+		Pos: f.Pos, m: m, steiner: f.Steiner,
+		faceOff: f.FaceOff, facePts: f.FacePts,
+	}
 }

@@ -39,19 +39,27 @@ type Querier struct {
 // subtract.
 func (q *Querier) Relaxations() int64 { return q.relaxed }
 
-// NewQuerier returns a query context over the pathnet.
+// NewQuerier returns a query context over the pathnet. The scratch arrays
+// are sized up front — the pathnet's vertex set is fixed after Build — so
+// the query path never grows them.
 func (p *Pathnet) NewQuerier() *Querier {
-	return &Querier{p: p, pq: graph.NewFrontier()}
+	n := len(p.Pos)
+	return &Querier{
+		p:     p,
+		dist:  make([]float64, n),
+		prev:  make([]int32, n),
+		stamp: make([]uint32, n),
+		pq:    graph.NewFrontier(),
+	}
 }
 
 // begin opens a new query epoch: entries stamped by earlier queries become
 // logically Inf without clearing the arrays.
 func (q *Querier) begin() {
-	if n := len(q.p.Pos); len(q.dist) < n {
-		q.dist = make([]float64, n)
-		q.prev = make([]int32, n)
-		q.stamp = make([]uint32, n)
-		q.cur = 0
+	if len(q.dist) < len(q.p.Pos) {
+		// Embed grew the pathnet after this querier was created; queriers
+		// are for the immutable shared network only.
+		panic("pathnet: querier older than the pathnet's last Embed")
 	}
 	q.cur++
 	if q.cur == 0 { // epoch counter wrapped: old stamps are ambiguous, clear
@@ -100,6 +108,18 @@ func (q *Querier) Distance(a, b mesh.SurfacePoint) (float64, []geom.Vec3) {
 	return best, pts
 }
 
+// DistanceValue is Distance without the polyline: the same search, the same
+// float sums, but no path reconstruction — the form the warm query path uses
+// (the settle loops only compare distances, so materialising the polyline
+// per call would be pure allocation).
+func (q *Querier) DistanceValue(a, b mesh.SurfacePoint) float64 {
+	if a.Face == b.Face {
+		return a.Pos.Dist(b.Pos)
+	}
+	d, _ := q.search(a, b, nil)
+	return d
+}
+
 // DistanceWithin behaves like Distance but ignores network vertices whose
 // (x,y) position falls outside region — the search-region restriction used
 // by EA and by MR3's pathnet-level refinement. Distances can only grow
@@ -128,11 +148,8 @@ func (q *Querier) DistanceWithin(a, b mesh.SurfacePoint, region geom.MBR) float6
 func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int32) {
 	q.begin()
 	p := q.p
-	inside := func(v int32) bool {
-		return region == nil || region.Contains(p.Pos[v].XY())
-	}
-	for _, w := range p.facePoints[int(a.Face)] {
-		if !inside(w) {
+	for _, w := range p.FacePoints(a.Face) {
+		if !q.inside(w, region) {
 			continue
 		}
 		if d := a.Pos.Dist(p.Pos[w]); d < q.distAt(w) {
@@ -140,7 +157,7 @@ func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int
 			q.pq.Push(w, d)
 		}
 	}
-	targets := p.facePoints[int(b.Face)]
+	targets := p.FacePoints(b.Face)
 	best := graph.Inf
 	bestEnd := int32(-1)
 	for q.pq.Len() > 0 {
@@ -160,7 +177,7 @@ func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int
 			}
 		}
 		for _, arc := range p.G.Arcs(int(v)) {
-			if !inside(arc.To) {
+			if !q.inside(arc.To, region) {
 				continue
 			}
 			if nd := d + arc.W; nd < q.distAt(arc.To) {
@@ -171,4 +188,11 @@ func (q *Querier) search(a, b mesh.SurfacePoint, region *geom.MBR) (float64, int
 		}
 	}
 	return best, bestEnd
+}
+
+// inside reports whether vertex v falls within the (optional) search
+// region. A method rather than a per-call closure: the hot search loop
+// calls it statically and nothing escapes.
+func (q *Querier) inside(v int32, region *geom.MBR) bool {
+	return region == nil || region.Contains(q.p.Pos[v].XY())
 }

@@ -11,10 +11,29 @@ type LowerEstimate struct {
 	LB float64
 	// Path holds the SDN segments realising the bound, one per crossing
 	// line; MR3's dummy-lower-bound optimisation thickens this path into an
-	// envelope for the next, cheaper estimate.
+	// envelope for the next, cheaper estimate. When the estimate was
+	// produced through a Scratch, Path aliases that scratch and is valid
+	// only until its next use — copy it to keep it.
 	Path []Segment
 	// Segments counts the SDN nodes examined (a CPU-cost proxy).
 	Segments int
+}
+
+// Scratch holds the reusable buffers of the lower-bound estimator, so a warm
+// estimation allocates nothing. The layered chain DP runs over one arena:
+// every kept layer's segments are appended to segs, with dist/prev parallel
+// to it (prev holds absolute arena indices, -1 on the first layer), instead
+// of one segs/dist/prev triple allocated per layer. A Scratch is owned by a
+// single goroutine; zero value is ready to use.
+type Scratch struct {
+	between  []*CrossLine
+	envBoxes []geom.MBR
+	idx      []int
+	segs     []Segment
+	dist     []float64
+	prev     []int32
+	path     []Segment
+	pathAlt  []Segment // parks the first family's path in LowerBoundBothScratch
 }
 
 // LowerBound estimates a lower bound on the surface distance between a and
@@ -26,7 +45,14 @@ type LowerEstimate struct {
 // The Euclidean distance is always a valid floor, so the result is never
 // below it.
 func (ms *MSDN) LowerBound(a, b geom.Vec3, region geom.MBR, resolution float64) LowerEstimate {
-	return ms.lowerBound(a, b, region, resolution, nil, 0)
+	var sc Scratch
+	return ms.lowerBound(&sc, a, b, region, resolution, nil, 0)
+}
+
+// LowerBoundScratch is LowerBound running over reusable scratch. The
+// returned Path aliases sc.
+func (ms *MSDN) LowerBoundScratch(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64) LowerEstimate {
+	return ms.lowerBound(sc, a, b, region, resolution, nil, 0)
 }
 
 // LowerBoundBoth estimates with BOTH plane families and returns the larger
@@ -35,10 +61,21 @@ func (ms *MSDN) LowerBound(a, b geom.Vec3, region geom.MBR, resolution float64) 
 // tighter (never worse) bound at roughly twice the cost. Offered as an
 // extension; see the BenchmarkAblationBothFamilies targets.
 func (ms *MSDN) LowerBoundBoth(a, b geom.Vec3, region geom.MBR, resolution float64) LowerEstimate {
-	first := ms.lowerBound(a, b, region, resolution, nil, 0)
+	var sc Scratch
+	return ms.LowerBoundBothScratch(&sc, a, b, region, resolution)
+}
+
+// LowerBoundBothScratch is LowerBoundBoth running over reusable scratch.
+func (ms *MSDN) LowerBoundBothScratch(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64) LowerEstimate {
+	first := ms.lowerBound(sc, a, b, region, resolution, nil, 0)
+	if len(first.Path) > 0 {
+		// The second run rebuilds sc.path; park the first family's path.
+		sc.pathAlt = append(sc.pathAlt[:0], first.Path...)
+		first.Path = sc.pathAlt
+	}
 	// Evaluate the family the heuristic did NOT choose by swapping the
 	// dominant axis: temporarily flip the comparison via a mirrored call.
-	other := ms.lowerBoundFamily(a, b, region, resolution, !ms.prefersX(a, b))
+	other := ms.lowerBoundFamily(sc, a, b, region, resolution, !ms.prefersX(a, b))
 	if other.LB > first.LB {
 		other.Segments += first.Segments
 		return other
@@ -53,7 +90,7 @@ func (ms *MSDN) prefersX(a, b geom.Vec3) bool {
 }
 
 // lowerBoundFamily runs the chain over an explicit family choice.
-func (ms *MSDN) lowerBoundFamily(a, b geom.Vec3, region geom.MBR, resolution float64, useX bool) LowerEstimate {
+func (ms *MSDN) lowerBoundFamily(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64, useX bool) LowerEstimate {
 	euclid := a.Dist(b)
 	var lines []*CrossLine
 	var lo, hi float64
@@ -64,11 +101,11 @@ func (ms *MSDN) lowerBoundFamily(a, b geom.Vec3, region geom.MBR, resolution flo
 		lines = ms.YLines
 		lo, hi = math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
 	}
-	between := linesBetween(lines, lo, hi, planeStepFor(resolution))
-	if len(between) == 0 {
+	sc.between = linesBetweenInto(lines, lo, hi, planeStepFor(resolution), sc.between)
+	if len(sc.between) == 0 {
 		return LowerEstimate{LB: euclid}
 	}
-	return ms.chainOver(a, b, region, resolution, between, nil, 0)
+	return ms.chainOver(sc, a, b, region, resolution, nil, 0)
 }
 
 // LowerBoundEnvelope is the paper's "dummy lower bound" (§4.2.2): it
@@ -78,31 +115,41 @@ func (ms *MSDN) lowerBoundFamily(a, b geom.Vec3, region geom.MBR, resolution flo
 // this resolution cannot either, so MR3 may skip straight to the next
 // resolution.
 func (ms *MSDN) LowerBoundEnvelope(a, b geom.Vec3, region geom.MBR, resolution float64, prev []Segment, margin float64) LowerEstimate {
-	if len(prev) == 0 {
-		return ms.lowerBound(a, b, region, resolution, nil, 0)
-	}
-	return ms.lowerBound(a, b, region, resolution, prev, margin)
+	var sc Scratch
+	return ms.LowerBoundEnvelopeScratch(&sc, a, b, region, resolution, prev, margin)
 }
 
-func (ms *MSDN) lowerBound(a, b geom.Vec3, region geom.MBR, resolution float64, envelope []Segment, margin float64) LowerEstimate {
-	return ms.lowerBoundFixed(a, b, region, resolution, planeStepFor(resolution), envelope, margin)
+// LowerBoundEnvelopeScratch is LowerBoundEnvelope running over reusable
+// scratch. prev must not alias sc's own path buffers (pass a caller-owned
+// copy of the previous path).
+func (ms *MSDN) LowerBoundEnvelopeScratch(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64, prev []Segment, margin float64) LowerEstimate {
+	if len(prev) == 0 {
+		return ms.lowerBound(sc, a, b, region, resolution, nil, 0)
+	}
+	return ms.lowerBound(sc, a, b, region, resolution, prev, margin)
+}
+
+func (ms *MSDN) lowerBound(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64, envelope []Segment, margin float64) LowerEstimate {
+	return ms.lowerBoundFixed(sc, a, b, region, resolution, planeStepFor(resolution), envelope, margin)
 }
 
 // lowerBoundFixed runs the estimation with an explicit plane-thinning step.
 // For a FIXED step the bound is monotone in the point resolution (boxes only
 // shrink); across different steps the bound is still always valid but need
 // not be pointwise monotone, which is why MR3 keeps the running maximum.
-func (ms *MSDN) lowerBoundFixed(a, b geom.Vec3, region geom.MBR, resolution float64, step int, envelope []Segment, margin float64) LowerEstimate {
+func (ms *MSDN) lowerBoundFixed(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64, step int, envelope []Segment, margin float64) LowerEstimate {
 	lines, lo, hi := ms.chooseFamily(a, b)
-	between := linesBetween(lines, lo, hi, step)
-	if len(between) == 0 {
+	sc.between = linesBetweenInto(lines, lo, hi, step, sc.between)
+	if len(sc.between) == 0 {
 		return LowerEstimate{LB: a.Dist(b)}
 	}
-	return ms.chainOver(a, b, region, resolution, between, envelope, margin)
+	return ms.chainOver(sc, a, b, region, resolution, envelope, margin)
 }
 
-// chainOver runs the layered chain DP over an ordered plane family subset.
-func (ms *MSDN) chainOver(a, b geom.Vec3, region geom.MBR, resolution float64, between []*CrossLine, envelope []Segment, margin float64) LowerEstimate {
+// chainOver runs the layered chain DP over the ordered plane family subset
+// in sc.between. All per-layer state lives in sc's arena buffers.
+func (ms *MSDN) chainOver(sc *Scratch, a, b geom.Vec3, region geom.MBR, resolution float64, envelope []Segment, margin float64) LowerEstimate {
+	between := sc.between
 	euclid := a.Dist(b)
 	// Order the planes from a's side to b's side.
 	var aCoord float64
@@ -115,85 +162,70 @@ func (ms *MSDN) chainOver(a, b geom.Vec3, region geom.MBR, resolution float64, b
 		reverse(between)
 	}
 
-	var envBoxes []geom.MBR
+	hasEnv := len(envelope) > 0
+	sc.envBoxes = sc.envBoxes[:0]
 	for _, s := range envelope {
-		envBoxes = append(envBoxes, s.Box.XY().Expand(margin))
-	}
-	inEnvelope := func(s Segment) bool {
-		if envBoxes == nil {
-			return true
-		}
-		xy := s.Box.XY()
-		for _, e := range envBoxes {
-			if e.Intersects(xy) {
-				return true
-			}
-		}
-		return false
+		sc.envBoxes = append(sc.envBoxes, s.Box.XY().Expand(margin))
 	}
 
-	// Layered dynamic program: dist[k] = shortest chain from a to segment k
-	// of the current line.
+	// Layered dynamic program: dist[k] = shortest chain from a to arena
+	// segment k. Each kept layer occupies a contiguous arena span; prev
+	// holds absolute indices into the previous span (-1 on the first).
 	est := LowerEstimate{}
-	type layer struct {
-		segs []Segment
-		dist []float64
-		prev []int
-	}
-	var layers []layer
-	cur := layer{}
-	for li, cl := range between {
-		segs := cl.Segments(resolution, region)
-		if envBoxes != nil {
-			kept := segs[:0]
-			for _, s := range segs {
-				if inEnvelope(s) {
-					kept = append(kept, s)
+	sc.segs = sc.segs[:0]
+	prevStart := -1 // arena start of the previous kept layer
+	for _, cl := range between {
+		segStart := len(sc.segs)
+		sc.segs, sc.idx = cl.segmentsInto(resolution, region, sc.idx, sc.segs)
+		if hasEnv {
+			kept := segStart
+			for p := segStart; p < len(sc.segs); p++ {
+				if envIntersects(sc.envBoxes, sc.segs[p]) {
+					sc.segs[kept] = sc.segs[p]
+					kept++
 				}
 			}
-			segs = kept
+			sc.segs = sc.segs[:kept]
 		}
-		est.Segments += len(segs)
-		if len(segs) == 0 {
+		est.Segments += len(sc.segs) - segStart
+		if len(sc.segs) == segStart {
 			// The region cut this line entirely; a path could still cross
 			// it outside the clipped area, so skip the layer (weakens but
 			// never invalidates the bound).
 			continue
 		}
-		next := layer{
-			segs: segs,
-			dist: make([]float64, len(segs)),
-			prev: make([]int, len(segs)),
-		}
-		for k, s := range segs {
-			if li == 0 || len(layers) == 0 {
-				next.dist[k] = s.Box.DistToPoint(a)
-				next.prev[k] = -1
-			} else {
+		end := len(sc.segs)
+		sc.dist = growF64(sc.dist, end)
+		sc.prev = growI32(sc.prev, end)
+		if prevStart < 0 {
+			for p := segStart; p < end; p++ {
+				sc.dist[p] = sc.segs[p].Box.DistToPoint(a)
+				sc.prev[p] = -1
+			}
+		} else {
+			for p := segStart; p < end; p++ {
 				best := math.Inf(1)
-				bestJ := -1
-				for j, ps := range cur.segs {
-					if d := cur.dist[j] + ps.Box.DistToBox(s.Box); d < best {
+				bestJ := int32(-1)
+				for j := prevStart; j < segStart; j++ {
+					if d := sc.dist[j] + sc.segs[j].Box.DistToBox(sc.segs[p].Box); d < best {
 						best = d
-						bestJ = j
+						bestJ = int32(j)
 					}
 				}
-				next.dist[k] = best
-				next.prev[k] = bestJ
+				sc.dist[p] = best
+				sc.prev[p] = bestJ
 			}
 		}
-		layers = append(layers, next)
-		cur = next
+		prevStart = segStart
 	}
-	if len(layers) == 0 {
+	if prevStart < 0 {
 		return LowerEstimate{LB: euclid, Segments: est.Segments}
 	}
-	// Close the chain at b.
-	last := layers[len(layers)-1]
+	// Close the chain at b over the last kept layer.
 	best := math.Inf(1)
 	bestK := -1
-	for k, s := range last.segs {
-		if d := last.dist[k] + s.Box.DistToPoint(b); d < best {
+	for k := prevStart; k < len(sc.segs); k++ {
+		if d := sc.dist[k] + sc.segs[k].Box.DistToPoint(b); d < best {
 			best = d
 			bestK = k
 		}
@@ -204,15 +236,49 @@ func (ms *MSDN) chainOver(a, b geom.Vec3, region geom.MBR, resolution float64, b
 	}
 	// The Euclidean distance is always a valid floor.
 	est.LB = math.Max(best, euclid)
-	// Reconstruct the path for the envelope optimisation.
-	est.Path = make([]Segment, 0, len(layers))
-	k := bestK
-	for li := len(layers) - 1; li >= 0 && k >= 0; li-- {
-		est.Path = append(est.Path, layers[li].segs[k])
-		k = layers[li].prev[k]
+	// Reconstruct the path for the envelope optimisation: the prev chain
+	// walks one layer back per step and ends at -1 on the first layer.
+	sc.path = sc.path[:0]
+	for k := bestK; k >= 0; k = int(sc.prev[k]) {
+		sc.path = append(sc.path, sc.segs[k])
 	}
-	reverseSegs(est.Path)
+	reverseSegs(sc.path)
+	est.Path = sc.path
 	return est
+}
+
+// envIntersects reports whether the segment's footprint touches any envelope
+// box. A function rather than a closure: the chain DP calls it statically
+// and nothing escapes.
+func envIntersects(env []geom.MBR, s Segment) bool {
+	xy := s.Box.XY()
+	for _, e := range env {
+		if e.Intersects(xy) {
+			return true
+		}
+	}
+	return false
+}
+
+// growF64 resizes s to n entries, preserving the first len(s) values and
+// allocating only when the capacity is short.
+func growF64(s []float64, n int) []float64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]float64, n, n+n/2)
+	copy(ns, s)
+	return ns
+}
+
+// growI32 is growF64 for []int32.
+func growI32(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]int32, n, n+n/2)
+	copy(ns, s)
+	return ns
 }
 
 func reverse(s []*CrossLine) {

@@ -90,7 +90,14 @@ func (ms *MSDN) chooseFamily(a, b geom.Vec3) (lines []*CrossLine, lo, hi float64
 // hi, thinned by step (every step-th plane) but always at least one when any
 // exists.
 func linesBetween(lines []*CrossLine, lo, hi float64, step int) []*CrossLine {
-	var between []*CrossLine
+	return linesBetweenInto(lines, lo, hi, step, nil)
+}
+
+// linesBetweenInto is linesBetween filling dst (truncated first); thinning
+// compacts in place (dst[n] = dst[i] with i >= n), so the warm query path
+// reuses one buffer across calls.
+func linesBetweenInto(lines []*CrossLine, lo, hi float64, step int, dst []*CrossLine) []*CrossLine {
+	between := dst[:0]
 	for _, l := range lines {
 		if l.Coord > lo && l.Coord < hi {
 			between = append(between, l)
@@ -99,11 +106,12 @@ func linesBetween(lines []*CrossLine, lo, hi float64, step int) []*CrossLine {
 	if step <= 1 || len(between) == 0 {
 		return between
 	}
-	thinned := make([]*CrossLine, 0, len(between)/step+1)
+	n := 0
 	for i := 0; i < len(between); i += step {
-		thinned = append(thinned, between[i])
+		between[n] = between[i]
+		n++
 	}
-	return thinned
+	return between[:n]
 }
 
 // planeStepFor maps an SDN resolution to a plane-thinning step.

@@ -187,8 +187,9 @@ func TestLowerBoundMonotoneNested(t *testing.T) {
 			t.Fatal(errA, errB)
 		}
 		prev := 0.0
+		var sc Scratch
 		for _, res := range ladder {
-			est := ms.lowerBoundFixed(a.Pos, b.Pos, ext, res, 1, nil, 0)
+			est := ms.lowerBoundFixed(&sc, a.Pos, b.Pos, ext, res, 1, nil, 0)
 			if est.LB < prev-1e-9 {
 				t.Fatalf("lb not monotone at res %v: %v < %v", res, est.LB, prev)
 			}

@@ -125,10 +125,9 @@ func (bp *BufferPool) Get(id PageID, acct *IOAccount) (*Frame, error) {
 		if bp.reg != nil {
 			bp.reg.PoolHits.Add(1)
 		}
-		if fr.pins == 0 && fr.elem != nil {
-			bp.lru.Remove(fr.elem)
-			fr.elem = nil
-		}
+		// The frame keeps its LRU element while pinned (eviction skips
+		// pinned frames); re-pinning therefore never churns list elements,
+		// which keeps the warm hit path allocation-free.
 		fr.pins++
 		return fr, nil
 	}
@@ -162,7 +161,11 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {
 	}
 	fr.pins--
 	if fr.pins == 0 {
-		fr.elem = bp.lru.PushFront(fr)
+		if fr.elem == nil {
+			fr.elem = bp.lru.PushFront(fr)
+		} else {
+			bp.lru.MoveToFront(fr.elem)
+		}
 	}
 }
 
@@ -170,12 +173,20 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) {
 // capacity. Callers must hold bp.mu.
 func (bp *BufferPool) makeRoom() error {
 	for len(bp.frames) >= bp.capacity {
-		back := bp.lru.Back()
-		if back == nil {
+		// Walk from the cold end, skipping frames that are pinned (they
+		// stay in the list across pin cycles) — the first unpinned frame is
+		// the least recently unpinned one, exactly the old victim choice.
+		var victim *Frame
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			if f := e.Value.(*Frame); f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
 			return fmt.Errorf("%w: all %d pages pinned", ErrPoolExhausted, len(bp.frames))
 		}
-		victim := back.Value.(*Frame)
-		bp.lru.Remove(back)
+		bp.lru.Remove(victim.elem)
 		victim.elem = nil
 		if victim.dirty {
 			if err := bp.file.WritePage(victim.ID, victim.Data); err != nil {

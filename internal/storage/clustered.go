@@ -134,6 +134,62 @@ func (c *Clustered) fetchPage(id PageID, region geom.MBR, level int32, acct *IOA
 	return nil
 }
 
+// FetchIDs is Fetch collecting just the record IDs into dst (reuse a
+// buffer across queries to avoid allocation: the warm query path calls this
+// instead of passing a collector closure into Fetch). Page accounting is
+// identical to Fetch.
+func (c *Clustered) FetchIDs(region geom.MBR, level int32, acct *IOAccount, dst []uint64) ([]uint64, error) {
+	for _, meta := range c.dir {
+		if meta.minFrom > level || meta.maxTo <= level {
+			continue
+		}
+		if !meta.mbr.Intersects(region) {
+			continue
+		}
+		fr, err := c.pool.Get(meta.id, acct)
+		if err != nil {
+			return dst, err
+		}
+		n := count(fr.Data)
+		for i := 0; i < n; i++ {
+			rec := readClusterRec(fr.Data[hdrSize+i*clusterRecSize:])
+			if rec.From <= level && level < rec.To && rec.MBR.Intersects(region) {
+				dst = append(dst, rec.ID)
+			}
+		}
+		c.pool.Unpin(fr, false)
+	}
+	return dst, nil
+}
+
+// FetchCount is Fetch that only counts matching records — the warm-path
+// replacement for the counting closures the SDN cost accounting used. Page
+// accounting is identical to Fetch.
+func (c *Clustered) FetchCount(region geom.MBR, level int32, acct *IOAccount) (int, error) {
+	total := 0
+	for _, meta := range c.dir {
+		if meta.minFrom > level || meta.maxTo <= level {
+			continue
+		}
+		if !meta.mbr.Intersects(region) {
+			continue
+		}
+		fr, err := c.pool.Get(meta.id, acct)
+		if err != nil {
+			return total, err
+		}
+		n := count(fr.Data)
+		for i := 0; i < n; i++ {
+			rec := readClusterRec(fr.Data[hdrSize+i*clusterRecSize:])
+			if rec.From <= level && level < rec.To && rec.MBR.Intersects(region) {
+				total++
+			}
+		}
+		c.pool.Unpin(fr, false)
+	}
+	return total, nil
+}
+
 // PagesFor reports how many data pages a Fetch of (region, level) would
 // touch, without touching them (planning aid for I/O-region integration).
 func (c *Clustered) PagesFor(region geom.MBR, level int32) int {

@@ -28,6 +28,17 @@ if [ -n "${GITHUB_ACTIONS:-}" ]; then
 fi
 go run ./cmd/sklint "${sklint_flags[@]}" ./...
 
+echo "== sklint baseline budget =="
+# The recorded hotpath-alloc debt must keep shrinking: after the SoA
+# flat-buffer refactor the budget is 10 findings. A higher total means new
+# debt was baselined instead of paid down.
+baseline_total=$(grep -o ': [0-9]*' lint.baseline.json | awk '{s+=$2} END{print s+0}')
+echo "baseline total: $baseline_total (budget 10)"
+if [ "$baseline_total" -gt 10 ]; then
+    echo "lint.baseline.json records $baseline_total findings, budget is 10" >&2
+    exit 1
+fi
+
 echo "== sklint self-test (negative fixtures must fail) =="
 # Each fixture package contains known findings; sklint exiting 0 on one
 # would mean a rule silently stopped detecting anything.
@@ -47,6 +58,21 @@ echo "== parallel benchmark smoke =="
 # the serving-layer benchmarks (handler chain cold and cache-hit), and of
 # the update-mix benchmark (queries interleaved with epoch publications).
 go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN|KNNUnderUpdates' -benchtime=1x .
+
+echo "== allocation budget =="
+# The warm query path must stay allocation-free: the benchmarks below warm
+# their session/workspace before ResetTimer, so any allocs/op they report
+# is a steady-state regression (a fresh closure, a map, an append past
+# capacity), not cold growth. The AllocsPerRun tests pin the same property
+# per query; this stage pins it on the benchmark workload CI already runs.
+alloc_out=$(go test -run '^$' -bench 'SequentialKNN$|DijkstraCSR$' -benchtime=50x -benchmem .)
+printf '%s\n' "$alloc_out"
+bad=$(printf '%s\n' "$alloc_out" | awk '/allocs\/op/ && $(NF-1) != 0 {print $1, $(NF-1)}')
+if [ -n "$bad" ]; then
+    echo "warm-path benchmarks allocate:" >&2
+    printf '%s\n' "$bad" >&2
+    exit 1
+fi
 
 echo "== debug endpoint smoke =="
 # skbench -debug-addr must serve the published surfknn counter group on
