@@ -3,7 +3,7 @@ package surfknn_test
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +19,8 @@ import (
 
 	"surfknn/internal/core"
 	"surfknn/internal/geom"
+	"surfknn/internal/server/api"
+	"surfknn/internal/server/client"
 )
 
 // TestCLITools builds the four command-line tools and drives them end to
@@ -100,7 +102,7 @@ func TestCLIFlagErrors(t *testing.T) {
 		t.Skip("builds binaries")
 	}
 	dir := t.TempDir()
-	for _, tool := range []string{"skquery", "skserve"} {
+	for _, tool := range []string{"skquery", "skserve", "skcoord"} {
 		bin := filepath.Join(dir, tool)
 		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+tool).CombinedOutput(); err != nil {
 			t.Fatalf("building %s: %v\n%s", tool, err, out)
@@ -130,36 +132,15 @@ func TestCLIFlagErrors(t *testing.T) {
 	if !strings.Contains(string(out), "-snapshot") {
 		t.Errorf("skserve no-terrain error unhelpful:\n%s", out)
 	}
-}
 
-// e2eNeighbor decodes the wire form of one /v1/knn result row; lb/ub use
-// the jsonFloat encoding (±Inf as strings, finite as exact numbers).
-type e2eNeighbor struct {
-	ID int64           `json:"id"`
-	X  float64         `json:"x"`
-	Y  float64         `json:"y"`
-	Z  float64         `json:"z"`
-	LB json.RawMessage `json:"lb"`
-	UB json.RawMessage `json:"ub"`
-}
-
-func wireFloat(t *testing.T, raw json.RawMessage) float64 {
-	t.Helper()
-	var s string
-	if json.Unmarshal(raw, &s) == nil {
-		switch s {
-		case "+Inf":
-			return math.Inf(1)
-		case "-Inf":
-			return math.Inf(-1)
-		}
-		t.Fatalf("bad wire float %q", s)
+	// Likewise skcoord with no manifest.
+	out, err = exec.Command(filepath.Join(dir, "skcoord")).CombinedOutput()
+	if err == nil {
+		t.Error("skcoord with no manifest exited zero")
 	}
-	var f float64
-	if err := json.Unmarshal(raw, &f); err != nil {
-		t.Fatalf("bad wire float %s: %v", raw, err)
+	if !strings.Contains(string(out), "-manifest") {
+		t.Errorf("skcoord no-manifest error unhelpful:\n%s", out)
 	}
-	return f
 }
 
 // scanBuffer collects the server's stdout lines behind a mutex: the
@@ -274,7 +255,10 @@ func TestSkserveEndToEnd(t *testing.T) {
 	cmd, addr, output := startSkserve(t, bins["skserve"], "-snapshot", snap, "-addr", "127.0.0.1:0")
 	base := "http://" + addr
 
-	// Concurrent queries: every 200 must match the direct answer exactly.
+	// Concurrent queries through the typed client: every answer must match
+	// the direct answer exactly, and the X-Epoch header must carry the
+	// snapshot's epoch.
+	cli := client.New(base)
 	const goroutines = 8
 	var wg sync.WaitGroup
 	errs := make(chan error, goroutines*4)
@@ -283,24 +267,13 @@ func TestSkserveEndToEnd(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for rep := 0; rep < 4; rep++ {
-				resp, err := http.Post(base+"/v1/knn", "application/json",
-					strings.NewReader(`{"x":800,"y":800,"k":5}`))
+				got, meta, err := cli.KNN(context.Background(), api.KNNRequest{X: 800, Y: 800, K: 5})
 				if err != nil {
 					errs <- err
 					return
 				}
-				body, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK {
-					errs <- fmt.Errorf("knn: status %d, read err %v: %s", resp.StatusCode, err, body)
-					continue
-				}
-				var got struct {
-					Neighbors []e2eNeighbor `json:"neighbors"`
-				}
-				if err := json.Unmarshal(body, &got); err != nil {
-					errs <- fmt.Errorf("knn body: %v", err)
-					continue
+				if meta.Epoch != db.CurrentEpoch() {
+					errs <- fmt.Errorf("X-Epoch %d, snapshot at %d", meta.Epoch, db.CurrentEpoch())
 				}
 				if len(got.Neighbors) != len(direct.Neighbors) {
 					errs <- fmt.Errorf("knn returned %d neighbors, direct MR3 %d",
@@ -310,8 +283,8 @@ func TestSkserveEndToEnd(t *testing.T) {
 				for i, n := range direct.Neighbors {
 					h := got.Neighbors[i]
 					if h.ID != n.Object.ID ||
-						math.Float64bits(wireFloat(t, h.LB)) != math.Float64bits(n.LB) ||
-						math.Float64bits(wireFloat(t, h.UB)) != math.Float64bits(n.UB) {
+						math.Float64bits(float64(h.LB)) != math.Float64bits(n.LB) ||
+						math.Float64bits(float64(h.UB)) != math.Float64bits(n.UB) {
 						errs <- fmt.Errorf("neighbor %d diverged from direct MR3", i)
 					}
 				}

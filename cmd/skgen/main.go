@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/mesh"
+	"surfknn/internal/shard"
 	"surfknn/internal/workload"
 )
 
@@ -33,8 +35,12 @@ func main() {
 		info   = flag.Bool("info", false, "print terrain statistics after generating")
 		dbOut  = flag.String("db", "", "also build and snapshot a query-ready TerrainDB (objects included) to this file, for skserve")
 		dbObjs = flag.Int("db-objects", 150, "objects placed in the -db snapshot")
+		tiles  = flag.String("tiles", "", `also cut the -db snapshot into an NxM shard grid (e.g. "2x2"): per-tile snapshots plus a manifest, for skcoord`)
 	)
 	flag.Parse()
+	if *tiles != "" && *dbOut == "" {
+		log.Fatal("-tiles requires -db (the tiler cuts the built snapshot)")
+	}
 
 	var p dem.Preset
 	switch strings.ToUpper(*preset) {
@@ -85,6 +91,36 @@ func main() {
 		}
 		fmt.Printf("wrote %s: TerrainDB snapshot with %d objects at epoch %d\n",
 			*dbOut, len(objs), db.CurrentEpoch())
+		if *tiles != "" {
+			nx, ny, err := parseTiles(*tiles)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir := filepath.Dir(*dbOut)
+			prefix := strings.TrimSuffix(filepath.Base(*dbOut), ".skdb")
+			man, err := shard.Cut(db, nx, ny, dir, prefix)
+			if err != nil {
+				log.Fatal(err)
+			}
+			manPath := filepath.Join(dir, prefix+".manifest.json")
+			if err := shard.WriteManifest(man, manPath); err != nil {
+				log.Fatal(err)
+			}
+			for _, s := range man.Shards {
+				fmt.Printf("wrote %s: shard %s with %d objects\n",
+					filepath.Join(dir, s.File), s.ID, s.Objects)
+			}
+			fmt.Printf("wrote %s: %dx%d shard manifest at epoch %d (fill in shard addresses, then skcoord -manifest)\n",
+				manPath, nx, ny, man.Epoch)
+		}
 	}
 	os.Exit(0)
+}
+
+// parseTiles parses an "NxM" grid spec.
+func parseTiles(s string) (nx, ny int, err error) {
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &nx, &ny); err != nil || nx < 1 || ny < 1 {
+		return 0, 0, fmt.Errorf("invalid -tiles %q (want NxM, e.g. 2x2)", s)
+	}
+	return nx, ny, nil
 }

@@ -29,6 +29,8 @@ import (
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
 	"surfknn/internal/obs"
+	"surfknn/internal/server/api"
+	"surfknn/internal/server/client"
 	"surfknn/internal/workload"
 )
 
@@ -38,22 +40,23 @@ func main() {
 	var (
 		snapPath = flag.String("snapshot", "", "TerrainDB snapshot from skgen -db (objects and epoch included; overrides -dem)")
 		demPath  = flag.String("dem", "", "terrain file produced by skgen (overrides -preset/-size)")
-		preset  = flag.String("preset", "BH", "synthesize preset when no -dem given: BH or EP")
-		size    = flag.Int("size", 64, "synthesized grid size")
-		cell    = flag.Float64("cell", 100, "synthesized sample spacing (m)")
-		seed    = flag.Int64("seed", 2006, "seed for terrain and objects")
-		objects = flag.Int("objects", 150, "number of uniformly placed objects")
-		qx      = flag.Float64("x", math.NaN(), "query x (default: terrain centre)")
-		qy      = flag.Float64("y", math.NaN(), "query y (default: terrain centre)")
-		k       = flag.Int("k", 5, "number of neighbours")
-		algo    = flag.String("algo", "mr3", "algorithm: mr3, ea, brute, range or masked")
-		sched   = flag.Int("sched", 1, "MR3 step-length schedule: 1, 2 or 3")
-		radius  = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
-		slope   = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
-		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
-		debug   = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
-		trace   = flag.Bool("trace", false, "record the query's phase trace and print it as JSON")
-		slowlog = flag.Duration("slowlog", -1, "log queries slower than this to stderr as JSON (0 = every query, negative = off)")
+		preset   = flag.String("preset", "BH", "synthesize preset when no -dem given: BH or EP")
+		size     = flag.Int("size", 64, "synthesized grid size")
+		cell     = flag.Float64("cell", 100, "synthesized sample spacing (m)")
+		seed     = flag.Int64("seed", 2006, "seed for terrain and objects")
+		objects  = flag.Int("objects", 150, "number of uniformly placed objects")
+		qx       = flag.Float64("x", math.NaN(), "query x (default: terrain centre)")
+		qy       = flag.Float64("y", math.NaN(), "query y (default: terrain centre)")
+		k        = flag.Int("k", 5, "number of neighbours")
+		algo     = flag.String("algo", "mr3", "algorithm: mr3, ea, brute, range or masked")
+		sched    = flag.Int("sched", 1, "MR3 step-length schedule: 1, 2 or 3")
+		radius   = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
+		slope    = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
+		server   = flag.String("server", "", "query a running skserve/skcoord at this base URL (e.g. http://127.0.0.1:8080) instead of a local terrain")
+		timeout  = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+		debug    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		trace    = flag.Bool("trace", false, "record the query's phase trace and print it as JSON")
+		slowlog  = flag.Duration("slowlog", -1, "log queries slower than this to stderr as JSON (0 = every query, negative = off)")
 	)
 	// An unknown flag exits non-zero with a one-line error; the full flag
 	// dump is reserved for an explicit -h/-help. A script typo should yield
@@ -69,6 +72,14 @@ func main() {
 			os.Exit(0)
 		}
 		log.Fatalf("%v (run skquery -h for usage)", err)
+	}
+
+	if *server != "" {
+		if *snapPath != "" || *demPath != "" {
+			log.Fatal("-server and -snapshot/-dem are mutually exclusive")
+		}
+		remoteQuery(*server, *algo, *qx, *qy, *k, *sched, *radius, *timeout)
+		return
 	}
 
 	var (
@@ -197,6 +208,65 @@ func main() {
 			log.Fatal(jerr)
 		}
 		fmt.Printf("trace: %s\n", js)
+	}
+}
+
+// remoteQuery runs the query against a live skserve or skcoord over the
+// typed client: the remote's answer is printed in the same shape as a
+// local run, plus the store epoch (and cache disposition) the service
+// reported. Remote mode supports the algorithms the public API exposes:
+// mr3 (POST /v1/knn) and range (POST /v1/range). The query point must be
+// given explicitly — there is no local terrain to take a centre from.
+func remoteQuery(base, algo string, qx, qy float64, k, sched int, radius float64, timeout time.Duration) {
+	if math.IsNaN(qx) || math.IsNaN(qy) {
+		log.Fatal("-server mode needs an explicit query point: pass -x and -y")
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	cli := client.New(base)
+
+	hz, err := cli.Healthz(ctx)
+	if err != nil {
+		log.Fatalf("reaching %s: %v", base, err)
+	}
+	if hz.ShardID != "" {
+		fmt.Printf("remote: %s (shard %s), %d objects at epoch %d\n", base, hz.ShardID, hz.Objects, hz.Epoch)
+	} else if len(hz.Shards) > 0 {
+		fmt.Printf("remote: %s (coordinator, %d shards), %d objects at epoch %d\n", base, len(hz.Shards), hz.Objects, hz.Epoch)
+	} else {
+		fmt.Printf("remote: %s, %d objects at epoch %d\n", base, hz.Objects, hz.Epoch)
+	}
+
+	var (
+		res  api.Result
+		meta client.Meta
+	)
+	switch strings.ToLower(algo) {
+	case "mr3":
+		fmt.Printf("query: (%.1f, %.1f), k=%d, algo=mr3\n", qx, qy, k)
+		res, meta, err = cli.KNN(ctx, api.KNNRequest{X: qx, Y: qy, K: k, Sched: sched})
+	case "range":
+		fmt.Printf("query: (%.1f, %.1f), radius=%.0f m, algo=range\n", qx, qy, radius)
+		res, meta, err = cli.Range(ctx, api.RangeRequest{X: qx, Y: qy, Radius: radius, Sched: sched})
+	default:
+		log.Fatalf("algorithm %q is not served remotely (use mr3 or range)", algo)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, n := range res.Neighbors {
+		fmt.Printf("%2d. object %-4d at (%.1f, %.1f, %.1f)  dS ∈ [%.2f, %.2f]\n",
+			i+1, n.ID, n.X, n.Y, n.Z, float64(n.LB), float64(n.UB))
+	}
+	fmt.Printf("cost: %d pages, %d µs cpu, %d µs elapsed\n", res.Cost.Pages, res.Cost.CPUUs, res.Cost.ElapsedUs)
+	if meta.Cache != "" {
+		fmt.Printf("epoch %d, cache %s\n", meta.Epoch, meta.Cache)
+	} else {
+		fmt.Printf("epoch %d\n", meta.Epoch)
 	}
 }
 

@@ -60,6 +60,7 @@ func main() {
 		maxTime  = fs.Duration("max-timeout", 0, "cap on client-requested timeouts (0 = 30s)")
 		cacheN   = fs.Int("cache", 0, "result-cache entries, negative disables (0 = 1024)")
 		grace    = fs.Duration("grace", 30*time.Second, "shutdown drain deadline")
+		shardID  = fs.String("shard-id", "", `shard identity when serving one tile of a sharded deployment (e.g. "tile-0-1"; see skgen -tiles)`)
 		access   = fs.String("access-log", "", `access-log destination: "stderr", a file path, or empty for off`)
 		slowlog  = fs.Duration("slowlog", -1, "log queries slower than this to stderr as JSON (0 = every query, negative = off)")
 	)
@@ -79,7 +80,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(db.Objects()) == 0 {
+	if len(db.Objects()) == 0 && *shardID == "" {
+		// A shard tile may legitimately own zero objects; a standalone
+		// server with none is a misbuilt snapshot.
 		log.Fatalf("snapshot carries no objects; regenerate it with skgen -db -db-objects N")
 	}
 
@@ -107,6 +110,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
 		CacheEntries:   *cacheN,
+		ShardID:        *shardID,
 		AccessLog:      accessW,
 		Stats:          stats,
 	})
@@ -117,6 +121,9 @@ func main() {
 	}
 	fmt.Printf("terrain: %d vertices, %d faces, %d objects at epoch %d\n",
 		db.Mesh.NumVerts(), db.Mesh.NumFaces(), len(db.Objects()), db.CurrentEpoch())
+	if *shardID != "" {
+		fmt.Printf("serving shard %s\n", *shardID)
+	}
 	// The announce line is the machine-readable contract scripts/check.sh
 	// and the e2e test scrape (same pattern as skbench's debug server).
 	fmt.Printf("# skserve listening on %s\n", ln.Addr())

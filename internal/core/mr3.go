@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/obs"
 	"surfknn/internal/stats"
@@ -77,8 +78,15 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 
 	// Step 1: 2-D k-NN on Dxy. The item and object buffers are session
 	// scratch; each step consumes its objects before the next refills them.
+	// Candidates enter the ranker in canonical order (ascending planar
+	// distance, id tiebreak): the ranker's bounds are order-independent, but
+	// the final stable sort preserves insertion order across upper-bound
+	// ties, and the canonical order makes that tie order a pure function of
+	// the candidate set — the property that lets a sharded deployment
+	// (internal/shard) reassemble bit-identical answers.
 	s.beginPhase(stats.PhaseKNN2D)
 	s.items = s.view.KNNInto(q.XY(), k, &s.dxyVisits, &s.knnSc, s.items[:0])
+	index.SortByDist(s.items, q.XY())
 	s.objs = s.viewObjectsInto(s.items, s.objs)
 
 	// Step 2: rank C1, tightening the k-th neighbour's upper bound.
@@ -93,9 +101,11 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)
 	}
 
-	// Step 3: 2-D range query with the bound as radius.
+	// Step 3: 2-D range query with the bound as radius, again canonically
+	// ordered.
 	s.beginPhase(stats.PhaseRange2D)
 	s.items = s.view.WithinDistInto(q.XY(), radius, &s.dxyVisits, s.items[:0])
+	index.SortByDist(s.items, q.XY())
 	s.objs = s.viewObjectsInto(s.items, s.objs)
 
 	// Step 4: rank C2 until the k-set is determined.

@@ -158,17 +158,49 @@ func clampCap(n int) int {
 // Save writes a snapshot of the terrain database (including the installed
 // objects, if any) to w in the current (v4) format.
 func (db *TerrainDB) Save(w io.Writer) error {
-	return db.save(w, true)
+	objs, epoch, dxy := db.snapshotObjects()
+	return db.save(w, true, objs, epoch, dxy)
+}
+
+// SaveWithObjects writes a v4 snapshot whose object section holds exactly
+// objs at the given epoch in place of the database's installed object set.
+// This is the shard tiler's primitive: the shared terrain structures are
+// re-emitted per tile with only that tile's object partition, without ever
+// copying or mutating the source TerrainDB. The Dxy buffers are bulk-packed
+// over objs in slice order, so loading the shard reproduces NewAt(objs,
+// epoch) bit for bit.
+func (db *TerrainDB) SaveWithObjects(w io.Writer, objs []workload.Object, epoch uint64) error {
+	items := make([]index.Item, len(objs))
+	for i, o := range objs {
+		items[i] = index.Item{P: o.Point.XY(), ID: o.ID}
+	}
+	return db.save(w, true, objs, epoch, index.Bulk(items).Flatten())
 }
 
 // saveV3 writes the previous snapshot format, which omits the flat query
 // buffers. Kept (unexported) so the backward-compatibility test exercises
 // the v3 reader against a genuine v3 byte stream.
 func (db *TerrainDB) saveV3(w io.Writer) error {
-	return db.save(w, false)
+	objs, epoch, dxy := db.snapshotObjects()
+	return db.save(w, false, objs, epoch, dxy)
 }
 
-func (db *TerrainDB) save(w io.Writer, v4 bool) error {
+// snapshotObjects captures the installed object set — epoch number, table
+// and packed Dxy buffers — under one pin, so a save racing concurrent
+// updates still writes one consistent version.
+func (db *TerrainDB) snapshotObjects() ([]workload.Object, uint64, index.Flat) {
+	if db.store == nil {
+		return nil, 0, index.Flat{}
+	}
+	e := db.store.Pin()
+	epoch := e.Seq()
+	objs := e.Table()
+	dxy := e.IndexFlat()
+	e.Release() // Table()/IndexFlat() snapshot immutable state; safe after release
+	return objs, epoch, dxy
+}
+
+func (db *TerrainDB) save(w io.Writer, v4 bool, objs []workload.Object, epoch uint64, dxy index.Flat) error {
 	pw := &persistWriter{w: bufio.NewWriter(w)}
 	if v4 {
 		pw.write(dbMagic[:])
@@ -230,21 +262,8 @@ func (db *TerrainDB) save(w io.Writer, v4 bool) error {
 		}
 	}
 
-	// Objects: the current epoch's number, table and (v4) Dxy index buffers,
-	// captured under one pin so a save racing concurrent updates still
-	// writes one consistent version.
-	var (
-		epoch uint64
-		objs  []workload.Object
-		dxy   index.Flat
-	)
-	if db.store != nil {
-		e := db.store.Pin()
-		epoch = e.Seq()
-		objs = e.Table()
-		dxy = e.IndexFlat()
-		e.Release() // Table()/IndexFlat() snapshot immutable state; safe after release
-	}
+	// Objects: the epoch number, table and (v4) Dxy index buffers supplied
+	// by the caller (Save/SaveWithObjects).
 	pw.u64(epoch)
 	pw.u32(uint32(len(objs)))
 	for _, o := range objs {
@@ -526,6 +545,9 @@ func Load(r io.Reader, cfg Config) (*TerrainDB, error) {
 	db, err := assembleTerrainDB(m, tree, ms, path, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if !v4 {
+		db.formatVersion = 3
 	}
 	// Restore the object store at the saved epoch. A non-zero epoch with an
 	// empty table is legitimate (everything was deleted); only a snapshot

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"surfknn/internal/index"
 	"surfknn/internal/mesh"
 	"surfknn/internal/stats"
 	"surfknn/internal/workload"
@@ -49,8 +50,12 @@ func (s *Session) surfaceRange(q mesh.SurfacePoint, radius float64, sched Schedu
 	}
 	opt = opt.withDefaults()
 
+	// Candidates enter in canonical order (ascending planar distance, id
+	// tiebreak) so the result's stable upper-bound sort breaks ties
+	// identically everywhere — see the matching note in mr3.go.
 	s.beginPhase(stats.PhaseRange2D)
 	s.items = s.view.WithinDistInto(q.XY(), radius, &s.dxyVisits, s.items[:0])
+	index.SortByDist(s.items, q.XY())
 	s.objs = s.viewObjectsInto(s.items, s.objs)
 	s.curPhase().Candidates += len(s.objs)
 

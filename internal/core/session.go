@@ -286,6 +286,7 @@ const (
 	algoRange    = "range"
 	algoMasked   = "masked"
 	algoAccuracy = "accuracy"
+	algoRank     = "rank"
 )
 
 // costRecorder assembles a query's per-phase cost breakdown. It lives

@@ -63,13 +63,20 @@ type TerrainDB struct {
 	MSDN *sdn.MSDN
 	Pool *storage.BufferPool
 
-	cfg       Config
-	reg       *obs.Registry // process-wide counters; nil when uninstrumented
-	sessions  sessionPool   // idle sessions for AcquireSession/Release
-	dmtmStore *storage.Clustered
-	sdnStore  *storage.Clustered
-	store     *objstore.Store // versioned object table + Dxy; nil before SetObjects
+	cfg           Config
+	reg           *obs.Registry // process-wide counters; nil when uninstrumented
+	sessions      sessionPool   // idle sessions for AcquireSession/Release
+	dmtmStore     *storage.Clustered
+	sdnStore      *storage.Clustered
+	store         *objstore.Store // versioned object table + Dxy; nil before SetObjects
+	formatVersion int             // snapshot format loaded from, or the current format when built fresh
 }
+
+// FormatVersion reports the snapshot format version this database was loaded
+// from (4 for the current format, 3 for legacy); a freshly built database
+// reports the current format it would save as. Serving layers expose it in
+// healthz so a coordinator can verify topology.
+func (db *TerrainDB) FormatVersion() int { return db.formatVersion }
 
 // Instrument attaches a process-wide observability registry: every query
 // on this database (from any session) feeds its lifecycle, work and latency
@@ -120,6 +127,8 @@ func assembleTerrainDB(m *mesh.Mesh, tree *multires.Tree, ms *sdn.MSDN, path *pa
 		MSDN: ms,
 		Pool: storage.NewBufferPool(storage.NewMemFile(), cfg.PoolPages),
 		cfg:  cfg,
+
+		formatVersion: 4,
 	}
 	var err error
 

@@ -412,3 +412,35 @@ func (e errCount) Error() string { return "index: node entry count out of bounds
 type errMBR struct{}
 
 func (errMBR) Error() string { return "index: node MBR does not cover contents" }
+
+// SortByDist orders items canonically: ascending squared planar distance to
+// q, item id as the tiebreak. The order is a pure function of the item set —
+// independent of tree shape, insertion history, or how the set was gathered —
+// which is what makes a scatter-gather coordinator's merged candidate list
+// reproduce a single tree's enumeration bit for bit (see internal/shard).
+// In-place shell sort: no allocation, so it is safe on the query hot path.
+func SortByDist(items []Item, q geom.Vec2) {
+	d2 := func(it Item) float64 {
+		dx, dy := it.P.X-q.X, it.P.Y-q.Y
+		return dx*dx + dy*dy
+	}
+	less := func(a, b Item) bool {
+		da, db := d2(a), d2(b)
+		//lint:ignore float-eq canonical order is defined on exact float bits; a tolerance would make it input-order dependent
+		if da != db {
+			return da < db
+		}
+		return a.ID < b.ID
+	}
+	// Ciura gap sequence, ample for candidate sets (tens to thousands).
+	for _, gap := range [...]int{701, 301, 132, 57, 23, 10, 4, 1} {
+		for i := gap; i < len(items); i++ {
+			it := items[i]
+			j := i
+			for ; j >= gap && less(it, items[j-gap]); j -= gap {
+				items[j] = items[j-gap]
+			}
+			items[j] = it
+		}
+	}
+}

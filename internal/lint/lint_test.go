@@ -111,6 +111,7 @@ func TestRuleRegistry(t *testing.T) {
 		"lock-copy",
 		"obs-atomic",
 		"ctx-background",
+		"wire-types",
 		"objstore-write",
 		"hotpath-alloc",
 		"pin-release",

@@ -13,6 +13,7 @@ func AllRules() []Rule {
 		lockCopy{},
 		obsAtomic{},
 		ctxBackground{},
+		wireTypes{},
 		objstoreWrite{},
 		hotpathAlloc{},
 		pinRelease{},

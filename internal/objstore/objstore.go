@@ -366,7 +366,7 @@ func (s *Store) Upsert(objs []workload.Object) uint64 {
 		deltaByID[o.ID] = len(delta)
 		delta = append(delta, o)
 	}
-	return s.publishLocked(cur, delta, deltaByID, dead, len(objs))
+	return s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs))
 }
 
 // Insert is Upsert that refuses to replace: any ID already live fails the
@@ -393,7 +393,7 @@ func (s *Store) Insert(objs []workload.Object) (uint64, error) {
 		deltaByID[o.ID] = len(delta)
 		delta = append(delta, o)
 	}
-	return s.publishLocked(cur, delta, deltaByID, dead, len(objs)), nil
+	return s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs)), nil
 }
 
 // Delete removes the given IDs, returning the resulting epoch and how many
@@ -432,7 +432,66 @@ func (s *Store) Delete(ids []int64) (uint64, int) {
 	for i, o := range packed {
 		deltaByID[o.ID] = i
 	}
-	return s.publishLocked(cur, packed, deltaByID, dead, removed), removed
+	return s.publishLocked(cur, cur.seq+1, packed, deltaByID, dead, removed), removed
+}
+
+// ApplyAt applies one logical update — deletes first, then upserts — and
+// publishes the result at exactly epoch `at`. This is the sharded-serving
+// primitive: a coordinator assigns every logical update one epoch number and
+// replays it to each shard, and because ApplyAt always publishes (even when
+// the shard owns none of the touched objects) every shard's epoch advances in
+// lockstep, so the merged X-Epoch equals the unsharded epoch. Replay is
+// idempotent: an update at or below the current epoch is a no-op returning
+// the current epoch number. Returns the published epoch and how many objects
+// the batch actually touched on this shard.
+func (s *Store) ApplyAt(upserts []workload.Object, deleteIDs []int64, at uint64) (uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if at <= cur.seq {
+		return cur.seq, 0
+	}
+	delta, deltaByID, dead := copyLayers(cur)
+	applied := 0
+	for _, id := range deleteIDs {
+		if _, ok := deltaByID[id]; ok {
+			delete(deltaByID, id)
+			applied++
+			continue
+		}
+		if _, inBase := cur.base.byID[id]; inBase {
+			if _, gone := dead[id]; !gone {
+				dead[id] = struct{}{}
+				applied++
+			}
+		}
+	}
+	if len(deltaByID) != len(delta) {
+		// Deletions removed delta entries: repack (same shape as Delete).
+		packed := make([]workload.Object, 0, len(deltaByID))
+		for _, o := range delta {
+			if i, ok := deltaByID[o.ID]; ok && delta[i].ID == o.ID {
+				packed = append(packed, o)
+			}
+		}
+		delta = packed
+		for i, o := range delta {
+			deltaByID[o.ID] = i
+		}
+	}
+	for _, o := range upserts {
+		if i, ok := deltaByID[o.ID]; ok {
+			delta[i] = o
+		} else {
+			if _, inBase := cur.base.byID[o.ID]; inBase {
+				dead[o.ID] = struct{}{} // shadow the base entry
+			}
+			deltaByID[o.ID] = len(delta)
+			delta = append(delta, o)
+		}
+		applied++
+	}
+	return s.publishLocked(cur, at, delta, deltaByID, dead, applied), applied
 }
 
 // copyLayers clones the mutable delta layer of cur for copy-on-write.
@@ -449,11 +508,12 @@ func copyLayers(cur *Epoch) ([]workload.Object, map[int64]int, map[int64]struct{
 	return delta, deltaByID, dead
 }
 
-// publishLocked builds the next epoch from the prepared layers, compacting
-// into a fresh base when the delta has outgrown the threshold, publishes it
-// and retires cur. Caller holds s.mu.
-func (s *Store) publishLocked(cur *Epoch, delta []workload.Object, deltaByID map[int64]int, dead map[int64]struct{}, applied int) uint64 {
-	next := &Epoch{store: s, seq: cur.seq + 1}
+// publishLocked builds the next epoch from the prepared layers at the given
+// sequence number, compacting into a fresh base when the delta has outgrown
+// the threshold, publishes it and retires cur. Local updates pass cur.seq+1;
+// ApplyAt passes the coordinator-assigned epoch. Caller holds s.mu.
+func (s *Store) publishLocked(cur *Epoch, seq uint64, delta []workload.Object, deltaByID map[int64]int, dead map[int64]struct{}, applied int) uint64 {
+	next := &Epoch{store: s, seq: seq}
 	if len(delta)+len(dead) >= s.compact {
 		// Fold everything into a new bulk-packed base: surviving base
 		// objects in base order, then the delta in application order.

@@ -313,3 +313,55 @@ func TestConcurrentPinRelease(t *testing.T) {
 		t.Fatalf("LiveEpochs after quiesce = %d, want 1", got)
 	}
 }
+
+func TestApplyAtLockstepEpochs(t *testing.T) {
+	t.Parallel()
+	s := NewAt(grid(5), 0)
+
+	// A logical update touching nothing on this shard still publishes the
+	// assigned epoch, keeping a shard fleet in lockstep.
+	e, n := s.ApplyAt(nil, nil, 3)
+	if e != 3 || n != 0 {
+		t.Fatalf("empty ApplyAt = (%d, %d), want (3, 0)", e, n)
+	}
+
+	// Deletes apply before upserts; both count as touched.
+	e, n = s.ApplyAt([]workload.Object{obj(100, 5, 5), obj(2, 99, 99)}, []int64{0}, 4)
+	if e != 4 || n != 3 {
+		t.Fatalf("ApplyAt = (%d, %d), want (4, 3)", e, n)
+	}
+	cur := s.Current()
+	if _, ok := cur.Object(0); ok {
+		t.Fatal("deleted object 0 still visible")
+	}
+	if o, ok := cur.Object(2); !ok || o.Point.Pos.X != 99 {
+		t.Fatalf("upserted object 2 = %+v ok=%v, want moved to x=99", o, ok)
+	}
+	if _, ok := cur.Object(100); !ok {
+		t.Fatal("inserted object 100 not visible")
+	}
+	if got, want := cur.Len(), 5; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+
+	// Replay is idempotent: an epoch at or below the current one is a no-op.
+	e, n = s.ApplyAt([]workload.Object{obj(200, 1, 1)}, nil, 4)
+	if e != 4 || n != 0 {
+		t.Fatalf("replayed ApplyAt = (%d, %d), want (4, 0)", e, n)
+	}
+	if _, ok := s.Current().Object(200); ok {
+		t.Fatal("replayed upsert must not apply")
+	}
+
+	// Deleting an object that lives in the delta layer repacks it.
+	e, n = s.ApplyAt(nil, []int64{100}, 7)
+	if e != 7 || n != 1 {
+		t.Fatalf("delta delete ApplyAt = (%d, %d), want (7, 1)", e, n)
+	}
+	if _, ok := s.Current().Object(100); ok {
+		t.Fatal("delta-deleted object 100 still visible")
+	}
+	if got := s.Epoch(); got != 7 {
+		t.Fatalf("epoch = %d, want 7", got)
+	}
+}

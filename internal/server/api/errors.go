@@ -1,0 +1,40 @@
+package api
+
+// ErrorEnvelope is the typed JSON error body every non-2xx response
+// carries:
+//
+//	{"error": {"code": "saturated", "message": "..."}}
+//
+// Code is a stable machine-readable identifier (clients switch on it);
+// Message is human-readable and free to change.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error" api:"v1"`
+}
+
+// ErrorBody is the envelope's payload.
+type ErrorBody struct {
+	Code    string `json:"code" api:"v1"`
+	Message string `json:"message" api:"v1"`
+	// Shards carries the per-shard failure detail when a scatter-gather
+	// coordinator could not assemble a complete answer (code
+	// "shard_unavailable"): which shards failed and why, so a partial
+	// outage is diagnosable from the error alone.
+	Shards []ShardError `json:"shards,omitempty" api:"v1"`
+}
+
+// ShardError is one shard's failure inside a degraded scatter-gather
+// response.
+type ShardError struct {
+	Shard string `json:"shard" api:"v1"`
+	Error string `json:"error" api:"v1"`
+}
+
+// Error codes, one per distinct client-visible failure mode.
+const (
+	CodeBadRequest       = "bad_request"       // malformed JSON or invalid parameters
+	CodeNotFound         = "not_found"         // unknown route or point off the terrain
+	CodeTimeout          = "timeout"           // deadline exceeded or client gone (408)
+	CodeSaturated        = "saturated"         // admission control refused the request (429)
+	CodeInternal         = "internal"          // engine failure or recovered panic (500)
+	CodeShardUnavailable = "shard_unavailable" // a required shard is down; answer would be partial (503)
+)

@@ -8,32 +8,11 @@ import (
 	"net/http"
 
 	"surfknn/internal/obs"
+	"surfknn/internal/server/api"
 )
 
-// errorEnvelope is the typed JSON error body every non-2xx response
-// carries:
-//
-//	{"error": {"code": "saturated", "message": "..."}}
-//
-// code is a stable machine-readable identifier (clients switch on it);
-// message is human-readable and free to change.
-type errorEnvelope struct {
-	Error errorBody `json:"error"`
-}
-
-type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// Error codes, one per distinct client-visible failure mode.
-const (
-	codeBadRequest = "bad_request" // malformed JSON or invalid parameters
-	codeNotFound   = "not_found"   // unknown route or point off the terrain
-	codeTimeout    = "timeout"     // deadline exceeded or client gone (408)
-	codeSaturated  = "saturated"   // admission control refused the request (429)
-	codeInternal   = "internal"    // engine failure or recovered panic (500)
-)
+// The envelope shape and the error codes are part of the wire contract and
+// live in internal/server/api; this file is the server-side emission path.
 
 // writeError emits the error envelope with the given status. Encoding into
 // a fixed struct cannot fail, so the reply is always well-formed JSON.
@@ -43,7 +22,7 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	enc := json.NewEncoder(w)
 	// The client may already be gone; nothing useful to do with the error.
 	//lint:ignore dropped-error the reply path has no caller to surface a write error to
-	_ = enc.Encode(errorEnvelope{Error: errorBody{
+	_ = enc.Encode(api.ErrorEnvelope{Error: api.ErrorBody{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
 	}})
@@ -56,8 +35,8 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 func writeQueryError(w http.ResponseWriter, stats *obs.ServerStats, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		stats.TimedOut.Add(1)
-		writeError(w, http.StatusRequestTimeout, codeTimeout, "query aborted: %v", err)
+		writeError(w, http.StatusRequestTimeout, api.CodeTimeout, "query aborted: %v", err)
 		return
 	}
-	writeError(w, http.StatusInternalServerError, codeInternal, "query failed: %v", err)
+	writeError(w, http.StatusInternalServerError, api.CodeInternal, "query failed: %v", err)
 }

@@ -13,49 +13,30 @@ import (
 	"surfknn/internal/core"
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/server/api"
 )
+
+// The wire shapes themselves live in internal/server/api — the one
+// importable definition of every request and response body, shared with the
+// typed client and the scatter-gather coordinator. This file maps them onto
+// the engine: validation, option translation, admission, caching, and the
+// handlers for the public query routes.
 
 // maxK bounds the k a client may request; anything larger is a typo or an
 // attack, not a query.
 const maxK = 1 << 20
 
-// maxBodyBytes bounds request bodies; every valid request is a few hundred
-// bytes.
+// maxBodyBytes bounds request bodies for the point-query routes; every
+// valid request is a few hundred bytes.
 const maxBodyBytes = 1 << 20
 
-// reqDuration is a JSON-decodable timeout: a Go duration string ("500ms").
-type reqDuration time.Duration
+// maxShardBodyBytes bounds the shard-fabric request bodies, which carry
+// gathered candidate sets (see shard.go) and so are legitimately larger.
+const maxShardBodyBytes = 16 << 20
 
-func (d *reqDuration) UnmarshalJSON(b []byte) error {
-	var str string
-	if err := json.Unmarshal(b, &str); err != nil {
-		return errors.New(`timeout must be a duration string like "500ms"`)
-	}
-	v, err := time.ParseDuration(str)
-	if err != nil {
-		return fmt.Errorf("timeout: %w", err)
-	}
-	if v <= 0 {
-		return errors.New("timeout must be positive")
-	}
-	*d = reqDuration(v)
-	return nil
-}
-
-// optionsRequest is the client view of core.Options. Pointer fields
-// distinguish "absent" (paper default) from an explicit value, so a literal
-// 0 is expressible — the same problem core's functional options solve, with
-// JSON's natural encoding of optionality.
-type optionsRequest struct {
-	Step2Accuracy    *float64 `json:"step2_accuracy,omitempty"`
-	OverlapThreshold *float64 `json:"overlap_threshold,omitempty"`
-	IOIntegration    *bool    `json:"io_integration,omitempty"`
-	DummyLB          *bool    `json:"dummy_lb,omitempty"`
-	BothFamilyLB     *bool    `json:"both_family_lb,omitempty"`
-}
-
-// toCore maps the request options onto core.Options, validating fractions.
-func (o *optionsRequest) toCore() (core.Options, error) {
+// coreOptions maps the wire options onto core.Options, validating
+// fractions.
+func coreOptions(o *api.Options) (core.Options, error) {
 	if o == nil {
 		return core.Options{}, nil
 	}
@@ -100,92 +81,24 @@ func schedFor(n int) (core.Schedule, bool) {
 	return core.Schedule{}, false
 }
 
-// jsonFloat is a float64 whose JSON form admits infinities. MR3 can decide
-// a candidate purely by lower-bound domination, leaving its UB at +Inf;
-// encoding/json rejects that, so ±Inf encode as the strings "+Inf"/"-Inf".
-// Finite values encode as shortest round-trip numbers, so the client
-// decodes bit-identical float64s either way.
-type jsonFloat float64
-
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	switch {
-	case math.IsInf(v, 1):
-		return []byte(`"+Inf"`), nil
-	case math.IsInf(v, -1):
-		return []byte(`"-Inf"`), nil
-	case math.IsNaN(v):
-		return nil, errors.New("NaN distance bound in response")
-	}
-	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
-}
-
-func (f *jsonFloat) UnmarshalJSON(b []byte) error {
-	s := string(b)
-	if len(s) >= 2 && s[0] == '"' {
-		var str string
-		if err := json.Unmarshal(b, &str); err != nil {
-			return err
-		}
-		switch str {
-		case "+Inf":
-			*f = jsonFloat(math.Inf(1))
-			return nil
-		case "-Inf":
-			*f = jsonFloat(math.Inf(-1))
-			return nil
-		}
-		return fmt.Errorf("invalid distance bound %q", str)
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return err
-	}
-	*f = jsonFloat(v)
-	return nil
-}
-
-// neighborJSON is one result object. lb/ub are the exact float64 surface
-// distance bounds the engine computed (see jsonFloat).
-type neighborJSON struct {
-	ID int64     `json:"id"`
-	X  float64   `json:"x"`
-	Y  float64   `json:"y"`
-	Z  float64   `json:"z"`
-	LB jsonFloat `json:"lb"`
-	UB jsonFloat `json:"ub"`
-}
-
-// costJSON is the response's cost summary (the paper's metrics).
-type costJSON struct {
-	Pages     int64 `json:"pages"`
-	CPUUs     int64 `json:"cpu_us"`
-	ElapsedUs int64 `json:"elapsed_us"`
-}
-
-// resultResponse is the body of /v1/knn and /v1/range.
-type resultResponse struct {
-	Neighbors []neighborJSON `json:"neighbors"`
-	Cost      costJSON       `json:"cost"`
-}
-
-func toResponse(res core.Result) resultResponse {
-	out := resultResponse{
-		Neighbors: make([]neighborJSON, len(res.Neighbors)),
-		Cost: costJSON{
+// toResponse maps an engine result onto the wire.
+func toResponse(res core.Result) api.Result {
+	out := api.Result{
+		Neighbors: make([]api.Neighbor, len(res.Neighbors)),
+		Cost: api.Cost{
 			Pages:     res.Cost.Pages(),
 			CPUUs:     res.Cost.CPU.Microseconds(),
 			ElapsedUs: res.Cost.Elapsed.Microseconds(),
 		},
 	}
 	for i, n := range res.Neighbors {
-		out.Neighbors[i] = neighborJSON{
+		out.Neighbors[i] = api.Neighbor{
 			ID: n.Object.ID,
 			X:  n.Object.Point.Pos.X,
 			Y:  n.Object.Point.Pos.Y,
 			Z:  n.Object.Point.Pos.Z,
-			LB: jsonFloat(n.LB),
-			UB: jsonFloat(n.UB),
+			LB: api.Float(n.LB),
+			UB: api.Float(n.UB),
 		}
 	}
 	return out
@@ -195,17 +108,21 @@ func toResponse(res core.Result) resultResponse {
 // fields are errors — a misspelled option silently falling back to a
 // default is worse than a 400. Returns false with the 400 already written.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return s.decodeLimited(w, r, dst, maxBodyBytes)
+}
+
+func (s *Server) decodeLimited(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.stats.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid request body: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	if dec.More() {
 		s.stats.BadRequests.Add(1)
-		writeError(w, http.StatusBadRequest, codeBadRequest, "trailing data after request body")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "trailing data after request body")
 		return false
 	}
 	return true
@@ -214,7 +131,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 // badRequest writes a 400 envelope and counts it.
 func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
 	s.stats.BadRequests.Add(1)
-	writeError(w, http.StatusBadRequest, codeBadRequest, format, args...)
+	writeError(w, http.StatusBadRequest, api.CodeBadRequest, format, args...)
 }
 
 // surfacePoint lifts (x,y) onto the terrain; a point outside the surface
@@ -223,7 +140,7 @@ func (s *Server) surfacePoint(w http.ResponseWriter, x, y float64) (mesh.Surface
 	q, err := s.db.SurfacePointAt(geom.Vec2{X: x, Y: y})
 	if err != nil {
 		s.stats.BadRequests.Add(1)
-		writeError(w, http.StatusNotFound, codeNotFound, "point (%g, %g) is not on the terrain: %v", x, y, err)
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "point (%g, %g) is not on the terrain: %v", x, y, err)
 		return mesh.SurfacePoint{}, false
 	}
 	return q, true
@@ -239,20 +156,20 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) bool {
 	case errors.Is(err, errSaturated):
 		s.stats.Rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, codeSaturated,
+		writeError(w, http.StatusTooManyRequests, api.CodeSaturated,
 			"server saturated (%d executing, %d queued); retry later",
 			s.cfg.MaxInFlight, s.cfg.QueueDepth)
 	default: // request context ended while queued
 		s.stats.TimedOut.Add(1)
-		writeError(w, http.StatusRequestTimeout, codeTimeout, "request ended while queued: %v", err)
+		writeError(w, http.StatusRequestTimeout, api.CodeTimeout, "request ended while queued: %v", err)
 	}
 	return false
 }
 
 // optKey canonicalizes options into the cache key. Float fractions are
 // keyed by their exact bits; the unset/sentinel encoding is keyed as-is,
-// which is canonical because toCore maps each client value to exactly one
-// encoding.
+// which is canonical because coreOptions maps each client value to exactly
+// one encoding.
 func optKey(o core.Options) string {
 	return fmt.Sprintf("s2a=%x,ovl=%x,io=%t,dlb=%t,bfl=%t",
 		math.Float64bits(o.Step2Accuracy), math.Float64bits(o.OverlapThreshold),
@@ -275,17 +192,8 @@ func setEpoch(w http.ResponseWriter, epoch uint64) {
 
 // --- POST /v1/knn ---
 
-type knnRequest struct {
-	X       float64         `json:"x"`
-	Y       float64         `json:"y"`
-	K       int             `json:"k"`
-	Sched   int             `json:"sched,omitempty"`
-	Timeout reqDuration     `json:"timeout,omitempty"`
-	Options *optionsRequest `json:"options,omitempty"`
-}
-
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	var req knnRequest
+	var req api.KNNRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -298,7 +206,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
 		return
 	}
-	opt, err := req.Options.toCore()
+	opt, err := coreOptions(req.Options)
 	if err != nil {
 		s.badRequest(w, "invalid options: %v", err)
 		return
@@ -339,17 +247,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 
 // --- POST /v1/range ---
 
-type rangeRequest struct {
-	X       float64         `json:"x"`
-	Y       float64         `json:"y"`
-	Radius  float64         `json:"radius"`
-	Sched   int             `json:"sched,omitempty"`
-	Timeout reqDuration     `json:"timeout,omitempty"`
-	Options *optionsRequest `json:"options,omitempty"`
-}
-
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	var req rangeRequest
+	var req api.RangeRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -362,7 +261,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
 		return
 	}
-	opt, err := req.Options.toCore()
+	opt, err := coreOptions(req.Options)
 	if err != nil {
 		s.badRequest(w, "invalid options: %v", err)
 		return
@@ -402,26 +301,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 
 // --- POST /v1/distance ---
 
-type distanceRequest struct {
-	X        float64     `json:"x"`
-	Y        float64     `json:"y"`
-	X2       float64     `json:"x2"`
-	Y2       float64     `json:"y2"`
-	Accuracy float64     `json:"accuracy,omitempty"`
-	Sched    int         `json:"sched,omitempty"`
-	Timeout  reqDuration `json:"timeout,omitempty"`
-}
-
-// distanceResponse mirrors core.DistanceRange.
-type distanceResponse struct {
-	LB         jsonFloat `json:"lb"`
-	UB         jsonFloat `json:"ub"`
-	Accuracy   float64   `json:"accuracy"`
-	Iterations int       `json:"iterations"`
-}
-
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
-	var req distanceRequest
+	var req api.DistanceRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -473,9 +354,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, s.stats, err)
 		return
 	}
-	s.respond(w, key, distanceResponse{
-		LB:       jsonFloat(dr.LB),
-		UB:       jsonFloat(dr.UB),
+	s.respond(w, key, api.DistanceResponse{
+		LB:       api.Float(dr.LB),
+		UB:       api.Float(dr.UB),
 		Accuracy: dr.Accuracy, Iterations: dr.Iterations,
 	})
 }
@@ -484,44 +365,42 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 func (s *Server) respond(w http.ResponseWriter, key string, v any) {
 	body, err := marshalBody(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "encoding response: %v", err)
 		return
 	}
 	s.cache.put(key, body)
 	writeJSON(w, body, "miss")
 }
 
-// --- GET /v1/healthz ---
-
-// healthzResponse reports liveness and the loaded terrain's shape. The
-// endpoint bypasses admission control and the cache: a saturated server is
-// alive, and a health check must say so.
-type healthzResponse struct {
-	Status       string `json:"status"`
-	Vertices     int    `json:"vertices"`
-	Faces        int    `json:"faces"`
-	Objects      int    `json:"objects"`
-	Epoch        uint64 `json:"epoch"`
-	InFlight     int64  `json:"in_flight"`
-	CacheEntries int    `json:"cache_entries"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	body, err := marshalBody(healthzResponse{
-		Status:       "ok",
-		Vertices:     s.db.Mesh.NumVerts(),
-		Faces:        s.db.Mesh.NumFaces(),
-		Objects:      len(s.db.Objects()),
-		Epoch:        s.db.CurrentEpoch(),
-		InFlight:     s.stats.InFlight.Value(),
-		CacheEntries: s.cache.len(),
-	})
+// writeBody marshals and writes a response that is neither cached nor a
+// query result: no X-Cache header.
+func writeBody(w http.ResponseWriter, v any) {
+	body, err := marshalBody(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "encoding response: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	// Not a query result: no X-Cache header.
 	//lint:ignore dropped-error a client gone mid-reply is not a server failure
 	_, _ = w.Write(body)
+}
+
+// --- GET /v1/healthz ---
+
+// handleHealthz reports liveness, the loaded snapshot's shape and
+// provenance, and the shard identity when this process serves one tile of a
+// sharded deployment. The endpoint bypasses admission control and the
+// cache: a saturated server is alive, and a health check must say so.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeBody(w, api.Healthz{
+		Status:        "ok",
+		Vertices:      s.db.Mesh.NumVerts(),
+		Faces:         s.db.Mesh.NumFaces(),
+		Objects:       len(s.db.Objects()),
+		Epoch:         s.db.CurrentEpoch(),
+		InFlight:      s.stats.InFlight.Value(),
+		CacheEntries:  s.cache.len(),
+		FormatVersion: s.db.FormatVersion(),
+		ShardID:       s.cfg.ShardID,
+	})
 }

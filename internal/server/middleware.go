@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"surfknn/internal/server/api"
 )
 
 // statusRecorder captures the status code and body size the handler wrote,
@@ -77,7 +79,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 						reg.QueriesFailed.Add(1)
 					}
 					if rec.status == 0 {
-						writeError(rec, http.StatusInternalServerError, codeInternal,
+						writeError(rec, http.StatusInternalServerError, api.CodeInternal,
 							"internal error (recovered panic)")
 					}
 				}

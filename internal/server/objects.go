@@ -17,6 +17,7 @@ import (
 
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/server/api"
 	"surfknn/internal/workload"
 )
 
@@ -25,26 +26,8 @@ import (
 // unbounded batch would also be an unbounded copy-on-write delta.
 const maxUpdateBatch = 4096
 
-// upsertObject is one object in an upsert batch. ID is a pointer so an
-// omitted id is distinguishable from a literal 0 and rejected.
-type upsertObject struct {
-	ID *int64  `json:"id"`
-	X  float64 `json:"x"`
-	Y  float64 `json:"y"`
-}
-
-type upsertRequest struct {
-	Objects []upsertObject `json:"objects"`
-}
-
-// updateResponse is the body of a successful upsert.
-type updateResponse struct {
-	Epoch uint64 `json:"epoch"`
-	Count int    `json:"count"`
-}
-
 func (s *Server) handleUpsertObjects(w http.ResponseWriter, r *http.Request) {
-	var req upsertRequest
+	var req api.UpsertRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -58,52 +41,41 @@ func (s *Server) handleUpsertObjects(w http.ResponseWriter, r *http.Request) {
 	}
 	store := s.db.ObjectStore()
 	if store == nil {
-		writeError(w, http.StatusInternalServerError, codeInternal,
+		writeError(w, http.StatusInternalServerError, api.CodeInternal,
 			"database has no object store installed")
 		return
 	}
-	batch := make([]workload.Object, len(req.Objects))
-	for i, o := range req.Objects {
-		if o.ID == nil {
-			s.badRequest(w, "objects[%d]: missing id", i)
-			return
-		}
-		p, ok := s.objectPoint(w, i, o.X, o.Y)
-		if !ok {
-			return
-		}
-		batch[i] = workload.Object{ID: *o.ID, Point: p}
+	batch, ok := s.upsertBatch(w, req.Objects)
+	if !ok {
+		return
 	}
 
 	epoch := store.Upsert(batch)
 	setEpoch(w, epoch)
-	body, err := marshalBody(updateResponse{Epoch: epoch, Count: len(batch)})
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
-		return
-	}
 	// Not a query result: never cached, no X-Cache header.
-	w.Header().Set("Content-Type", "application/json")
-	//lint:ignore dropped-error a client gone mid-reply is not a server failure
-	_, _ = w.Write(body)
+	writeBody(w, api.UpdateResponse{Epoch: epoch, Count: len(batch)})
 }
 
-type deleteRequest struct {
-	IDs []int64 `json:"ids"`
-}
-
-// deleteResponse reports what a delete batch achieved. Missing counts the
-// distinct requested ids that were not live — deleting them is not an
-// error (the end state is what the client asked for), but the client gets
-// to know.
-type deleteResponse struct {
-	Epoch   uint64 `json:"epoch"`
-	Deleted int    `json:"deleted"`
-	Missing int    `json:"missing"`
+// upsertBatch validates and lifts a wire upsert batch onto the terrain,
+// writing the 400 itself on failure.
+func (s *Server) upsertBatch(w http.ResponseWriter, objs []api.UpsertObject) ([]workload.Object, bool) {
+	batch := make([]workload.Object, len(objs))
+	for i, o := range objs {
+		if o.ID == nil {
+			s.badRequest(w, "objects[%d]: missing id", i)
+			return nil, false
+		}
+		p, ok := s.objectPoint(w, i, o.X, o.Y)
+		if !ok {
+			return nil, false
+		}
+		batch[i] = workload.Object{ID: *o.ID, Point: p}
+	}
+	return batch, true
 }
 
 func (s *Server) handleDeleteObjects(w http.ResponseWriter, r *http.Request) {
-	var req deleteRequest
+	var req api.DeleteRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -117,7 +89,7 @@ func (s *Server) handleDeleteObjects(w http.ResponseWriter, r *http.Request) {
 	}
 	store := s.db.ObjectStore()
 	if store == nil {
-		writeError(w, http.StatusInternalServerError, codeInternal,
+		writeError(w, http.StatusInternalServerError, api.CodeInternal,
 			"database has no object store installed")
 		return
 	}
@@ -128,18 +100,11 @@ func (s *Server) handleDeleteObjects(w http.ResponseWriter, r *http.Request) {
 
 	epoch, deleted := store.Delete(req.IDs)
 	setEpoch(w, epoch)
-	body, err := marshalBody(deleteResponse{
+	writeBody(w, api.DeleteResponse{
 		Epoch:   epoch,
 		Deleted: deleted,
 		Missing: len(distinct) - deleted,
 	})
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	//lint:ignore dropped-error a client gone mid-reply is not a server failure
-	_, _ = w.Write(body)
 }
 
 // objectPoint lifts an update's (x,y) onto the terrain. Unlike a query

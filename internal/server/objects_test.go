@@ -11,6 +11,7 @@ import (
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/mesh"
+	"surfknn/internal/server/api"
 	"surfknn/internal/workload"
 )
 
@@ -61,7 +62,7 @@ func TestUpsertObjects(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("upsert: status %d\n%s", w.Code, w.Body.String())
 	}
-	var ur updateResponse
+	var ur api.UpdateResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &ur); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestUpsertObjects(t *testing.T) {
 	if got := after.Header().Get("X-Epoch"); got != "1" {
 		t.Errorf("post-update X-Epoch = %q, want 1", got)
 	}
-	var resp resultResponse
+	var resp api.Result
 	if err := json.Unmarshal(after.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestDeleteObjects(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("delete: status %d\n%s", w.Code, w.Body.String())
 	}
-	var dr deleteResponse
+	var dr api.DeleteResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &dr); err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestHealthzEpoch(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
 	w := httptest.NewRecorder()
 	s.Handler().ServeHTTP(w, req)
-	var hz healthzResponse
+	var hz api.Healthz
 	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}

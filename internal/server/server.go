@@ -45,6 +45,7 @@ import (
 
 	"surfknn/internal/core"
 	"surfknn/internal/obs"
+	"surfknn/internal/server/api"
 )
 
 // Config tunes the server. The zero value is production-ready for a small
@@ -68,6 +69,10 @@ type Config struct {
 	// CacheEntries sizes the LRU result cache; negative disables caching.
 	// Default 1024.
 	CacheEntries int
+	// ShardID names the tile this process serves when it is one shard of a
+	// tiled deployment (e.g. "tile-0-1"). Empty for a standalone server.
+	// Reported by /v1/healthz so a coordinator can verify topology.
+	ShardID string
 	// AccessLog receives one JSON line per request when non-nil.
 	AccessLog io.Writer
 	// Stats receives the server metrics; nil creates a private group.
@@ -142,9 +147,15 @@ func New(db *core.TerrainDB, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/objects", s.handleUpsertObjects)
 	mux.HandleFunc("DELETE /v1/objects", s.handleDeleteObjects)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/shard/knn2d", s.handleShardKNN2D)
+	mux.HandleFunc("POST /v1/shard/range2d", s.handleShardRange2D)
+	mux.HandleFunc("POST /v1/shard/rank", s.handleShardRank)
+	mux.HandleFunc("POST /v1/shard/ea", s.handleShardEA)
+	mux.HandleFunc("POST /v1/shard/range", s.handleShardRange)
+	mux.HandleFunc("POST /v1/shard/objects", s.handleShardObjects)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
 	})
 	s.handler = s.instrument(mux)
 	return s

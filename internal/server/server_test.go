@@ -19,6 +19,7 @@ import (
 	"surfknn/internal/dem"
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
+	"surfknn/internal/server/api"
 	"surfknn/internal/workload"
 )
 
@@ -65,12 +66,7 @@ func post(t testing.TB, s *Server, path, body string) *httptest.ResponseRecorder
 // decodeError pulls the typed error envelope out of a non-200 response.
 func decodeError(t *testing.T, w *httptest.ResponseRecorder) string {
 	t.Helper()
-	var env struct {
-		Error struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		} `json:"error"`
-	}
+	var env api.ErrorEnvelope
 	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
 		t.Fatalf("error body is not an envelope: %v\n%s", err, w.Body.String())
 	}
@@ -135,7 +131,7 @@ func TestKNNMatchesDirect(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d\n%s", w.Code, w.Body.String())
 	}
-	var resp resultResponse
+	var resp api.Result
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -289,12 +285,18 @@ func TestHealthz(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d\n%s", w.Code, w.Body.String())
 	}
-	var hz healthzResponse
+	var hz api.Healthz
 	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}
 	if hz.Status != "ok" || hz.Vertices == 0 || hz.Faces == 0 || hz.Objects == 0 {
 		t.Errorf("healthz = %+v", hz)
+	}
+	if hz.FormatVersion == 0 {
+		t.Errorf("healthz missing format_version: %+v", hz)
+	}
+	if hz.ShardID != "" {
+		t.Errorf("standalone server reported shard_id %q", hz.ShardID)
 	}
 }
 
@@ -424,11 +426,11 @@ func TestShutdownBeforeServe(t *testing.T) {
 func TestJSONFloatRoundTrip(t *testing.T) {
 	values := []float64{0, 1, math.Pi, 256.56119512693465, -1e-300, math.Inf(1), math.Inf(-1)}
 	for _, v := range values {
-		b, err := json.Marshal(jsonFloat(v))
+		b, err := json.Marshal(api.Float(v))
 		if err != nil {
 			t.Fatalf("marshal %v: %v", v, err)
 		}
-		var back jsonFloat
+		var back api.Float
 		if err := json.Unmarshal(b, &back); err != nil {
 			t.Fatalf("unmarshal %s: %v", b, err)
 		}
@@ -436,10 +438,10 @@ func TestJSONFloatRoundTrip(t *testing.T) {
 			t.Errorf("round trip %v -> %s -> %v", v, b, float64(back))
 		}
 	}
-	if _, err := json.Marshal(jsonFloat(math.NaN())); err == nil {
+	if _, err := json.Marshal(api.Float(math.NaN())); err == nil {
 		t.Error("NaN must not marshal")
 	}
-	var f jsonFloat
+	var f api.Float
 	if err := json.Unmarshal([]byte(`"bogus"`), &f); err == nil {
 		t.Error("bogus string must not unmarshal")
 	}
@@ -451,7 +453,7 @@ func TestDistanceEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d\n%s", w.Code, w.Body.String())
 	}
-	var resp distanceResponse
+	var resp api.DistanceResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +468,7 @@ func TestRangeEndpoint(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d\n%s", w.Code, w.Body.String())
 	}
-	var resp resultResponse
+	var resp api.Result
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,274 @@
+package server
+
+// Shard-fabric endpoints: the decomposed MR3 primitives under /v1/shard/*
+// that a scatter-gather coordinator (internal/shard) drives against this
+// process when it serves one tile of a sharded deployment. The routes are
+// mounted unconditionally — a server that never sees a coordinator simply
+// never receives them — and speak the api.Shard* wire types.
+//
+// Admission: the 2-D primitives (knn2d, range2d) are cheap index reads and
+// bypass the admission semaphore like the object-update routes; the ranking
+// primitives (rank, ea, range) run the full multiresolution machinery and
+// are admitted exactly like public queries. Shard responses are never
+// cached: the coordinator's public-facing responses are what benefit from
+// caching, and it caches per assembled answer, not per fragment.
+
+import (
+	"math"
+	"net/http"
+	"time"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/server/api"
+	"surfknn/internal/workload"
+)
+
+// toCandidates maps an object slice onto the wire, carrying the exact
+// surface point including the mesh face (see api.Candidate).
+func toCandidates(objs []workload.Object) []api.Candidate {
+	out := make([]api.Candidate, len(objs))
+	for i, o := range objs {
+		out[i] = api.Candidate{
+			ID:   o.ID,
+			X:    o.Point.Pos.X,
+			Y:    o.Point.Pos.Y,
+			Z:    o.Point.Pos.Z,
+			Face: int32(o.Point.Face),
+		}
+	}
+	return out
+}
+
+// candidateObjects validates and maps wire candidates back onto engine
+// objects, writing the 400 itself on a face id outside the local mesh.
+func (s *Server) candidateObjects(w http.ResponseWriter, cands []api.Candidate) ([]workload.Object, bool) {
+	nf := s.db.Mesh.NumFaces()
+	objs := make([]workload.Object, len(cands))
+	for i, c := range cands {
+		if c.Face < 0 || int(c.Face) >= nf {
+			s.badRequest(w, "candidates[%d]: face %d outside mesh (%d faces)", i, c.Face, nf)
+			return nil, false
+		}
+		objs[i] = workload.Object{
+			ID: c.ID,
+			Point: mesh.SurfacePoint{
+				Pos:  geom.Vec3{X: c.X, Y: c.Y, Z: c.Z},
+				Face: mesh.FaceID(c.Face),
+			},
+		}
+	}
+	return objs, true
+}
+
+// --- POST /v1/shard/knn2d ---
+
+func (s *Server) handleShardKNN2D(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardKNN2DRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > maxK {
+		s.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return
+	}
+	objs, epoch := s.db.KNN2D(geom.Vec2{X: req.X, Y: req.Y}, req.K)
+	setEpoch(w, epoch)
+	writeBody(w, api.CandidatesResponse{Epoch: epoch, Candidates: toCandidates(objs)})
+}
+
+// --- POST /v1/shard/range2d ---
+
+func (s *Server) handleShardRange2D(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardRange2DRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Radius zero is legal here (unlike the public range route): the
+	// coordinator forwards MR3's k-th upper bound verbatim, and a query
+	// point sitting exactly on an object yields a zero bound.
+	if !(req.Radius >= 0) || math.IsInf(req.Radius, 1) {
+		s.badRequest(w, "radius must be a non-negative finite distance, got %g", req.Radius)
+		return
+	}
+	objs, epoch := s.db.Range2D(geom.Vec2{X: req.X, Y: req.Y}, req.Radius)
+	setEpoch(w, epoch)
+	writeBody(w, api.CandidatesResponse{Epoch: epoch, Candidates: toCandidates(objs)})
+}
+
+// --- POST /v1/shard/rank ---
+
+func (s *Server) handleShardRank(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardRankRequest
+	if !s.decodeLimited(w, r, &req, maxShardBodyBytes) {
+		return
+	}
+	if req.K < 1 || req.K > maxK {
+		s.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	opt, err := coreOptions(req.Options)
+	if err != nil {
+		s.badRequest(w, "invalid options: %v", err)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+	objs, ok := s.candidateObjects(w, req.Candidates)
+	if !ok {
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	res, err := sess.RankCandidatesCtx(ctx, q, objs, req.K, sched, opt, req.Tighten)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	setEpoch(w, res.Epoch)
+	wire := toResponse(res)
+	writeBody(w, api.ShardResult{Epoch: res.Epoch, Neighbors: wire.Neighbors, Cost: wire.Cost})
+}
+
+// --- POST /v1/shard/ea ---
+
+func (s *Server) handleShardEA(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardEARequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > maxK {
+		s.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+	// Clamp k to this shard's live object count: a shard owning fewer than
+	// k objects contributes them all, and the coordinator merges per-shard
+	// top-k lists into the global top-k.
+	k := req.K
+	if n := len(s.db.Objects()); k > n {
+		k = n
+	}
+	if k == 0 {
+		epoch := s.db.CurrentEpoch()
+		setEpoch(w, epoch)
+		writeBody(w, api.ShardResult{Epoch: epoch, Neighbors: []api.Neighbor{}})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	res, err := sess.EACtx(ctx, q, k)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	setEpoch(w, res.Epoch)
+	wire := toResponse(res)
+	writeBody(w, api.ShardResult{Epoch: res.Epoch, Neighbors: wire.Neighbors, Cost: wire.Cost})
+}
+
+// --- POST /v1/shard/range ---
+
+func (s *Server) handleShardRange(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardRangeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !(req.Radius > 0) || math.IsInf(req.Radius, 1) {
+		s.badRequest(w, "radius must be a positive finite distance, got %g", req.Radius)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	opt, err := coreOptions(req.Options)
+	if err != nil {
+		s.badRequest(w, "invalid options: %v", err)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+	sess := s.db.AcquireSession()
+	defer s.db.Release(sess)
+
+	res, err := sess.SurfaceRangeCtx(ctx, q, req.Radius, sched, opt)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	setEpoch(w, res.Epoch)
+	wire := toResponse(res)
+	writeBody(w, api.ShardResult{Epoch: res.Epoch, Neighbors: wire.Neighbors, Cost: wire.Cost})
+}
+
+// --- POST /v1/shard/objects ---
+
+// handleShardObjects applies one coordinator-replayed logical update at the
+// coordinator-assigned epoch (see objstore.ApplyAt). Empty batches are
+// legal — a shard owning none of the touched objects still publishes, so
+// every shard's epoch advances in lockstep — and replays are idempotent.
+func (s *Server) handleShardObjects(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardObjectsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Epoch == 0 {
+		s.badRequest(w, "epoch must be positive")
+		return
+	}
+	if len(req.Objects) > maxUpdateBatch || len(req.DeleteIDs) > maxUpdateBatch {
+		s.badRequest(w, "batch exceeds the limit of %d", maxUpdateBatch)
+		return
+	}
+	store := s.db.ObjectStore()
+	if store == nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal,
+			"database has no object store installed")
+		return
+	}
+	batch, ok := s.upsertBatch(w, req.Objects)
+	if !ok {
+		return
+	}
+
+	epoch, applied := store.ApplyAt(batch, req.DeleteIDs, req.Epoch)
+	setEpoch(w, epoch)
+	writeBody(w, api.ShardObjectsResponse{Epoch: epoch, Applied: applied})
+}

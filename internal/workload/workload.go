@@ -50,6 +50,23 @@ func RandomObjects(m *mesh.Mesh, loc *mesh.Locator, n int, seed int64) ([]Object
 	return objs, nil
 }
 
+// PartitionObjects splits objs into buckets slices by the given bucket
+// function (values outside [0, buckets) are dropped). The split preserves
+// input order within each bucket, so a deterministic input yields a
+// deterministic partition — the property the shard tiler relies on for
+// reproducible cuts.
+func PartitionObjects(objs []Object, buckets int, bucket func(Object) int) [][]Object {
+	parts := make([][]Object, buckets)
+	for _, o := range objs {
+		b := bucket(o)
+		if b < 0 || b >= buckets {
+			continue
+		}
+		parts[b] = append(parts[b], o)
+	}
+	return parts
+}
+
 // RandomQueries returns n query points uniformly distributed on the
 // surface, kept away from the boundary by the given margin so that search
 // regions are meaningful.

@@ -173,6 +173,85 @@ fi
 grep -q '# bye' /tmp/skserve.check.out
 trap - EXIT
 
+echo "== shard fleet smoke =="
+# Sharded serving end to end: skgen -tiles cuts the snapshot into a 2x1
+# shard grid plus a manifest, two skserve processes each load one tile
+# with their shard identity, and skcoord scatters queries across them.
+# The coordinator must answer kNN, route an upsert to the owning tile
+# while advancing one fleet-wide epoch (X-Epoch), and drain on SIGTERM.
+go build -o /tmp/skcoord.check ./cmd/skcoord
+/tmp/skgen.check -preset EP -size 16 -o /tmp/skfleet.check.sdem \
+    -db /tmp/skfleet.check.skdb -db-objects 30 -tiles 2x1 > /dev/null
+rm -f /tmp/skfleet.check.s0.out /tmp/skfleet.check.s1.out /tmp/skcoord.check.out
+/tmp/skserve.check -snapshot /tmp/skfleet.check-tile-0-0.skdb \
+    -shard-id tile-0-0 -addr 127.0.0.1:0 > /tmp/skfleet.check.s0.out &
+shard0_pid=$!
+/tmp/skserve.check -snapshot /tmp/skfleet.check-tile-1-0.skdb \
+    -shard-id tile-1-0 -addr 127.0.0.1:0 > /tmp/skfleet.check.s1.out &
+shard1_pid=$!
+coord_pid=""
+trap 'kill "$shard0_pid" "$shard1_pid" $coord_pid 2>/dev/null; wait 2>/dev/null || true' EXIT
+shard0_addr=""
+shard1_addr=""
+for _ in $(seq 1 100); do
+    shard0_addr=$(sed -n 's/^# skserve listening on //p' /tmp/skfleet.check.s0.out | head -1)
+    shard1_addr=$(sed -n 's/^# skserve listening on //p' /tmp/skfleet.check.s1.out | head -1)
+    [ -n "$shard0_addr" ] && [ -n "$shard1_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$shard0_addr" ] || [ -z "$shard1_addr" ]; then
+    echo "shard servers never announced their addresses" >&2
+    cat /tmp/skfleet.check.s0.out /tmp/skfleet.check.s1.out >&2
+    exit 1
+fi
+/tmp/skcoord.check -manifest /tmp/skfleet.check.manifest.json \
+    -addrs "$shard0_addr,$shard1_addr" -addr 127.0.0.1:0 \
+    > /tmp/skcoord.check.out &
+coord_pid=$!
+coord_addr=""
+for _ in $(seq 1 100); do
+    coord_addr=$(sed -n 's/^# skcoord listening on //p' /tmp/skcoord.check.out | head -1)
+    [ -n "$coord_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$coord_addr" ]; then
+    echo "skcoord never announced its address" >&2
+    cat /tmp/skcoord.check.out >&2
+    exit 1
+fi
+healthz=$(curl -fsS "http://$coord_addr/v1/healthz")
+printf '%s' "$healthz" | grep -q '"status":"ok"'
+printf '%s' "$healthz" | grep -q '"id":"tile-0-0"'
+printf '%s' "$healthz" | grep -q '"id":"tile-1-0"'
+knn=$(curl -fsSi -X POST "http://$coord_addr/v1/knn" -d '{"x":800,"y":800,"k":3}')
+if ! printf '%s' "$knn" | grep -q '"neighbors"'; then
+    echo "coordinator /v1/knn returned no neighbors: $knn" >&2
+    exit 1
+fi
+epoch0=$(printf '%s' "$knn" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+curl -fsS -X POST "http://$coord_addr/v1/objects" \
+    -d '{"objects":[{"id":9001,"x":800,"y":800}]}' | grep -q '"epoch":1'
+knn2=$(curl -fsSi -X POST "http://$coord_addr/v1/knn" -d '{"x":800,"y":800,"k":3}')
+epoch1=$(printf '%s' "$knn2" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+if [ "${epoch0:-}" != "0" ] || [ "${epoch1:-}" != "1" ]; then
+    echo "coordinator X-Epoch did not advance across an upsert (before=$epoch0 after=$epoch1)" >&2
+    exit 1
+fi
+if ! printf '%s' "$knn2" | grep -q '"id":9001'; then
+    echo "post-upsert coordinator /v1/knn does not see object 9001: $knn2" >&2
+    exit 1
+fi
+kill -TERM "$coord_pid"
+if ! wait "$coord_pid"; then
+    echo "skcoord exited non-zero after SIGTERM" >&2
+    cat /tmp/skcoord.check.out >&2
+    exit 1
+fi
+grep -q '# bye' /tmp/skcoord.check.out
+kill -TERM "$shard0_pid" "$shard1_pid"
+wait "$shard0_pid" "$shard1_pid"
+trap - EXIT
+
 echo "== fuzz smoke =="
 # A few seconds per target: enough to catch regressions in the seeds and
 # shallow mutations without stalling the gate. -fuzzminimizetime is capped
