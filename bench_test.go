@@ -9,6 +9,7 @@ package surfknn
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"surfknn/internal/continuous"
 	"surfknn/internal/core"
 	"surfknn/internal/dem"
 	"surfknn/internal/geodesic"
@@ -572,5 +574,79 @@ func BenchmarkKNNUnderUpdates(b *testing.B) {
 		if _, err := s.MR3(q, 5, core.S2, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkContinuousKNN measures the continuous-query subsystem under the
+// deterministic move-mix generator: 8 walkers random-walking their
+// subscriptions while 1-in-50 operations upserts an object (epoch churn).
+// One sub-benchmark per step size — the safe-region hit rate (reported as
+// the "hits/move" metric) falls as steps grow, which is exactly the
+// trade-off the safe radius certifies. Each iteration is one move through
+// Monitor.Move: a hit serves the cached top-k with zero engine work, a miss
+// pays a stripe re-evaluation.
+func BenchmarkContinuousKNN(b *testing.B) {
+	for _, step := range []float64{0.1, 0.5, 2} {
+		b.Run(fmt.Sprintf("step=%g", step), func(b *testing.B) {
+			// A dense private fixture: positive safe radii need more
+			// enumerated candidates than k, and epoch churn must not touch
+			// the shared database.
+			g := dem.Synthesize(dem.EP, 16, 10, 2006)
+			m := mesh.FromGrid(g)
+			db, err := core.BuildTerrainDB(m, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			objs, err := workload.RandomObjects(m, db.Loc, 100, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.SetObjects(objs)
+			mon, err := continuous.New(db, continuous.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mon.Close()
+			mix, err := workload.NewMoveMix(m, db.Loc, workload.MoveMixConfig{Seed: 11, Walkers: 8, Step: step})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]uint64, 0, 8)
+			for _, sp := range mix.Starts() {
+				id, _, _, err := mon.Subscribe(nil, sp, 3, core.S1, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			store := db.ObjectStore()
+			var moves, hits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Drain update ops until the mix yields a move, then time it.
+				var op workload.MoveOp
+				b.StopTimer()
+				for {
+					op = mix.Next()
+					if op.Kind == workload.MoveOpMove {
+						break
+					}
+					store.Upsert(op.Objects)
+				}
+				b.StartTimer()
+				_, _, hit, err := mon.Move(nil, ids[op.Walker], op.Point.XY())
+				if err != nil {
+					b.Fatal(err)
+				}
+				moves++
+				if hit {
+					hits++
+				}
+			}
+			b.StopTimer()
+			if moves > 0 {
+				b.ReportMetric(float64(hits)/float64(moves), "hits/move")
+			}
+		})
 	}
 }

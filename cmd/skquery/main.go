@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -53,6 +54,7 @@ func main() {
 		radius   = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
 		slope    = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
 		server   = flag.String("server", "", "query a running skserve/skcoord at this base URL (e.g. http://127.0.0.1:8080) instead of a local terrain")
+		follow   = flag.Bool("follow", false, "with -server: register a continuous k-NN subscription at (-x, -y), then read \"x y\" move lines from stdin, printing each answer with its safe-region hit/miss disposition")
 		timeout  = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 		debug    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		trace    = flag.Bool("trace", false, "record the query's phase trace and print it as JSON")
@@ -78,8 +80,15 @@ func main() {
 		if *snapPath != "" || *demPath != "" {
 			log.Fatal("-server and -snapshot/-dem are mutually exclusive")
 		}
+		if *follow {
+			followRemote(*server, *qx, *qy, *k, *sched, *timeout)
+			return
+		}
 		remoteQuery(*server, *algo, *qx, *qy, *k, *sched, *radius, *timeout)
 		return
+	}
+	if *follow {
+		log.Fatal("-follow needs a running service: pass -server")
 	}
 
 	var (
@@ -268,6 +277,72 @@ func remoteQuery(base, algo string, qx, qy float64, k, sched int, radius float64
 	} else {
 		fmt.Printf("epoch %d\n", meta.Epoch)
 	}
+}
+
+// followRemote is the continuous-query client mode: it registers a
+// subscription at (-x, -y), prints the initial top-k and safe radius, then
+// treats every "x y" line on stdin as a move of the query point — each
+// answer is printed with the service's safe-region disposition (hit = served
+// from the subscription's safe region with zero engine work, miss =
+// re-evaluated) and the epoch it is valid for. EOF unsubscribes.
+func followRemote(base string, qx, qy float64, k, sched int, timeout time.Duration) {
+	if math.IsNaN(qx) || math.IsNaN(qy) {
+		log.Fatal("-follow needs an initial query point: pass -x and -y")
+	}
+	ctx := context.Background()
+	cli := client.New(base)
+	callCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(ctx, timeout)
+		}
+		return context.WithCancel(ctx)
+	}
+
+	sctx, cancel := callCtx()
+	sub, _, err := cli.Subscribe(sctx, api.SubscribeRequest{X: qx, Y: qy, K: k, Sched: sched})
+	cancel()
+	if err != nil {
+		log.Fatalf("subscribing at (%g, %g): %v", qx, qy, err)
+	}
+	printFollow := func(res api.SubscribeResponse, disposition string) {
+		fmt.Printf("[%s] epoch %d, safe radius %.2f m around (%.1f, %.1f)\n",
+			disposition, res.Epoch, float64(res.SafeRadius), res.AnchorX, res.AnchorY)
+		for i, n := range res.Neighbors {
+			fmt.Printf("%2d. object %-4d at (%.1f, %.1f, %.1f)  dS ∈ [%.2f, %.2f]\n",
+				i+1, n.ID, n.X, n.Y, n.Z, float64(n.LB), float64(n.UB))
+		}
+	}
+	fmt.Printf("subscription %d at (%.1f, %.1f), k=%d — reading \"x y\" moves from stdin\n", sub.ID, qx, qy, k)
+	printFollow(sub, "subscribed")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var x, y float64
+		if _, err := fmt.Sscanf(line, "%f %f", &x, &y); err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: want \"x y\"\n", line)
+			continue
+		}
+		mctx, cancel := callCtx()
+		res, meta, err := cli.MoveSubscription(mctx, sub.ID, api.MoveRequest{X: x, Y: y})
+		cancel()
+		if err != nil {
+			log.Fatalf("moving to (%g, %g): %v", x, y, err)
+		}
+		printFollow(res, meta.SafeRegion)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading moves: %v", err)
+	}
+	uctx, cancel := callCtx()
+	defer cancel()
+	if _, _, err := cli.Unsubscribe(uctx, sub.ID); err != nil {
+		log.Fatalf("unsubscribing %d: %v", sub.ID, err)
+	}
+	fmt.Printf("unsubscribed %d\n", sub.ID)
 }
 
 func loadOrSynthesize(path, preset string, size int, cell float64, seed int64) (*dem.Grid, error) {

@@ -98,21 +98,26 @@ func main() {
 	if err := stats.Publish("surfknn_server"); err != nil {
 		log.Fatal(err)
 	}
+	contStats := obs.NewContinuousStats()
+	if err := contStats.Publish("surfknn_continuous"); err != nil {
+		log.Fatal(err)
+	}
 
 	accessW, err := accessWriter(*access)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := server.New(db, server.Config{
-		MaxInFlight:    *inflight,
-		QueueDepth:     *queue,
-		QueueWait:      *wait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		CacheEntries:   *cacheN,
-		ShardID:        *shardID,
-		AccessLog:      accessW,
-		Stats:          stats,
+		MaxInFlight:     *inflight,
+		QueueDepth:      *queue,
+		QueueWait:       *wait,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTime,
+		CacheEntries:    *cacheN,
+		ShardID:         *shardID,
+		AccessLog:       accessW,
+		Stats:           stats,
+		ContinuousStats: contStats,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,120 @@
+package continuous
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"surfknn/internal/core"
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+	"surfknn/internal/obs"
+	"surfknn/internal/stats"
+)
+
+// evalReq is one re-evaluation waiting to run. hint is the planar region
+// the query is expected to search (the subscription's guard box unioned
+// with the new query point); overlapping hints coalesce into one stripe.
+type evalReq struct {
+	ctx   context.Context
+	q     mesh.SurfacePoint
+	k     int
+	sched core.Schedule
+	opt   core.Options
+	hint  geom.MBR
+	done  chan evalOut
+}
+
+type evalOut struct {
+	res    core.Result
+	region core.SafeRegion
+	err    error
+}
+
+// stripe is a batch of overlapping re-evaluations that will share one
+// session checkout. region is the union of its members' hints; reqs may
+// only be appended while the stripe sits in batcher.open (under batcher.mu).
+type stripe struct {
+	region geom.MBR
+	reqs   []*evalReq
+}
+
+// batcher coalesces concurrently-due re-evaluations whose search regions
+// overlap into stripes. The first request for a region becomes the stripe
+// leader: it waits the coalesce window for joiners, then checks one session
+// out of the pool and runs every member's query through it sequentially —
+// a burst of co-located movers pays the session checkout (and its warm
+// LOD/SDN scratch) once instead of len(stripe) times. Joiners block on
+// their done channel; every member, leader included, gets its own
+// deep-copied result (Session results alias per-session scratch).
+type batcher struct {
+	db     *core.TerrainDB
+	window time.Duration
+	stats  *obs.ContinuousStats
+
+	mu   sync.Mutex
+	open []*stripe
+}
+
+// eval runs one query through the stripe machinery and blocks until its
+// result is ready.
+func (b *batcher) eval(req evalReq) evalOut {
+	req.done = make(chan evalOut, 1)
+	r := &req
+
+	b.mu.Lock()
+	for _, st := range b.open {
+		if st.region.Intersects(r.hint) {
+			st.reqs = append(st.reqs, r)
+			st.region = st.region.Union(r.hint)
+			b.mu.Unlock()
+			return <-r.done
+		}
+	}
+	st := &stripe{region: r.hint, reqs: []*evalReq{r}}
+	b.open = append(b.open, st)
+	b.mu.Unlock()
+
+	// Leader: hold the stripe open for the coalesce window, then close it.
+	if b.window > 0 {
+		timer := time.NewTimer(b.window)
+		if r.ctx != nil {
+			select {
+			case <-timer.C:
+			case <-r.ctx.Done():
+				timer.Stop()
+			}
+		} else {
+			<-timer.C
+		}
+	}
+
+	b.mu.Lock()
+	for i, o := range b.open {
+		if o == st {
+			b.open = append(b.open[:i], b.open[i+1:]...)
+			break
+		}
+	}
+	members := st.reqs
+	b.mu.Unlock()
+
+	sess := b.db.AcquireSession()
+	for _, m := range members {
+		res, sr, err := sess.MR3SafeCtx(m.ctx, m.q, m.k, m.sched, m.opt)
+		if err == nil {
+			// Result slices alias session scratch reused by the next query
+			// in this stripe (and by whoever checks the session out next):
+			// hand every member its own copy.
+			res.Neighbors = append([]core.Neighbor(nil), res.Neighbors...)
+			res.Cost.Phases = append([]stats.PhaseCost(nil), res.Cost.Phases...)
+		}
+		m.done <- evalOut{res: res, region: sr, err: err}
+	}
+	b.db.Release(sess)
+
+	b.stats.Stripes.Add(1)
+	b.stats.StripeQueries.Add(int64(len(members)))
+	b.stats.StripeSize().Observe(int64(len(members)))
+	return <-r.done
+}

@@ -96,6 +96,7 @@ func (s *Session) mr3(q mesh.SurfacePoint, k int, sched Schedule, opt Options) (
 		return nil, err
 	}
 	radius := kthUB(ranked, k)
+	s.step3Radius = radius // recorded for the safe-region computation
 	if math.IsInf(radius, 1) {
 		//lint:ignore hotpath-alloc error path: allocates only when no k-th bound exists, never on a successful query
 		return nil, fmt.Errorf("core: could not bound the %d-th neighbour", k)

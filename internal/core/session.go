@@ -55,6 +55,12 @@ type Session struct {
 	tracing bool         // record a phase trace for every query
 	cost    costRecorder // per-query phase accounting
 
+	// step3Radius is the MR3 step-3 search radius (the step-2 k-th upper
+	// bound) of the query in flight, recorded by mr3 for the safe-region
+	// computation (safereg.go). Reset at beginQuery; meaningless for other
+	// algorithms.
+	step3Radius float64
+
 	// Query-path scratch, retained across queries so a warm session answers
 	// without allocating. Capacities are ensured in beginQuery (off the
 	// annotated hot path); the per-candidate loops then grow only within
@@ -109,6 +115,7 @@ func (s *Session) beginQuery(ctx context.Context, algo string) {
 	s.ctx = ctx
 	s.io = storage.IOAccount{}
 	s.dxyVisits = 0
+	s.step3Radius = 0
 	s.releaseView() // defensive: a panicked query may have left a pin
 	if s.db.store != nil {
 		s.view = s.db.store.Pin()
@@ -301,6 +308,7 @@ type costRecorder struct {
 	curStart  time.Time
 	baseIO    storage.IOAccount // session I/O counters at phase open
 	baseVisit int64             // session R-tree visits at phase open
+	baseRelax int64             // pathnet relaxation count at phase open
 	qStart    time.Time         // query start
 	relaxBase int64             // pathnet relaxation count at query start
 }
@@ -326,6 +334,7 @@ func (s *Session) beginPhase(name string) *stats.PhaseCost {
 	c.open = true
 	c.baseIO = s.io
 	c.baseVisit = s.dxyVisits
+	c.baseRelax = s.path.Relaxations()
 	c.curStart = time.Now()
 	c.curSpan = c.trace.StartSpan(name, nil)
 	return &c.cur
@@ -342,6 +351,7 @@ func (s *Session) closePhase() {
 	c.cur.PoolMisses = s.io.Misses - c.baseIO.Misses
 	c.cur.PoolHits = (s.io.Accesses - c.baseIO.Accesses) - c.cur.PoolMisses
 	c.cur.RTreeVisits = s.dxyVisits - c.baseVisit
+	c.cur.Relaxations = s.path.Relaxations() - c.baseRelax
 	c.phases = append(c.phases, c.cur)
 	c.trace.EndSpan(c.curSpan)
 	c.open = false

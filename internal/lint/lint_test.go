@@ -116,6 +116,7 @@ func TestRuleRegistry(t *testing.T) {
 		"hotpath-alloc",
 		"pin-release",
 		"ctx-flow",
+		"sub-unregister",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

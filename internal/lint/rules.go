@@ -18,6 +18,7 @@ func AllRules() []Rule {
 		hotpathAlloc{},
 		pinRelease{},
 		ctxFlow{},
+		subUnregister{},
 	}
 }
 

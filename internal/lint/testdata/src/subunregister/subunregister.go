@@ -1,0 +1,123 @@
+// Package subunregister is the sub-unregister fixture: a function that
+// inserts into a `subs` registration table must itself reach a delete on
+// that table — by evicting (the bounded-table idiom) or by building the
+// cancel closure that deletes (the listener idiom). Inserts whose cleanup
+// depends on callers remembering to unsubscribe are findings.
+package subunregister
+
+import "sync"
+
+type entry struct{ id uint64 }
+
+// ---- clean idioms ----
+
+// Monitor bounds its table on the insert path: Subscribe reaches evict.
+type Monitor struct {
+	mu   sync.Mutex
+	max  int
+	next uint64
+	subs map[uint64]*entry
+}
+
+func (m *Monitor) Subscribe() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	m.subs[m.next] = &entry{id: m.next}
+	m.evict()
+	return m.next
+}
+
+func (m *Monitor) evict() {
+	for id := range m.subs {
+		if len(m.subs) <= m.max {
+			return
+		}
+		delete(m.subs, id)
+	}
+}
+
+// Registry deletes inside the cancel closure its insert hands back: the
+// insert and its guaranteed cleanup live in the same declaration.
+type Registry struct {
+	mu   sync.Mutex
+	next int
+	subs map[int]func()
+}
+
+func (r *Registry) Subscribe(fn func()) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	id := r.next
+	r.subs[id] = fn
+	return func() {
+		r.mu.Lock()
+		delete(r.subs, id)
+		r.mu.Unlock()
+	}
+}
+
+// localTable is not a registration table: subs here is a local whose
+// lifetime ends with the call, not a struct field.
+func localTable(n int) int {
+	subs := make(map[int]*entry, n)
+	for i := 0; i < n; i++ {
+		subs[i] = &entry{id: uint64(i)}
+	}
+	return len(subs)
+}
+
+// ---- findings ----
+
+// Leaky inserts and nothing in the module ever deletes.
+type Leaky struct {
+	mu   sync.Mutex
+	next uint64
+	subs map[uint64]*entry
+}
+
+func (l *Leaky) Subscribe() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	l.subs[l.next] = &entry{id: l.next}
+	return l.next
+}
+
+// Split has an Unsubscribe, but its insert path cannot reach it: the
+// table stays bounded only if every caller remembers the pairing call.
+type Split struct {
+	mu   sync.Mutex
+	next uint64
+	subs map[uint64]*entry
+}
+
+func (s *Split) Subscribe() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	s.subs[s.next] = &entry{id: s.next}
+	return s.next
+}
+
+func (s *Split) Unsubscribe(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+// ---- suppression ----
+
+// Pinned keeps a fixed-slot table: the key space is bounded by
+// construction, so the table cannot grow and the ignore says why.
+type Pinned struct {
+	mu   sync.Mutex
+	subs map[int]*entry
+}
+
+func (p *Pinned) Set(slot int, e *entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs[slot%4] = e //lint:ignore sub-unregister the key space is 4 fixed slots; the table cannot grow
+}

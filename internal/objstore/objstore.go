@@ -250,6 +250,25 @@ func (e *Epoch) Release() {
 	s.mu.Unlock()
 }
 
+// UpdateEvent describes one published epoch to subscribed listeners: the
+// epoch transition and the planar footprint of every touched object, which
+// is what lets a continuous-query monitor invalidate only the standing
+// queries whose search region the update could actually affect.
+//
+// IDs and Points are parallel. An insert contributes its new position; a
+// delete its old one; an upsert that moved an existing object contributes
+// BOTH positions (two entries, same ID) — an object leaving a search region
+// changes that region's answer just as surely as one entering it. When
+// Regions is false the positions are unavailable and a listener must treat
+// every standing query as potentially affected.
+type UpdateEvent struct {
+	Prev    uint64 // epoch superseded by this update
+	Epoch   uint64 // epoch published by this update
+	IDs     []int64
+	Points  []geom.Vec2
+	Regions bool
+}
+
 // Store is the versioned object store. Create with New or NewAt; one Store
 // serves any number of concurrent readers (Pin/Current) and writers
 // (Insert/Delete/Upsert). Writers serialise on an internal mutex; readers
@@ -260,6 +279,16 @@ type Store struct {
 	compact int
 	live    int           // epochs published and not yet reclaimed
 	reg     *obs.Registry // setup-step field, like TerrainDB.reg; nil = uninstrumented
+
+	// Update listeners. notifyMu serialises writers across the publish +
+	// notify sequence so events are delivered in epoch order; it is acquired
+	// BEFORE mu and held across the listener calls, which therefore run
+	// without mu — a listener may Pin, query and Release freely, but must
+	// not call back into the store's writers.
+	notifyMu sync.Mutex
+	subsMu   sync.Mutex
+	subs     map[int]func(UpdateEvent)
+	nextSub  int
 }
 
 // New returns an empty store at epoch 0.
@@ -344,6 +373,55 @@ func (s *Store) LiveEpochs() int {
 	return s.live
 }
 
+// Subscribe registers fn to be called after every published epoch, with the
+// event describing what changed. fn runs on the writer's goroutine, after
+// the store mutex is released but while the writer sequence lock is held:
+// events arrive in strict epoch order, fn may pin and query the store, but
+// it must not call the store's writers (Upsert/Insert/Delete/ApplyAt) or it
+// deadlocks. The returned cancel deregisters fn; after cancel returns, fn
+// is never called again.
+func (s *Store) Subscribe(fn func(UpdateEvent)) (cancel func()) {
+	s.subsMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[int]func(UpdateEvent))
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = fn
+	s.subsMu.Unlock()
+	return func() {
+		s.subsMu.Lock()
+		delete(s.subs, id)
+		s.subsMu.Unlock()
+	}
+}
+
+// notify delivers one published event to every listener. Caller holds
+// notifyMu (ordering) but not mu (listeners may query the store).
+func (s *Store) notify(ev UpdateEvent) {
+	s.subsMu.Lock()
+	fns := make([]func(UpdateEvent), 0, len(s.subs))
+	for _, fn := range s.subs {
+		fns = append(fns, fn)
+	}
+	s.subsMu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// touch appends one touched object to the event being assembled: for an ID
+// already live it records the old position too, so a moved object
+// invalidates both the region it left and the region it entered.
+func (ev *UpdateEvent) touch(cur *Epoch, o workload.Object) {
+	if old, ok := cur.Object(o.ID); ok {
+		ev.IDs = append(ev.IDs, o.ID)
+		ev.Points = append(ev.Points, old.Point.XY())
+	}
+	ev.IDs = append(ev.IDs, o.ID)
+	ev.Points = append(ev.Points, o.Point.XY())
+}
+
 // Upsert installs objs — inserting new IDs, replacing existing ones — and
 // publishes the new epoch, returning its number. An empty batch is a no-op
 // returning the current epoch.
@@ -351,11 +429,14 @@ func (s *Store) Upsert(objs []workload.Object) uint64 {
 	if len(objs) == 0 {
 		return s.Epoch()
 	}
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur := s.cur.Load()
+	ev := UpdateEvent{Prev: cur.seq, Regions: true}
 	delta, deltaByID, dead := copyLayers(cur)
 	for _, o := range objs {
+		ev.touch(cur, o)
 		if i, ok := deltaByID[o.ID]; ok {
 			delta[i] = o
 			continue
@@ -366,7 +447,11 @@ func (s *Store) Upsert(objs []workload.Object) uint64 {
 		deltaByID[o.ID] = len(delta)
 		delta = append(delta, o)
 	}
-	return s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs))
+	seq := s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs))
+	s.mu.Unlock()
+	ev.Epoch = seq
+	s.notify(ev)
+	return seq
 }
 
 // Insert is Upsert that refuses to replace: any ID already live fails the
@@ -375,37 +460,53 @@ func (s *Store) Insert(objs []workload.Object) (uint64, error) {
 	if len(objs) == 0 {
 		return s.Epoch(), nil
 	}
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur := s.cur.Load()
+	ev := UpdateEvent{Prev: cur.seq, Regions: true}
 	seen := make(map[int64]struct{}, len(objs))
 	for _, o := range objs {
 		if _, dup := seen[o.ID]; dup {
+			s.mu.Unlock()
 			return cur.seq, fmt.Errorf("objstore: duplicate ID %d in insert batch", o.ID)
 		}
 		seen[o.ID] = struct{}{}
 		if _, ok := cur.Object(o.ID); ok {
+			s.mu.Unlock()
 			return cur.seq, fmt.Errorf("objstore: object %d already exists (use Upsert to replace)", o.ID)
 		}
 	}
 	delta, deltaByID, dead := copyLayers(cur)
 	for _, o := range objs {
+		ev.IDs = append(ev.IDs, o.ID)
+		ev.Points = append(ev.Points, o.Point.XY())
 		deltaByID[o.ID] = len(delta)
 		delta = append(delta, o)
 	}
-	return s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs)), nil
+	seq := s.publishLocked(cur, cur.seq+1, delta, deltaByID, dead, len(objs))
+	s.mu.Unlock()
+	ev.Epoch = seq
+	s.notify(ev)
+	return seq, nil
 }
 
 // Delete removes the given IDs, returning the resulting epoch and how many
 // were actually live. IDs not present are ignored (idempotent); if nothing
 // was removed no epoch is published.
 func (s *Store) Delete(ids []int64) (uint64, int) {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur := s.cur.Load()
+	ev := UpdateEvent{Prev: cur.seq, Regions: true}
 	delta, deltaByID, dead := copyLayers(cur)
 	removed := 0
 	for _, id := range ids {
+		if old, ok := cur.Object(id); ok {
+			ev.IDs = append(ev.IDs, id)
+			ev.Points = append(ev.Points, old.Point.XY())
+		}
 		if _, ok := deltaByID[id]; ok {
 			delete(deltaByID, id)
 			removed++
@@ -419,6 +520,7 @@ func (s *Store) Delete(ids []int64) (uint64, int) {
 		}
 	}
 	if removed == 0 {
+		s.mu.Unlock()
 		return cur.seq, 0
 	}
 	// Rebuild the delta without the deleted entries (deltaByID now holds
@@ -432,7 +534,11 @@ func (s *Store) Delete(ids []int64) (uint64, int) {
 	for i, o := range packed {
 		deltaByID[o.ID] = i
 	}
-	return s.publishLocked(cur, cur.seq+1, packed, deltaByID, dead, removed), removed
+	seq := s.publishLocked(cur, cur.seq+1, packed, deltaByID, dead, removed)
+	s.mu.Unlock()
+	ev.Epoch = seq
+	s.notify(ev)
+	return seq, removed
 }
 
 // ApplyAt applies one logical update — deletes first, then upserts — and
@@ -445,15 +551,22 @@ func (s *Store) Delete(ids []int64) (uint64, int) {
 // the current epoch number. Returns the published epoch and how many objects
 // the batch actually touched on this shard.
 func (s *Store) ApplyAt(upserts []workload.Object, deleteIDs []int64, at uint64) (uint64, int) {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cur := s.cur.Load()
 	if at <= cur.seq {
+		s.mu.Unlock()
 		return cur.seq, 0
 	}
+	ev := UpdateEvent{Prev: cur.seq, Regions: true}
 	delta, deltaByID, dead := copyLayers(cur)
 	applied := 0
 	for _, id := range deleteIDs {
+		if old, ok := cur.Object(id); ok {
+			ev.IDs = append(ev.IDs, id)
+			ev.Points = append(ev.Points, old.Point.XY())
+		}
 		if _, ok := deltaByID[id]; ok {
 			delete(deltaByID, id)
 			applied++
@@ -480,6 +593,7 @@ func (s *Store) ApplyAt(upserts []workload.Object, deleteIDs []int64, at uint64)
 		}
 	}
 	for _, o := range upserts {
+		ev.touch(cur, o)
 		if i, ok := deltaByID[o.ID]; ok {
 			delta[i] = o
 		} else {
@@ -491,7 +605,11 @@ func (s *Store) ApplyAt(upserts []workload.Object, deleteIDs []int64, at uint64)
 		}
 		applied++
 	}
-	return s.publishLocked(cur, at, delta, deltaByID, dead, applied), applied
+	seq := s.publishLocked(cur, at, delta, deltaByID, dead, applied)
+	s.mu.Unlock()
+	ev.Epoch = seq
+	s.notify(ev)
+	return seq, applied
 }
 
 // copyLayers clones the mutable delta layer of cur for copy-on-write.

@@ -174,6 +174,46 @@ type DistanceResponse struct {
 	Iterations int     `json:"iterations" api:"v1"`
 }
 
+// SubscribeRequest is the body of POST /v1/subscribe: register a continuous
+// k-NN query at (x, y). The response carries the initial result plus the
+// safe radius within which subsequent moves are served without engine work.
+type SubscribeRequest struct {
+	X       float64  `json:"x" api:"v1"`
+	Y       float64  `json:"y" api:"v1"`
+	K       int      `json:"k" api:"v1"`
+	Sched   int      `json:"sched,omitempty" api:"v1"`
+	Timeout Duration `json:"timeout,omitempty" api:"v1"`
+	Options *Options `json:"options,omitempty" api:"v1"`
+}
+
+// SubscribeResponse is the body of POST /v1/subscribe and of
+// POST /v1/subscribe/{id}/move: the subscription's identity, its current
+// top-k, and the safe region it certifies. Whether a move was answered from
+// the safe region is in the X-Safe-Region header ("hit" / "miss").
+type SubscribeResponse struct {
+	ID uint64 `json:"id" api:"v1"`
+	Result
+	// SafeRadius is the planar distance the query point may move from
+	// (anchor_x, anchor_y) while the neighbours above stay exact. 0 when
+	// nothing could be certified; every such move re-evaluates.
+	SafeRadius Float   `json:"safe_radius" api:"v1"`
+	AnchorX    float64 `json:"anchor_x" api:"v1"`
+	AnchorY    float64 `json:"anchor_y" api:"v1"`
+	Epoch      uint64  `json:"epoch" api:"v1"`
+}
+
+// MoveRequest is the body of POST /v1/subscribe/{id}/move.
+type MoveRequest struct {
+	X       float64  `json:"x" api:"v1"`
+	Y       float64  `json:"y" api:"v1"`
+	Timeout Duration `json:"timeout,omitempty" api:"v1"`
+}
+
+// UnsubscribeResponse is the body of DELETE /v1/subscribe/{id}.
+type UnsubscribeResponse struct {
+	Removed bool `json:"removed" api:"v1"`
+}
+
 // UpsertObject is one object in an upsert batch. ID is a pointer so an
 // omitted id is distinguishable from a literal 0 and rejected.
 type UpsertObject struct {

@@ -73,11 +73,14 @@ func New(base string, opts ...Option) *Client {
 func (c *Client) Base() string { return c.base }
 
 // Meta carries the per-response headers the API contract defines: the
-// object-store epoch the answer was computed against and the cache
-// disposition ("hit"/"miss", empty on routes that never cache).
+// object-store epoch the answer was computed against, the cache
+// disposition ("hit"/"miss", empty on routes that never cache), and — on
+// the continuous-query move route — whether the answer came from the
+// subscription's safe region ("hit") or a re-evaluation ("miss").
 type Meta struct {
-	Epoch uint64
-	Cache string
+	Epoch      uint64
+	Cache      string
+	SafeRegion string
 }
 
 // APIError is a non-2xx response decoded from the server's error envelope.
@@ -127,6 +130,30 @@ func (c *Client) Upsert(ctx context.Context, req api.UpsertRequest) (api.UpdateR
 func (c *Client) Delete(ctx context.Context, req api.DeleteRequest) (api.DeleteResponse, Meta, error) {
 	var res api.DeleteResponse
 	meta, err := c.do(ctx, http.MethodDelete, "/v1/objects", req, &res)
+	return res, meta, err
+}
+
+// Subscribe registers a continuous k-NN query, returning its id, initial
+// result and safe radius.
+func (c *Client) Subscribe(ctx context.Context, req api.SubscribeRequest) (api.SubscribeResponse, Meta, error) {
+	var res api.SubscribeResponse
+	meta, err := c.do(ctx, http.MethodPost, "/v1/subscribe", req, &res)
+	return res, meta, err
+}
+
+// MoveSubscription moves a subscription's query point. Meta.SafeRegion
+// reports whether the answer came from the safe region ("hit") or a
+// re-evaluation ("miss").
+func (c *Client) MoveSubscription(ctx context.Context, id uint64, req api.MoveRequest) (api.SubscribeResponse, Meta, error) {
+	var res api.SubscribeResponse
+	meta, err := c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/subscribe/%d/move", id), req, &res)
+	return res, meta, err
+}
+
+// Unsubscribe removes a continuous k-NN subscription.
+func (c *Client) Unsubscribe(ctx context.Context, id uint64) (api.UnsubscribeResponse, Meta, error) {
+	var res api.UnsubscribeResponse
+	meta, err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/subscribe/%d", id), nil, &res)
 	return res, meta, err
 }
 
@@ -229,7 +256,7 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	}
 	defer resp.Body.Close()
 
-	meta := Meta{Cache: resp.Header.Get("X-Cache")}
+	meta := Meta{Cache: resp.Header.Get("X-Cache"), SafeRegion: resp.Header.Get("X-Safe-Region")}
 	if v := resp.Header.Get("X-Epoch"); v != "" {
 		if e, err := strconv.ParseUint(v, 10, 64); err == nil {
 			meta.Epoch = e

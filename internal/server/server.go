@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"surfknn/internal/continuous"
 	"surfknn/internal/core"
 	"surfknn/internal/obs"
 	"surfknn/internal/server/api"
@@ -78,6 +79,18 @@ type Config struct {
 	// Stats receives the server metrics; nil creates a private group.
 	// Publishing it (as "surfknn_server") is the caller's choice.
 	Stats *obs.ServerStats
+	// MaxSubscriptions bounds the continuous-query subscription table
+	// (POST /v1/subscribe); beyond it the least recently used subscription
+	// is evicted. Default continuous.DefaultMaxSubscriptions.
+	MaxSubscriptions int
+	// CoalesceWindow is how long the continuous-query batcher holds a
+	// re-evaluation stripe open for overlapping moves to join. Default 0
+	// (coalesce only already-concurrent arrivals).
+	CoalesceWindow time.Duration
+	// ContinuousStats receives the continuous-query metrics; nil creates a
+	// private group. Publishing it (as "surfknn_continuous") is the
+	// caller's choice.
+	ContinuousStats *obs.ContinuousStats
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.Stats == nil {
 		c.Stats = obs.NewServerStats()
 	}
+	if c.ContinuousStats == nil {
+		c.ContinuousStats = obs.NewContinuousStats()
+	}
 	return c
 }
 
@@ -117,6 +133,7 @@ type Server struct {
 	stats *obs.ServerStats
 	adm   *admission
 	cache *resultCache
+	mon   *continuous.Monitor // continuous-query subsystem; nil without an object store
 
 	handler http.Handler
 
@@ -139,6 +156,16 @@ func New(db *core.TerrainDB, cfg Config) *Server {
 	}
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, cfg.QueueWait, s.stats)
 	s.cache = newResultCache(cfg.CacheEntries, s.stats)
+	// The monitor needs the object store's update feed; a database without
+	// one (never the case for a served snapshot) simply has the continuous
+	// routes answer 500.
+	if mon, err := continuous.New(db, continuous.Config{
+		MaxSubscriptions: cfg.MaxSubscriptions,
+		CoalesceWindow:   cfg.CoalesceWindow,
+		Stats:            cfg.ContinuousStats,
+	}); err == nil {
+		s.mon = mon
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/knn", s.handleKNN)
@@ -147,6 +174,9 @@ func New(db *core.TerrainDB, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/objects", s.handleUpsertObjects)
 	mux.HandleFunc("DELETE /v1/objects", s.handleDeleteObjects)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("POST /v1/subscribe/{id}/move", s.handleMove)
+	mux.HandleFunc("DELETE /v1/subscribe/{id}", s.handleUnsubscribe)
 	mux.HandleFunc("POST /v1/shard/knn2d", s.handleShardKNN2D)
 	mux.HandleFunc("POST /v1/shard/range2d", s.handleShardRange2D)
 	mux.HandleFunc("POST /v1/shard/rank", s.handleShardRank)
@@ -168,6 +198,9 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Stats returns the server's metric group.
 func (s *Server) Stats() *obs.ServerStats { return s.stats }
+
+// ContinuousStats returns the continuous-query metric group.
+func (s *Server) ContinuousStats() *obs.ContinuousStats { return s.cfg.ContinuousStats }
 
 // Serve accepts connections on ln until Shutdown (which makes it return
 // http.ErrServerClosed) or a listener error. ReadHeaderTimeout bounds

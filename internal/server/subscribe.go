@@ -1,0 +1,172 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"surfknn/internal/continuous"
+	"surfknn/internal/core"
+	"surfknn/internal/geom"
+	"surfknn/internal/server/api"
+)
+
+// The continuous-query routes. A subscription is server-side state (the
+// cached top-k, its safe region, its epoch stamp — see internal/continuous),
+// so unlike the stateless query routes these are keyed by a subscription id
+// in the path. Every move answer carries an X-Safe-Region header: "hit"
+// when it was served from the safe region without engine work, "miss" when
+// it re-evaluated.
+
+// safeRegionHeader is the response header reporting the move disposition.
+const safeRegionHeader = "X-Safe-Region"
+
+func setSafeRegion(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set(safeRegionHeader, "hit")
+	} else {
+		w.Header().Set(safeRegionHeader, "miss")
+	}
+}
+
+// monitor returns the continuous monitor, writing the 500 when the server
+// was built without one (a database lacking an object store).
+func (s *Server) monitor(w http.ResponseWriter) (*continuous.Monitor, bool) {
+	if s.mon == nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "continuous queries unavailable: no object store")
+		return nil, false
+	}
+	return s.mon, true
+}
+
+func subscribeResponse(id uint64, res core.Result, sr core.SafeRegion) api.SubscribeResponse {
+	return api.SubscribeResponse{
+		ID:         id,
+		Result:     toResponse(res),
+		SafeRadius: api.Float(sr.Radius),
+		AnchorX:    sr.Center.X,
+		AnchorY:    sr.Center.Y,
+		Epoch:      res.Epoch,
+	}
+}
+
+// --- POST /v1/subscribe ---
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	mon, ok := s.monitor(w)
+	if !ok {
+		return
+	}
+	var req api.SubscribeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > maxK {
+		s.badRequest(w, "k must be in [1, %d], got %d", maxK, req.K)
+		return
+	}
+	sched, ok := schedFor(req.Sched)
+	if !ok {
+		s.badRequest(w, "sched must be 1, 2 or 3, got %d", req.Sched)
+		return
+	}
+	opt, err := coreOptions(req.Options)
+	if err != nil {
+		s.badRequest(w, "invalid options: %v", err)
+		return
+	}
+	q, ok := s.surfacePoint(w, req.X, req.Y)
+	if !ok {
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	id, res, sr, err := mon.Subscribe(ctx, q, req.K, sched, opt)
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	setEpoch(w, res.Epoch)
+	setSafeRegion(w, false)
+	writeBody(w, subscribeResponse(id, res, sr))
+}
+
+// --- POST /v1/subscribe/{id}/move ---
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	mon, ok := s.monitor(w)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.badRequest(w, "invalid subscription id %q", r.PathValue("id"))
+		return
+	}
+	var req api.MoveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p := geom.Vec2{X: req.X, Y: req.Y}
+
+	// The safe-region fast path: no admission slot, no session, no engine.
+	// Serving a cached, epoch-current answer is cheaper than the admission
+	// bookkeeping it would queue behind.
+	if res, sr, hit := mon.TryMove(id, p); hit {
+		setEpoch(w, res.Epoch)
+		setSafeRegion(w, true)
+		writeBody(w, subscribeResponse(id, res, sr))
+		return
+	}
+
+	// Validate the target before spending an admission slot: a move off the
+	// terrain is the addressed location not existing, a 404.
+	if _, ok := s.surfacePoint(w, req.X, req.Y); !ok {
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, time.Duration(req.Timeout))
+	defer cancel()
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	res, sr, hit, err := mon.Move(ctx, id, p)
+	if err == continuous.ErrUnknownSubscription {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no subscription %d", id)
+		return
+	}
+	if err != nil {
+		writeQueryError(w, s.stats, err)
+		return
+	}
+	setEpoch(w, res.Epoch)
+	setSafeRegion(w, hit)
+	writeBody(w, subscribeResponse(id, res, sr))
+}
+
+// --- DELETE /v1/subscribe/{id} ---
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	mon, ok := s.monitor(w)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.badRequest(w, "invalid subscription id %q", r.PathValue("id"))
+		return
+	}
+	if !mon.Unsubscribe(id) {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no subscription %d", id)
+		return
+	}
+	writeBody(w, api.UnsubscribeResponse{Removed: true})
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"surfknn/internal/server/api"
+)
+
+func deleteReq(t testing.TB, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodDelete, path, nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func decodeSubscribe(t *testing.T, w *httptest.ResponseRecorder) api.SubscribeResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var res api.SubscribeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("decoding subscribe response: %v\n%s", err, w.Body.String())
+	}
+	return res
+}
+
+// TestSubscribeLifecycle walks the continuous-query surface end to end over
+// HTTP: subscribe, safe-region hit on a move to the anchor itself, epoch
+// invalidation through a real object upsert (the staleness regression: the
+// post-update move must re-evaluate and carry the new epoch, never the
+// cached pre-update top-k), and unsubscribe.
+func TestSubscribeLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	w := post(t, s, "/v1/subscribe", `{"x":830,"y":770,"k":3}`)
+	sub := decodeSubscribe(t, w)
+	if sub.ID == 0 || len(sub.Neighbors) != 3 {
+		t.Fatalf("subscribe returned id=%d with %d neighbours", sub.ID, len(sub.Neighbors))
+	}
+	if got := w.Header().Get("X-Safe-Region"); got != "miss" {
+		t.Fatalf("subscribe X-Safe-Region = %q, want miss (initial evaluation)", got)
+	}
+	epoch0 := sub.Epoch
+
+	// A move to the exact anchor is inside any safe region (distance 0 <=
+	// radius, even a zero radius): must be a hit serving the same answer.
+	movePath := fmt.Sprintf("/v1/subscribe/%d/move", sub.ID)
+	w = post(t, s, movePath, `{"x":830,"y":770}`)
+	moved := decodeSubscribe(t, w)
+	if got := w.Header().Get("X-Safe-Region"); got != "hit" {
+		t.Fatalf("move to anchor X-Safe-Region = %q, want hit", got)
+	}
+	if moved.Epoch != epoch0 {
+		t.Fatalf("hit served epoch %d, subscribed at %d", moved.Epoch, epoch0)
+	}
+	for i := range sub.Neighbors {
+		if moved.Neighbors[i].ID != sub.Neighbors[i].ID {
+			t.Fatalf("hit changed rank %d: %d != %d", i+1, moved.Neighbors[i].ID, sub.Neighbors[i].ID)
+		}
+	}
+
+	// Upsert an object onto the anchor: publishes a new epoch and must
+	// invalidate the subscription — the next move, even to the same point,
+	// re-evaluates and sees the new object at rank 1.
+	w = post(t, s, "/v1/objects", `{"objects":[{"id":9002,"x":830,"y":770}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("upsert failed: %d %s", w.Code, w.Body.String())
+	}
+	w = post(t, s, movePath, `{"x":830,"y":770}`)
+	moved = decodeSubscribe(t, w)
+	if got := w.Header().Get("X-Safe-Region"); got != "miss" {
+		t.Fatalf("post-update move X-Safe-Region = %q, want miss", got)
+	}
+	if moved.Epoch != epoch0+1 {
+		t.Fatalf("post-update move served epoch %d, want %d", moved.Epoch, epoch0+1)
+	}
+	if moved.Neighbors[0].ID != 9002 {
+		t.Fatalf("post-update top-1 is %d, want the upserted 9002", moved.Neighbors[0].ID)
+	}
+
+	delPath := fmt.Sprintf("/v1/subscribe/%d", sub.ID)
+	w = deleteReq(t, s, delPath)
+	if w.Code != http.StatusOK {
+		t.Fatalf("unsubscribe: %d %s", w.Code, w.Body.String())
+	}
+	var ur api.UnsubscribeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ur); err != nil || !ur.Removed {
+		t.Fatalf("unsubscribe body: %s (err %v)", w.Body.String(), err)
+	}
+	if w = deleteReq(t, s, delPath); w.Code != http.StatusNotFound {
+		t.Fatalf("second unsubscribe: %d, want 404", w.Code)
+	}
+	if w = post(t, s, movePath, `{"x":830,"y":770}`); w.Code != http.StatusNotFound {
+		t.Fatalf("move after unsubscribe: %d, want 404", w.Code)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+	}{
+		{"missing k", http.MethodPost, "/v1/subscribe", `{"x":830,"y":770}`, http.StatusBadRequest},
+		{"off-terrain", http.MethodPost, "/v1/subscribe", `{"x":-50,"y":770,"k":3}`, http.StatusNotFound},
+		{"unknown field", http.MethodPost, "/v1/subscribe", `{"x":830,"y":770,"k":3,"radius":1}`, http.StatusBadRequest},
+		{"bad move id", http.MethodPost, "/v1/subscribe/zzz/move", `{"x":830,"y":770}`, http.StatusBadRequest},
+		{"unknown move id", http.MethodPost, "/v1/subscribe/424242/move", `{"x":830,"y":770}`, http.StatusNotFound},
+		{"bad delete id", http.MethodDelete, "/v1/subscribe/zzz", ``, http.StatusBadRequest},
+		{"unknown delete id", http.MethodDelete, "/v1/subscribe/424242", ``, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var w *httptest.ResponseRecorder
+			if tc.method == http.MethodDelete {
+				w = deleteReq(t, s, tc.path)
+			} else {
+				w = post(t, s, tc.path, tc.body)
+			}
+			if w.Code != tc.status {
+				t.Fatalf("%s %s: status %d, want %d\n%s", tc.method, tc.path, w.Code, tc.status, w.Body.String())
+			}
+			decodeError(t, w)
+		})
+	}
+}

@@ -28,6 +28,12 @@ type PhaseCost struct {
 	PoolMisses  int64 `json:"pool_misses"` // buffer-pool reads that hit the page file
 	RTreeVisits int64 `json:"rtree_visits"`
 
+	// Relaxations counts pathnet Dijkstra edge relaxations — the engine's
+	// unit of exact-distance work. A phase (or a whole Cost) reporting 0
+	// provably computed no exact surface distance, which is how the
+	// continuous-query layer certifies its safe-region fast path.
+	Relaxations int64 `json:"relaxations"`
+
 	// Work counters (CPU-cost proxies, machine-independent).
 	UpperBounds int `json:"upper_bounds"`
 	LowerBounds int `json:"lower_bounds"`
@@ -45,6 +51,7 @@ func (p *PhaseCost) add(o PhaseCost) {
 	p.PoolHits += o.PoolHits
 	p.PoolMisses += o.PoolMisses
 	p.RTreeVisits += o.RTreeVisits
+	p.Relaxations += o.Relaxations
 	p.UpperBounds += o.UpperBounds
 	p.LowerBounds += o.LowerBounds
 	p.Iterations += o.Iterations

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"surfknn/internal/geom"
+	"surfknn/internal/mesh"
+)
+
+// The move-mix generator: a deterministic stream of continuous-query moves
+// — a population of walkers random-walking across the terrain — optionally
+// interleaved with object updates, for exercising the continuous-query
+// subsystem (safe-region hit rates, epoch invalidation) under configurable
+// mobility. The step length is the experiment's main knob: small steps stay
+// inside safe regions (high hit rate), large steps burst out of them.
+
+// MoveKind discriminates the operations a move mix emits.
+type MoveKind int
+
+const (
+	// MoveOpMove moves walker MoveOp.Walker to MoveOp.Point.
+	MoveOpMove MoveKind = iota
+	// MoveOpUpdate upserts MoveOp.Objects into the store, publishing a new
+	// epoch (and invalidating the subscriptions it lands near).
+	MoveOpUpdate
+)
+
+// MoveOp is one operation drawn from the mix.
+type MoveOp struct {
+	Kind    MoveKind
+	Walker  int               // MoveOpMove: which walker moves
+	Point   mesh.SurfacePoint // MoveOpMove: its new position
+	Objects []Object          // MoveOpUpdate: the batch to upsert
+}
+
+// MoveMixConfig tunes a move mix. The zero value means: 8 walkers, step
+// 1/100 of the terrain width, 50:1 move/update, ids from 2_000_000, seed 0.
+type MoveMixConfig struct {
+	Walkers      int     // concurrent movers (default 8)
+	Step         float64 // max per-axis step length (default extent width/100)
+	MoveWeight   int     // relative frequency of moves (default 50)
+	UpdateWeight int     // relative frequency of object updates (default 1)
+	StartID      int64   // first id assigned to upserted objects (default 2e6)
+	Seed         int64   // rng seed; equal configs yield equal streams
+}
+
+func (c MoveMixConfig) withDefaults(ext geom.MBR) MoveMixConfig {
+	if c.Walkers <= 0 {
+		c.Walkers = 8
+	}
+	if c.Step <= 0 {
+		c.Step = ext.Width() / 100
+	}
+	if c.MoveWeight == 0 && c.UpdateWeight == 0 {
+		c.MoveWeight, c.UpdateWeight = 50, 1
+	}
+	if c.MoveWeight < 0 {
+		c.MoveWeight = 0
+	}
+	if c.UpdateWeight < 0 {
+		c.UpdateWeight = 0
+	}
+	if c.StartID <= 0 {
+		c.StartID = 2_000_000
+	}
+	return c
+}
+
+// MoveMix generates a deterministic stream of walker moves and object
+// updates. Each walker holds a planar position; a move op steps it by a
+// uniform offset in [-Step, Step] per axis, resampling steps that would
+// leave the surface. Not safe for concurrent use; drivers running walkers
+// in parallel should draw the stream single-threaded and fan out the ops.
+type MoveMix struct {
+	m      *mesh.Mesh
+	loc    *mesh.Locator
+	cfg    MoveMixConfig
+	rng    *rand.Rand
+	pos    []geom.Vec2 // walkers' current planar positions
+	starts []mesh.SurfacePoint
+	nextID int64
+}
+
+// NewMoveMix builds a mix over the terrain, placing every walker uniformly
+// at random.
+func NewMoveMix(m *mesh.Mesh, loc *mesh.Locator, cfg MoveMixConfig) (*MoveMix, error) {
+	cfg = cfg.withDefaults(m.Extent())
+	if cfg.MoveWeight+cfg.UpdateWeight <= 0 {
+		return nil, fmt.Errorf("workload: move mix has no positive weight")
+	}
+	x := &MoveMix{
+		m:      m,
+		loc:    loc,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nextID: cfg.StartID,
+	}
+	x.pos = make([]geom.Vec2, cfg.Walkers)
+	x.starts = make([]mesh.SurfacePoint, cfg.Walkers)
+	for i := range x.pos {
+		sp := x.surfacePoint()
+		x.starts[i] = sp
+		x.pos[i] = sp.XY()
+	}
+	return x, nil
+}
+
+// Starts returns every walker's initial surface position — the points a
+// driver subscribes at before applying the stream.
+func (x *MoveMix) Starts() []mesh.SurfacePoint { return x.starts }
+
+// Next draws the next operation.
+func (x *MoveMix) Next() MoveOp {
+	total := x.cfg.MoveWeight + x.cfg.UpdateWeight
+	if x.rng.Intn(total) < x.cfg.MoveWeight {
+		return x.moveOp()
+	}
+	return x.updateOp()
+}
+
+func (x *MoveMix) moveOp() MoveOp {
+	w := x.rng.Intn(len(x.pos))
+	// Step the walker, resampling proposals that fall off the surface (at
+	// the terrain rim most proposals point outward; the walk reflects back
+	// in whatever direction next succeeds).
+	for {
+		p := geom.Vec2{
+			X: x.pos[w].X + (2*x.rng.Float64()-1)*x.cfg.Step,
+			Y: x.pos[w].Y + (2*x.rng.Float64()-1)*x.cfg.Step,
+		}
+		sp, err := mesh.MakeSurfacePoint(x.m, x.loc, p)
+		if err != nil {
+			continue
+		}
+		x.pos[w] = sp.XY()
+		return MoveOp{Kind: MoveOpMove, Walker: w, Point: sp}
+	}
+}
+
+func (x *MoveMix) updateOp() MoveOp {
+	o := Object{ID: x.nextID, Point: x.surfacePoint()}
+	x.nextID++
+	return MoveOp{Kind: MoveOpUpdate, Objects: []Object{o}}
+}
+
+// surfacePoint draws a uniform surface position, resampling numerical
+// boundary failures like RandomObjects does.
+func (x *MoveMix) surfacePoint() mesh.SurfacePoint {
+	ext := x.m.Extent()
+	for {
+		p := geom.Vec2{
+			X: ext.MinX + x.rng.Float64()*ext.Width(),
+			Y: ext.MinY + x.rng.Float64()*ext.Height(),
+		}
+		sp, err := mesh.MakeSurfacePoint(x.m, x.loc, p)
+		if err != nil {
+			continue
+		}
+		return sp
+	}
+}

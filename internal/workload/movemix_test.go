@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMoveMixDeterministic(t *testing.T) {
+	m, loc := setup(t)
+	cfg := MoveMixConfig{Seed: 17, Walkers: 4, Step: 3}
+	a, err := NewMoveMix(m, loc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMoveMix(m, loc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Starts(), b.Starts()) {
+		t.Fatal("equal-config mixes placed walkers differently")
+	}
+	for i := 0; i < 300; i++ {
+		if opA, opB := a.Next(), b.Next(); !reflect.DeepEqual(opA, opB) {
+			t.Fatalf("op %d diverged between equal-config mixes:\n%+v\n%+v", i, opA, opB)
+		}
+	}
+}
+
+func TestMoveMixOps(t *testing.T) {
+	m, loc := setup(t)
+	const step = 2.5
+	x, err := NewMoveMix(m, loc, MoveMixConfig{Seed: 3, Walkers: 5, Step: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(x.Starts()); got != 5 {
+		t.Fatalf("got %d walkers, want 5", got)
+	}
+	pos := make(map[int][2]float64, 5)
+	for i, sp := range x.Starts() {
+		pos[i] = [2]float64{sp.XY().X, sp.XY().Y}
+	}
+	counts := map[MoveKind]int{}
+	for i := 0; i < 1000; i++ {
+		op := x.Next()
+		counts[op.Kind]++
+		switch op.Kind {
+		case MoveOpMove:
+			if op.Walker < 0 || op.Walker >= 5 {
+				t.Fatalf("op %d: walker %d out of range", i, op.Walker)
+			}
+			p := op.Point.XY()
+			prev := pos[op.Walker]
+			// Every move is one bounded step of the walker's own walk.
+			if math.Abs(p.X-prev[0]) > step || math.Abs(p.Y-prev[1]) > step {
+				t.Fatalf("op %d: walker %d jumped from %v to %v (step %g)", i, op.Walker, prev, p, step)
+			}
+			pos[op.Walker] = [2]float64{p.X, p.Y}
+		case MoveOpUpdate:
+			if len(op.Objects) != 1 || op.Objects[0].ID < 2_000_000 {
+				t.Fatalf("op %d: malformed update %+v", i, op)
+			}
+		default:
+			t.Fatalf("op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+	if counts[MoveOpMove] == 0 || counts[MoveOpUpdate] == 0 {
+		t.Fatalf("mix never emitted both kinds: %v", counts)
+	}
+	// 50:1 default: moves must dominate.
+	if counts[MoveOpMove] < 20*counts[MoveOpUpdate] {
+		t.Fatalf("move/update ratio off: %v", counts)
+	}
+}

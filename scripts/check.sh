@@ -55,9 +55,10 @@ go test -race ./...
 echo "== parallel benchmark smoke =="
 # One iteration of the concurrent-query benchmarks: proves the session API
 # still runs the parallel path (the race tests above prove it is safe), of
-# the serving-layer benchmarks (handler chain cold and cache-hit), and of
-# the update-mix benchmark (queries interleaved with epoch publications).
-go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN|KNNUnderUpdates' -benchtime=1x .
+# the serving-layer benchmarks (handler chain cold and cache-hit), of the
+# update-mix benchmark (queries interleaved with epoch publications), and
+# of the continuous-subscription benchmark (safe-region hit rate vs step).
+go test -run '^$' -bench 'SequentialKNN|ParallelKNN|ServerKNN|KNNUnderUpdates|ContinuousKNN' -benchtime=1x .
 
 echo "== allocation budget =="
 # The warm query path must stay allocation-free: the benchmarks below warm
@@ -156,8 +157,45 @@ if ! printf '%s' "$knn2" | grep -q '"id":9001'; then
     echo "post-upsert /v1/knn does not see object 9001: $knn2" >&2
     exit 1
 fi
+# Continuous subscriptions end to end: subscribe → move to a point inside
+# the safe region (hit: served from the cached top-k without engine work) →
+# upsert at the anchor (the epoch bump invalidates the cache) → move again
+# (miss: re-evaluated at the new epoch, X-Epoch advances) → unsubscribe
+# (second move 404s). X-Safe-Region carries the per-move disposition.
+sub=$(curl -fsSi -X POST "http://$addr/v1/subscribe" -d '{"x":830,"y":770,"k":3}')
+sub_id=$(printf '%s' "$sub" | grep -o '"id":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$sub_id" ]; then
+    echo "/v1/subscribe returned no id: $sub" >&2
+    exit 1
+fi
+printf '%s' "$sub" | tr -d '\r' | grep -q '^X-Safe-Region: miss'
+mv1=$(curl -fsSi -X POST "http://$addr/v1/subscribe/$sub_id/move" -d '{"x":830,"y":770}')
+if ! printf '%s' "$mv1" | tr -d '\r' | grep -q '^X-Safe-Region: hit'; then
+    echo "move inside the safe region was not a hit: $mv1" >&2
+    exit 1
+fi
+mv1_epoch=$(printf '%s' "$mv1" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+curl -fsS -X POST "http://$addr/v1/objects" \
+    -d '{"objects":[{"id":9002,"x":830,"y":770}]}' | grep -q '"epoch":2'
+mv2=$(curl -fsSi -X POST "http://$addr/v1/subscribe/$sub_id/move" -d '{"x":830,"y":770}')
+if ! printf '%s' "$mv2" | tr -d '\r' | grep -q '^X-Safe-Region: miss'; then
+    echo "post-upsert move was not re-evaluated: $mv2" >&2
+    exit 1
+fi
+mv2_epoch=$(printf '%s' "$mv2" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
+if [ "${mv2_epoch:-0}" -le "${mv1_epoch:-0}" ]; then
+    echo "X-Epoch did not advance across the invalidating upsert (before=$mv1_epoch after=$mv2_epoch)" >&2
+    exit 1
+fi
+curl -fsS -X DELETE "http://$addr/v1/subscribe/$sub_id" | grep -q '"removed":true'
+if curl -fsS -X POST "http://$addr/v1/subscribe/$sub_id/move" \
+    -d '{"x":830,"y":770}' >/dev/null 2>&1; then
+    echo "move on an unsubscribed id did not 404" >&2
+    exit 1
+fi
 vars=$(curl -fsS "http://$addr/debug/vars")
-for needle in '"surfknn_server"' '"requests"' '"cache"' '"objects"' '"epochs_created"'; do
+for needle in '"surfknn_server"' '"requests"' '"cache"' '"objects"' '"epochs_created"' \
+    '"surfknn_continuous"' '"region_hits"'; do
     if ! printf '%s' "$vars" | grep -q "$needle"; then
         echo "/debug/vars is missing $needle" >&2
         printf '%s\n' "$vars" >&2
