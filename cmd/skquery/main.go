@@ -6,10 +6,18 @@
 //	skquery -dem bh.sdem -objects 200 -x 3200 -y 3200 -k 5 -algo mr3 -sched 1
 //	skquery -preset EP -size 64 -k 10 -algo ea
 //	skquery -snapshot bh.skdb -k 5
+//	skquery -q "SELECT k=5 NEAREST (800, 800) USING s=2"
+//	skquery -server http://127.0.0.1:8080 -q "EXPLAIN RANGE (800, 800) WITHIN 500"
+//	skquery -repl
 //
 // When -x/-y are omitted the query point is the terrain centre. A
 // -snapshot (from skgen -db) carries its own objects and resumes the
 // saved object-store epoch, reported in the terrain line.
+//
+// -q executes one SKQL statement and exits (non-zero on any error, with a
+// line:col caret diagnostic on parse errors); -repl starts an interactive
+// shell reading one statement per line. Both work locally or against a
+// running skserve/skcoord via -server.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"surfknn/internal/obs"
 	"surfknn/internal/server/api"
 	"surfknn/internal/server/client"
+	"surfknn/internal/sklang"
+	"surfknn/internal/sklang/skexec"
 	"surfknn/internal/workload"
 )
 
@@ -53,6 +63,8 @@ func main() {
 		sched    = flag.Int("sched", 1, "MR3 step-length schedule: 1, 2 or 3")
 		radius   = flag.Float64("radius", 500, "surface range radius for -algo range (m)")
 		slope    = flag.Float64("slope", 35, "max slope for -algo masked (degrees)")
+		qstmt    = flag.String("q", "", "execute one SKQL statement (e.g. 'SELECT k=5 NEAREST (800, 800)') and exit; an EXPLAIN prefix prints the annotated plan")
+		repl     = flag.Bool("repl", false, "interactive SKQL shell: read one statement per line from stdin (exit with \\q)")
 		server   = flag.String("server", "", "query a running skserve/skcoord at this base URL (e.g. http://127.0.0.1:8080) instead of a local terrain")
 		follow   = flag.Bool("follow", false, "with -server: register a continuous k-NN subscription at (-x, -y), then read \"x y\" move lines from stdin, printing each answer with its safe-region hit/miss disposition")
 		timeout  = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
@@ -76,9 +88,23 @@ func main() {
 		log.Fatalf("%v (run skquery -h for usage)", err)
 	}
 
+	if *qstmt != "" && *repl {
+		log.Fatal("-q and -repl are mutually exclusive")
+	}
 	if *server != "" {
 		if *snapPath != "" || *demPath != "" {
 			log.Fatal("-server and -snapshot/-dem are mutually exclusive")
+		}
+		if *qstmt != "" || *repl {
+			exec := remoteSKQL(*server, *timeout)
+			if *repl {
+				runREPL(exec)
+				return
+			}
+			if !exec(*qstmt) {
+				os.Exit(1)
+			}
+			return
 		}
 		if *follow {
 			followRemote(*server, *qx, *qy, *k, *sched, *timeout)
@@ -143,6 +169,18 @@ func main() {
 			log.Fatal(derr)
 		}
 		fmt.Printf("# debug server listening on %s\n", addr)
+	}
+
+	if *qstmt != "" || *repl {
+		exec := localSKQL(db, *timeout, *trace)
+		if *repl {
+			runREPL(exec)
+			return
+		}
+		if !exec(*qstmt) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	ext := m.Extent()
@@ -343,6 +381,178 @@ func followRemote(base string, qx, qy float64, k, sched int, timeout time.Durati
 		log.Fatalf("unsubscribing %d: %v", sub.ID, err)
 	}
 	fmt.Printf("unsubscribed %d\n", sub.ID)
+}
+
+// --- SKQL (-q / -repl) ---
+
+// stmtExec executes one SKQL statement, printing the answer or a
+// diagnostic; the bool is false when the statement failed (the one-shot
+// path exits non-zero on it, the REPL keeps going).
+type stmtExec func(src string) bool
+
+// printDiag renders an error for a statement; parse and plan errors get
+// the one-line line:col diagnostic plus a caret under the offending token.
+func printDiag(src string, err error) {
+	var le *sklang.Error
+	if errors.As(err, &le) {
+		fmt.Fprintf(os.Stderr, "skquery: %v\n%s\n", le, sklang.Caret(src, le.Pos))
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Line > 0 {
+		fmt.Fprintf(os.Stderr, "skquery: %s\n%s\n", apiErr.Message,
+			sklang.Caret(src, sklang.Position{Line: apiErr.Line, Col: apiErr.Col}))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "skquery: %v\n", err)
+}
+
+// runREPL reads one statement per line until EOF or \q, executing each.
+func runREPL(exec stmtExec) {
+	fmt.Println(`SKQL shell — one statement per line ("SELECT k=5 NEAREST (x, y)"), \q to quit`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("skql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+		case `\q`, "exit", "quit":
+			return
+		default:
+			exec(line) // diagnostics printed; the shell continues either way
+		}
+		fmt.Print("skql> ")
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading statements: %v", err)
+	}
+	fmt.Println()
+}
+
+// localSKQL compiles and runs statements against the local TerrainDB —
+// the same sklang → skexec path skserve uses, so answers match the service
+// bit for bit.
+func localSKQL(db *core.TerrainDB, timeout time.Duration, trace bool) stmtExec {
+	cat := sklang.Catalog{
+		Objects: len(db.Objects()),
+		Faces:   db.Mesh.NumFaces(),
+		Area:    db.Mesh.Extent().Area(),
+	}
+	return func(src string) bool {
+		plan, err := sklang.Compile(src, cat)
+		if err != nil {
+			printDiag(src, err)
+			return false
+		}
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		sess := db.NewSession(ctx)
+		sess.SetTracing(trace)
+		out, err := skexec.Run(ctx, sess, plan)
+		if err != nil {
+			printDiag(src, err)
+			return false
+		}
+		if plan.Explain {
+			fmt.Print(sklang.RenderNode(plan.Root.Wire()))
+			return true
+		}
+		switch plan.Form {
+		case "distance":
+			fmt.Printf("distance ∈ [%.2f, %.2f] m (accuracy %.4f, %d iterations)\n",
+				out.Distance.LB, out.Distance.UB, out.Distance.Accuracy, out.Distance.Iterations)
+		case "subscribe":
+			fmt.Printf("one-shot evaluation (subscriptions need a running service; see -server -follow)\n")
+			printLocalNeighbors(out.Result.Neighbors)
+			fmt.Printf("safe radius %.2f m around (%.1f, %.1f)\n", out.Safe.Radius, plan.X, plan.Y)
+		default:
+			printLocalNeighbors(out.Result.Neighbors)
+		}
+		fmt.Printf("cost: %s\n", out.Result.Metrics())
+		if out.Result.Trace != nil {
+			if js, jerr := out.Result.Trace.JSON(); jerr == nil {
+				fmt.Printf("trace: %s\n", js)
+			}
+		}
+		return true
+	}
+}
+
+func printLocalNeighbors(ns []core.Neighbor) {
+	for i, n := range ns {
+		fmt.Printf("%2d. object %-4d at (%.1f, %.1f, %.1f)  dS ∈ [%.2f, %.2f]\n",
+			i+1, n.Object.ID, n.Object.Point.Pos.X, n.Object.Point.Pos.Y, n.Object.Point.Pos.Z,
+			n.LB, n.UB)
+	}
+}
+
+// remoteSKQL sends statements to a running skserve or skcoord: EXPLAIN
+// statements via POST /v1/explain (printing the service-rendered plan),
+// everything else via POST /v1/query.
+func remoteSKQL(base string, timeout time.Duration) stmtExec {
+	cli := client.New(base)
+	return func(src string) bool {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		if isExplain(src) {
+			res, _, err := cli.Explain(ctx, api.ExplainRequest{Q: src})
+			if err != nil {
+				printDiag(src, err)
+				return false
+			}
+			fmt.Print(res.Text)
+			fmt.Printf("epoch %d\n", res.Epoch)
+			return true
+		}
+		res, meta, err := cli.Query(ctx, api.QueryRequest{Q: src})
+		if err != nil {
+			printDiag(src, err)
+			return false
+		}
+		switch {
+		case res.Distance != nil:
+			d := res.Distance
+			fmt.Printf("distance ∈ [%.2f, %.2f] m (accuracy %.4f, %d iterations)\n",
+				float64(d.LB), float64(d.UB), d.Accuracy, d.Iterations)
+		case res.Subscription != nil:
+			fmt.Printf("subscription %d registered, safe radius %.2f m\n",
+				res.Subscription.ID, float64(res.Subscription.SafeRadius))
+			printWireNeighbors(res.Neighbors)
+		default:
+			printWireNeighbors(res.Neighbors)
+		}
+		fmt.Printf("cost: %d pages, %d µs cpu, %d µs elapsed (%s)\n",
+			res.Cost.Pages, res.Cost.CPUUs, res.Cost.ElapsedUs, res.Algorithm)
+		if meta.Cache != "" {
+			fmt.Printf("epoch %d, cache %s\n", meta.Epoch, meta.Cache)
+		} else {
+			fmt.Printf("epoch %d\n", meta.Epoch)
+		}
+		return true
+	}
+}
+
+func printWireNeighbors(ns []api.Neighbor) {
+	for i, n := range ns {
+		fmt.Printf("%2d. object %-4d at (%.1f, %.1f, %.1f)  dS ∈ [%.2f, %.2f]\n",
+			i+1, n.ID, n.X, n.Y, n.Z, float64(n.LB), float64(n.UB))
+	}
+}
+
+// isExplain reports whether the statement's first keyword is EXPLAIN
+// (case-insensitive), without a full parse — routing only; the service
+// still authoritatively parses.
+func isExplain(src string) bool {
+	fields := strings.Fields(src)
+	return len(fields) > 0 && strings.EqualFold(fields[0], "EXPLAIN")
 }
 
 func loadOrSynthesize(path, preset string, size int, cell float64, seed int64) (*dem.Grid, error) {

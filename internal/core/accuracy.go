@@ -36,13 +36,23 @@ func (s *Session) DistanceWithAccuracy(a, b mesh.SurfacePoint, accuracy float64,
 // context: ctx cancels or deadlines this query only (nil selects the
 // session's default context).
 func (s *Session) DistanceWithAccuracyCtx(ctx context.Context, a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, error) {
+	out, _, err := s.DistanceWithAccuracyCostCtx(ctx, a, b, accuracy, sched)
+	return out, err
+}
+
+// DistanceWithAccuracyCostCtx is DistanceWithAccuracyCtx returning, in
+// addition, the query's Result shell — no neighbours, but the per-phase
+// Cost, Trace and Epoch the plain form discards. The EXPLAIN path needs
+// those numbers; the DistanceRange itself is bit-identical to what the
+// plain form returns.
+func (s *Session) DistanceWithAccuracyCostCtx(ctx context.Context, a, b mesh.SurfacePoint, accuracy float64, sched Schedule) (DistanceRange, Result, error) {
 	if accuracy <= 0 || accuracy > 1 || math.IsNaN(accuracy) {
-		return DistanceRange{}, fmt.Errorf("core: accuracy %g outside (0,1]", accuracy)
+		return DistanceRange{}, Result{}, fmt.Errorf("core: accuracy %g outside (0,1]", accuracy)
 	}
 	s.beginQuery(ctx, algoAccuracy)
 	out, err := s.distanceWithAccuracy(a, b, accuracy, sched)
-	_, err2 := s.endQuery(algoAccuracy, 0, nil, err)
-	return out, err2
+	res, err2 := s.endQuery(algoAccuracy, 0, nil, err)
+	return out, res, err2
 }
 
 // distanceWithAccuracy walks the refinement ladder under one "refine" phase,

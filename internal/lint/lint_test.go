@@ -117,6 +117,7 @@ func TestRuleRegistry(t *testing.T) {
 		"pin-release",
 		"ctx-flow",
 		"sub-unregister",
+		"ast-exhaustive",
 	}
 	rules := AllRules()
 	if len(rules) != len(want) {

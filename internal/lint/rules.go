@@ -19,6 +19,7 @@ func AllRules() []Rule {
 		pinRelease{},
 		ctxFlow{},
 		subUnregister{},
+		astExhaustive{},
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package sklang is a sklint fixture for ast-exhaustive: type switches
+// over a closed AST sum must cover every exported node type or default to
+// a typed error. The package is deliberately named sklang — that name is
+// what arms the rule.
+package sklang
+
+import "errors"
+
+// Node is the fixture's closed sum, standing in for sklang.Stmt.
+type Node interface{ node() }
+
+// Alpha, Beta and Gamma are the exported node types; Gamma implements
+// through a pointer receiver, like the real AST nodes.
+type Alpha struct{}
+
+func (Alpha) node() {}
+
+type Beta struct{}
+
+func (Beta) node() {}
+
+type Gamma struct{}
+
+func (*Gamma) node() {}
+
+// hidden is unexported: the closed sum a consumer dispatches over is the
+// exported surface, so switches need not name it.
+type hidden struct{}
+
+func (hidden) node() {}
+
+func exhaustiveOK(n Node) int {
+	switch n.(type) {
+	case Alpha:
+		return 1
+	case Beta:
+		return 2
+	case *Gamma:
+		return 3
+	}
+	return 0
+}
+
+func typedDefaultOK(n Node) (int, error) {
+	switch n.(type) {
+	case Alpha:
+		return 1, nil
+	default:
+		return 0, errors.New("unknown node")
+	}
+}
+
+func missingCase(n Node) int {
+	switch n.(type) { // finding: Gamma is not covered and there is no default
+	case Alpha:
+		return 1
+	case Beta:
+		return 2
+	}
+	return 0
+}
+
+func silentDefault(n Node) int {
+	switch n.(type) {
+	case Alpha:
+		return 1
+	default: // finding: the default swallows unknown nodes without a typed error
+		return 0
+	}
+}
+
+func suppressed(n Node) int {
+	//lint:ignore ast-exhaustive fixture demonstrates a deliberate partial walk
+	switch n.(type) {
+	case Alpha:
+		return 1
+	}
+	return 0
+}
+
+func otherInterfaceOK(v error) string {
+	// A switch over a non-sklang interface is out of scope.
+	switch v.(type) {
+	case *hiddenErr:
+		return "hidden"
+	}
+	return ""
+}
+
+type hiddenErr struct{}
+
+func (*hiddenErr) Error() string { return "x" }
+
+var _ = hidden{}

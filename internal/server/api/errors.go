@@ -20,6 +20,13 @@ type ErrorBody struct {
 	// "shard_unavailable"): which shards failed and why, so a partial
 	// outage is diagnosable from the error alone.
 	Shards []ShardError `json:"shards,omitempty" api:"v1"`
+	// Line/Col/Token locate the offending token when a 400 came from
+	// parsing or planning an SKQL statement (POST /v1/query, /v1/explain):
+	// 1-based source position plus the token text (empty at end of input).
+	// Absent on every other error.
+	Line  int    `json:"line,omitempty" api:"v1"`
+	Col   int    `json:"col,omitempty" api:"v1"`
+	Token string `json:"token,omitempty" api:"v1"`
 }
 
 // ShardError is one shard's failure inside a degraded scatter-gather

@@ -1,0 +1,96 @@
+package api
+
+// The SKQL routes' wire shapes. POST /v1/query executes one statement and
+// answers with the form-appropriate payload; POST /v1/explain executes it
+// too but answers with the annotated plan tree (estimated vs actual cost
+// per phase). Both exist on the standalone server and on the scatter-
+// gather coordinator, whose plans additionally annotate the tiles each
+// step touched.
+
+// QueryRequest is the body of POST /v1/query: one SKQL statement.
+type QueryRequest struct {
+	Q       string   `json:"q" api:"v1"`
+	Timeout Duration `json:"timeout,omitempty" api:"v1"`
+}
+
+// QueryResponse is the body of POST /v1/query. Result is embedded so a
+// SELECT answers with the exact same "neighbors"/"cost" shape as POST
+// /v1/knn — the language is a front door, not a second result format. The
+// optional fields carry the other forms' payloads.
+type QueryResponse struct {
+	// Form is the statement form: "select", "range", "distance" or
+	// "subscribe".
+	Form string `json:"form" api:"v1"`
+	// Algorithm is the planner's choice: "mr3", "ea", "range", "distance"
+	// or "continuous".
+	Algorithm string `json:"algorithm" api:"v1"`
+	Result
+	// Distance carries the DISTANCE form's answer.
+	Distance *DistanceResponse `json:"distance,omitempty" api:"v1"`
+	// Subscription carries the SUBSCRIBE form's answer (the registered
+	// subscription; only a server with subscription state answers it).
+	Subscription *SubscribeResponse `json:"subscription,omitempty" api:"v1"`
+}
+
+// ExplainRequest is the body of POST /v1/explain. The statement may, but
+// need not, carry an EXPLAIN prefix.
+type ExplainRequest struct {
+	Q       string   `json:"q" api:"v1"`
+	Timeout Duration `json:"timeout,omitempty" api:"v1"`
+}
+
+// ExplainResponse is the body of POST /v1/explain: the executed plan tree
+// with per-phase estimated and actual costs, plus its pre-rendered
+// indented-text form.
+type ExplainResponse struct {
+	// Query is the canonical spelling of the explained statement.
+	Query string `json:"query" api:"v1"`
+	// Form and Algorithm mirror QueryResponse.
+	Form      string `json:"form" api:"v1"`
+	Algorithm string `json:"algorithm" api:"v1"`
+	// Plan is the annotated plan tree.
+	Plan PlanNode `json:"plan" api:"v1"`
+	// Text is the plan rendered as indented text (with the phase trace
+	// appended when the executing layer records one).
+	Text string `json:"text" api:"v1"`
+	// Epoch is the object-store epoch the explain execution read.
+	Epoch uint64 `json:"epoch" api:"v1"`
+}
+
+// PlanNode is one node of an executed plan tree.
+type PlanNode struct {
+	// Op identifies the node: the algorithm at the root ("mr3", "ea",
+	// "range", "distance", "continuous"), "phase:<name>" for a cost-phase
+	// leaf, "filter" for a post-filter step, and "scatter:<op>"/"rank:<op>"
+	// on coordinator plans.
+	Op string `json:"op" api:"v1"`
+	// Detail is a human-oriented argument summary.
+	Detail string `json:"detail,omitempty" api:"v1"`
+	// EstPages is the planner's up-front page estimate for the subtree.
+	EstPages int64 `json:"est_pages" api:"v1"`
+	// Tiles lists the tiles this step touched on a scatter-gather
+	// execution; absent on single-node plans.
+	Tiles []string `json:"tiles,omitempty" api:"v1"`
+	// Phase is the executed query's actual cost for a phase leaf.
+	Phase *PlanPhase `json:"phase,omitempty" api:"v1"`
+	// Cost is the executed query's actual total for the subtree.
+	Cost *Cost `json:"cost,omitempty" api:"v1"`
+	// Children in execution order.
+	Children []PlanNode `json:"children,omitempty" api:"v1"`
+}
+
+// PlanPhase is the wire form of one phase's stats.PhaseCost.
+type PlanPhase struct {
+	WallUs      int64 `json:"wall_us" api:"v1"`
+	PoolHits    int64 `json:"pool_hits" api:"v1"`
+	PoolMisses  int64 `json:"pool_misses" api:"v1"`
+	RTreeVisits int64 `json:"rtree_visits" api:"v1"`
+	Relaxations int64 `json:"relaxations" api:"v1"`
+	UpperBounds int   `json:"upper_bounds" api:"v1"`
+	LowerBounds int   `json:"lower_bounds" api:"v1"`
+	Iterations  int   `json:"iterations" api:"v1"`
+	Candidates  int   `json:"candidates" api:"v1"`
+	// Pages is the phase's combined page-access count (pool hits + pool
+	// misses + R-tree visits).
+	Pages int64 `json:"pages" api:"v1"`
+}

@@ -89,6 +89,11 @@ type APIError struct {
 	Code    string           // api.Code* constant
 	Message string           // human-readable detail
 	Shards  []api.ShardError // per-shard failures on a degraded scatter-gather answer
+	// Line/Col/Token locate the offending token of a rejected SKQL
+	// statement (the /v1/query and /v1/explain routes); zero otherwise.
+	Line  int
+	Col   int
+	Token string
 }
 
 func (e *APIError) Error() string {
@@ -96,6 +101,21 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("%s (%d): %s [%d shards failed]", e.Code, e.Status, e.Message, len(e.Shards))
 	}
 	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Query executes one SKQL statement (POST /v1/query).
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (api.QueryResponse, Meta, error) {
+	var res api.QueryResponse
+	meta, err := c.do(ctx, http.MethodPost, "/v1/query", req, &res)
+	return res, meta, err
+}
+
+// Explain executes one SKQL statement and returns its annotated plan tree
+// (POST /v1/explain).
+func (c *Client) Explain(ctx context.Context, req api.ExplainRequest) (api.ExplainResponse, Meta, error) {
+	var res api.ExplainResponse
+	meta, err := c.do(ctx, http.MethodPost, "/v1/explain", req, &res)
+	return res, meta, err
 }
 
 // KNN runs a surface k-NN query.
@@ -273,6 +293,9 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 			apiErr.Code = env.Error.Code
 			apiErr.Message = env.Error.Message
 			apiErr.Shards = env.Error.Shards
+			apiErr.Line = env.Error.Line
+			apiErr.Col = env.Error.Col
+			apiErr.Token = env.Error.Token
 		} else {
 			apiErr.Code = api.CodeInternal
 			apiErr.Message = strings.TrimSpace(string(raw))

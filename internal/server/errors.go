@@ -19,13 +19,20 @@ import (
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	writeEnvelope(w, api.ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// writeEnvelope encodes an already-assembled error body (status and
+// Content-Type must be written first). The SKQL routes use it directly to
+// attach the parse position fields.
+func writeEnvelope(w http.ResponseWriter, body api.ErrorBody) {
 	enc := json.NewEncoder(w)
 	// The client may already be gone; nothing useful to do with the error.
 	//lint:ignore dropped-error the reply path has no caller to surface a write error to
-	_ = enc.Encode(api.ErrorEnvelope{Error: api.ErrorBody{
-		Code:    code,
-		Message: fmt.Sprintf(format, args...),
-	}})
+	_ = enc.Encode(api.ErrorEnvelope{Error: body})
 }
 
 // writeQueryError maps an engine error onto the right status code:

@@ -14,6 +14,7 @@ import (
 	"surfknn/internal/geom"
 	"surfknn/internal/mesh"
 	"surfknn/internal/server/api"
+	"surfknn/internal/sklang/skexec"
 )
 
 // The wire shapes themselves live in internal/server/api — the one
@@ -35,50 +36,17 @@ const maxBodyBytes = 1 << 20
 const maxShardBodyBytes = 16 << 20
 
 // coreOptions maps the wire options onto core.Options, validating
-// fractions.
+// fractions. The mapping lives in skexec so the SKQL plan executor and the
+// /v1 handlers translate a client's options identically — the /v1/query
+// bit-identity guarantee depends on it.
 func coreOptions(o *api.Options) (core.Options, error) {
-	if o == nil {
-		return core.Options{}, nil
-	}
-	var fns []core.Option
-	if o.Step2Accuracy != nil {
-		if !inUnit(*o.Step2Accuracy) {
-			return core.Options{}, fmt.Errorf("step2_accuracy %g outside [0,1]", *o.Step2Accuracy)
-		}
-		fns = append(fns, core.WithStep2Accuracy(*o.Step2Accuracy))
-	}
-	if o.OverlapThreshold != nil {
-		if !inUnit(*o.OverlapThreshold) {
-			return core.Options{}, fmt.Errorf("overlap_threshold %g outside [0,1]", *o.OverlapThreshold)
-		}
-		fns = append(fns, core.WithOverlapThreshold(*o.OverlapThreshold))
-	}
-	if o.IOIntegration != nil {
-		fns = append(fns, core.WithIOIntegration(*o.IOIntegration))
-	}
-	if o.DummyLB != nil {
-		fns = append(fns, core.WithDummyLB(*o.DummyLB))
-	}
-	if o.BothFamilyLB != nil {
-		fns = append(fns, core.WithBothFamilyLB(*o.BothFamilyLB))
-	}
-	return core.NewOptions(fns...), nil
+	return skexec.CoreOptions(o)
 }
-
-func inUnit(v float64) bool { return v >= 0 && v <= 1 }
 
 // schedFor resolves the request's schedule number (default 1, matching
 // skquery).
 func schedFor(n int) (core.Schedule, bool) {
-	switch n {
-	case 0, 1:
-		return core.S1, true
-	case 2:
-		return core.S2, true
-	case 3:
-		return core.S3, true
-	}
-	return core.Schedule{}, false
+	return skexec.Schedule(n)
 }
 
 // toResponse maps an engine result onto the wire.

@@ -168,6 +168,9 @@ func New(db *core.TerrainDB, cfg Config) *Server {
 	}
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /debug/explain", s.handleExplainConsole)
 	mux.HandleFunc("POST /v1/knn", s.handleKNN)
 	mux.HandleFunc("POST /v1/range", s.handleRange)
 	mux.HandleFunc("POST /v1/distance", s.handleDistance)

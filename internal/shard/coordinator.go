@@ -59,6 +59,11 @@ type Coordinator struct {
 	// claims a number, so every shard sees epochs in order.
 	epochMu sync.Mutex
 	epoch   uint64
+
+	// faces is the terrain's face count, learned from the fleet in Verify
+	// (every shard carries the full terrain). Zero until then; the SKQL
+	// planner's catalog tolerates that — it only degrades the estimates.
+	faces int
 }
 
 // New builds a coordinator from a manifest whose entries all carry shard
@@ -148,8 +153,18 @@ func (c *Coordinator) Verify(ctx context.Context) error {
 	if maxEpoch > c.epoch {
 		c.epoch = maxEpoch
 	}
+	c.faces = results[0].Faces
 	c.epochMu.Unlock()
 	return nil
+}
+
+// tileIDs maps shard indexes to their manifest tile ids.
+func (c *Coordinator) tileIDs(idx []int) []string {
+	ids := make([]string, len(idx))
+	for i, s := range idx {
+		ids[i] = c.shards[s].meta.ID
+	}
+	return ids
 }
 
 // DegradedError reports a scatter that could not assemble a complete
@@ -317,6 +332,12 @@ func (c *Coordinator) rankShard(q geom.Vec2) int {
 // obtain the k-th upper bound, scatter step 3 to the shards within that
 // radius, rank the gathered C2. Returns the result and the merged epoch.
 func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, uint64, error) {
+	return c.knn(ctx, req, nil)
+}
+
+// knn is KNN with an optional execution trace for EXPLAIN (nil records
+// nothing).
+func (c *Coordinator) knn(ctx context.Context, req api.KNNRequest, tr *queryTrace) (api.Result, uint64, error) {
 	q := geom.Vec2{X: req.X, Y: req.Y}
 	var (
 		ep    epochs
@@ -325,6 +346,7 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 	)
 	// Step 1: every shard contributes its k nearest by planar distance; no
 	// bound exists yet to prune with.
+	tr.touch(traceStep1, c.tileIDs(c.allShards()))
 	err := c.scatter(ctx, c.allShards(), func(ctx context.Context, i int, sc *shardConn) error {
 		res, _, err := sc.cli.ShardKNN2D(ctx, api.ShardKNN2DRequest{X: req.X, Y: req.Y, K: req.K})
 		if err != nil {
@@ -344,6 +366,7 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 
 	// Step 2: rank C1 with tightening on the query tile's shard.
 	rank := c.rankShard(q)
+	tr.touch(traceRankC1, c.tileIDs([]int{rank}))
 	rankReq := api.ShardRankRequest{
 		X: req.X, Y: req.Y, K: req.K,
 		Sched: req.Sched, Options: req.Options, Timeout: req.Timeout,
@@ -363,6 +386,7 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 	}
 	ep.observe(ranked.Epoch)
 	cost.add(ranked.Cost)
+	tr.charge(traceRankC1, ranked.Cost)
 	if len(ranked.Neighbors) == 0 {
 		return api.Result{}, 0, errors.New("shard: no candidate objects on the fleet")
 	}
@@ -378,7 +402,10 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 	// Step 3: gather every object within the radius, from the shards whose
 	// tile the radius reaches.
 	lists = make([][]api.Candidate, len(c.shards))
-	err = c.scatter(ctx, c.reachableShards(q, radius), func(ctx context.Context, i int, sc *shardConn) error {
+	reach := c.reachableShards(q, radius)
+	tr.touch(traceStep3, c.tileIDs(reach))
+	tr.bound(radius)
+	err = c.scatter(ctx, reach, func(ctx context.Context, i int, sc *shardConn) error {
 		res, _, err := sc.cli.ShardRange2D(ctx, api.ShardRange2DRequest{X: req.X, Y: req.Y, Radius: radius})
 		if err != nil {
 			return err
@@ -393,6 +420,7 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 	c2 := mergeCandidates(q, lists)
 
 	// Step 4: settle the k-set over C2, again on the query tile's shard.
+	tr.touch(traceRankC2, c.tileIDs([]int{rank}))
 	rankReq.Tighten = false
 	rankReq.Candidates = c2
 	var final api.ShardResult
@@ -409,6 +437,7 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 	}
 	ep.observe(final.Epoch)
 	cost.add(final.Cost)
+	tr.charge(traceRankC2, final.Cost)
 	return api.Result{Neighbors: final.Neighbors, Cost: cost.sum}, ep.merged(), nil
 }
 
@@ -417,13 +446,19 @@ func (c *Coordinator) KNN(ctx context.Context, req api.KNNRequest) (api.Result, 
 // shard answers over its own partition and the coordinator concatenates,
 // ordering by upper bound exactly like the engine.
 func (c *Coordinator) Range(ctx context.Context, req api.RangeRequest) (api.Result, uint64, error) {
+	return c.rangeQuery(ctx, req, nil)
+}
+
+func (c *Coordinator) rangeQuery(ctx context.Context, req api.RangeRequest, tr *queryTrace) (api.Result, uint64, error) {
 	q := geom.Vec2{X: req.X, Y: req.Y}
 	var (
 		ep    epochs
 		cost  costs
 		lists = make([][]api.Neighbor, len(c.shards))
 	)
-	err := c.scatter(ctx, c.reachableShards(q, req.Radius), func(ctx context.Context, i int, sc *shardConn) error {
+	reach := c.reachableShards(q, req.Radius)
+	tr.touch(traceScatter, c.tileIDs(reach))
+	err := c.scatter(ctx, reach, func(ctx context.Context, i int, sc *shardConn) error {
 		res, _, err := sc.cli.ShardRange(ctx, api.ShardRangeRequest{
 			X: req.X, Y: req.Y, Radius: req.Radius,
 			Sched: req.Sched, Options: req.Options, Timeout: req.Timeout,
@@ -433,6 +468,7 @@ func (c *Coordinator) Range(ctx context.Context, req api.RangeRequest) (api.Resu
 		}
 		ep.observe(res.Epoch)
 		cost.add(res.Cost)
+		tr.charge(traceScatter, res.Cost)
 		lists[i] = res.Neighbors
 		return nil
 	})
@@ -456,11 +492,16 @@ func (c *Coordinator) Range(ctx context.Context, req api.RangeRequest) (api.Resu
 // best k. No pruning bound exists before the scatter, so every shard is
 // consulted.
 func (c *Coordinator) EA(ctx context.Context, req api.KNNRequest) (api.Result, uint64, error) {
+	return c.ea(ctx, req, nil)
+}
+
+func (c *Coordinator) ea(ctx context.Context, req api.KNNRequest, tr *queryTrace) (api.Result, uint64, error) {
 	var (
 		ep    epochs
 		cost  costs
 		lists = make([][]api.Neighbor, len(c.shards))
 	)
+	tr.touch(traceScatter, c.tileIDs(c.allShards()))
 	err := c.scatter(ctx, c.allShards(), func(ctx context.Context, i int, sc *shardConn) error {
 		res, _, err := sc.cli.ShardEA(ctx, api.ShardEARequest{X: req.X, Y: req.Y, K: req.K, Timeout: req.Timeout})
 		if err != nil {
@@ -468,6 +509,7 @@ func (c *Coordinator) EA(ctx context.Context, req api.KNNRequest) (api.Result, u
 		}
 		ep.observe(res.Epoch)
 		cost.add(res.Cost)
+		tr.charge(traceScatter, res.Cost)
 		lists[i] = res.Neighbors
 		return nil
 	})
@@ -516,6 +558,10 @@ func mergeNeighbors(q geom.Vec2, lists [][]api.Neighbor, k int) []api.Neighbor {
 // replicated on every shard, so any one can answer; the query tile's shard
 // is asked first and the rest serve as fallbacks.
 func (c *Coordinator) Distance(ctx context.Context, req api.DistanceRequest) (api.DistanceResponse, uint64, error) {
+	return c.distance(ctx, req, nil)
+}
+
+func (c *Coordinator) distance(ctx context.Context, req api.DistanceRequest, tr *queryTrace) (api.DistanceResponse, uint64, error) {
 	order := []int{c.rankShard(geom.Vec2{X: req.X, Y: req.Y})}
 	for i := range c.shards {
 		if i != order[0] {
@@ -530,6 +576,7 @@ func (c *Coordinator) Distance(ctx context.Context, req api.DistanceRequest) (ap
 		res, meta, err := sc.cli.Distance(callCtx, req)
 		cancel()
 		if err == nil {
+			tr.touch(traceScatter, c.tileIDs([]int{i}))
 			return res, meta.Epoch, nil
 		}
 		c.stats.ShardErrors.Add(1)

@@ -36,6 +36,9 @@ const maxUpdateBatch = 4096
 // Handler returns the coordinator's public HTTP surface.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", c.handleQuery)
+	mux.HandleFunc("POST /v1/explain", c.handleExplain)
+	mux.HandleFunc("GET /debug/explain", c.handleExplainConsole)
 	mux.HandleFunc("POST /v1/knn", c.handleKNN)
 	mux.HandleFunc("POST /v1/range", c.handleRange)
 	mux.HandleFunc("POST /v1/distance", c.handleDistance)

@@ -1,0 +1,181 @@
+package sklang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The AST. One exported node type per grammar form, all implementing Stmt.
+// String renders the canonical spelling — uppercase keywords, lowercase
+// option keys, shortest round-trip numbers — and parse(String()) yields an
+// equal AST (modulo positions), the invariant FuzzParseRoundTrip pins.
+//
+// Consumers dispatch on the concrete type; the sklint ast-exhaustive rule
+// checks every such type switch covers all exported node types (or
+// defaults to a typed error), so a grammar extension cannot be silently
+// dropped by a planner or executor.
+
+// Stmt is one parsed SKQL statement.
+type Stmt interface {
+	// String is the canonical spelling of the statement.
+	String() string
+	// Pos is the statement's starting position.
+	Pos() Position
+
+	stmtNode()
+}
+
+// Point is a planar query point literal "(x, y)".
+type Point struct {
+	X, Y   float64
+	ParenP Position // the opening parenthesis
+}
+
+func (p Point) String() string { return "(" + fmtNum(p.X) + ", " + fmtNum(p.Y) + ")" }
+
+// Option is one "key=value" entry of a USING clause. Exactly one of the
+// numeric and word forms is set: IsNum selects Num, otherwise Word holds a
+// lowercased identifier (the boolean spellings on/off/true/false).
+type Option struct {
+	Key    string // lowercased
+	Num    float64
+	IsNum  bool
+	Word   string // lowercased; empty when IsNum
+	KeyP   Position
+	ValueP Position
+}
+
+func (o Option) String() string {
+	if o.IsNum {
+		return o.Key + "=" + fmtNum(o.Num)
+	}
+	return o.Key + "=" + o.Word
+}
+
+// usingString renders a USING clause (with leading space), or "" when the
+// option list is empty.
+func usingString(opts []Option) string {
+	if len(opts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(opts))
+	for i, o := range opts {
+		parts[i] = o.String()
+	}
+	return " USING " + strings.Join(parts, ", ")
+}
+
+// SelectStmt is the SELECT form, in both shapes the grammar admits: the
+// k-NN shape "SELECT k=5 NEAREST (x, y) [WITHIN r] [USING ...] [ACCURACY a]"
+// (Nearest true) and the range shape "SELECT (x, y) WITHIN r [USING ...]"
+// (Nearest false, Within always set).
+type SelectStmt struct {
+	Start       Position
+	Nearest     bool
+	K           int // valid when Nearest
+	KP          Position
+	At          Point
+	Within      float64 // valid when HasWithin
+	HasWithin   bool
+	WithinP     Position
+	Using       []Option
+	Accuracy    float64 // valid when HasAccuracy (Nearest only)
+	HasAccuracy bool
+	AccuracyP   Position
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Nearest {
+		b.WriteString("k=")
+		b.WriteString(strconv.Itoa(s.K))
+		b.WriteString(" NEAREST ")
+	}
+	b.WriteString(s.At.String())
+	if s.HasWithin {
+		b.WriteString(" WITHIN ")
+		b.WriteString(fmtNum(s.Within))
+	}
+	b.WriteString(usingString(s.Using))
+	if s.HasAccuracy {
+		b.WriteString(" ACCURACY ")
+		b.WriteString(fmtNum(s.Accuracy))
+	}
+	return b.String()
+}
+
+func (s *SelectStmt) Pos() Position { return s.Start }
+func (s *SelectStmt) stmtNode()     {}
+
+// RangeStmt is "RANGE (x, y) WITHIN r [USING ...]" — the explicit spelling
+// of the surface range query.
+type RangeStmt struct {
+	Start   Position
+	At      Point
+	Within  float64
+	WithinP Position
+	Using   []Option
+}
+
+func (s *RangeStmt) String() string {
+	return "RANGE " + s.At.String() + " WITHIN " + fmtNum(s.Within) + usingString(s.Using)
+}
+
+func (s *RangeStmt) Pos() Position { return s.Start }
+func (s *RangeStmt) stmtNode()     {}
+
+// DistanceStmt is "DISTANCE (x, y) TO (x2, y2) [USING ...] [ACCURACY a]".
+type DistanceStmt struct {
+	Start       Position
+	From, To    Point
+	Using       []Option
+	Accuracy    float64 // valid when HasAccuracy
+	HasAccuracy bool
+	AccuracyP   Position
+}
+
+func (s *DistanceStmt) String() string {
+	var b strings.Builder
+	b.WriteString("DISTANCE ")
+	b.WriteString(s.From.String())
+	b.WriteString(" TO ")
+	b.WriteString(s.To.String())
+	b.WriteString(usingString(s.Using))
+	if s.HasAccuracy {
+		b.WriteString(" ACCURACY ")
+		b.WriteString(fmtNum(s.Accuracy))
+	}
+	return b.String()
+}
+
+func (s *DistanceStmt) Pos() Position { return s.Start }
+func (s *DistanceStmt) stmtNode()     {}
+
+// SubscribeStmt is "SUBSCRIBE k=5 FOLLOW (x, y) [USING ...]" — a continuous
+// k-NN query following a moving point.
+type SubscribeStmt struct {
+	Start Position
+	K     int
+	KP    Position
+	At    Point
+	Using []Option
+}
+
+func (s *SubscribeStmt) String() string {
+	return "SUBSCRIBE k=" + strconv.Itoa(s.K) + " FOLLOW " + s.At.String() + usingString(s.Using)
+}
+
+func (s *SubscribeStmt) Pos() Position { return s.Start }
+func (s *SubscribeStmt) stmtNode()     {}
+
+// ExplainStmt wraps a query: plan it, execute it, and return the annotated
+// plan tree instead of the bare result. EXPLAIN does not nest.
+type ExplainStmt struct {
+	Start Position
+	Query Stmt
+}
+
+func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Query.String() }
+func (s *ExplainStmt) Pos() Position  { return s.Start }
+func (s *ExplainStmt) stmtNode()      {}

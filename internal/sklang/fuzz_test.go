@@ -1,0 +1,51 @@
+package sklang
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRoundTrip pins the two parser invariants the language front
+// door depends on: the parser never panics on arbitrary input, and for
+// every accepted statement parse → String → re-parse yields an equal AST
+// (modulo positions) with an identical canonical spelling — so the
+// canonical form is a true fixed point and safe to use as a cache key.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		"SELECT k=5 NEAREST (800, 800)",
+		"SELECT k=5 NEAREST (800, 800) WITHIN 2000 USING s=2 ACCURACY 0.1",
+		"SELECT (800, 800) WITHIN 500",
+		"RANGE (1.5e2, -3.25) WITHIN 500 USING s=3, io=off",
+		"DISTANCE (0, 0) TO (100, 100) USING s=2 ACCURACY 0.95",
+		"SUBSCRIBE k=3 FOLLOW (800, 800) USING dummy_lb=on",
+		"EXPLAIN SELECT k=2 NEAREST (10, 20)",
+		"select K = 00005 nearest(8e2,+800)",
+		"SELECT k=5 NEAREST (1e999, 2)",
+		"\x00\xff(((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src) // must never panic
+		if err != nil {
+			if le, ok := err.(*Error); !ok {
+				t.Fatalf("Parse(%q): error %T is not *Error", src, err)
+			} else if le.Pos.Line < 1 || le.Pos.Col < 1 {
+				t.Fatalf("Parse(%q): error without a position: %v", src, err)
+			}
+			return
+		}
+		canon := st.String()
+		st2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q (of %q) does not re-parse: %v", canon, src, err)
+		}
+		if got := st2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q → %q", canon, got)
+		}
+		if !reflect.DeepEqual(StripPositions(st), StripPositions(st2)) {
+			t.Fatalf("round trip of %q changed the AST:\n%#v\n%#v", src, st, st2)
+		}
+	})
+}

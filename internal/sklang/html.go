@@ -1,0 +1,72 @@
+package sklang
+
+// ExplainHTML is the embedded EXPLAIN console: a single self-contained
+// page served at GET /debug/explain by both the standalone server and the
+// scatter-gather coordinator. It POSTs the typed-in statement to
+// /v1/explain on the same origin and shows the pre-rendered plan text plus
+// the raw JSON tree.
+const ExplainHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>surfknn EXPLAIN</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; padding: 0 1rem; }
+  h1 { font-size: 1.2rem; }
+  textarea { width: 100%; font: 0.9rem/1.4 ui-monospace, monospace; padding: 0.5rem; box-sizing: border-box; }
+  button { margin: 0.5rem 0; padding: 0.4rem 1.2rem; font-size: 0.9rem; }
+  pre { background: #f4f4f4; padding: 0.8rem; overflow-x: auto; font-size: 0.85rem; }
+  .err { color: #b00020; white-space: pre-wrap; font-family: ui-monospace, monospace; }
+  .hint { color: #666; font-size: 0.85rem; }
+</style>
+</head>
+<body>
+<h1>surfknn EXPLAIN</h1>
+<p class="hint">SELECT k=5 NEAREST (x, y) [WITHIN r] [USING s=2] [ACCURACY 0.1] &middot;
+RANGE (x, y) WITHIN r &middot; DISTANCE (x, y) TO (x2, y2) [ACCURACY a] &middot;
+SUBSCRIBE k=5 FOLLOW (x, y)</p>
+<textarea id="q" rows="3" spellcheck="false">SELECT k=5 NEAREST (800, 800)</textarea>
+<br><button id="run">EXPLAIN</button>
+<div id="err" class="err"></div>
+<h2 style="font-size:1rem">Plan</h2>
+<pre id="text"></pre>
+<h2 style="font-size:1rem">JSON</h2>
+<pre id="json"></pre>
+<script>
+async function run() {
+  const q = document.getElementById('q').value;
+  const err = document.getElementById('err');
+  const text = document.getElementById('text');
+  const json = document.getElementById('json');
+  err.textContent = ''; text.textContent = ''; json.textContent = '';
+  try {
+    const resp = await fetch('/v1/explain', {
+      method: 'POST',
+      headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify({q: q})
+    });
+    const body = await resp.json();
+    if (!resp.ok) {
+      const e = body.error || {};
+      let msg = (e.code || 'error') + ': ' + (e.message || resp.status);
+      if (e.line) {
+        msg += '\n  ' + q.split('\n')[e.line - 1] + '\n  ' + ' '.repeat(e.col - 1) + '^';
+      }
+      err.textContent = msg;
+      return;
+    }
+    text.textContent = body.text;
+    json.textContent = JSON.stringify(body.plan, null, 2);
+  } catch (e) {
+    err.textContent = String(e);
+  }
+}
+document.getElementById('run').addEventListener('click', run);
+document.getElementById('q').addEventListener('keydown', (e) => {
+  if (e.key === 'Enter' && !e.shiftKey) { e.preventDefault(); run(); }
+});
+run();
+</script>
+</body>
+</html>
+`

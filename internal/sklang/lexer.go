@@ -1,0 +1,161 @@
+package sklang
+
+import (
+	"math"
+	"strconv"
+)
+
+// The lexer. SKQL has six token kinds: identifiers (which double as
+// keywords — matching is case-insensitive), numbers, and the four
+// punctuation marks of the grammar. Anything else is a lexical error with
+// an exact position, never a panic — the parser is a fuzz target.
+
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tNumber
+	tLParen
+	tRParen
+	tComma
+	tEq
+)
+
+// kindName names a token kind for diagnostics.
+func kindName(k tokenKind) string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tLParen:
+		return `"("`
+	case tRParen:
+		return `")"`
+	case tComma:
+		return `","`
+	case tEq:
+		return `"="`
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	val  float64 // tNumber only
+	pos  Position
+}
+
+// lex tokenizes src in one pass. Only ASCII is structural; any other byte
+// is a lexical error (positions stay byte-accurate either way).
+func lex(src string) ([]token, *Error) {
+	toks := make([]token, 0, 16)
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for ; n > 0; n-- {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		pos := Position{Line: line, Col: col}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '(':
+			toks = append(toks, token{kind: tLParen, text: "(", pos: pos})
+			advance(1)
+		case c == ')':
+			toks = append(toks, token{kind: tRParen, text: ")", pos: pos})
+			advance(1)
+		case c == ',':
+			toks = append(toks, token{kind: tComma, text: ",", pos: pos})
+			advance(1)
+		case c == '=':
+			toks = append(toks, token{kind: tEq, text: "=", pos: pos})
+			advance(1)
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, text: src[i:j], pos: pos})
+			advance(j - i)
+		case c == '-' || c == '.' || isDigit(c):
+			j, ok := scanNumber(src, i)
+			text := src[i:j]
+			if !ok {
+				return nil, errf(pos, text, "malformed number %q", text)
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, errf(pos, text, "number %q out of range", text)
+			}
+			toks = append(toks, token{kind: tNumber, text: text, val: v, pos: pos})
+			advance(j - i)
+		default:
+			return nil, errf(pos, string(c), "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: Position{Line: line, Col: col}})
+	return toks, nil
+}
+
+// scanNumber scans ['-'] (digits ['.' digits] | '.' digits) [e['+'|'-']digits]
+// starting at i, returning the end offset and whether the shape was valid.
+func scanNumber(src string, i int) (int, bool) {
+	j := i
+	if src[j] == '-' {
+		j++
+	}
+	digits := 0
+	for j < len(src) && isDigit(src[j]) {
+		j++
+		digits++
+	}
+	if j < len(src) && src[j] == '.' {
+		j++
+		for j < len(src) && isDigit(src[j]) {
+			j++
+			digits++
+		}
+	}
+	if digits == 0 {
+		// Consume one more byte so the diagnostic shows what was seen.
+		if j < len(src) {
+			j++
+		}
+		return j, false
+	}
+	if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+		k := j + 1
+		if k < len(src) && (src[k] == '+' || src[k] == '-') {
+			k++
+		}
+		exp := 0
+		for k < len(src) && isDigit(src[k]) {
+			k++
+			exp++
+		}
+		if exp == 0 {
+			return k, false
+		}
+		j = k
+	}
+	return j, true
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

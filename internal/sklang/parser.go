@@ -1,0 +1,320 @@
+package sklang
+
+import "strings"
+
+// The parser: single-pass recursive descent over the token stream, with
+// clauses in the fixed grammar order (point, WITHIN, USING, ACCURACY).
+// Every failure is a positioned *Error naming the offending token and what
+// was expected; the parser never panics and never recurses unboundedly
+// (EXPLAIN is the only nesting and does not nest itself).
+
+// maxKValue bounds k at parse time; anything larger is a typo, and the
+// serving layers apply their own (smaller) limits on top.
+const maxKValue = 1 << 30
+
+// Parse parses one SKQL statement. The returned error, when non-nil, is
+// always a *Error carrying the offending position and token.
+func Parse(src string) (Stmt, error) {
+	toks, lerr := lex(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.unexpected("end of query")
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// kw reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) kw(word string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+// eat consumes the current token when it is the given keyword.
+func (p *parser) eat(word string) bool {
+	if p.kw(word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// unexpected builds the standard "unexpected X (expected Y)" diagnostic at
+// the current token.
+func (p *parser) unexpected(expected string) *Error {
+	t := p.cur()
+	if t.kind == tEOF {
+		return errf(t.pos, "", "unexpected end of query (expected %s)", expected)
+	}
+	return errf(t.pos, t.text, "unexpected %q (expected %s)", t.text, expected)
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind, expected string) (token, *Error) {
+	if p.cur().kind != kind {
+		return token{}, p.unexpected(expected)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseStmt() (Stmt, *Error) {
+	if p.kw("EXPLAIN") {
+		start := p.next().pos
+		if p.kw("EXPLAIN") {
+			return nil, errf(p.cur().pos, p.cur().text, "EXPLAIN does not nest")
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Start: start, Query: q}, nil
+	}
+	return p.parseQuery()
+}
+
+func (p *parser) parseQuery() (Stmt, *Error) {
+	switch {
+	case p.kw("SELECT"):
+		return p.parseSelect()
+	case p.kw("RANGE"):
+		return p.parseRange()
+	case p.kw("DISTANCE"):
+		return p.parseDistance()
+	case p.kw("SUBSCRIBE"):
+		return p.parseSubscribe()
+	}
+	return nil, p.unexpected("SELECT, RANGE, DISTANCE, SUBSCRIBE or EXPLAIN")
+}
+
+// parseSelect parses both SELECT shapes:
+//
+//	SELECT k=5 NEAREST (x, y) [WITHIN r] [USING ...] [ACCURACY a]
+//	SELECT (x, y) WITHIN r [USING ...]
+func (p *parser) parseSelect() (Stmt, *Error) {
+	start := p.next().pos
+	st := &SelectStmt{Start: start}
+	if p.kw("k") {
+		st.Nearest = true
+		var err *Error
+		st.K, st.KP, err = p.parseK()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat("NEAREST") {
+			return nil, p.unexpected("NEAREST")
+		}
+		if st.At, err = p.parsePoint(); err != nil {
+			return nil, err
+		}
+		if p.kw("WITHIN") {
+			st.WithinP = p.next().pos
+			st.HasWithin = true
+			if st.Within, err = p.parseNumber("a distance after WITHIN"); err != nil {
+				return nil, err
+			}
+		}
+		if st.Using, err = p.parseUsing(); err != nil {
+			return nil, err
+		}
+		if p.kw("ACCURACY") {
+			st.AccuracyP = p.next().pos
+			st.HasAccuracy = true
+			if st.Accuracy, err = p.parseNumber("an accuracy after ACCURACY"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+
+	if p.cur().kind != tLParen {
+		return nil, p.unexpected(`"k=<n> NEAREST" or a "(x, y)" point`)
+	}
+	var err *Error
+	if st.At, err = p.parsePoint(); err != nil {
+		return nil, err
+	}
+	if !p.kw("WITHIN") {
+		return nil, p.unexpected("WITHIN (a SELECT without NEAREST is a range query)")
+	}
+	st.WithinP = p.next().pos
+	st.HasWithin = true
+	if st.Within, err = p.parseNumber("a distance after WITHIN"); err != nil {
+		return nil, err
+	}
+	if st.Using, err = p.parseUsing(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseRange parses RANGE (x, y) WITHIN r [USING ...].
+func (p *parser) parseRange() (Stmt, *Error) {
+	start := p.next().pos
+	st := &RangeStmt{Start: start}
+	var err *Error
+	if st.At, err = p.parsePoint(); err != nil {
+		return nil, err
+	}
+	if !p.kw("WITHIN") {
+		return nil, p.unexpected("WITHIN")
+	}
+	st.WithinP = p.next().pos
+	if st.Within, err = p.parseNumber("a distance after WITHIN"); err != nil {
+		return nil, err
+	}
+	if st.Using, err = p.parseUsing(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseDistance parses DISTANCE (x, y) TO (x2, y2) [USING ...] [ACCURACY a].
+func (p *parser) parseDistance() (Stmt, *Error) {
+	start := p.next().pos
+	st := &DistanceStmt{Start: start}
+	var err *Error
+	if st.From, err = p.parsePoint(); err != nil {
+		return nil, err
+	}
+	if !p.eat("TO") {
+		return nil, p.unexpected("TO")
+	}
+	if st.To, err = p.parsePoint(); err != nil {
+		return nil, err
+	}
+	if st.Using, err = p.parseUsing(); err != nil {
+		return nil, err
+	}
+	if p.kw("ACCURACY") {
+		st.AccuracyP = p.next().pos
+		st.HasAccuracy = true
+		if st.Accuracy, err = p.parseNumber("an accuracy after ACCURACY"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseSubscribe parses SUBSCRIBE k=5 FOLLOW (x, y) [USING ...].
+func (p *parser) parseSubscribe() (Stmt, *Error) {
+	start := p.next().pos
+	st := &SubscribeStmt{Start: start}
+	if !p.kw("k") {
+		return nil, p.unexpected(`"k=<n>"`)
+	}
+	var err *Error
+	if st.K, st.KP, err = p.parseK(); err != nil {
+		return nil, err
+	}
+	if !p.eat("FOLLOW") {
+		return nil, p.unexpected("FOLLOW")
+	}
+	if st.At, err = p.parsePoint(); err != nil {
+		return nil, err
+	}
+	if st.Using, err = p.parseUsing(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseK parses "k=<positive integer>" with the "k" identifier current.
+func (p *parser) parseK() (int, Position, *Error) {
+	p.next() // the "k"
+	if _, err := p.expect(tEq, `"=" after k`); err != nil {
+		return 0, Position{}, err
+	}
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, Position{}, p.unexpected("a positive integer for k")
+	}
+	v := t.val
+	//lint:ignore float-eq exact integrality check on a parsed literal, not arithmetic
+	if v != float64(int64(v)) || v < 1 || v > maxKValue {
+		return 0, Position{}, errf(t.pos, t.text, "k must be a positive integer (at most %d), got %s", maxKValue, t.text)
+	}
+	p.next()
+	return int(v), t.pos, nil
+}
+
+// parsePoint parses "(x, y)".
+func (p *parser) parsePoint() (Point, *Error) {
+	lp, err := p.expect(tLParen, `a "(x, y)" point`)
+	if err != nil {
+		return Point{}, err
+	}
+	pt := Point{ParenP: lp.pos}
+	if pt.X, err = p.parseNumber("the point's x coordinate"); err != nil {
+		return Point{}, err
+	}
+	if _, err = p.expect(tComma, `"," between the point's coordinates`); err != nil {
+		return Point{}, err
+	}
+	if pt.Y, err = p.parseNumber("the point's y coordinate"); err != nil {
+		return Point{}, err
+	}
+	if _, err = p.expect(tRParen, `")" closing the point`); err != nil {
+		return Point{}, err
+	}
+	return pt, nil
+}
+
+// parseNumber consumes one number token.
+func (p *parser) parseNumber(expected string) (float64, *Error) {
+	t, err := p.expect(tNumber, expected)
+	if err != nil {
+		return 0, err
+	}
+	return t.val, nil
+}
+
+// parseUsing parses an optional "USING key=value, key=value" clause.
+// Values are numbers or bare identifiers (the boolean on/off spellings);
+// keys are lowercased, value validation is the planner's job.
+func (p *parser) parseUsing() ([]Option, *Error) {
+	if !p.kw("USING") {
+		return nil, nil
+	}
+	p.next()
+	var opts []Option
+	for {
+		key, err := p.expect(tIdent, "an option name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err = p.expect(tEq, `"=" after the option name`); err != nil {
+			return nil, err
+		}
+		o := Option{Key: strings.ToLower(key.text), KeyP: key.pos}
+		switch t := p.cur(); t.kind {
+		case tNumber:
+			o.Num, o.IsNum, o.ValueP = t.val, true, t.pos
+			p.next()
+		case tIdent:
+			o.Word, o.ValueP = strings.ToLower(t.text), t.pos
+			p.next()
+		default:
+			return nil, p.unexpected("an option value (a number, on or off)")
+		}
+		opts = append(opts, o)
+		if p.cur().kind != tComma {
+			return opts, nil
+		}
+		p.next()
+	}
+}

@@ -1,0 +1,89 @@
+package sklang
+
+import (
+	"fmt"
+	"strings"
+
+	"surfknn/internal/server/api"
+)
+
+// The EXPLAIN renderer: Node → api.PlanNode for the JSON body, and
+// api.PlanNode → indented text for humans. Rendering works off the wire
+// type so the standalone server, the coordinator and skquery all format
+// one shape one way.
+
+// Wire converts the plan subtree to its wire form.
+func (n *Node) Wire() api.PlanNode {
+	out := api.PlanNode{
+		Op:       n.Op,
+		Detail:   n.Detail,
+		EstPages: n.EstPages,
+		Tiles:    n.Tiles,
+		Phase:    n.Phase,
+		Cost:     n.Cost,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, c.Wire())
+	}
+	return out
+}
+
+// FindChild returns the first direct child with the given op, or nil.
+func (n *Node) FindChild(op string) *Node {
+	for _, c := range n.Children {
+		if c.Op == op {
+			return c
+		}
+	}
+	return nil
+}
+
+// RenderNode renders an executed plan tree as indented text, one node per
+// line, estimates beside actuals:
+//
+//	mr3 (k=3 sched=s=1) est=60pg act=378pg cpu=913µs elapsed=4693µs
+//	  phase:knn2d (2-D k-NN filter...) est=2pg act=9pg pool=3/2 rtree=4 wall=80µs
+func RenderNode(n api.PlanNode) string {
+	var b strings.Builder
+	renderInto(&b, n, 0)
+	return b.String()
+}
+
+func renderInto(b *strings.Builder, n api.PlanNode, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteString(" (")
+		b.WriteString(n.Detail)
+		b.WriteString(")")
+	}
+	fmt.Fprintf(b, " est=%dpg", n.EstPages)
+	if ph := n.Phase; ph != nil {
+		fmt.Fprintf(b, " act=%dpg pool=%d/%d rtree=%d", ph.Pages, ph.PoolHits, ph.PoolMisses, ph.RTreeVisits)
+		if ph.Relaxations > 0 {
+			fmt.Fprintf(b, " relax=%d", ph.Relaxations)
+		}
+		if ph.UpperBounds > 0 || ph.LowerBounds > 0 {
+			fmt.Fprintf(b, " ub=%d lb=%d", ph.UpperBounds, ph.LowerBounds)
+		}
+		if ph.Iterations > 0 {
+			fmt.Fprintf(b, " iters=%d", ph.Iterations)
+		}
+		if ph.Candidates > 0 {
+			fmt.Fprintf(b, " cands=%d", ph.Candidates)
+		}
+		fmt.Fprintf(b, " wall=%dµs", ph.WallUs)
+	}
+	if c := n.Cost; c != nil {
+		fmt.Fprintf(b, " act=%dpg cpu=%dµs elapsed=%dµs", c.Pages, c.CPUUs, c.ElapsedUs)
+	}
+	if len(n.Tiles) > 0 {
+		fmt.Fprintf(b, " tiles=[%s]", strings.Join(n.Tiles, " "))
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderInto(b, c, depth+1)
+	}
+}

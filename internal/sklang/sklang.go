@@ -1,0 +1,91 @@
+// Package sklang is SKQL, the query language front door of the engine: a
+// stdlib-only lexer → parser → AST → planner pipeline for statements like
+//
+//	SELECT k=5 NEAREST (3200, 3200) WITHIN 2000 USING s=2 ACCURACY 0.1
+//	RANGE (3200, 3200) WITHIN 500
+//	DISTANCE (0, 0) TO (6000, 6000) ACCURACY 0.95
+//	SUBSCRIBE k=5 FOLLOW (3200, 3200)
+//	EXPLAIN SELECT k=5 NEAREST (3200, 3200)
+//
+// covering every query variant the engine answers (MR3, EA, SurfaceRange,
+// DistanceWithAccuracy, continuous subscriptions). The planner maps
+// predicate shape to an algorithm — WITHIN-only → range, NEAREST with
+// ACCURACY 1 → EA, NEAREST otherwise → MR3, FOLLOW → continuous — and
+// emits a typed Plan tree whose nodes carry estimated page costs up front
+// and the actual per-phase stats.Cost after execution.
+//
+// The package is deliberately engine-free: it imports only the standard
+// library and internal/server/api (the wire contract), so the scatter-
+// gather coordinator — which never links the engine — can parse, plan and
+// explain the same statements. Execution lives in the skexec sub-package
+// (single-node, over a core.Session) and in internal/shard (scatter-
+// gather); both are pure back ends behind the same Plan, never a semantic
+// fork: an executed plan is bit-identical to the equivalent direct API
+// call.
+package sklang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Position is a 1-based line/column location in the statement source.
+type Position struct {
+	Line int
+	Col  int
+}
+
+// Error is a parse- or plan-time diagnostic: where it happened, the
+// offending token (empty at end of input), and what went wrong. The server
+// maps it onto the 400 error envelope with the same position info; skquery
+// renders it as a one-line caret diagnostic.
+type Error struct {
+	Pos Position
+	Tok string // offending token text; empty at end of input
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// errf builds a positioned diagnostic.
+func errf(pos Position, tok, format string, args ...any) *Error {
+	return &Error{Pos: pos, Tok: tok, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Caret renders the offending source line with a caret under the error
+// column — the two extra lines of a compiler-style diagnostic. Returns ""
+// when the position does not land inside src (e.g. a plan error with no
+// stored position).
+func Caret(src string, pos Position) string {
+	if pos.Line < 1 || pos.Col < 1 {
+		return ""
+	}
+	lines := strings.Split(src, "\n")
+	if pos.Line > len(lines) {
+		return ""
+	}
+	line := lines[pos.Line-1]
+	if pos.Col > len(line)+1 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  ")
+	b.WriteString(line)
+	b.WriteString("\n  ")
+	for i := 0; i < pos.Col-1; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte('^')
+	return b.String()
+}
+
+// fmtNum renders a float64 in the canonical SKQL spelling: the shortest
+// decimal that round-trips to the same bits, the same encoding api.Float
+// puts on the wire. Canonical statements therefore re-parse to
+// bit-identical values.
+func fmtNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,56 @@
+package sklang
+
+import "reflect"
+
+// StripPositions returns a deep copy of st with every Position field
+// zeroed. Positions are where a token sat in the source, not what the
+// statement means, so this is the equality domain of the parse/String
+// round-trip invariant (FuzzParseRoundTrip): reflect.DeepEqual of stripped
+// ASTs compares exactly the semantic fields, whatever the grammar grows.
+func StripPositions(st Stmt) Stmt {
+	if st == nil {
+		return nil
+	}
+	return stripValue(reflect.ValueOf(st)).Interface().(Stmt)
+}
+
+var positionType = reflect.TypeOf(Position{})
+
+func stripValue(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.New(v.Type().Elem())
+		out.Elem().Set(stripValue(v.Elem()))
+		return out
+	case reflect.Interface:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.New(v.Type()).Elem()
+		out.Set(stripValue(v.Elem()))
+		return out
+	case reflect.Struct:
+		if v.Type() == positionType {
+			return reflect.Zero(positionType)
+		}
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			out.Field(i).Set(stripValue(v.Field(i)))
+		}
+		return out
+	case reflect.Slice:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(stripValue(v.Index(i)))
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -140,6 +140,31 @@ if ! printf '%s' "$knn" | grep -q '"neighbors"'; then
     echo "/v1/knn returned no neighbors: $knn" >&2
     exit 1
 fi
+# SKQL end to end, still at epoch 0: POST /v1/query must answer the same
+# statement with byte-identical neighbors to the typed /v1/knn route
+# (same engine call, same JSON encoder — any drift means the planner
+# changed the query), and POST /v1/explain must name the chosen
+# algorithm at the plan root without executing anything.
+query=$(curl -fsS -X POST "http://$addr/v1/query" \
+    -d '{"q":"SELECT k=3 NEAREST (800, 800)"}')
+knn_neighbors=$(printf '%s' "$knn" | grep -o '"neighbors":\[[^]]*\]')
+query_neighbors=$(printf '%s' "$query" | grep -o '"neighbors":\[[^]]*\]')
+if [ -z "$knn_neighbors" ] || [ "$knn_neighbors" != "$query_neighbors" ]; then
+    echo "/v1/query neighbors differ from /v1/knn:" >&2
+    echo "  knn:   $knn_neighbors" >&2
+    echo "  query: $query_neighbors" >&2
+    exit 1
+fi
+explain=$(curl -fsS -X POST "http://$addr/v1/explain" \
+    -d '{"q":"SELECT k=3 NEAREST (800, 800)"}')
+if ! printf '%s' "$explain" | grep -q '"algorithm":"mr3"'; then
+    echo "/v1/explain did not pick the mr3 algorithm: $explain" >&2
+    exit 1
+fi
+if ! printf '%s' "$explain" | grep -q '"plan":{"op":"mr3"'; then
+    echo "/v1/explain plan root does not name the algorithm: $explain" >&2
+    exit 1
+fi
 # Dynamic objects over HTTP: an upsert must bump the epoch, and the next
 # query — served against the new epoch, not the cached epoch-0 entry —
 # must both see the new object and carry the newer epoch in X-Epoch.
@@ -266,6 +291,30 @@ if ! printf '%s' "$knn" | grep -q '"neighbors"'; then
     echo "coordinator /v1/knn returned no neighbors: $knn" >&2
     exit 1
 fi
+# SKQL through the coordinator: /v1/query must scatter-gather to the
+# same byte-identical neighbors as the typed route, and /v1/explain must
+# render the distributed plan — the root names the algorithm and the
+# scatter nodes carry the tile IDs they touched.
+query=$(curl -fsS -X POST "http://$coord_addr/v1/query" \
+    -d '{"q":"SELECT k=3 NEAREST (800, 800)"}')
+knn_neighbors=$(printf '%s' "$knn" | grep -o '"neighbors":\[[^]]*\]')
+query_neighbors=$(printf '%s' "$query" | grep -o '"neighbors":\[[^]]*\]')
+if [ -z "$knn_neighbors" ] || [ "$knn_neighbors" != "$query_neighbors" ]; then
+    echo "coordinator /v1/query neighbors differ from /v1/knn:" >&2
+    echo "  knn:   $knn_neighbors" >&2
+    echo "  query: $query_neighbors" >&2
+    exit 1
+fi
+explain=$(curl -fsS -X POST "http://$coord_addr/v1/explain" \
+    -d '{"q":"SELECT k=3 NEAREST (800, 800)"}')
+if ! printf '%s' "$explain" | grep -q '"plan":{"op":"mr3"'; then
+    echo "coordinator /v1/explain plan root does not name the algorithm: $explain" >&2
+    exit 1
+fi
+if ! printf '%s' "$explain" | grep -q '"tiles":\["tile-0-0","tile-1-0"\]'; then
+    echo "coordinator /v1/explain scatter node is missing the tile IDs: $explain" >&2
+    exit 1
+fi
 epoch0=$(printf '%s' "$knn" | tr -d '\r' | sed -n 's/^X-Epoch: //p')
 curl -fsS -X POST "http://$coord_addr/v1/objects" \
     -d '{"objects":[{"id":9001,"x":800,"y":800}]}' | grep -q '"epoch":1'
@@ -295,8 +344,15 @@ echo "== fuzz smoke =="
 # shallow mutations without stalling the gate. -fuzzminimizetime is capped
 # because minimising a large interesting input re-runs the target
 # thousands of times (see internal/core/fuzz_targets_test.go).
-for target in FuzzLoadSnapshot FuzzMR3Invariants FuzzDistanceRangeInvariants FuzzObjstoreEquivalence; do
-    go test ./internal/core -run '^$' -fuzz "^${target}\$" -fuzztime 5s -fuzzminimizetime=5x
+for spec in \
+    internal/core:FuzzLoadSnapshot \
+    internal/core:FuzzMR3Invariants \
+    internal/core:FuzzDistanceRangeInvariants \
+    internal/core:FuzzObjstoreEquivalence \
+    internal/sklang:FuzzParseRoundTrip; do
+    dir=${spec%:*}
+    target=${spec#*:}
+    go test "./$dir" -run '^$' -fuzz "^${target}\$" -fuzztime 5s -fuzzminimizetime=5x
 done
 
 echo "== all checks passed =="
